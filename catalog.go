@@ -1,0 +1,249 @@
+package bulkdel
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"bulkdel/internal/btree"
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/cc"
+	"bulkdel/internal/core"
+	"bulkdel/internal/heap"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/table"
+	"bulkdel/internal/wal"
+)
+
+// The catalog persists the schema — table and index definitions and the
+// file IDs behind them — to file 0 of the disk, so that Recover can rebuild
+// the engine after a crash and then roll forward any interrupted bulk
+// delete from the WAL (paper §3.2).
+
+type catalogIndex struct {
+	Name      string `json:"name"`
+	Field     int    `json:"field"`
+	KeyLen    int    `json:"keyLen"`
+	Unique    bool   `json:"unique"`
+	Clustered bool   `json:"clustered"`
+	Priority  int    `json:"priority"`
+	File      uint32 `json:"file"`
+}
+
+type catalogTable struct {
+	Name      string         `json:"name"`
+	NumFields int            `json:"numFields"`
+	Size      int            `json:"size"`
+	HeapFile  uint32         `json:"heapFile"`
+	Indexes   []catalogIndex `json:"indexes"`
+}
+
+type catalogFK struct {
+	Child       string `json:"child"`
+	ChildField  int    `json:"childField"`
+	Parent      string `json:"parent"`
+	ParentField int    `json:"parentField"`
+	Cascade     bool   `json:"cascade"`
+}
+
+type catalogRoot struct {
+	Tables  []catalogTable `json:"tables"`
+	FKs     []catalogFK    `json:"fks"`
+	WALFile uint32         `json:"walFile"`
+	HasWAL  bool           `json:"hasWAL"`
+	TxSeq   uint64         `json:"txSeq"`
+}
+
+// saveCatalog serializes the catalog and writes it to file 0, length-
+// prefixed, spanning as many pages as needed. Catalog writes are rare
+// (DDL only), so the whole file is rewritten each time.
+func (db *DB) saveCatalog() error {
+	root := catalogRoot{TxSeq: db.txSeq}
+	if db.log != nil {
+		root.HasWAL = true
+		root.WALFile = uint32(db.log.FileID())
+	}
+	for _, tbl := range db.tables {
+		ct := catalogTable{
+			Name:      tbl.t.Name,
+			NumFields: tbl.t.Schema.NumFields,
+			Size:      tbl.t.Schema.Size,
+			HeapFile:  uint32(tbl.t.Heap.ID()),
+		}
+		for _, ix := range tbl.t.Idx {
+			ct.Indexes = append(ct.Indexes, catalogIndex{
+				Name: ix.Def.Name, Field: ix.Def.Field, KeyLen: ix.Def.KeyLen,
+				Unique: ix.Def.Unique, Clustered: ix.Def.Clustered,
+				Priority: ix.Def.Priority, File: uint32(ix.Tree.ID()),
+			})
+		}
+		root.Tables = append(root.Tables, ct)
+	}
+	for _, fk := range db.fks {
+		root.FKs = append(root.FKs, catalogFK{
+			Child: fk.Child.Name(), ChildField: fk.ChildField,
+			Parent: fk.Parent.Name(), ParentField: fk.ParentField,
+			Cascade: fk.OnDelete == Cascade,
+		})
+	}
+	blob, err := json.Marshal(root)
+	if err != nil {
+		return err
+	}
+	stream := make([]byte, 8+len(blob))
+	binary.LittleEndian.PutUint64(stream, uint64(len(blob)))
+	copy(stream[8:], blob)
+
+	pages := (len(stream) + sim.PageSize - 1) / sim.PageSize
+	have, err := db.disk.NumPages(db.catalog)
+	if err != nil {
+		return err
+	}
+	for int(have) < pages {
+		if _, err := db.disk.Allocate(db.catalog); err != nil {
+			return err
+		}
+		have++
+	}
+	bufs := make([][]byte, pages)
+	for i := range bufs {
+		bufs[i] = make([]byte, sim.PageSize)
+		copy(bufs[i], stream[i*sim.PageSize:])
+	}
+	return db.disk.WriteRun(db.catalog, 0, bufs)
+}
+
+// loadCatalog reads the catalog from file 0.
+func loadCatalog(disk *sim.Disk) (catalogRoot, error) {
+	var root catalogRoot
+	n, err := disk.NumPages(0)
+	if err != nil {
+		return root, fmt.Errorf("bulkdel: no catalog on this disk: %w", err)
+	}
+	if n == 0 {
+		return root, fmt.Errorf("bulkdel: catalog file is empty")
+	}
+	stream := make([]byte, 0, int(n)*sim.PageSize)
+	buf := make([]byte, sim.PageSize)
+	for p := sim.PageNo(0); p < n; p++ {
+		if err := disk.ReadPage(0, p, buf); err != nil {
+			return root, err
+		}
+		stream = append(stream, buf...)
+	}
+	size := binary.LittleEndian.Uint64(stream)
+	if size == 0 || size > uint64(len(stream)-8) {
+		return root, fmt.Errorf("bulkdel: corrupt catalog header (size %d)", size)
+	}
+	if err := json.Unmarshal(stream[8:8+size], &root); err != nil {
+		return root, fmt.Errorf("bulkdel: corrupt catalog: %w", err)
+	}
+	return root, nil
+}
+
+// RecoveryReport describes what Recover found and did.
+type RecoveryReport struct {
+	// BulkInProgress reports whether an interrupted bulk delete was found.
+	BulkInProgress bool
+	// Table the interrupted statement targeted.
+	Table string
+	// RolledForward records completed by the roll-forward.
+	RolledForward int64
+	// StructuresSkipped were already durable before the crash.
+	StructuresSkipped int
+}
+
+// Recover reopens a database from its disk after a crash: it reloads the
+// catalog, reattaches every table and index, replays the WAL analysis, and
+// — following the paper's §3.2 — finishes any interrupted bulk delete
+// instead of rolling it back.
+func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
+	opts = opts.withDefaults()
+	root, err := loadCatalog(disk)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := &DB{
+		disk:    disk,
+		pool:    buffer.New(disk, opts.BufferBytes),
+		tables:  make(map[string]*Table),
+		catalog: 0,
+		txSeq:   root.TxSeq,
+		opts:    opts,
+	}
+	if opts.ReadAhead > 0 {
+		db.pool.SetReadAhead(opts.ReadAhead)
+	}
+	for _, ct := range root.Tables {
+		h, err := heap.Open(db.pool, sim.FileID(ct.HeapFile))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bulkdel: reopening table %s: %w", ct.Name, err)
+		}
+		t := table.ReattachForRecovery(db.pool, ct.Name,
+			record.Schema{NumFields: ct.NumFields, Size: ct.Size}, h)
+		for _, ci := range ct.Indexes {
+			tr, err := btree.Open(db.pool, sim.FileID(ci.File))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bulkdel: reopening index %s.%s: %w", ct.Name, ci.Name, err)
+			}
+			t.Idx = append(t.Idx, &table.Index{
+				Def: table.IndexDef{
+					Name: ci.Name, Field: ci.Field, KeyLen: ci.KeyLen,
+					Unique: ci.Unique, Clustered: ci.Clustered, Priority: ci.Priority,
+				},
+				Tree: tr,
+				Gate: cc.NewGate(),
+			})
+		}
+		db.tables[ct.Name] = &Table{db: db, t: t}
+	}
+
+	for _, fk := range root.FKs {
+		action := Restrict
+		if fk.Cascade {
+			action = Cascade
+		}
+		if err := db.fkByNames(fk.Child, fk.ChildField, fk.Parent, fk.ParentField, action); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	report := &RecoveryReport{}
+	if !root.HasWAL {
+		return db, report, nil
+	}
+	log, recs, err := wal.Open(disk, sim.FileID(root.WALFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	db.log = log
+	bs, ok := wal.AnalyzeBulk(recs)
+	if !ok || bs.Finished {
+		return db, report, nil
+	}
+	// Roll the interrupted bulk delete forward.
+	report.BulkInProgress = true
+	report.StructuresSkipped = len(bs.Done)
+	var victim *Table
+	for _, tbl := range db.tables {
+		if uint64(tbl.t.Heap.ID()) == bs.Table {
+			victim = tbl
+			break
+		}
+	}
+	if victim == nil {
+		return nil, nil, fmt.Errorf("bulkdel: interrupted bulk delete on unknown table (heap file %d)", bs.Table)
+	}
+	report.Table = victim.t.Name
+	field, ok := core.BulkStartField(recs, bs.TxID)
+	if !ok {
+		return nil, nil, fmt.Errorf("bulkdel: bulk-start record lacks the delete attribute")
+	}
+	st, err := core.Resume(victim.target(), bs, log, recs, field, core.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bulkdel: roll-forward failed: %w", err)
+	}
+	report.RolledForward = st.Deleted
+	return db, report, nil
+}

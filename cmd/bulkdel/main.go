@@ -1,0 +1,508 @@
+// Command bulkdel is a small interactive shell around the bulkdel engine:
+// create tables and indexes, load synthetic rows, run bulk deletes with any
+// of the paper's plans (or the traditional and drop-&-create baselines),
+// explain plans, inspect the simulated clock, and exercise crash recovery.
+//
+// Usage:
+//
+//	bulkdel            # interactive (reads commands from stdin)
+//	bulkdel -f demo.bd # run a script
+//
+// Commands (type `help` in the shell):
+//
+//	create table <name> <fields> <recsize>
+//	create index <table> <ixname> <field> [unique] [clustered] [keylen <n>]
+//	load <table> <rows>
+//	insert <table> <v0> [v1 ...]
+//	delete <table> <field> <values|lo..hi> [method sort|hash|partition|auto]
+//	delete <table> <field> <values|lo..hi> traditional [sorted]
+//	delete <table> <field> <values|lo..hi> dropcreate
+//	lookup <table> <field> <value>
+//	count <table> | check <table> | explain <table> <field> [method]
+//	estimate <table> <field> <victims>
+//	clock | stats | flush | crash | recover | help | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bulkdel"
+	"bulkdel/internal/sim"
+)
+
+type shell struct {
+	db   *bulkdel.DB
+	disk *sim.Disk
+	out  *bufio.Writer
+}
+
+func main() {
+	script := flag.String("f", "", "script file (default: interactive stdin)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bulkdel:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	db, err := bulkdel.Open(bulkdel.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulkdel:", err)
+		os.Exit(1)
+	}
+	sh := &shell{db: db, out: bufio.NewWriter(os.Stdout)}
+	defer sh.out.Flush()
+
+	interactive := *script == "" && isTTY()
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Fprint(sh.out, "bulkdel> ")
+			sh.out.Flush()
+		}
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+		sh.out.Flush()
+	}
+}
+
+func isTTY() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func (s *shell) exec(line string) error {
+	f := strings.Fields(line)
+	switch f[0] {
+	case "help":
+		s.help()
+		return nil
+	case "create":
+		return s.create(f[1:])
+	case "load":
+		return s.load(f[1:])
+	case "insert":
+		return s.insert(f[1:])
+	case "delete":
+		return s.delete(f[1:])
+	case "update":
+		return s.update(f[1:])
+	case "lookup":
+		return s.lookup(f[1:])
+	case "count":
+		tbl, err := s.table(f[1:])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%d\n", tbl.Count())
+		return nil
+	case "check":
+		tbl, err := s.table(f[1:])
+		if err != nil {
+			return err
+		}
+		if err := tbl.Check(); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "ok: heap and all indexes consistent")
+		return nil
+	case "explain":
+		return s.explain(f[1:])
+	case "estimate":
+		return s.estimate(f[1:])
+	case "clock":
+		fmt.Fprintf(s.out, "simulated time: %v\n", s.db.Clock())
+		return nil
+	case "stats":
+		st := s.db.DiskStats()
+		fmt.Fprintf(s.out, "reads=%d writes=%d random=%d near=%d sequential=%d chained-runs=%d\n",
+			st.Reads, st.Writes, st.RandomOps, st.NearOps, st.SeqOps, st.ChainedRuns)
+		return nil
+	case "flush":
+		return s.db.Flush()
+	case "crash":
+		s.disk = s.db.SimulateCrash()
+		fmt.Fprintln(s.out, "crashed: volatile state discarded (use `recover`)")
+		return nil
+	case "recover":
+		if s.disk == nil {
+			return fmt.Errorf("nothing to recover from (use `crash` first)")
+		}
+		db, rep, err := bulkdel.Recover(s.disk, bulkdel.Options{})
+		if err != nil {
+			return err
+		}
+		s.db, s.disk = db, nil
+		if rep.BulkInProgress {
+			fmt.Fprintf(s.out, "recovered: rolled forward a bulk delete on %s (%d records, %d structures were already durable)\n",
+				rep.Table, rep.RolledForward, rep.StructuresSkipped)
+		} else {
+			fmt.Fprintln(s.out, "recovered: no bulk delete was in progress")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try `help`)", f[0])
+	}
+}
+
+func (s *shell) help() {
+	fmt.Fprint(s.out, `commands:
+  create table <name> <fields> <recsize>
+  create index <table> <ixname> <field> [unique] [clustered] [keylen <n>]
+  load <table> <rows>                      synthetic rows: field j of row i = (j+1)*i
+  insert <table> <v0> [v1 ...]
+  delete <table> <field> <values|lo..hi> [method sort|hash|partition|auto]
+  delete <table> <field> <values|lo..hi> traditional [sorted]
+  delete <table> <field> <values|lo..hi> dropcreate
+  update <table> <predfield> <values|lo..hi> <setfield> <delta>
+  lookup <table> <field> <value>
+  count <table> | check <table>
+  explain <table> <field> [sort|hash|partition]
+  estimate <table> <field> <victims>
+  clock | stats | flush | crash | recover | quit
+`)
+}
+
+func (s *shell) table(args []string) (*bulkdel.Table, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("table name required")
+	}
+	tbl := s.db.Table(args[0])
+	if tbl == nil {
+		return nil, fmt.Errorf("no table %q", args[0])
+	}
+	return tbl, nil
+}
+
+func (s *shell) create(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("create table|index ...")
+	}
+	switch args[0] {
+	case "table":
+		if len(args) != 4 {
+			return fmt.Errorf("create table <name> <fields> <recsize>")
+		}
+		fields, err1 := strconv.Atoi(args[2])
+		size, err2 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("fields and recsize must be integers")
+		}
+		if _, err := s.db.CreateTable(args[1], fields, size); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "table %s created\n", args[1])
+		return nil
+	case "index":
+		if len(args) < 4 {
+			return fmt.Errorf("create index <table> <ixname> <field> [unique] [clustered] [keylen <n>]")
+		}
+		tbl, err := s.table(args[1:])
+		if err != nil {
+			return err
+		}
+		field, err := strconv.Atoi(args[3])
+		if err != nil {
+			return fmt.Errorf("field must be an integer")
+		}
+		opts := bulkdel.IndexOptions{Name: args[2], Field: field}
+		rest := args[4:]
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case "unique":
+				opts.Unique = true
+			case "clustered":
+				opts.Clustered = true
+			case "keylen":
+				if i+1 >= len(rest) {
+					return fmt.Errorf("keylen needs a value")
+				}
+				n, err := strconv.Atoi(rest[i+1])
+				if err != nil {
+					return fmt.Errorf("keylen must be an integer")
+				}
+				opts.KeyLen = n
+				i++
+			default:
+				return fmt.Errorf("unknown index option %q", rest[i])
+			}
+		}
+		if err := tbl.CreateIndex(opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "index %s created (height %d)\n", opts.Name, tbl.IndexHeight(opts.Name))
+		return nil
+	default:
+		return fmt.Errorf("create table|index ...")
+	}
+}
+
+func (s *shell) load(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("load <table> <rows>")
+	}
+	tbl, err := s.table(args)
+	if err != nil {
+		return err
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("rows must be an integer")
+	}
+	fields := tbl.NumFields()
+	vals := make([]int64, fields)
+	base := tbl.Count()
+	for i := 0; i < n; i++ {
+		for j := range vals {
+			vals[j] = int64(j+1) * (base + int64(i))
+		}
+		if _, err := tbl.Insert(vals...); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	fmt.Fprintf(s.out, "loaded %d rows (count now %d)\n", n, tbl.Count())
+	return nil
+}
+
+func (s *shell) insert(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("insert <table> <v0> [v1 ...]")
+	}
+	tbl, err := s.table(args)
+	if err != nil {
+		return err
+	}
+	vals := make([]int64, 0, len(args)-1)
+	for _, a := range args[1:] {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return fmt.Errorf("value %q: %w", a, err)
+		}
+		vals = append(vals, v)
+	}
+	rid, err := tbl.Insert(vals...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "inserted at rid %s\n", rid)
+	return nil
+}
+
+// parseValues accepts "1,2,3" or "lo..hi" (inclusive).
+func parseValues(s string) ([]int64, error) {
+	if lo, hi, ok := strings.Cut(s, ".."); ok {
+		a, err1 := strconv.ParseInt(lo, 10, 64)
+		b, err2 := strconv.ParseInt(hi, 10, 64)
+		if err1 != nil || err2 != nil || b < a {
+			return nil, fmt.Errorf("bad range %q", s)
+		}
+		out := make([]int64, 0, b-a+1)
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func methodByName(name string) (bulkdel.Method, error) {
+	switch name {
+	case "sort", "sortmerge", "sort/merge":
+		return bulkdel.SortMerge, nil
+	case "hash":
+		return bulkdel.Hash, nil
+	case "partition", "hashpartition":
+		return bulkdel.HashPartition, nil
+	case "auto", "":
+		return bulkdel.Auto, nil
+	default:
+		return bulkdel.Auto, fmt.Errorf("unknown method %q", name)
+	}
+}
+
+func (s *shell) delete(args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("delete <table> <field> <values|lo..hi> [method m|traditional [sorted]|dropcreate]")
+	}
+	tbl, err := s.table(args)
+	if err != nil {
+		return err
+	}
+	field, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("field must be an integer")
+	}
+	values, err := parseValues(args[2])
+	if err != nil {
+		return err
+	}
+	mode := ""
+	if len(args) > 3 {
+		mode = args[3]
+	}
+	switch mode {
+	case "traditional":
+		sorted := len(args) > 4 && args[4] == "sorted"
+		n, err := tbl.DeleteTraditional(field, values, sorted)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "traditional delete removed %d records in %v (simulated total)\n", n, s.db.Clock())
+		return nil
+	case "dropcreate":
+		n, err := tbl.DeleteDropCreate(field, values)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "drop&create delete removed %d records\n", n)
+		return nil
+	case "", "method":
+		name := ""
+		if mode == "method" {
+			if len(args) < 5 {
+				return fmt.Errorf("delete ... method <sort|hash|partition|auto>")
+			}
+			name = args[4]
+		}
+		m, err := methodByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := tbl.BulkDelete(field, values, bulkdel.BulkOptions{Method: m})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "bulk delete (%v) removed %d of %d victims in %v simulated\n",
+			res.Method, res.Deleted, res.Victims, res.Elapsed)
+		return nil
+	default:
+		return fmt.Errorf("unknown delete mode %q", mode)
+	}
+}
+
+// update runs a bulk update: add <delta> to <setfield> of every row whose
+// <predfield> is in the victim list.
+func (s *shell) update(args []string) error {
+	if len(args) != 5 {
+		return fmt.Errorf("update <table> <predfield> <values|lo..hi> <setfield> <delta>")
+	}
+	tbl, err := s.table(args)
+	if err != nil {
+		return err
+	}
+	predField, err1 := strconv.Atoi(args[1])
+	setField, err2 := strconv.Atoi(args[3])
+	delta, err3 := strconv.ParseInt(args[4], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf("fields and delta must be integers")
+	}
+	values, err := parseValues(args[2])
+	if err != nil {
+		return err
+	}
+	res, err := tbl.BulkUpdate(predField, values, setField,
+		func(v int64) int64 { return v + delta }, bulkdel.BulkOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "bulk update changed %d records (%d index entries moved) in %v simulated\n",
+		res.Updated, res.EntriesMoved, res.Elapsed)
+	return nil
+}
+
+func (s *shell) lookup(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("lookup <table> <field> <value>")
+	}
+	tbl, err := s.table(args)
+	if err != nil {
+		return err
+	}
+	field, err1 := strconv.Atoi(args[1])
+	v, err2 := strconv.ParseInt(args[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("field and value must be integers")
+	}
+	rows, err := tbl.Lookup(field, v)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(s.out, "%v\n", r)
+	}
+	fmt.Fprintf(s.out, "(%d rows)\n", len(rows))
+	return nil
+}
+
+func (s *shell) explain(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("explain <table> <field> [method]")
+	}
+	tbl, err := s.table(args)
+	if err != nil {
+		return err
+	}
+	field, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("field must be an integer")
+	}
+	name := ""
+	if len(args) > 2 {
+		name = args[2]
+	}
+	m, err := methodByName(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, tbl.Explain(field, m, 0))
+	return nil
+}
+
+func (s *shell) estimate(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("estimate <table> <field> <victims>")
+	}
+	tbl, err := s.table(args)
+	if err != nil {
+		return err
+	}
+	field, err1 := strconv.Atoi(args[1])
+	victims, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("field and victims must be integers")
+	}
+	for name, d := range tbl.EstimateMethods(field, victims, 0) {
+		fmt.Fprintf(s.out, "%-24s %v\n", name, d)
+	}
+	return nil
+}

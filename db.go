@@ -1,0 +1,211 @@
+// Package bulkdel is a storage engine built to reproduce "Efficient Bulk
+// Deletes in Relational Databases" (Gärtner, Kemper, Kossmann, Zeller,
+// ICDE 2001) end to end: heap tables with B-link-tree indexes on a
+// simulated disk, the traditional record-at-a-time DELETE and drop-&-create
+// baselines, and the paper's contribution — the vertical, set-oriented bulk
+// delete operator with sort/merge, hash, and hash+range-partitioning plans,
+// §3's concurrency protocol (exclusive table lock, offline indexes,
+// side-files, undeletable markers), and §3.2's roll-forward crash recovery.
+//
+// A DB lives on a deterministic simulated disk whose clock prices every
+// I/O, so experiments are exactly reproducible; see DB.Clock.
+//
+// Quick start:
+//
+//	db, _ := bulkdel.Open(bulkdel.Options{})
+//	orders, _ := db.CreateTable("orders", 4, 128)
+//	orders.CreateIndex(bulkdel.IndexOptions{Name: "id", Field: 0, Unique: true})
+//	orders.Insert(1001, 20260101, 99, 0)
+//	...
+//	res, _ := orders.BulkDelete(1, oldDates, bulkdel.BulkOptions{})
+package bulkdel
+
+import (
+	"fmt"
+	"time"
+
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/core"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/table"
+	"bulkdel/internal/wal"
+)
+
+// Method selects the physical bulk-delete strategy (see package core).
+type Method = core.Method
+
+// Bulk delete methods.
+const (
+	// Auto lets the cost-based planner choose.
+	Auto = core.Auto
+	// SortMerge sorts every victim list to match the physical order of
+	// the structure it is deleted from (the paper's Figure 3).
+	SortMerge = core.SortMerge
+	// Hash keeps the victim RIDs in an in-memory hash table and probes
+	// full scans (Figure 4).
+	Hash = core.Hash
+	// HashPartition range-partitions oversized victim lists so each
+	// partition fits in memory (Figure 5).
+	HashPartition = core.HashPartition
+)
+
+// RID identifies a record by physical position (page, slot).
+type RID = record.RID
+
+// Options configures a database instance.
+type Options struct {
+	// BufferBytes is the buffer-pool budget (default 8 MB — comfortably
+	// above the paper's largest experiment setting).
+	BufferBytes int
+	// CostModel overrides the simulated disk's charges (nil = the
+	// calibrated default).
+	CostModel *sim.CostModel
+	// DisableWAL turns off write-ahead logging; bulk deletes then run
+	// without checkpoints and cannot be recovered after a crash.
+	DisableWAL bool
+	// ReadAhead overrides the chained-I/O run length in pages.
+	ReadAhead int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferBytes <= 0 {
+		o.BufferBytes = 8 << 20
+	}
+	return o
+}
+
+// DB is a database instance on one simulated disk.
+type DB struct {
+	disk    *sim.Disk
+	pool    *buffer.Pool
+	log     *wal.Log
+	catalog sim.FileID
+	tables  map[string]*Table
+	fks     []ForeignKey
+	txSeq   uint64
+	opts    Options
+	crashed bool
+}
+
+// Open creates a fresh database on a new simulated disk.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	cm := sim.DefaultCostModel()
+	if opts.CostModel != nil {
+		cm = *opts.CostModel
+	}
+	disk := sim.NewDisk(cm)
+	db := &DB{
+		disk:   disk,
+		pool:   buffer.New(disk, opts.BufferBytes),
+		tables: make(map[string]*Table),
+		opts:   opts,
+	}
+	if opts.ReadAhead > 0 {
+		db.pool.SetReadAhead(opts.ReadAhead)
+	}
+	// The catalog always occupies file 0 so recovery can find it.
+	db.catalog = disk.CreateFile()
+	if db.catalog != 0 {
+		return nil, fmt.Errorf("bulkdel: catalog must be file 0, got %d", db.catalog)
+	}
+	if !opts.DisableWAL {
+		db.log = wal.Create(disk)
+	}
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Disk exposes the simulated disk (for cost-model inspection and tests).
+func (db *DB) Disk() *sim.Disk { return db.disk }
+
+// Pool exposes the buffer pool.
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Clock returns the simulated time elapsed since the database was created.
+func (db *DB) Clock() time.Duration { return db.disk.Clock() }
+
+// DiskStats returns the physical operation counters.
+func (db *DB) DiskStats() sim.Stats { return db.disk.Stats() }
+
+// ResetDiskStats zeroes the counters (the clock keeps running).
+func (db *DB) ResetDiskStats() { db.disk.ResetStats() }
+
+// WALEnabled reports whether bulk deletes are logged and recoverable.
+func (db *DB) WALEnabled() bool { return db.log != nil }
+
+// CreateTable adds a table of numFields int64 attributes padded to
+// recordSize bytes.
+func (db *DB) CreateTable(name string, numFields, recordSize int) (*Table, error) {
+	if db.crashed {
+		return nil, errCrashed
+	}
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("bulkdel: table %q already exists", name)
+	}
+	schema := record.Schema{NumFields: numFields, Size: recordSize}
+	t, err := table.Create(db.pool, name, schema)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{db: db, t: t}
+	db.tables[name] = tbl
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// TableNames lists the catalog.
+func (db *DB) TableNames() []string {
+	var out []string
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Flush forces the catalog, every table, and the log to disk.
+func (db *DB) Flush() error {
+	if db.crashed {
+		return errCrashed
+	}
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	for _, tbl := range db.tables {
+		if err := tbl.t.Flush(); err != nil {
+			return err
+		}
+	}
+	if db.log != nil {
+		if err := db.log.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var errCrashed = fmt.Errorf("bulkdel: database crashed; call Recover on its disk")
+
+// SimulateCrash discards all volatile state (buffer pool contents,
+// in-memory catalog) and returns the disk, exactly as a power failure
+// would leave it. The DB becomes unusable; pass the disk to Recover.
+func (db *DB) SimulateCrash() *sim.Disk {
+	db.pool.InvalidateAll()
+	db.crashed = true
+	db.tables = nil
+	return db.disk
+}
+
+// nextTx hands out transaction IDs for logged bulk deletes.
+func (db *DB) nextTx() uint64 {
+	db.txSeq++
+	return db.txSeq
+}

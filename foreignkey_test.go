@@ -1,0 +1,240 @@
+package bulkdel
+
+import (
+	"errors"
+	"testing"
+)
+
+// fkFixture: orders (parent) ← lines (child, FK on field 0), and a
+// grandchild notes referencing lines' field 1.
+func fkFixture(t *testing.T, action RefAction) (*DB, *Table, *Table) {
+	t.Helper()
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := db.CreateTable("orders", 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.CreateIndex(IndexOptions{Name: "id", Field: 0, Unique: true}); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := db.CreateTable("lines", 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lines.CreateIndex(IndexOptions{Name: "order", Field: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lines.CreateIndex(IndexOptions{Name: "lineid", Field: 1, Unique: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := orders.Insert(int64(i), int64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 lines per order for the first 300 orders.
+	lineID := int64(0)
+	for o := 0; o < 300; o++ {
+		for l := 0; l < 3; l++ {
+			if _, err := lines.Insert(int64(o), lineID, int64(l)); err != nil {
+				t.Fatal(err)
+			}
+			lineID++
+		}
+	}
+	if err := db.AddForeignKey(lines, 0, orders, 0, action); err != nil {
+		t.Fatal(err)
+	}
+	return db, orders, lines
+}
+
+func TestForeignKeyRestrictBlocks(t *testing.T) {
+	_, orders, lines := fkFixture(t, Restrict)
+	before := orders.Count()
+	_, err := orders.BulkDelete(0, []int64{5, 450}, BulkOptions{})
+	var restricted *ErrRestricted
+	if !errors.As(err, &restricted) {
+		t.Fatalf("expected ErrRestricted, got %v", err)
+	}
+	if restricted.Child != "lines" {
+		t.Fatalf("restricted by %q", restricted.Child)
+	}
+	// Nothing was touched — "no work needs to be undone".
+	if orders.Count() != before {
+		t.Fatalf("count changed to %d", orders.Count())
+	}
+	if err := orders.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lines.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Victims without children delete fine.
+	res, err := orders.BulkDelete(0, []int64{450, 460}, BulkOptions{})
+	if err != nil || res.Deleted != 2 {
+		t.Fatalf("unreferenced delete: %v %v", res, err)
+	}
+}
+
+func TestForeignKeyCascade(t *testing.T) {
+	_, orders, lines := fkFixture(t, Cascade)
+	res, err := orders.BulkDelete(0, []int64{1, 2, 400}, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 3 {
+		t.Fatalf("deleted %d orders", res.Deleted)
+	}
+	if res.Cascaded != 6 { // orders 1 and 2 have 3 lines each; 400 none
+		t.Fatalf("cascaded %d, want 6", res.Cascaded)
+	}
+	if lines.Count() != 900-6 {
+		t.Fatalf("lines count %d", lines.Count())
+	}
+	for _, o := range []int64{1, 2} {
+		if rows, _ := lines.Lookup(0, o); len(rows) != 0 {
+			t.Fatalf("lines of order %d survived", o)
+		}
+	}
+	if err := orders.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lines.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForeignKeyMultiLevelCascade(t *testing.T) {
+	db, orders, lines := fkFixture(t, Cascade)
+	notes, err := db.CreateTable("notes", 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := notes.CreateIndex(IndexOptions{Name: "line", Field: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Two notes per line id for the first 100 lines.
+	for l := 0; l < 100; l++ {
+		for k := 0; k < 2; k++ {
+			if _, err := notes.Insert(int64(l), int64(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// notes.field0 references lines.field1 (the unique line id).
+	if err := db.AddForeignKey(notes, 0, lines, 1, Cascade); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting order 0 cascades into its 3 lines (ids 0,1,2), each of
+	// which cascades into 2 notes.
+	res, err := orders.BulkDelete(0, []int64{0}, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 || res.Cascaded != 3+6 {
+		t.Fatalf("deleted=%d cascaded=%d, want 1/9", res.Deleted, res.Cascaded)
+	}
+	if notes.Count() != 200-6 {
+		t.Fatalf("notes count %d", notes.Count())
+	}
+	for _, tblx := range []*Table{orders, lines, notes} {
+		if err := tblx.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestForeignKeyValidation(t *testing.T) {
+	db, orders, lines := fkFixture(t, Restrict)
+	if err := db.AddForeignKey(nil, 0, orders, 0, Restrict); err == nil {
+		t.Fatal("nil child accepted")
+	}
+	if err := db.AddForeignKey(lines, 9, orders, 0, Restrict); err == nil {
+		t.Fatal("bad child field accepted")
+	}
+	if err := db.AddForeignKey(lines, 0, orders, 9, Restrict); err == nil {
+		t.Fatal("bad parent field accepted")
+	}
+	if err := db.AddForeignKey(lines, 2, orders, 0, Restrict); err == nil {
+		t.Fatal("unindexed child field accepted")
+	}
+	if len(db.ForeignKeys()) != 1 {
+		t.Fatalf("fk count %d", len(db.ForeignKeys()))
+	}
+	// Deleting the parent by a different field than the referenced one
+	// projects the doomed rows' referenced keys first: many of the
+	// orders with field1 == 3 have lines, so RESTRICT still fires and
+	// nothing is modified.
+	before := orders.Count()
+	_, err := orders.BulkDelete(1, []int64{3}, BulkOptions{})
+	var restricted *ErrRestricted
+	if !errors.As(err, &restricted) {
+		t.Fatalf("indirect restrict not enforced: %v", err)
+	}
+	if orders.Count() != before {
+		t.Fatal("restricted delete modified the table")
+	}
+}
+
+func TestForeignKeyIndirectCascade(t *testing.T) {
+	// Cascade driven by a delete on a *different* parent attribute: the
+	// doomed orders' ids are projected read-only, then the lines cascade.
+	db, orders, lines := fkFixture(t, Cascade)
+	_ = db
+	// Delete all orders with field1 == 2: ids 2, 9, 16, ... Every such
+	// id below 300 has 3 lines.
+	res, err := orders.BulkDelete(1, []int64{2}, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrders := int64(0)
+	wantLines := int64(0)
+	for i := 0; i < 500; i++ {
+		if i%7 == 2 {
+			wantOrders++
+			if i < 300 {
+				wantLines += 3
+			}
+		}
+	}
+	if res.Deleted != wantOrders || res.Cascaded != wantLines {
+		t.Fatalf("deleted=%d cascaded=%d, want %d/%d", res.Deleted, res.Cascaded, wantOrders, wantLines)
+	}
+	if err := orders.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lines.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForeignKeySurvivesRecovery(t *testing.T) {
+	db, orders, _ := fkFixture(t, Restrict)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	disk := db.SimulateCrash()
+	db2, _, err := Recover(disk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.ForeignKeys()) != 1 {
+		t.Fatalf("fk lost in recovery: %d", len(db2.ForeignKeys()))
+	}
+	orders2 := db2.Table("orders")
+	_ = orders
+	_, err = orders2.BulkDelete(0, []int64{5}, BulkOptions{})
+	var restricted *ErrRestricted
+	if !errors.As(err, &restricted) {
+		t.Fatalf("restrict not enforced after recovery: %v", err)
+	}
+}
+
+func TestRefActionString(t *testing.T) {
+	if Restrict.String() != "restrict" || Cascade.String() != "cascade" {
+		t.Fatal("RefAction strings")
+	}
+}

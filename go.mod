@@ -1,0 +1,3 @@
+module bulkdel
+
+go 1.22

@@ -1,0 +1,328 @@
+// Package bench builds the paper's benchmark configurations and runs every
+// approach under the simulated clock, reproducing each table and figure of
+// the evaluation (§4).
+//
+// Each run builds a fresh database (deterministic in the seed), executes
+// exactly one DELETE statement with one approach, and reports the simulated
+// time the statement took — including the final write-back of dirty pages,
+// so every approach pays for the I/O it caused. The experiment functions
+// (Figure1, Experiment1..5) assemble the same series the paper plots.
+//
+// Scaling: the paper's full configuration is 1,000,000 × 512 B tuples with
+// 2–10 MB of buffer memory. Runs at a smaller row count scale the memory
+// budget proportionally, which preserves the buffer-to-data ratio that the
+// experiments' tradeoffs depend on.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bulkdel/internal/btree"
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/core"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/table"
+	"bulkdel/internal/workload"
+)
+
+// FullScaleRows is the paper's table size.
+const FullScaleRows = 1000000
+
+// Approach identifies one delete strategy.
+type Approach int
+
+const (
+	// NotSortedTrad is the traditional record-at-a-time delete with the
+	// victim list in random order (the paper's "not sorted/trad").
+	NotSortedTrad Approach = iota
+	// SortedTrad pre-sorts the victim list ("sorted/trad").
+	SortedTrad
+	// DropCreate drops the secondary indexes, deletes, and rebuilds.
+	DropCreate
+	// BulkSortMerge is the paper's vertical bulk delete, sort/merge plan.
+	BulkSortMerge
+	// BulkHash is the vertical bulk delete with the hash plan.
+	BulkHash
+	// BulkPartition is the hash + range-partitioning plan.
+	BulkPartition
+	// BulkAuto lets the planner choose.
+	BulkAuto
+)
+
+func (a Approach) String() string {
+	switch a {
+	case NotSortedTrad:
+		return "not sorted/trad"
+	case SortedTrad:
+		return "sorted/trad"
+	case DropCreate:
+		return "drop&create"
+	case BulkSortMerge:
+		return "bulk delete"
+	case BulkHash:
+		return "bulk delete (hash)"
+	case BulkPartition:
+		return "bulk delete (partitioned)"
+	case BulkAuto:
+		return "bulk delete (auto)"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Config describes one benchmark case.
+type Config struct {
+	// Rows is the table size (scale FullScaleRows = the paper's 1M).
+	Rows int
+	// Fraction of records deleted (the size of table D).
+	Fraction float64
+	// MemoryMB is the buffer/sort budget in MB at full scale; it is
+	// scaled by Rows/FullScaleRows.
+	MemoryMB float64
+	// NumIndexes creates indexes IA, IB, IC... over fields 0, 1, 2...
+	NumIndexes int
+	// KeyLen widens the index keys (Experiment 3; 0 = 8 bytes).
+	KeyLen int
+	// Clustered loads the table sorted by field 0 (Experiment 5).
+	Clustered bool
+	// Reorganize enables §2.3 leaf reorganization in bulk deletes.
+	Reorganize bool
+	// Policy selects the traditional-delete page reclamation policy.
+	Policy btree.Policy
+	// ReadAhead overrides the chained-I/O run length (0 = default).
+	ReadAhead int
+	// Seed drives data generation and victim sampling.
+	Seed int64
+	// Verify runs a full consistency check after the delete (tests).
+	Verify bool
+}
+
+// Result reports one run.
+type Result struct {
+	Approach Approach
+	Config   Config
+	// SimTime is the simulated duration of the DELETE statement.
+	SimTime time.Duration
+	// Minutes is SimTime in minutes (the paper's unit).
+	Minutes float64
+	// Deleted records.
+	Deleted int64
+	// Heights of the indexes before the delete (Experiment 3 reports it).
+	Heights []int
+	// Method is the bulk plan used (bulk approaches only).
+	Method core.Method
+	// Disk are the I/O counters for the statement.
+	Disk sim.Stats
+}
+
+// scaledMemory converts the full-scale MB budget to bytes at this scale.
+func (c Config) scaledMemory() int {
+	b := c.MemoryMB * float64(uint64(1)<<20) * float64(c.Rows) / float64(FullScaleRows)
+	if b < float64(8*sim.PageSize) {
+		b = float64(8 * sim.PageSize)
+	}
+	return int(b)
+}
+
+func (c Config) spec() workload.Spec {
+	s := workload.DefaultSpec(c.Rows)
+	s.Seed = c.Seed
+	if c.Clustered {
+		s.ClusterField = 0
+	}
+	s.Indexes = nil
+	names := []string{"IA", "IB", "IC", "ID", "IE"}
+	n := c.NumIndexes
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		def := table.IndexDef{Name: names[i], Field: i}
+		if c.KeyLen > 0 {
+			def.KeyLen = c.KeyLen
+		}
+		s.Indexes = append(s.Indexes, def)
+	}
+	return s
+}
+
+// Target converts a catalog table into core's execution view.
+func Target(tbl *table.Table) *core.Target {
+	tgt := &core.Target{Name: tbl.Name, Heap: tbl.Heap, Schema: tbl.Schema, Pool: tbl.Pool()}
+	for _, ix := range tbl.Idx {
+		tgt.Indexes = append(tgt.Indexes, core.IndexRef{
+			Name: ix.Def.Name, Tree: ix.Tree, Field: ix.Def.Field,
+			Unique: ix.Def.Unique, Clustered: ix.Def.Clustered,
+			Priority: ix.Def.Priority, Gate: ix.Gate,
+		})
+	}
+	return tgt
+}
+
+// Run executes one benchmark case with one approach on a fresh database.
+func Run(cfg Config, ap Approach) (Result, error) {
+	if cfg.Rows <= 0 {
+		return Result{}, fmt.Errorf("bench: rows must be positive")
+	}
+	mem := cfg.scaledMemory()
+	disk := sim.NewDisk(sim.DefaultCostModel())
+	pool := buffer.New(disk, mem)
+	if cfg.ReadAhead > 0 {
+		pool.SetReadAhead(cfg.ReadAhead)
+	}
+	tbl, rows, err := workload.Build(pool, cfg.spec())
+	if err != nil {
+		return Result{}, err
+	}
+	tbl.SortBudget = mem
+	tbl.SetPolicyAll(cfg.Policy)
+	victims := workload.VictimSample(rows, 0, cfg.Fraction, cfg.Seed+1000)
+	if err := tbl.Flush(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Approach: ap, Config: cfg}
+	for _, ix := range tbl.Idx {
+		res.Heights = append(res.Heights, ix.Tree.Height())
+	}
+
+	disk.ResetStats()
+	start := disk.Clock()
+	switch ap {
+	case NotSortedTrad:
+		res.Deleted, err = tbl.TraditionalDelete(0, victims, false)
+	case SortedTrad:
+		res.Deleted, err = tbl.TraditionalDelete(0, victims, true)
+	case DropCreate:
+		res.Deleted, err = tbl.DropCreateDelete(0, victims, true)
+	case BulkSortMerge, BulkHash, BulkPartition, BulkAuto:
+		method := map[Approach]core.Method{
+			BulkSortMerge: core.SortMerge,
+			BulkHash:      core.Hash,
+			BulkPartition: core.HashPartition,
+			BulkAuto:      core.Auto,
+		}[ap]
+		var st *core.Stats
+		st, err = core.Execute(Target(tbl), 0, victims, core.Options{
+			Method: method, Memory: mem, Reorganize: cfg.Reorganize,
+		})
+		if st != nil {
+			res.Deleted = st.Deleted
+			res.Method = st.Method
+		}
+	default:
+		return Result{}, fmt.Errorf("bench: unknown approach %v", ap)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %v: %w", ap, err)
+	}
+	// The statement is complete when its effects are durable: force the
+	// write-back so every approach pays for the pages it dirtied.
+	if err := tbl.Flush(); err != nil {
+		return Result{}, err
+	}
+	res.SimTime = disk.Clock() - start
+	res.Minutes = res.SimTime.Minutes()
+	res.Disk = disk.Stats()
+
+	if cfg.Verify {
+		if err := tbl.CheckConsistency(); err != nil {
+			return Result{}, fmt.Errorf("bench: %v left inconsistent state: %w", ap, err)
+		}
+		want := int64(len(victims))
+		if res.Deleted != want {
+			return Result{}, fmt.Errorf("bench: %v deleted %d records, want %d", ap, res.Deleted, want)
+		}
+	}
+	return res, nil
+}
+
+// Point is one measurement in a series.
+type Point struct {
+	X      string
+	Result Result
+}
+
+// Series is one curve of an experiment.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Experiment is one reproduced table or figure.
+type Experiment struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Format renders the experiment as an aligned text table (minutes, the
+// paper's unit).
+func (e Experiment) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", e.ID, e.Title)
+	// Column headers from the first series' X values.
+	if len(e.Series) == 0 || len(e.Series[0].Points) == 0 {
+		return b.String()
+	}
+	label := e.XLabel
+	fmt.Fprintf(&b, "%-28s", label)
+	for _, p := range e.Series[0].Points {
+		fmt.Fprintf(&b, "%12s", p.X)
+	}
+	b.WriteString("\n")
+	for _, s := range e.Series {
+		fmt.Fprintf(&b, "%-28s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%12.2f", p.Result.Minutes)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Runner executes experiments at a given scale, reporting progress.
+type Runner struct {
+	// Rows scales every experiment (FullScaleRows = the paper's setup).
+	Rows int
+	// Seed for data generation.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+func (r *Runner) rows() int {
+	if r.Rows > 0 {
+		return r.Rows
+	}
+	return FullScaleRows
+}
+
+func (r *Runner) seed() int64 {
+	if r.Seed != 0 {
+		return r.Seed
+	}
+	return 1
+}
+
+func (r *Runner) report(format string, args ...any) {
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// runSeries measures one approach across a parameter sweep.
+func (r *Runner) runSeries(label string, ap Approach, cfgs []Config, xs []string) (Series, error) {
+	s := Series{Label: label}
+	for i, cfg := range cfgs {
+		res, err := Run(cfg, ap)
+		if err != nil {
+			return s, err
+		}
+		r.report("  %-28s %-10s %8.2f min  (deleted %d)", label, xs[i], res.Minutes, res.Deleted)
+		s.Points = append(s.Points, Point{X: xs[i], Result: res})
+	}
+	return s, nil
+}

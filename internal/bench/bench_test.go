@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const testRows = 20000 // 1/50 of the paper's scale; memory scales along
+
+func run(t *testing.T, cfg Config, ap Approach) Result {
+	t.Helper()
+	cfg.Verify = true
+	res, err := Run(cfg, ap)
+	if err != nil {
+		t.Fatalf("%v: %v", ap, err)
+	}
+	return res
+}
+
+func TestAllApproachesVerify(t *testing.T) {
+	fraction := 0.15
+	for _, n := range []int{1, 3} {
+		cfg := Config{Rows: testRows, Fraction: fraction, MemoryMB: 5, NumIndexes: n, Seed: 1}
+		for _, ap := range []Approach{
+			NotSortedTrad, SortedTrad, DropCreate,
+			BulkSortMerge, BulkHash, BulkPartition, BulkAuto,
+		} {
+			res := run(t, cfg, ap)
+			want := int64(float64(testRows)*fraction + 0.5)
+			if res.Deleted != want {
+				t.Fatalf("%v with %d indexes deleted %d", ap, n, res.Deleted)
+			}
+			if res.SimTime <= 0 {
+				t.Fatalf("%v: non-positive simulated time", ap)
+			}
+		}
+	}
+}
+
+// TestFigure1Shape: traditional grows sharply with the delete fraction;
+// drop & create stays nearly flat and wins beyond a few percent.
+func TestFigure1Shape(t *testing.T) {
+	mk := func(f float64) Config {
+		return Config{Rows: testRows, Fraction: f, MemoryMB: 5, NumIndexes: 3, Seed: 1}
+	}
+	trad1 := run(t, mk(0.01), NotSortedTrad)
+	trad15 := run(t, mk(0.15), NotSortedTrad)
+	dc1 := run(t, mk(0.01), DropCreate)
+	dc15 := run(t, mk(0.15), DropCreate)
+	if trad15.SimTime < 8*trad1.SimTime {
+		t.Fatalf("traditional should grow sharply: %v -> %v", trad1.SimTime, trad15.SimTime)
+	}
+	if dc15.SimTime > 4*dc1.SimTime {
+		t.Fatalf("drop&create should stay flat-ish: %v -> %v", dc1.SimTime, dc15.SimTime)
+	}
+	if dc15.SimTime > trad15.SimTime {
+		t.Fatal("drop&create should win at 15% with 3 indexes")
+	}
+	if dc1.SimTime < trad1.SimTime {
+		t.Fatal("traditional should win at 1%")
+	}
+}
+
+// TestExperiment1Shape: Figure 7's ordering — bulk ≪ sorted/trad <
+// not sorted/trad, with the gap widening in the delete fraction and the
+// bulk delete nearly flat.
+func TestExperiment1Shape(t *testing.T) {
+	mk := func(f float64) Config {
+		return Config{Rows: testRows, Fraction: f, MemoryMB: 5, NumIndexes: 1, Seed: 1}
+	}
+	for _, f := range []float64{0.05, 0.20} {
+		bulk := run(t, mk(f), BulkSortMerge)
+		sorted := run(t, mk(f), SortedTrad)
+		notSorted := run(t, mk(f), NotSortedTrad)
+		if !(bulk.SimTime < sorted.SimTime && sorted.SimTime < notSorted.SimTime) {
+			t.Fatalf("f=%v: ordering violated: bulk=%v sorted=%v notsorted=%v",
+				f, bulk.SimTime, sorted.SimTime, notSorted.SimTime)
+		}
+		if f == 0.20 && notSorted.SimTime < 5*bulk.SimTime {
+			t.Fatalf("at 20%% the bulk delete should win by roughly an order of magnitude: %v vs %v",
+				bulk.SimTime, notSorted.SimTime)
+		}
+	}
+	// Bulk delete grows far slower than linearly with the fraction.
+	b5 := run(t, mk(0.05), BulkSortMerge)
+	b20 := run(t, mk(0.20), BulkSortMerge)
+	if b20.SimTime > 2*b5.SimTime {
+		t.Fatalf("bulk delete should be nearly flat: %v -> %v", b5.SimTime, b20.SimTime)
+	}
+}
+
+// TestExperiment2Shape: Figure 8 — everything grows with the index count;
+// the bulk delete grows the slowest.
+func TestExperiment2Shape(t *testing.T) {
+	mk := func(n int) Config {
+		return Config{Rows: testRows, Fraction: 0.15, MemoryMB: 5, NumIndexes: n, Seed: 1}
+	}
+	b1, b3 := run(t, mk(1), BulkSortMerge), run(t, mk(3), BulkSortMerge)
+	s1, s3 := run(t, mk(1), SortedTrad), run(t, mk(3), SortedTrad)
+	n1, n3 := run(t, mk(1), NotSortedTrad), run(t, mk(3), NotSortedTrad)
+	if b3.SimTime < b1.SimTime || s3.SimTime < s1.SimTime || n3.SimTime < n1.SimTime {
+		t.Fatal("more indexes must not be cheaper")
+	}
+	bulkGrowth := float64(b3.SimTime) / float64(b1.SimTime)
+	sortedGrowth := float64(s3.SimTime) / float64(s1.SimTime)
+	if bulkGrowth > sortedGrowth {
+		t.Fatalf("bulk delete should scale better with index count: %.2f vs %.2f",
+			bulkGrowth, sortedGrowth)
+	}
+	if b3.SimTime*4 > s3.SimTime {
+		t.Fatalf("bulk delete should win clearly at 3 indexes: %v vs %v", b3.SimTime, s3.SimTime)
+	}
+}
+
+// TestExperiment3Shape: Table 1 — the bulk delete is insensitive to the
+// index height while the traditional approaches degrade.
+func TestExperiment3Shape(t *testing.T) {
+	mk := func(keyLen int) Config {
+		return Config{Rows: testRows, Fraction: 0.15, MemoryMB: 5, NumIndexes: 1,
+			KeyLen: keyLen, Seed: 1}
+	}
+	bNarrow, bWide := run(t, mk(8), BulkSortMerge), run(t, mk(48), BulkSortMerge)
+	tNarrow, tWide := run(t, mk(8), NotSortedTrad), run(t, mk(48), NotSortedTrad)
+	if bWide.Heights[0] <= bNarrow.Heights[0] {
+		t.Fatalf("wider keys must grow the tree: %d vs %d", bWide.Heights[0], bNarrow.Heights[0])
+	}
+	bulkGrowth := float64(bWide.SimTime) / float64(bNarrow.SimTime)
+	tradGrowth := float64(tWide.SimTime) / float64(tNarrow.SimTime)
+	if bulkGrowth > 2.0 {
+		t.Fatalf("bulk delete should be nearly height-insensitive, grew %.2fx", bulkGrowth)
+	}
+	if tradGrowth < bulkGrowth {
+		t.Fatalf("traditional should suffer more from height: %.2fx vs %.2fx", tradGrowth, bulkGrowth)
+	}
+}
+
+// TestExperiment4Shape: Figure 9 — the bulk delete is insensitive to the
+// memory budget; not sorted/trad improves strongly with more memory.
+func TestExperiment4Shape(t *testing.T) {
+	mk := func(mb float64) Config {
+		return Config{Rows: testRows, Fraction: 0.15, MemoryMB: mb, NumIndexes: 1, Seed: 1}
+	}
+	b2, b10 := run(t, mk(2), BulkSortMerge), run(t, mk(10), BulkSortMerge)
+	n2, n10 := run(t, mk(2), NotSortedTrad), run(t, mk(10), NotSortedTrad)
+	bulkRatio := float64(b2.SimTime) / float64(b10.SimTime)
+	if bulkRatio > 1.5 {
+		t.Fatalf("bulk delete should run well even at 2 MB: ratio %.2f", bulkRatio)
+	}
+	// The absolute effect grows with scale (at full scale the leaf level
+	// is 15.6 MB against 2–10 MB of buffer); at test scale it is a few
+	// percent, so assert the comparative property the paper stresses.
+	tradRatio := float64(n2.SimTime) / float64(n10.SimTime)
+	if tradRatio < 1.05 {
+		t.Fatalf("not sorted/trad should benefit from memory: ratio %.2f", tradRatio)
+	}
+	if tradRatio < bulkRatio {
+		t.Fatal("traditional must be more memory-sensitive than the bulk delete")
+	}
+}
+
+// TestExperiment5Shape: Figure 10 — with a clustered index, sorted/trad
+// becomes competitive with the bulk delete (within a small factor), far
+// better than its unclustered self; not sorted/trad stays poor.
+func TestExperiment5Shape(t *testing.T) {
+	clustered := Config{Rows: testRows, Fraction: 0.15, MemoryMB: 5, NumIndexes: 1,
+		Clustered: true, Seed: 1}
+	unclustered := clustered
+	unclustered.Clustered = false
+	sc := run(t, clustered, SortedTrad)
+	su := run(t, unclustered, SortedTrad)
+	nc := run(t, clustered, NotSortedTrad)
+	bc := run(t, clustered, BulkSortMerge)
+	if float64(sc.SimTime) > 2.5*float64(bc.SimTime) {
+		t.Fatalf("sorted/trad on a clustered index should be competitive: %v vs bulk %v",
+			sc.SimTime, bc.SimTime)
+	}
+	if float64(su.SimTime) < 2*float64(sc.SimTime) {
+		t.Fatalf("clustering should speed up sorted/trad a lot: %v vs %v", su.SimTime, sc.SimTime)
+	}
+	if float64(nc.SimTime) < 3*float64(sc.SimTime) {
+		t.Fatalf("not sorted/trad should remain poor: %v vs %v", nc.SimTime, sc.SimTime)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{Rows: 0}, BulkSortMerge); err == nil {
+		t.Fatal("zero rows should fail")
+	}
+	if _, err := Run(Config{Rows: 100, Fraction: 0.1, MemoryMB: 5, NumIndexes: 1, Seed: 1},
+		Approach(99)); err == nil {
+		t.Fatal("unknown approach should fail")
+	}
+}
+
+func TestExperimentFunctions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	r := &Runner{Rows: 10000, Seed: 1}
+	for _, fn := range []struct {
+		name string
+		f    func() (Experiment, error)
+	}{
+		{"fig1", r.Figure1},
+		{"exp1", r.Experiment1},
+		{"exp2", r.Experiment2},
+		{"exp3", r.Experiment3},
+		{"exp4", r.Experiment4},
+		{"exp5", r.Experiment5},
+		{"reorg", r.ReorgAblation},
+		{"methods", r.MethodAblation},
+		{"update", r.UpdateAblation},
+	} {
+		e, err := fn.f()
+		if err != nil {
+			t.Fatalf("%s: %v", fn.name, err)
+		}
+		if len(e.Series) < 2 {
+			t.Fatalf("%s: only %d series", fn.name, len(e.Series))
+		}
+		out := e.Format()
+		if !strings.Contains(out, e.ID) {
+			t.Fatalf("%s: format lacks the experiment id:\n%s", fn.name, out)
+		}
+		for _, s := range e.Series {
+			if len(s.Points) != len(e.Series[0].Points) {
+				t.Fatalf("%s: ragged series", fn.name)
+			}
+			for _, p := range s.Points {
+				if p.Result.SimTime <= 0 {
+					t.Fatalf("%s: empty measurement at %s/%s", fn.name, s.Label, p.X)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanGallery(t *testing.T) {
+	out, err := PlanGallery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 3", "Figure 4", "Figure 5", "⋈̸", "IA", "IB", "IC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan gallery lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaledMemoryFloor(t *testing.T) {
+	c := Config{Rows: 100, MemoryMB: 5}
+	if c.scaledMemory() < 8*4096 {
+		t.Fatal("scaled memory below the floor")
+	}
+}
+
+func TestApproachStrings(t *testing.T) {
+	for ap := NotSortedTrad; ap <= BulkAuto; ap++ {
+		if ap.String() == "" {
+			t.Fatalf("approach %d has empty string", ap)
+		}
+	}
+	if Approach(42).String() == "" {
+		t.Fatal("unknown approach string")
+	}
+}
+
+// TestUpdateAblationShape: the vertical update must beat the row-at-a-time
+// loop clearly, and both must leave a consistent database.
+func TestUpdateAblationShape(t *testing.T) {
+	cfg := Config{Rows: testRows, Fraction: 0.10, MemoryMB: 5, NumIndexes: 2, Seed: 1, Verify: true}
+	vert, err := runUpdate(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowwise, err := runUpdate(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vert.Deleted != rowwise.Deleted {
+		t.Fatalf("update counts differ: %d vs %d", vert.Deleted, rowwise.Deleted)
+	}
+	if vert.SimTime*2 > rowwise.SimTime {
+		t.Fatalf("vertical update should win clearly: %v vs %v", vert.SimTime, rowwise.SimTime)
+	}
+}

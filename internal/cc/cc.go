@@ -1,0 +1,314 @@
+// Package cc implements the concurrency-control machinery of the paper's
+// §3: coarse table locking, per-index online/offline states, side-files,
+// undeletable markers for direct propagation, and the index processing
+// order.
+//
+// The paper's scheme: the bulk deleter takes an exclusive lock on the base
+// table and switches every index offline. As soon as the table and all
+// *unique* indexes are processed (and the deletion committed), the table
+// lock is released and the unique indexes come back online; the remaining
+// indexes stay offline while deletions are propagated to them. Updates by
+// concurrent transactions reach the offline indexes through one of two
+// mechanisms borrowed from online index construction (Mohan & Narang):
+//
+//   - Side-file: each offline index accumulates the updates in a queue;
+//     the bulk deleter applies the queue after processing the index,
+//     quiescing appends for the final batch before bringing it online.
+//   - Direct propagation: updates latch index pages and install entries
+//     directly; inserted entries are marked *undeletable* so the bulk
+//     deleter does not remove a re-used RID it still has in its victim set.
+//
+// Unique indexes must be processed first: while a unique index is offline
+// no uniqueness check can be enforced ("trying to ensure the uniqueness
+// constraint while the unique index is off-line can lead to
+// inconsistencies").
+package cc
+
+import (
+	"fmt"
+	"sync"
+
+	"bulkdel/internal/record"
+)
+
+// IndexState is the availability of an index.
+type IndexState int32
+
+const (
+	// Online means the index is usable as an access path and directly
+	// updatable.
+	Online IndexState = iota
+	// Offline means the index is being bulk-processed; updates must go
+	// through a side-file or direct propagation with latches.
+	Offline
+)
+
+func (s IndexState) String() string {
+	switch s {
+	case Online:
+		return "online"
+	case Offline:
+		return "offline"
+	default:
+		return fmt.Sprintf("IndexState(%d)", int32(s))
+	}
+}
+
+// TableLock is the coarse lock the bulk deleter takes on the base table.
+// The paper argues lock escalation would force this anyway: "database
+// systems employing lock escalation would switch to an exclusive lock on
+// the base table".
+type TableLock struct {
+	mu sync.RWMutex
+}
+
+// LockExclusive blocks until the exclusive (bulk-delete) lock is held.
+func (l *TableLock) LockExclusive() { l.mu.Lock() }
+
+// UnlockExclusive releases the exclusive lock.
+func (l *TableLock) UnlockExclusive() { l.mu.Unlock() }
+
+// LockShared blocks until a shared (reader/updater) lock is held.
+func (l *TableLock) LockShared() { l.mu.RLock() }
+
+// UnlockShared releases a shared lock.
+func (l *TableLock) UnlockShared() { l.mu.RUnlock() }
+
+// TryLockExclusive acquires the exclusive lock without blocking.
+func (l *TableLock) TryLockExclusive() bool { return l.mu.TryLock() }
+
+// OpKind distinguishes side-file operations.
+type OpKind uint8
+
+const (
+	// OpInsert adds an index entry.
+	OpInsert OpKind = iota
+	// OpDelete removes an index entry.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	if k == OpInsert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Op is one deferred index maintenance operation.
+type Op struct {
+	Kind OpKind
+	Key  []byte
+	RID  record.RID
+}
+
+// SideFile queues index updates made by concurrent transactions while the
+// index is offline. It is safe for concurrent use.
+type SideFile struct {
+	mu       sync.Mutex
+	ops      []Op
+	quiesced bool
+}
+
+// ErrQuiesced is returned by Append after Quiesce: the bulk deleter is
+// applying the final batch and the updater must wait for the index to come
+// back online (and then update it directly).
+var ErrQuiesced = fmt.Errorf("cc: side-file is quiesced")
+
+// Append queues an operation. The key is copied.
+func (s *SideFile) Append(op Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quiesced {
+		return ErrQuiesced
+	}
+	op.Key = append([]byte(nil), op.Key...)
+	s.ops = append(s.ops, op)
+	return nil
+}
+
+// Len returns the number of queued operations.
+func (s *SideFile) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ops)
+}
+
+// Drain removes and returns up to max queued operations (all when max <= 0).
+// The bulk deleter calls Drain repeatedly while appends continue, then
+// Quiesce for the final batch.
+func (s *SideFile) Drain(max int) []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.ops)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := s.ops[:n:n]
+	s.ops = append([]Op(nil), s.ops[n:]...)
+	return out
+}
+
+// Quiesce blocks further appends and returns the remaining operations.
+func (s *SideFile) Quiesce() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quiesced = true
+	out := s.ops
+	s.ops = nil
+	return out
+}
+
+// Reopen lifts the quiesce (after the index is back online).
+func (s *SideFile) Reopen() {
+	s.mu.Lock()
+	s.quiesced = false
+	s.mu.Unlock()
+}
+
+// UndeletableSet marks entries inserted by concurrent transactions via
+// direct propagation. A RID freed by the bulk delete can be re-used by an
+// insert before the bulk deleter reaches some index; without the marker the
+// deleter — whose victim set still contains the RID — would remove the new
+// entry ("an inserted entry (key, RID) has to be marked as undeletable").
+type UndeletableSet struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// NewUndeletableSet returns an empty set.
+func NewUndeletableSet() *UndeletableSet {
+	return &UndeletableSet{m: make(map[string]int)}
+}
+
+func undelKey(key []byte, rid record.RID) string {
+	return string(record.AppendRID(append([]byte(nil), key...), rid))
+}
+
+// Mark flags (key, rid) as undeletable. Marks nest: a mark added twice
+// needs two removals, mirroring two inserting transactions.
+func (u *UndeletableSet) Mark(key []byte, rid record.RID) {
+	u.mu.Lock()
+	u.m[undelKey(key, rid)]++
+	u.mu.Unlock()
+}
+
+// Unmark removes one nesting level of the flag. It is called during
+// rollback of the inserting transaction ("an undeletable entry can be
+// removed as part of rollback processing for the transaction that inserted
+// it") or when the bulk delete finishes.
+func (u *UndeletableSet) Unmark(key []byte, rid record.RID) {
+	u.mu.Lock()
+	k := undelKey(key, rid)
+	if u.m[k] > 1 {
+		u.m[k]--
+	} else {
+		delete(u.m, k)
+	}
+	u.mu.Unlock()
+}
+
+// Contains reports whether (key, rid) is currently undeletable.
+func (u *UndeletableSet) Contains(key []byte, rid record.RID) bool {
+	u.mu.Lock()
+	_, ok := u.m[undelKey(key, rid)]
+	u.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of marked entries.
+func (u *UndeletableSet) Len() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.m)
+}
+
+// IndexInfo describes an index for ordering decisions.
+type IndexInfo struct {
+	Name string
+	// Unique indexes must be processed before the table lock is released.
+	Unique bool
+	// Priority ranks application-critical indexes (higher = earlier):
+	// "indices which are critical for the performance of applications can
+	// be processed first while the processing of non-critical indices can
+	// be delayed".
+	Priority int
+}
+
+// ProcessingOrder returns the order in which indexes should be bulk
+// processed: unique indexes first (required for consistency), then by
+// descending priority, ties broken by position for determinism.
+func ProcessingOrder(indexes []IndexInfo) []int {
+	order := make([]int, len(indexes))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable selection sort keeps it dependency-free and obvious.
+	less := func(a, b int) bool {
+		ia, ib := indexes[a], indexes[b]
+		if ia.Unique != ib.Unique {
+			return ia.Unique
+		}
+		if ia.Priority != ib.Priority {
+			return ia.Priority > ib.Priority
+		}
+		return a < b
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// Gate tracks one index's availability. It is safe for concurrent use.
+type Gate struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state IndexState
+	side  *SideFile
+}
+
+// NewGate returns an online gate with an empty side-file.
+func NewGate() *Gate {
+	g := &Gate{state: Online, side: &SideFile{}}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// State returns the current availability.
+func (g *Gate) State() IndexState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.state
+}
+
+// SideFile returns the gate's side-file.
+func (g *Gate) SideFile() *SideFile { return g.side }
+
+// TakeOffline switches the index offline for bulk processing.
+func (g *Gate) TakeOffline() {
+	g.mu.Lock()
+	g.state = Offline
+	g.mu.Unlock()
+}
+
+// BringOnline switches the index back online, reopens its side-file, and
+// wakes updaters blocked in WaitOnline.
+func (g *Gate) BringOnline() {
+	g.mu.Lock()
+	g.state = Online
+	g.side.Reopen()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// WaitOnline blocks until the index is online. An updater that hits a
+// quiesced side-file waits here, then applies its change directly.
+func (g *Gate) WaitOnline() {
+	g.mu.Lock()
+	for g.state != Online {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}

@@ -1,0 +1,240 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+
+	"bulkdel/internal/record"
+)
+
+func rid(i int) record.RID { return record.RID{Page: 1, Slot: uint16(i)} }
+
+func TestTableLockExclusion(t *testing.T) {
+	var l TableLock
+	l.LockExclusive()
+	if l.TryLockExclusive() {
+		t.Fatal("second exclusive lock acquired")
+	}
+	l.UnlockExclusive()
+	if !l.TryLockExclusive() {
+		t.Fatal("lock not released")
+	}
+	l.UnlockExclusive()
+
+	// Shared locks coexist, exclusive waits.
+	l.LockShared()
+	l.LockShared()
+	acquired := make(chan struct{})
+	go func() {
+		l.LockExclusive()
+		close(acquired)
+		l.UnlockExclusive()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("exclusive acquired while shared held")
+	default:
+	}
+	l.UnlockShared()
+	l.UnlockShared()
+	<-acquired
+}
+
+func TestSideFileAppendDrain(t *testing.T) {
+	var s SideFile
+	for i := 0; i < 10; i++ {
+		kind := OpInsert
+		if i%2 == 1 {
+			kind = OpDelete
+		}
+		if err := s.Append(Op{Kind: kind, Key: []byte{byte(i)}, RID: rid(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	batch := s.Drain(4)
+	if len(batch) != 4 || s.Len() != 6 {
+		t.Fatalf("drain(4) = %d ops, %d left", len(batch), s.Len())
+	}
+	if batch[0].Key[0] != 0 || batch[3].Key[0] != 3 {
+		t.Fatal("drain order wrong")
+	}
+	rest := s.Drain(0)
+	if len(rest) != 6 || s.Len() != 0 {
+		t.Fatalf("drain(0) = %d ops", len(rest))
+	}
+}
+
+func TestSideFileKeyCopied(t *testing.T) {
+	var s SideFile
+	k := []byte{1, 2, 3}
+	if err := s.Append(Op{Kind: OpInsert, Key: k, RID: rid(0)}); err != nil {
+		t.Fatal(err)
+	}
+	k[0] = 99
+	ops := s.Drain(0)
+	if ops[0].Key[0] != 1 {
+		t.Fatal("side-file aliased the caller's key")
+	}
+}
+
+func TestSideFileQuiesce(t *testing.T) {
+	var s SideFile
+	if err := s.Append(Op{Kind: OpInsert, Key: []byte{1}, RID: rid(1)}); err != nil {
+		t.Fatal(err)
+	}
+	final := s.Quiesce()
+	if len(final) != 1 {
+		t.Fatalf("quiesce returned %d ops", len(final))
+	}
+	if err := s.Append(Op{Kind: OpInsert, Key: []byte{2}, RID: rid(2)}); err != ErrQuiesced {
+		t.Fatalf("append after quiesce: %v", err)
+	}
+	s.Reopen()
+	if err := s.Append(Op{Kind: OpInsert, Key: []byte{3}, RID: rid(3)}); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestSideFileConcurrentAppends(t *testing.T) {
+	var s SideFile
+	var wg sync.WaitGroup
+	const writers, per = 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = s.Append(Op{Kind: OpInsert, Key: []byte{byte(w)}, RID: rid(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != writers*per {
+		t.Fatalf("len = %d, want %d", s.Len(), writers*per)
+	}
+}
+
+func TestUndeletableSet(t *testing.T) {
+	u := NewUndeletableSet()
+	k := []byte("key1")
+	if u.Contains(k, rid(1)) {
+		t.Fatal("empty set contains entry")
+	}
+	u.Mark(k, rid(1))
+	if !u.Contains(k, rid(1)) {
+		t.Fatal("marked entry missing")
+	}
+	if u.Contains(k, rid(2)) {
+		t.Fatal("different RID matched")
+	}
+	if u.Contains([]byte("key2"), rid(1)) {
+		t.Fatal("different key matched")
+	}
+	// Nesting: two marks need two unmarks.
+	u.Mark(k, rid(1))
+	u.Unmark(k, rid(1))
+	if !u.Contains(k, rid(1)) {
+		t.Fatal("nested mark removed too early")
+	}
+	u.Unmark(k, rid(1))
+	if u.Contains(k, rid(1)) || u.Len() != 0 {
+		t.Fatal("unmark did not remove entry")
+	}
+}
+
+func TestProcessingOrderUniqueFirst(t *testing.T) {
+	idx := []IndexInfo{
+		{Name: "IB", Unique: false, Priority: 5},
+		{Name: "IA", Unique: true, Priority: 0},
+		{Name: "IC", Unique: false, Priority: 9},
+		{Name: "ID", Unique: true, Priority: 1},
+	}
+	order := ProcessingOrder(idx)
+	names := make([]string, len(order))
+	for i, o := range order {
+		names[i] = idx[o].Name
+	}
+	// Unique first (by priority desc: ID then IA), then by priority desc.
+	want := []string{"ID", "IA", "IC", "IB"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestProcessingOrderStable(t *testing.T) {
+	idx := []IndexInfo{
+		{Name: "A"}, {Name: "B"}, {Name: "C"},
+	}
+	order := ProcessingOrder(idx)
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("equal indexes reordered: %v", order)
+		}
+	}
+	if len(ProcessingOrder(nil)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestGateStates(t *testing.T) {
+	g := NewGate()
+	if g.State() != Online {
+		t.Fatal("new gate should be online")
+	}
+	g.TakeOffline()
+	if g.State() != Offline {
+		t.Fatal("gate not offline")
+	}
+	// Offline: updates go to the side-file; quiesce blocks them.
+	if err := g.SideFile().Append(Op{Kind: OpDelete, Key: []byte{1}, RID: rid(1)}); err != nil {
+		t.Fatal(err)
+	}
+	g.SideFile().Quiesce()
+	if err := g.SideFile().Append(Op{Kind: OpDelete, Key: []byte{2}, RID: rid(2)}); err != ErrQuiesced {
+		t.Fatal("append after quiesce should fail")
+	}
+	g.BringOnline()
+	if g.State() != Online {
+		t.Fatal("gate not back online")
+	}
+	// BringOnline reopens the side-file for the next bulk delete.
+	if err := g.SideFile().Append(Op{Kind: OpDelete, Key: []byte{3}, RID: rid(3)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Online.String() != "online" || Offline.String() != "offline" {
+		t.Fatal("IndexState strings")
+	}
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" {
+		t.Fatal("OpKind strings")
+	}
+	if IndexState(9).String() == "" {
+		t.Fatal("unknown state string")
+	}
+}
+
+func TestGateWaitOnline(t *testing.T) {
+	g := NewGate()
+	g.TakeOffline()
+	done := make(chan struct{})
+	go func() {
+		g.WaitOnline()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitOnline returned while offline")
+	default:
+	}
+	g.BringOnline()
+	<-done // must wake up
+	// Waiting on an online gate returns immediately.
+	g.WaitOnline()
+}

@@ -1,0 +1,608 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bulkdel/internal/keyenc"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/wal"
+	"bulkdel/internal/xsort"
+)
+
+// Execute runs DELETE FROM tgt WHERE field IN (values) with the vertical
+// bulk-delete operator. It is the paper's §2 end to end: victim-list
+// sorting, the ⋈̸ against the access index, the ⋈̸ against the base table,
+// and one ⋈̸ per remaining index — with the physical strategy chosen by
+// Options.Method (or the planner, for Auto), reorganization per §2.3, and
+// the §3.2 logging protocol when a WAL is supplied.
+func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, error) {
+	o := opts.withDefaults()
+	if field < 0 || field >= tgt.Schema.NumFields {
+		return nil, fmt.Errorf("core: field %d out of range", field)
+	}
+	method := o.Method
+	if method == Auto {
+		method = ChooseMethod(tgt, field, len(values), o.Memory)
+	}
+	e := &execCtx{tgt: tgt, opts: o}
+	stats := &Stats{Method: method, Victims: len(values)}
+	e.stats = stats
+	start := e.disk().Clock()
+
+	access := accessIndex(tgt, field)
+	rest := remainingIndexes(tgt, access)
+	parts := estimatePartitions(tgt, rest, len(values), o.Memory)
+	stats.PlanText = BuildPlan(tgt, field, method, o.Memory, parts).String()
+
+	logged := o.Log != nil
+	var victimFile *rowFile
+	if logged {
+		if _, err := o.Log.Append(wal.TBegin, o.TxID, 0, 0, nil); err != nil {
+			return nil, err
+		}
+		// Materialize the sorted victim list to stable storage before
+		// touching anything (paper §3.2).
+		srt, err := sortVictims(e, values)
+		if err != nil {
+			return nil, err
+		}
+		it, err := srt.Finish()
+		if err != nil {
+			return nil, err
+		}
+		victimFile, err = materialize(e, it.Next, keyenc.Int64Width)
+		it.Close()
+		if err != nil {
+			return nil, err
+		}
+		// Payload: victim row count + delete attribute, so recovery can
+		// reconstruct the statement without the catalog's help.
+		var payload [16]byte
+		binary.LittleEndian.PutUint64(payload[:], uint64(victimFile.rows))
+		binary.LittleEndian.PutUint64(payload[8:], uint64(field))
+		if _, err := o.Log.Append(wal.TBulkStart, o.TxID,
+			uint64(tgt.Heap.ID()), uint64(victimFile.file), payload[:]); err != nil {
+			return nil, err
+		}
+		if err := o.Log.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := e.run(field, values, method, access, rest, victimFile, nil); err != nil {
+		return stats, err
+	}
+
+	if logged {
+		if _, err := o.Log.Append(wal.TBulkEnd, o.TxID, 0, 0, nil); err != nil {
+			return stats, err
+		}
+		if _, err := o.Log.Append(wal.TCommit, o.TxID, 0, 0, nil); err != nil {
+			return stats, err
+		}
+		if err := o.Log.Flush(); err != nil {
+			return stats, err
+		}
+	}
+	stats.Elapsed = e.disk().Clock() - start
+	return stats, nil
+}
+
+// resumeState carries recovery positions into run.
+type resumeState struct {
+	st       wal.BulkState
+	ridFile  *rowFile
+	keyFiles map[sim.FileID]*rowFile
+}
+
+// run executes the phases. victimFile is non-nil in logged mode; rs is
+// non-nil when resuming after a crash.
+func (e *execCtx) run(field int, values []int64, method Method,
+	access *IndexRef, rest []*IndexRef, victimFile *rowFile, rs *resumeState) error {
+
+	o := e.opts
+	logged := o.Log != nil
+	stats := e.stats
+	disk := e.disk()
+
+	// victimIter returns a fresh iterator over the sorted victim keys.
+	victimIter := func() (rowIter, error) {
+		if victimFile != nil {
+			return victimFile.iterator(0)
+		}
+		srt, err := sortVictims(e, values)
+		if err != nil {
+			return nil, err
+		}
+		it, err := srt.Finish()
+		if err != nil {
+			return nil, err
+		}
+		return it.Next, nil
+	}
+
+	// ---- Phase 1: find (and in sort/merge order, delete) the victims in
+	// the access index, producing the RID list.
+	var ridFile *rowFile               // materialized sorted RID list (logged)
+	var ridIter rowIter                // sorted RID rows (unlogged)
+	var ridSet map[record.RID]struct{} // hash method
+	collectRIDs := func(emit func(record.RID) error) error {
+		vi, err := victimIter()
+		if err != nil {
+			return err
+		}
+		if access == nil {
+			vals := values
+			if len(vals) == 0 && victimFile != nil {
+				// Recovery: decode the materialized victim keys.
+				err := victimFile.iterate(0, func(row []byte) error {
+					vals = append(vals, keyenc.Int64(row))
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return collectVictimRIDsByScan(e, field, vals, emit)
+		}
+		_, err = mergeDeleteIndexByKey(e, access, vi, false, emit, nil)
+		return err
+	}
+
+	if rs != nil && rs.ridFile != nil {
+		ridFile = rs.ridFile
+	} else if logged {
+		// Read-only collect pass → sort by RID → materialize.
+		srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+		if err != nil {
+			return err
+		}
+		var row [record.RIDSize]byte
+		err = collectRIDs(func(rid record.RID) error {
+			record.PutRID(row[:], rid)
+			return srt.Add(row[:])
+		})
+		if err != nil {
+			return err
+		}
+		it, err := srt.Finish()
+		if err != nil {
+			return err
+		}
+		ridFile, err = materialize(e, it.Next, record.RIDSize)
+		it.Close()
+		if err != nil {
+			return err
+		}
+		var rowsPayload [8]byte
+		binary.LittleEndian.PutUint64(rowsPayload[:], uint64(ridFile.rows))
+		if _, err := o.Log.Append(wal.TMaterialized, o.TxID, 0, uint64(ridFile.file), rowsPayload[:]); err != nil {
+			return err
+		}
+		if err := o.Log.Flush(); err != nil {
+			return err
+		}
+	}
+
+	// Destructive pass on the access index.
+	if access != nil && !e.skip(access.Tree.ID()) {
+		t0 := disk.Clock()
+		if err := e.structStart(access.Tree.ID(), 1); err != nil {
+			return err
+		}
+		vi, err := victimIter()
+		if err != nil {
+			return err
+		}
+		var startKey []byte
+		if rs != nil && rs.st.HasInProgress && sim.FileID(rs.st.InProgress) == access.Tree.ID() && rs.st.Progress > 0 {
+			vi, startKey, err = skipRows(vi, rs.st.Progress)
+			if err != nil {
+				return err
+			}
+			e.applied = int64(rs.st.Progress) // keep checkpoint progress absolute
+		}
+		var emit func(record.RID) error
+		if !logged {
+			if method == Hash {
+				ridSet = make(map[record.RID]struct{}, len(values))
+				emit = func(rid record.RID) error {
+					ridSet[rid] = struct{}{}
+					return nil
+				}
+			} else {
+				srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+				if err != nil {
+					return err
+				}
+				var row [record.RIDSize]byte
+				emit = func(rid record.RID) error {
+					record.PutRID(row[:], rid)
+					return srt.Add(row[:])
+				}
+				// Finished below, after the pass completes.
+				e.pendingRIDSorter = srt
+			}
+		}
+		del, err := mergeDeleteIndexByKey(e, access, vi, true, emit, startKey)
+		if err != nil {
+			return err
+		}
+		if err := access.Tree.RebuildUpper(o.Reorganize); err != nil {
+			return err
+		}
+		if err := e.structDone(access.Tree.ID(), func() error { return access.Tree.Flush() }); err != nil {
+			return err
+		}
+		stats.PerStructure = append(stats.PerStructure, StructStats{
+			Name: access.Name, File: access.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0,
+		})
+		if e.pendingRIDSorter != nil {
+			it, err := e.pendingRIDSorter.Finish()
+			if err != nil {
+				return err
+			}
+			ridIter = it.Next
+			e.pendingRIDSorter = nil
+		}
+	} else if access != nil && logged {
+		// Access index already done on resume; RID list comes from disk.
+	}
+
+	if access == nil && !logged {
+		// Victims located by table scan: RIDs arrive already sorted.
+		if method == Hash {
+			ridSet = make(map[record.RID]struct{}, len(values))
+			if err := collectRIDs(func(rid record.RID) error {
+				ridSet[rid] = struct{}{}
+				return nil
+			}); err != nil {
+				return err
+			}
+		} else {
+			srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+			if err != nil {
+				return err
+			}
+			var row [record.RIDSize]byte
+			if err := collectRIDs(func(rid record.RID) error {
+				record.PutRID(row[:], rid)
+				return srt.Add(row[:])
+			}); err != nil {
+				return err
+			}
+			it, err := srt.Finish()
+			if err != nil {
+				return err
+			}
+			ridIter = it.Next
+		}
+	}
+	if logged && method == Hash {
+		// Build the RID hash from the materialized list.
+		ridSet = make(map[record.RID]struct{})
+		if err := ridFile.iterate(0, func(row []byte) error {
+			ridSet[record.GetRID(row)] = struct{}{}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	// ---- Phase 2a (logged): extraction pass — materialize the ⟨key,RID⟩
+	// list of every remaining index before any record dies.
+	keyFiles := make(map[sim.FileID]*rowFile)
+	needExtract := method != Hash && len(rest) > 0
+	if logged && needExtract {
+		have := rs != nil && len(rs.keyFiles) == len(rest)
+		if have {
+			keyFiles = rs.keyFiles
+		} else {
+			// Extract into per-index sorters, then materialize the
+			// *sorted* lists — the paper's "results of the join
+			// variants should be materialized to stable storage".
+			extractSorters := make(map[sim.FileID]*xsort.Sorter, len(rest))
+			for _, ix := range rest {
+				srt, err := xsort.New(disk, ix.Tree.KeyLen()+record.RIDSize, o.Memory, nil)
+				if err != nil {
+					return err
+				}
+				extractSorters[ix.Tree.ID()] = srt
+			}
+			it, err := ridFile.iterator(0)
+			if err != nil {
+				return err
+			}
+			_, err = heapPassSortedRIDs(e, it, false, func(rid record.RID, rec []byte) error {
+				return e.extractToSorters(rest, extractSorters, rid, rec)
+			})
+			if err != nil {
+				return err
+			}
+			for _, ix := range rest {
+				sit, err := extractSorters[ix.Tree.ID()].Finish()
+				if err != nil {
+					return err
+				}
+				kf, err := materialize(e, sit.Next, ix.Tree.KeyLen()+record.RIDSize)
+				sit.Close()
+				if err != nil {
+					return err
+				}
+				keyFiles[ix.Tree.ID()] = kf
+				var rowsPayload [8]byte
+				binary.LittleEndian.PutUint64(rowsPayload[:], uint64(kf.rows))
+				if _, err := o.Log.Append(wal.TMaterialized, o.TxID,
+					uint64(ix.Tree.ID()), uint64(kf.file), rowsPayload[:]); err != nil {
+					return err
+				}
+			}
+			if err := o.Log.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// ---- Phase 2b: delete from the heap.
+	sorters := make(map[sim.FileID]*xsort.Sorter) // unlogged sort/merge
+	if !e.skip(e.tgt.Heap.ID()) {
+		t0 := disk.Clock()
+		if err := e.structStart(e.tgt.Heap.ID(), 0); err != nil {
+			return err
+		}
+		var del int64
+		var err error
+		if method == Hash {
+			del, err = heapDeleteByRIDProbe(e, ridSet)
+		} else if logged {
+			from := resumeFrom(rs, e.tgt.Heap.ID())
+			it, ierr := ridFile.iterator(from)
+			if ierr != nil {
+				return ierr
+			}
+			e.applied = from // keep checkpoint progress absolute
+			del, err = heapPassSortedRIDs(e, it, true, nil)
+		} else {
+			// Single pass: extract keys for the remaining indexes and
+			// delete in one go.
+			for _, ix := range rest {
+				srt, serr := xsort.New(disk, ix.Tree.KeyLen()+record.RIDSize, o.Memory, nil)
+				if serr != nil {
+					return serr
+				}
+				sorters[ix.Tree.ID()] = srt
+			}
+			var extract func(record.RID, []byte) error
+			if method == HashPartition {
+				for _, ix := range rest {
+					kf, kerr := newRowFile(disk, ix.Tree.KeyLen()+record.RIDSize)
+					if kerr != nil {
+						return kerr
+					}
+					keyFiles[ix.Tree.ID()] = kf
+				}
+				extract = func(rid record.RID, rec []byte) error {
+					return e.extractKeys(rest, keyFiles, rid, rec)
+				}
+			} else if len(rest) > 0 {
+				extract = func(rid record.RID, rec []byte) error {
+					return e.extractToSorters(rest, sorters, rid, rec)
+				}
+			}
+			del, err = heapPassSortedRIDs(e, ridIter, true, extract)
+		}
+		if err != nil {
+			return err
+		}
+		if err := e.structDone(e.tgt.Heap.ID(), func() error { return e.tgt.Heap.Flush() }); err != nil {
+			return err
+		}
+		stats.Deleted = del
+		stats.PerStructure = append(stats.PerStructure, StructStats{
+			Name: e.tgt.Name, File: e.tgt.Heap.ID(), Deleted: del, Elapsed: disk.Clock() - t0,
+		})
+	}
+
+	// For HashPartition (unlogged), seal the key files written above.
+	if method == HashPartition && !logged {
+		for _, kf := range keyFiles {
+			if err := kf.seal(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The table and every unique index that has been processed so far is
+	// durable; remaining unique indexes are handled first below. Signal
+	// "critical done" once the last unique structure completes.
+	criticalLeft := 0
+	for _, ix := range rest {
+		if ix.Unique {
+			criticalLeft++
+		}
+	}
+	signalCritical := func() {
+		if criticalLeft == 0 && e.opts.OnCriticalDone != nil {
+			e.opts.OnCriticalDone()
+			e.opts.OnCriticalDone = nil
+		}
+	}
+	signalCritical()
+
+	// ---- Phase 3: one ⋈̸ per remaining index, unique-first.
+	for _, ix := range rest {
+		if e.skip(ix.Tree.ID()) {
+			if ix.Unique {
+				criticalLeft--
+			}
+			signalCritical()
+			continue
+		}
+		t0 := disk.Clock()
+		if err := e.structStart(ix.Tree.ID(), 1); err != nil {
+			return err
+		}
+		var del int64
+		var err error
+		switch method {
+		case Hash:
+			del, err = indexDeleteByRIDProbe(e, ix, ridSet)
+		case HashPartition:
+			var p int
+			del, p, err = indexDeletePartitioned(e, ix, keyFiles[ix.Tree.ID()])
+			if p > stats.Partitions {
+				stats.Partitions = p
+			}
+		default: // SortMerge
+			var rows rowIter
+			var startKey []byte
+			if logged {
+				kf := keyFiles[ix.Tree.ID()]
+				from := resumeFrom(rs, ix.Tree.ID())
+				rows, err = kf.iterator(from)
+				if err != nil {
+					return err
+				}
+				if from > 0 {
+					rows, startKey, err = peekFirst(rows, ix.Tree.KeyLen())
+					if err != nil {
+						return err
+					}
+					e.applied = from // keep checkpoint progress absolute
+				}
+			} else {
+				it, ferr := sorters[ix.Tree.ID()].Finish()
+				if ferr != nil {
+					return ferr
+				}
+				rows = it.Next
+			}
+			del, err = mergeDeleteIndexByFullKey(e, ix, rows, startKey)
+		}
+		if err != nil {
+			return err
+		}
+		if err := ix.Tree.RebuildUpper(o.Reorganize); err != nil {
+			return err
+		}
+		if err := e.structDone(ix.Tree.ID(), func() error { return ix.Tree.Flush() }); err != nil {
+			return err
+		}
+		stats.PerStructure = append(stats.PerStructure, StructStats{
+			Name: ix.Name, File: ix.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0,
+		})
+		if ix.Unique {
+			criticalLeft--
+		}
+		signalCritical()
+	}
+
+	// Drop the intermediate files of an unlogged run (logged runs keep
+	// them until the log is truncated; tests reuse them for recovery).
+	if !logged {
+		for _, kf := range keyFiles {
+			if err := kf.drop(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// extractKeys appends one ⟨key,RID⟩ row per remaining index to the key
+// files.
+func (e *execCtx) extractKeys(rest []*IndexRef, files map[sim.FileID]*rowFile, rid record.RID, rec []byte) error {
+	for _, ix := range rest {
+		kf := files[ix.Tree.ID()]
+		row := make([]byte, ix.Tree.KeyLen()+record.RIDSize)
+		keyenc.PutInt64(row, e.tgt.Schema.Field(rec, ix.Field))
+		record.PutRID(row[ix.Tree.KeyLen():], rid)
+		if err := kf.append(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extractToSorters feeds one ⟨key,RID⟩ row per remaining index into the
+// per-index sorters (the π + sort of Figure 3).
+func (e *execCtx) extractToSorters(rest []*IndexRef, sorters map[sim.FileID]*xsort.Sorter, rid record.RID, rec []byte) error {
+	for _, ix := range rest {
+		row := make([]byte, ix.Tree.KeyLen()+record.RIDSize)
+		keyenc.PutInt64(row, e.tgt.Schema.Field(rec, ix.Field))
+		record.PutRID(row[ix.Tree.KeyLen():], rid)
+		if err := sorters[ix.Tree.ID()].Add(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// materialize writes an iterator's rows to a sealed row file.
+func materialize(e *execCtx, it rowIter, rowSize int) (*rowFile, error) {
+	rf, err := newRowFile(e.disk(), rowSize)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		row, ok, err := it()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := rf.append(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := rf.seal(); err != nil {
+		return nil, err
+	}
+	return rf, nil
+}
+
+// skipRows advances an iterator n rows and returns it along with the first
+// remaining row's 8-byte key prefix (nil when exhausted).
+func skipRows(it rowIter, n uint64) (rowIter, []byte, error) {
+	for i := uint64(0); i < n; i++ {
+		if _, ok, err := it(); err != nil || !ok {
+			return it, nil, err
+		}
+	}
+	return peekFirst(it, keyenc.Int64Width)
+}
+
+// peekFirst pulls one row, remembers its key prefix, and returns an
+// iterator that replays it first.
+func peekFirst(it rowIter, keyLen int) (rowIter, []byte, error) {
+	row, ok, err := it()
+	if err != nil || !ok {
+		return it, nil, err
+	}
+	saved := append([]byte(nil), row...)
+	replayed := false
+	wrapped := func() ([]byte, bool, error) {
+		if !replayed {
+			replayed = true
+			return saved, true, nil
+		}
+		return it()
+	}
+	key := append([]byte(nil), saved[:keyLen]...)
+	if keyLen > keyenc.Int64Width {
+		key = key[:keyenc.Int64Width]
+	}
+	return wrapped, key, nil
+}
+
+// resumeFrom returns the checkpointed progress for a structure (0 outside
+// recovery).
+func resumeFrom(rs *resumeState, file sim.FileID) int64 {
+	if rs == nil || !rs.st.HasInProgress || sim.FileID(rs.st.InProgress) != file {
+		return 0
+	}
+	return int64(rs.st.Progress)
+}

@@ -1,0 +1,768 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"bulkdel/internal/btree"
+	"bulkdel/internal/keyenc"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/wal"
+	"bulkdel/internal/xsort"
+)
+
+// rowIter is a pull iterator over fixed-width rows (xsort iterators and row
+// files both provide one).
+type rowIter func() ([]byte, bool, error)
+
+// execCtx carries the per-run state shared by the pass functions.
+type execCtx struct {
+	tgt   *Target
+	opts  Options
+	stats *Stats
+	// checkpoint state
+	sinceCkpt int
+	applied   int64 // rows applied to the current structure
+	// pendingRIDSorter buffers the RID list emitted by the access-index
+	// pass of an unlogged sort/merge run until the pass completes.
+	pendingRIDSorter *xsort.Sorter
+	crash            crashCounters
+}
+
+func (e *execCtx) disk() *sim.Disk { return e.tgt.Pool.Disk() }
+
+// errInjectedCrash is returned by the crash-injection hooks so recovery
+// tests can interrupt a run at a precise point.
+var errInjectedCrash = fmt.Errorf("core: injected crash")
+
+// totalApplied / structsCompleted drive the test-only crash injection.
+type crashCounters struct {
+	applied int
+	structs int
+}
+
+func (e *execCtx) maybeCrashApplied() error {
+	if e.opts.failAfterApplied > 0 {
+		e.crash.applied++
+		if e.crash.applied >= e.opts.failAfterApplied {
+			return errInjectedCrash
+		}
+	}
+	return nil
+}
+
+func (e *execCtx) maybeCrashStruct() error {
+	if e.opts.failAfterStructs > 0 {
+		e.crash.structs++
+		if e.crash.structs >= e.opts.failAfterStructs {
+			return errInjectedCrash
+		}
+	}
+	return nil
+}
+
+// structStart logs the beginning of a structure pass.
+func (e *execCtx) structStart(file sim.FileID, kind uint64) error {
+	e.sinceCkpt = 0
+	e.applied = 0
+	if e.opts.Log == nil {
+		return nil
+	}
+	if _, err := e.opts.Log.Append(wal.TStructStart, e.opts.TxID, uint64(file), kind, nil); err != nil {
+		return err
+	}
+	return e.opts.Log.Flush()
+}
+
+// noteApplied counts one input row applied to the structure and writes a
+// checkpoint when due. flush persists the structure's dirty pages; the
+// paper requires flushing pages before the checkpoint record so recovery
+// can trust the logged progress.
+func (e *execCtx) noteApplied(file sim.FileID, flush func() error) error {
+	e.applied++
+	if err := e.maybeCrashApplied(); err != nil {
+		return err
+	}
+	if e.opts.Log == nil {
+		return nil
+	}
+	e.sinceCkpt++
+	if e.sinceCkpt < e.opts.CheckpointRows {
+		return nil
+	}
+	e.sinceCkpt = 0
+	if err := flush(); err != nil {
+		return err
+	}
+	if _, err := e.opts.Log.Append(wal.TCheckpoint, e.opts.TxID, uint64(file), uint64(e.applied), nil); err != nil {
+		return err
+	}
+	return e.opts.Log.Flush()
+}
+
+// structDone flushes the structure and logs its completion, then notifies
+// the engine so it can apply side-files and reopen gates.
+func (e *execCtx) structDone(file sim.FileID, flush func() error) error {
+	if e.opts.Log != nil {
+		if err := flush(); err != nil {
+			return err
+		}
+		if _, err := e.opts.Log.Append(wal.TStructDone, e.opts.TxID, uint64(file), 0, nil); err != nil {
+			return err
+		}
+		if err := e.opts.Log.Flush(); err != nil {
+			return err
+		}
+	}
+	if e.opts.OnStructureDone != nil {
+		e.opts.OnStructureDone(file)
+	}
+	return e.maybeCrashStruct()
+}
+
+// skip reports whether recovery already finished this structure.
+func (e *execCtx) skip(file sim.FileID) bool {
+	return e.opts.SkipStructures != nil && e.opts.SkipStructures[file]
+}
+
+// undeletable reports whether a concurrent transaction protected the entry.
+func (e *execCtx) undeletable(key []byte, rid record.RID) bool {
+	return e.opts.Undeletable != nil && e.opts.Undeletable.Contains(key, rid)
+}
+
+// sortVictims sorts the victim values and returns them as canonical 8-byte
+// order-preserving keys.
+func sortVictims(e *execCtx, values []int64) (*xsort.Sorter, error) {
+	srt, err := xsort.New(e.disk(), keyenc.Int64Width, e.opts.Memory, nil)
+	if err != nil {
+		return nil, err
+	}
+	var row [keyenc.Int64Width]byte
+	for _, v := range values {
+		keyenc.PutInt64(row[:], v)
+		if err := srt.Add(row[:]); err != nil {
+			return nil, err
+		}
+	}
+	return srt, nil
+}
+
+// mergeDeleteIndexByKey merges the sorted 8-byte victim keys with the leaf
+// chain of the access index (the first ⋈̸ of every plan). Matching entries
+// are deleted when del is true (read-only collect pass otherwise) and their
+// RIDs handed to emit. startVictim skips a victim prefix on recovery; when
+// it is positive, the leaf walk starts at the leaf covering the first
+// remaining victim instead of the leftmost leaf.
+func mergeDeleteIndexByKey(e *execCtx, ix *IndexRef, victims rowIter, del bool,
+	emit func(record.RID) error, startKey []byte) (int64, error) {
+
+	v, ok, err := victims()
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	var cur *btree.LeafCursor
+	if startKey != nil {
+		cur, err = ix.Tree.EditLeavesFrom(padKey(startKey, ix.Tree.KeyLen()))
+	} else {
+		cur, err = ix.Tree.EditLeaves()
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+
+	var deleted int64
+	flush := func() error { return ix.Tree.Flush() }
+	for {
+		more, err := cur.NextLeaf()
+		if err != nil {
+			return deleted, err
+		}
+		if !more {
+			break
+		}
+		n, err := cur.Count()
+		if err != nil {
+			return deleted, err
+		}
+		for i := 0; i < n; {
+			key, err := cur.Key(i)
+			if err != nil {
+				return deleted, err
+			}
+			e.disk().ChargeCompares(1)
+			c := bytes.Compare(key[:keyenc.Int64Width], v)
+			switch {
+			case c < 0:
+				i++
+			case c > 0:
+				// Advance the victim list; the current victim has
+				// no (more) matches.
+				if err := e.noteApplied(ix.Tree.ID(), flush); err != nil {
+					return deleted, err
+				}
+				v, ok, err = victims()
+				if err != nil {
+					return deleted, err
+				}
+				if !ok {
+					return deleted, nil
+				}
+			default:
+				rid, err := cur.RID(i)
+				if err != nil {
+					return deleted, err
+				}
+				if e.undeletable(key, rid) {
+					i++
+					continue
+				}
+				if emit != nil {
+					if err := emit(rid); err != nil {
+						return deleted, err
+					}
+				}
+				if del {
+					if err := cur.Delete(i); err != nil {
+						return deleted, err
+					}
+					n--
+				} else {
+					i++
+				}
+				deleted++
+			}
+		}
+	}
+	return deleted, nil
+}
+
+// padKey widens an 8-byte canonical key to the index's key length.
+func padKey(k []byte, keyLen int) []byte {
+	if len(k) == keyLen {
+		return k
+	}
+	out := make([]byte, keyLen)
+	copy(out, k)
+	return out
+}
+
+// mergeDeleteIndexByFullKey merges sorted ⟨key ‖ RID⟩ rows (width = index
+// key length + RIDSize) with the leaf chain, deleting exact entries — the
+// per-index ⋈̸ of the sort/merge plan (Figure 3). startRow resumes after a
+// checkpoint.
+func mergeDeleteIndexByFullKey(e *execCtx, ix *IndexRef, rows rowIter, startKey []byte) (int64, error) {
+	v, ok, err := rows()
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	var cur *btree.LeafCursor
+	if startKey != nil {
+		cur, err = ix.Tree.EditLeavesFrom(padKey(startKey, ix.Tree.KeyLen()))
+	} else {
+		cur, err = ix.Tree.EditLeaves()
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+
+	var deleted int64
+	flush := func() error { return ix.Tree.Flush() }
+	for {
+		more, err := cur.NextLeaf()
+		if err != nil {
+			return deleted, err
+		}
+		if !more {
+			break
+		}
+		n, err := cur.Count()
+		if err != nil {
+			return deleted, err
+		}
+		for i := 0; i < n; {
+			fk, err := cur.FullKey(i)
+			if err != nil {
+				return deleted, err
+			}
+			e.disk().ChargeCompares(1)
+			c := bytes.Compare(fk, v)
+			switch {
+			case c < 0:
+				i++
+			case c > 0:
+				if err := e.noteApplied(ix.Tree.ID(), flush); err != nil {
+					return deleted, err
+				}
+				v, ok, err = rows()
+				if err != nil {
+					return deleted, err
+				}
+				if !ok {
+					return deleted, nil
+				}
+			default:
+				if e.undeletable(fk[:ix.Tree.KeyLen()], record.GetRID(fk[ix.Tree.KeyLen():])) {
+					i++
+					continue
+				}
+				if err := cur.Delete(i); err != nil {
+					return deleted, err
+				}
+				n--
+				deleted++
+				// The exact entry matched; move to the next victim.
+				if err := e.noteApplied(ix.Tree.ID(), flush); err != nil {
+					return deleted, err
+				}
+				v, ok, err = rows()
+				if err != nil {
+					return deleted, err
+				}
+				if !ok {
+					return deleted, nil
+				}
+			}
+		}
+	}
+	return deleted, nil
+}
+
+// heapPassSortedRIDs walks the heap in the physical order of the sorted RID
+// rows (skip-sequential merge, the ⋈̸ with R of Figure 3). When extract is
+// non-nil each victim record is handed over before deletion; when del is
+// false the pass is read-only (the logged extraction pass).
+func heapPassSortedRIDs(e *execCtx, rids rowIter, del bool,
+	extract func(rid record.RID, rec []byte) error) (int64, error) {
+
+	ed, err := e.tgt.Heap.EditPages()
+	if err != nil {
+		return 0, err
+	}
+	defer ed.Close()
+	var deleted int64
+	flush := func() error { return e.tgt.Heap.Flush() }
+	curPage := sim.InvalidPage
+	var sp pageView
+	for {
+		row, ok, err := rids()
+		if err != nil {
+			return deleted, err
+		}
+		if !ok {
+			break
+		}
+		rid := record.GetRID(row)
+		if rid.Page != curPage {
+			s, err := ed.Seek(rid.Page)
+			if err != nil {
+				return deleted, err
+			}
+			curPage = rid.Page
+			sp = pageView{s: s}
+		}
+		if !sp.s.InUse(int(rid.Slot)) {
+			if e.opts.IgnoreMissing {
+				if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
+					return deleted, err
+				}
+				continue
+			}
+			return deleted, fmt.Errorf("core: victim %s is not a live record", rid)
+		}
+		if extract != nil {
+			rec, err := sp.s.Get(int(rid.Slot))
+			if err != nil {
+				return deleted, err
+			}
+			if err := extract(rid, rec); err != nil {
+				return deleted, err
+			}
+		}
+		if del {
+			if err := ed.DeleteSlot(int(rid.Slot)); err != nil {
+				return deleted, err
+			}
+			deleted++
+		}
+		if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
+			return deleted, err
+		}
+	}
+	return deleted, nil
+}
+
+// pageView wraps the seeked slotted page (kept tiny to avoid importing page
+// into signatures).
+type pageView struct {
+	s interface {
+		InUse(int) bool
+		Get(int) ([]byte, error)
+	}
+}
+
+// heapDeleteByRIDProbe scans every heap page once, probing each live record
+// against the in-memory RID set — the hash plan's ⋈̸ with R (Figure 4).
+func heapDeleteByRIDProbe(e *execCtx, ridSet map[record.RID]struct{}) (int64, error) {
+	ed, err := e.tgt.Heap.EditPages()
+	if err != nil {
+		return 0, err
+	}
+	defer ed.Close()
+	var deleted int64
+	flush := func() error { return e.tgt.Heap.Flush() }
+	numPages := sim.PageNo(ed.NumDataPages())
+	for pg := sim.PageNo(1); pg <= numPages; pg++ {
+		sp, err := ed.Seek(pg)
+		if err != nil {
+			return deleted, err
+		}
+		for slot := 0; slot < sp.NumSlots(); slot++ {
+			if !sp.InUse(slot) {
+				continue
+			}
+			e.disk().ChargeRecords(1) // hash probe
+			if _, hit := ridSet[record.RID{Page: pg, Slot: uint16(slot)}]; !hit {
+				continue
+			}
+			if err := ed.DeleteSlot(slot); err != nil {
+				return deleted, err
+			}
+			deleted++
+			if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
+				return deleted, err
+			}
+		}
+	}
+	return deleted, nil
+}
+
+// indexDeleteByRIDProbe scans the whole leaf chain probing every entry's
+// RID against the in-memory set — the hash plan's per-index ⋈̸ with primary
+// predicate "by RID" (Figure 4; §2.1 notes that looking up index entries by
+// RID "might sound counterintuitive" but pays off exactly here).
+func indexDeleteByRIDProbe(e *execCtx, ix *IndexRef, ridSet map[record.RID]struct{}) (int64, error) {
+	cur, err := ix.Tree.EditLeaves()
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	var deleted int64
+	flush := func() error { return ix.Tree.Flush() }
+	for {
+		more, err := cur.NextLeaf()
+		if err != nil {
+			return deleted, err
+		}
+		if !more {
+			break
+		}
+		n, err := cur.Count()
+		if err != nil {
+			return deleted, err
+		}
+		for i := 0; i < n; {
+			rid, err := cur.RID(i)
+			if err != nil {
+				return deleted, err
+			}
+			e.disk().ChargeRecords(1) // hash probe
+			if _, hit := ridSet[rid]; !hit {
+				i++
+				continue
+			}
+			key, err := cur.Key(i)
+			if err != nil {
+				return deleted, err
+			}
+			if e.undeletable(key, rid) {
+				i++
+				continue
+			}
+			if err := cur.Delete(i); err != nil {
+				return deleted, err
+			}
+			n--
+			deleted++
+			if err := e.noteApplied(ix.Tree.ID(), flush); err != nil {
+				return deleted, err
+			}
+		}
+	}
+	return deleted, nil
+}
+
+// hashOverheadPerEntry approximates the memory cost of one hash-table entry
+// (Go map overhead included) for the planner and the partition count.
+const hashOverheadPerEntry = 48
+
+// indexDeletePartitioned implements the hash + range-partitioning ⋈̸ of
+// Figure 5 for one index: the ⟨key, RID⟩ rows are split into partitions
+// small enough for an in-memory hash table using separator keys sampled
+// from the index itself ("I_B and I_C can be range partitioned without any
+// cost because the index is clustered by the key"), then each partition
+// probes only its own leaf range.
+func indexDeletePartitioned(e *execCtx, ix *IndexRef, rows *rowFile) (int64, int, error) {
+	fkLen := ix.Tree.KeyLen() + record.RIDSize
+	need := rows.rows * int64(fkLen+hashOverheadPerEntry)
+	k := int(need/int64(e.opts.Memory)) + 1
+	if k < 1 {
+		k = 1
+	}
+	boundaries, err := ix.Tree.SeparatorSample(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	parts := len(boundaries) + 1
+
+	// Partition pass: route each row by binary search over boundaries.
+	partFiles := make([]*rowFile, parts)
+	for i := range partFiles {
+		pf, err := newRowFile(e.disk(), fkLen)
+		if err != nil {
+			return 0, 0, err
+		}
+		partFiles[i] = pf
+	}
+	err = rows.iterate(0, func(row []byte) error {
+		key := row[:ix.Tree.KeyLen()]
+		p := sort.Search(len(boundaries), func(i int) bool {
+			return bytes.Compare(boundaries[i], key) > 0
+		})
+		e.disk().ChargeCompares(4)
+		return partFiles[p].append(row)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, pf := range partFiles {
+		if err := pf.seal(); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Probe pass per partition over its leaf range.
+	var deleted int64
+	flush := func() error { return ix.Tree.Flush() }
+	for p := 0; p < parts; p++ {
+		set := make(map[string]struct{})
+		err := partFiles[p].iterate(0, func(row []byte) error {
+			set[string(row)] = struct{}{}
+			return nil
+		})
+		if err != nil {
+			return deleted, parts, err
+		}
+		if len(set) == 0 {
+			continue
+		}
+		var cur *btree.LeafCursor
+		if p == 0 {
+			cur, err = ix.Tree.EditLeaves()
+		} else {
+			cur, err = ix.Tree.EditLeavesFrom(boundaries[p-1])
+		}
+		if err != nil {
+			return deleted, parts, err
+		}
+		var upper []byte
+		if p < len(boundaries) {
+			upper = boundaries[p]
+		}
+	leafLoop:
+		for {
+			more, err := cur.NextLeaf()
+			if err != nil {
+				cur.Close()
+				return deleted, parts, err
+			}
+			if !more {
+				break
+			}
+			n, err := cur.Count()
+			if err != nil {
+				cur.Close()
+				return deleted, parts, err
+			}
+			// Stop once the whole leaf is beyond this partition.
+			if n > 0 && upper != nil {
+				first, err := cur.Key(0)
+				if err != nil {
+					cur.Close()
+					return deleted, parts, err
+				}
+				if bytes.Compare(first, upper) >= 0 {
+					break leafLoop
+				}
+			}
+			for i := 0; i < n; {
+				fk, err := cur.FullKey(i)
+				if err != nil {
+					cur.Close()
+					return deleted, parts, err
+				}
+				e.disk().ChargeRecords(1) // hash probe
+				if _, hit := set[string(fk)]; !hit {
+					i++
+					continue
+				}
+				if e.undeletable(fk[:ix.Tree.KeyLen()], record.GetRID(fk[ix.Tree.KeyLen():])) {
+					i++
+					continue
+				}
+				if err := cur.Delete(i); err != nil {
+					cur.Close()
+					return deleted, parts, err
+				}
+				n--
+				deleted++
+				if err := e.noteApplied(ix.Tree.ID(), flush); err != nil {
+					cur.Close()
+					return deleted, parts, err
+				}
+			}
+		}
+		cur.Close()
+	}
+	for _, pf := range partFiles {
+		if err := pf.drop(); err != nil {
+			return deleted, parts, err
+		}
+	}
+	return deleted, parts, nil
+}
+
+// errFoundMatch stops a read-only probe as soon as one match appears.
+var errFoundMatch = fmt.Errorf("core: match found")
+
+// AnyKeyMatch reports whether the index holds an entry for any of the
+// victim values — a read-only vertical probe (sorted victims merged with
+// the leaf chain, stopping at the first hit). It is the paper's "check
+// integrity constraints in such a vertical way as early as possible":
+// a RESTRICT foreign key runs this against the child's index before any
+// structure is modified.
+func AnyKeyMatch(tgt *Target, ix *IndexRef, values []int64, memory int) (bool, int64, error) {
+	o := Options{Memory: memory}
+	e := &execCtx{tgt: tgt, opts: o.withDefaults()}
+	srt, err := sortVictims(e, values)
+	if err != nil {
+		return false, 0, err
+	}
+	it, err := srt.Finish()
+	if err != nil {
+		return false, 0, err
+	}
+	var hit int64
+	_, err = mergeDeleteIndexByKey(e, ix, it.Next, false, func(rid record.RID) error {
+		hit = int64(1)
+		return errFoundMatch
+	}, nil)
+	if err == errFoundMatch {
+		return true, hit, nil
+	}
+	if err != nil {
+		return false, 0, err
+	}
+	return false, 0, nil
+}
+
+// CountKeyMatches counts the child entries referencing any victim value —
+// the cascade planner uses it for reporting.
+func CountKeyMatches(tgt *Target, ix *IndexRef, values []int64, memory int) (int64, error) {
+	o := Options{Memory: memory}
+	e := &execCtx{tgt: tgt, opts: o.withDefaults()}
+	srt, err := sortVictims(e, values)
+	if err != nil {
+		return 0, err
+	}
+	it, err := srt.Finish()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	_, err = mergeDeleteIndexByKey(e, ix, it.Next, false, func(record.RID) error {
+		n++
+		return nil
+	}, nil)
+	return n, err
+}
+
+// CollectVictimFieldValues performs the read-only half of a bulk delete to
+// learn which values of other attributes the victims carry: sorted victims
+// are merged against the access index (or found by a scan), the resulting
+// RID list is sorted, and one skip-sequential heap pass projects the wanted
+// fields. Foreign keys declared on attributes other than the delete
+// attribute are enforced with these projections — vertically, before any
+// structure is modified.
+func CollectVictimFieldValues(tgt *Target, field int, values []int64, wantFields []int, memory int) (map[int][]int64, error) {
+	o := Options{Memory: memory}
+	e := &execCtx{tgt: tgt, opts: o.withDefaults()}
+	out := make(map[int][]int64, len(wantFields))
+	for _, f := range wantFields {
+		if f < 0 || f >= tgt.Schema.NumFields {
+			return nil, fmt.Errorf("core: projected field %d out of range", f)
+		}
+		out[f] = nil
+	}
+	// RIDs, sorted by physical position.
+	ridSorter, err := xsort.New(e.disk(), record.RIDSize, e.opts.Memory, nil)
+	if err != nil {
+		return nil, err
+	}
+	var ridRow [record.RIDSize]byte
+	emit := func(rid record.RID) error {
+		record.PutRID(ridRow[:], rid)
+		return ridSorter.Add(ridRow[:])
+	}
+	if access := accessIndex(tgt, field); access != nil {
+		vi, err := sortedVictimIter(e, values)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := mergeDeleteIndexByKey(e, access, vi, false, emit, nil); err != nil {
+			return nil, err
+		}
+	} else if err := collectVictimRIDsByScan(e, field, values, emit); err != nil {
+		return nil, err
+	}
+	it, err := ridSorter.Finish()
+	if err != nil {
+		return nil, err
+	}
+	_, err = heapPassSortedRIDs(e, it.Next, false, func(_ record.RID, rec []byte) error {
+		for _, f := range wantFields {
+			out[f] = append(out[f], tgt.Schema.Field(rec, f))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectVictimRIDsByScan finds the victims with a full table scan when no
+// index exists on the delete attribute. The emitted RIDs are already in
+// physical order.
+func collectVictimRIDsByScan(e *execCtx, field int, values []int64, emit func(record.RID) error) error {
+	set := make(map[int64]struct{}, len(values))
+	for _, v := range values {
+		set[v] = struct{}{}
+	}
+	return e.tgt.Heap.Scan(func(rid record.RID, rec []byte) error {
+		e.disk().ChargeRecords(1)
+		if _, hit := set[e.tgt.Schema.Field(rec, field)]; hit {
+			return emit(rid)
+		}
+		return nil
+	})
+}

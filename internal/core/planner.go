@@ -1,0 +1,173 @@
+package core
+
+import (
+	"time"
+
+	"bulkdel/internal/page"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+)
+
+// The planner mirrors the optimizer decisions the paper assigns to the
+// query engine (§2.1): given the table size, the number of victims, the
+// number and shape of the indexes, and the memory budget, estimate the I/O
+// cost of each ⋈̸ method and pick the cheapest. The estimates use the same
+// cost model the simulated disk charges, so the planner and the execution
+// agree by construction.
+
+// costEstimate is a simulated-time estimate for one method.
+type costEstimate struct {
+	Method Method
+	Time   time.Duration
+}
+
+// ChooseMethod picks the cheapest applicable strategy.
+func ChooseMethod(tgt *Target, field int, victims int, memory int) Method {
+	ests := EstimateCosts(tgt, field, victims, memory)
+	best := ests[0]
+	for _, e := range ests[1:] {
+		if e.Time < best.Time {
+			best = e
+		}
+	}
+	return best.Method
+}
+
+// EstimateCosts returns the estimated execution time of every applicable
+// method, in plan order (SortMerge, Hash, HashPartition).
+func EstimateCosts(tgt *Target, field int, victims int, memory int) []costEstimate {
+	cm := tgt.Pool.Disk().CostModelInUse()
+	randIO := cm.Seek + cm.Rotation + cm.TransferPage
+	seqIO := cm.TransferPage
+
+	heapPages := float64(tgt.Heap.Count()) / float64(page.Capacity(tgt.Schema.Size))
+	v := float64(victims)
+	n := float64(tgt.Heap.Count())
+	if n == 0 {
+		n = 1
+	}
+	sel := v / n
+
+	// Leaf pages per index.
+	leafPages := func(ix *IndexRef) float64 {
+		return float64(ix.Tree.Count())/float64(ix.Tree.LeafCapacity()) + 1
+	}
+	access := accessIndex(tgt, field)
+	rest := remainingIndexes(tgt, access)
+
+	// Sorting a list of r rows of s bytes: in memory when it fits, else
+	// one spill + merge pass (write + read, chained).
+	sortCost := func(rows, rowSize float64) time.Duration {
+		bytes := rows * rowSize
+		if bytes <= float64(memory) {
+			return 0 // CPU only; negligible against I/O here
+		}
+		pages := bytes / sim.PageSize
+		chunk := float64(rowFileChunk)
+		positions := 2 * pages / chunk
+		return time.Duration(positions)*randIO + time.Duration(2*pages)*seqIO
+	}
+	// A full leaf pass of an index: chained read + write-back of dirty
+	// pages (roughly the touched fraction).
+	leafPass := func(lp float64, touched float64) time.Duration {
+		reads := time.Duration(lp) * seqIO
+		writes := time.Duration(lp*touched) * (seqIO + (cm.Seek+cm.Rotation)/2)
+		positions := time.Duration(lp/32) * randIO
+		return reads + writes + positions
+	}
+	// The heap pass: fraction of pages holding a victim.
+	recsPerPage := float64(page.Capacity(tgt.Schema.Size))
+	pVictimPage := 1 - pow(1-sel, recsPerPage)
+	heapPass := leafPass(heapPages, pVictimPage)
+
+	var ests []costEstimate
+
+	// --- SortMerge: sort victims + access pass + sort RIDs + heap pass +
+	// per index: sort (key,RID) + leaf pass.
+	sm := sortCost(v, 8) + sortCost(v, record.RIDSize) + heapPass
+	if access != nil {
+		sm += leafPass(leafPages(access), pVictimLeaf(sel, float64(access.Tree.LeafCapacity())))
+	} else {
+		sm += leafPass(heapPages, 0) // extra filter scan
+	}
+	for _, ix := range rest {
+		sm += sortCost(v, float64(ix.Tree.KeyLen()+record.RIDSize))
+		sm += leafPass(leafPages(ix), pVictimLeaf(sel, float64(ix.Tree.LeafCapacity())))
+	}
+	ests = append(ests, costEstimate{Method: SortMerge, Time: sm})
+
+	// --- Hash: applicable when the RID set fits in memory. Full scans of
+	// the heap and every remaining index.
+	hashBytes := v * (record.RIDSize + hashOverheadPerEntry)
+	if hashBytes <= float64(memory) {
+		h := sortCost(v, 8)
+		if access != nil {
+			h += leafPass(leafPages(access), pVictimLeaf(sel, float64(access.Tree.LeafCapacity())))
+		} else {
+			h += leafPass(heapPages, 0)
+		}
+		h += heapPass
+		for _, ix := range rest {
+			h += leafPass(leafPages(ix), pVictimLeaf(sel, float64(ix.Tree.LeafCapacity())))
+		}
+		ests = append(ests, costEstimate{Method: Hash, Time: h})
+	}
+
+	// --- HashPartition: like SortMerge for the access index and heap,
+	// then per index: write + read the (key,RID) list twice (list +
+	// partitions) and one leaf pass.
+	hp := sortCost(v, 8) + sortCost(v, record.RIDSize) + heapPass
+	if access != nil {
+		hp += leafPass(leafPages(access), pVictimLeaf(sel, float64(access.Tree.LeafCapacity())))
+	} else {
+		hp += leafPass(heapPages, 0)
+	}
+	for _, ix := range rest {
+		rowBytes := v * float64(ix.Tree.KeyLen()+record.RIDSize)
+		ioPages := 4 * rowBytes / sim.PageSize // write+read list, write+read partitions
+		hp += time.Duration(ioPages)*seqIO + time.Duration(ioPages/rowFileChunk)*randIO
+		hp += leafPass(leafPages(ix), pVictimLeaf(sel, float64(ix.Tree.LeafCapacity())))
+	}
+	ests = append(ests, costEstimate{Method: HashPartition, Time: hp})
+
+	return ests
+}
+
+// pVictimLeaf is the probability a leaf page holds at least one victim.
+func pVictimLeaf(sel, cap float64) float64 {
+	return 1 - pow(1-sel, cap)
+}
+
+func pow(x float64, n float64) float64 {
+	// Small positive powers; avoid importing math for one call chain.
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// exp(n ln x) via iterated squaring on the integer part is overkill;
+	// a simple loop over the integer exponent is fine for cap <= ~300.
+	r := 1.0
+	for i := 0; i < int(n); i++ {
+		r *= x
+		if r < 1e-12 {
+			return 0
+		}
+	}
+	return r
+}
+
+// estimatePartitions predicts the partition count the hash+range plan will
+// use for the largest remaining index (for explain output).
+func estimatePartitions(tgt *Target, rest []*IndexRef, victims int, memory int) int {
+	parts := 1
+	for _, ix := range rest {
+		need := int64(victims) * int64(ix.Tree.KeyLen()+record.RIDSize+hashOverheadPerEntry)
+		k := int(need/int64(memory)) + 1
+		if k > parts {
+			parts = k
+		}
+	}
+	return parts
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"bulkdel/internal/sim"
+)
+
+func rfDisk() *sim.Disk {
+	return sim.NewDisk(sim.CostModel{
+		Seek:         8 * time.Millisecond,
+		Rotation:     4 * time.Millisecond,
+		TransferPage: 1 * time.Millisecond,
+	})
+}
+
+func TestRowFileRoundTrip(t *testing.T) {
+	d := rfDisk()
+	rf, err := newRowFile(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(10000)
+	row := make([]byte, 16)
+	for i := int64(0); i < n; i++ {
+		binary.LittleEndian.PutUint64(row, uint64(i))
+		if err := rf.append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rf.seal(); err != nil {
+		t.Fatal(err)
+	}
+	if rf.rows != n {
+		t.Fatalf("rows = %d", rf.rows)
+	}
+	var i int64
+	err = rf.iterate(0, func(r []byte) error {
+		if got := int64(binary.LittleEndian.Uint64(r)); got != i {
+			t.Fatalf("row %d holds %d", i, got)
+		}
+		i++
+		return nil
+	})
+	if err != nil || i != n {
+		t.Fatalf("iterated %d rows, %v", i, err)
+	}
+}
+
+func TestRowFileIterateFromOffset(t *testing.T) {
+	d := rfDisk()
+	rf, err := newRowFile(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]byte, 8)
+	for i := 0; i < 5000; i++ {
+		binary.LittleEndian.PutUint64(row, uint64(i))
+		if err := rf.append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rf.seal(); err != nil {
+		t.Fatal(err)
+	}
+	// iterate(from) — used by checkpoint resume.
+	want := int64(3777)
+	err = rf.iterate(want, func(r []byte) error {
+		if got := int64(binary.LittleEndian.Uint64(r)); got != want {
+			t.Fatalf("row %d, want %d", got, want)
+		}
+		want++
+		return nil
+	})
+	if err != nil || want != 5000 {
+		t.Fatalf("resumed iteration ended at %d, %v", want, err)
+	}
+	// Pull iterator with offset agrees.
+	it, err := rf.iterator(4999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := it()
+	if err != nil || !ok || binary.LittleEndian.Uint64(r) != 4999 {
+		t.Fatalf("iterator(4999): %v %v", ok, err)
+	}
+	if _, ok, _ := it(); ok {
+		t.Fatal("iterator past end should stop")
+	}
+	// Negative offsets clamp to 0.
+	it, err = rf.iterator(-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, _ = it()
+	if !ok || binary.LittleEndian.Uint64(r) != 0 {
+		t.Fatal("negative offset should start at 0")
+	}
+}
+
+func TestRowFileSealSemantics(t *testing.T) {
+	d := rfDisk()
+	rf, err := newRowFile(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.iterate(0, func([]byte) error { return nil }); err == nil {
+		t.Fatal("iterate before seal should fail")
+	}
+	if _, err := rf.iterator(0); err == nil {
+		t.Fatal("iterator before seal should fail")
+	}
+	if err := rf.append(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.append(make([]byte, 4)); err == nil {
+		t.Fatal("wrong row size should fail")
+	}
+	if err := rf.seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.seal(); err != nil {
+		t.Fatal("double seal should be a no-op")
+	}
+	if err := rf.append(make([]byte, 8)); err == nil {
+		t.Fatal("append after seal should fail")
+	}
+}
+
+func TestRowFileReopen(t *testing.T) {
+	d := rfDisk()
+	rf, err := newRowFile(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]byte, 8)
+	for i := 0; i < 1000; i++ {
+		binary.LittleEndian.PutUint64(row, uint64(i*3))
+		if err := rf.append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rf.seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery path: open by (file, rowSize, rows).
+	rf2, err := openRowFile(d, rf.file, 8, rf.rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := int64(0)
+	err = rf2.iterate(0, func(r []byte) error {
+		if int64(binary.LittleEndian.Uint64(r)) != i*3 {
+			t.Fatalf("row %d wrong after reopen", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil || i != 1000 {
+		t.Fatalf("reopened iteration: %d, %v", i, err)
+	}
+	// Row count exceeding the file is rejected.
+	if _, err := openRowFile(d, rf.file, 8, 1<<40); err == nil {
+		t.Fatal("oversized row count accepted")
+	}
+	if err := rf.drop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowFileEmpty(t *testing.T) {
+	d := rfDisk()
+	rf, err := newRowFile(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.seal(); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := rf.iterate(0, func([]byte) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatal("empty file yielded rows")
+	}
+	if _, err := newRowFile(d, 0); err == nil {
+		t.Fatal("zero row size accepted")
+	}
+	if _, err := newRowFile(d, sim.PageSize+1); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+}

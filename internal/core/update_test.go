@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"bulkdel/internal/keyenc"
+	"bulkdel/internal/record"
+	"bulkdel/internal/wal"
+)
+
+func TestBulkUpdateSameField(t *testing.T) {
+	// UPDATE R SET f0 = f0 + 1000000 WHERE f0 IN victims — the paper's
+	// salary-raise pattern with predicate and set field identical.
+	pool := testPool(2048)
+	tgt := makeTarget(t, pool, 10000, []int{0, 1}, []bool{true, false})
+	victims, set := pickVictims(10000, 2000, 31)
+	st, err := ExecuteUpdate(tgt, 0, victims, 0,
+		func(v int64) int64 { return v + 1000000 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updated != 2000 {
+		t.Fatalf("updated %d", st.Updated)
+	}
+	if st.EntriesMoved != 4000 { // 2000 deletes + 2000 inserts on IA
+		t.Fatalf("entries moved %d", st.EntriesMoved)
+	}
+	// Heap contents: victims shifted, survivors intact; count unchanged.
+	if tgt.Heap.Count() != 10000 {
+		t.Fatalf("count %d", tgt.Heap.Count())
+	}
+	seen := 0
+	err = tgt.Heap.Scan(func(_ record.RID, rec []byte) error {
+		v := tgt.Schema.Field(rec, 0)
+		if v >= 1000000 {
+			if !set[v-1000000] {
+				t.Fatalf("non-victim %d shifted", v-1000000)
+			}
+		} else if set[v] {
+			t.Fatalf("victim %d not shifted", v)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10000 {
+		t.Fatalf("scanned %d", seen)
+	}
+	// The IA index followed: old keys gone, new keys present, tree sane.
+	ia := &tgt.Indexes[0]
+	if err := ia.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if ia.Tree.Count() != 10000 {
+		t.Fatalf("IA count %d", ia.Tree.Count())
+	}
+	for v := range set {
+		if rids, _ := ia.Tree.Search(keyenc.Int64Key(v, 8)); len(rids) != 0 {
+			t.Fatalf("old key %d still indexed", v)
+		}
+		if rids, _ := ia.Tree.Search(keyenc.Int64Key(v+1000000, 8)); len(rids) != 1 {
+			t.Fatalf("new key %d not indexed", v+1000000)
+		}
+		break // spot checks below cover more
+	}
+	for i, v := range victims {
+		if i%100 != 0 {
+			continue
+		}
+		if rids, _ := ia.Tree.Search(keyenc.Int64Key(v+1000000, 8)); len(rids) != 1 {
+			t.Fatalf("new key %d not indexed", v+1000000)
+		}
+	}
+	// IB untouched and still consistent with the heap.
+	ib := &tgt.Indexes[1]
+	if err := ib.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if ib.Tree.Count() != 10000 {
+		t.Fatalf("IB count %d", ib.Tree.Count())
+	}
+}
+
+func TestBulkUpdateDifferentFields(t *testing.T) {
+	// UPDATE R SET f1 = -f1 WHERE f0 IN victims: the access index on f0
+	// locates the victims, the index on f1 gets the delete+insert pass.
+	pool := testPool(2048)
+	tgt := makeTarget(t, pool, 8000, []int{0, 1}, []bool{true, false})
+	victims, set := pickVictims(8000, 1500, 33)
+	st, err := ExecuteUpdate(tgt, 0, victims, 1,
+		func(v int64) int64 { return -v }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updated != 1500 {
+		t.Fatalf("updated %d", st.Updated)
+	}
+	// Verify heap and both indexes agree (a full consistency pass).
+	type pair struct {
+		v   int64
+		rid record.RID
+	}
+	var f1 []pair
+	err = tgt.Heap.Scan(func(rid record.RID, rec []byte) error {
+		v0 := tgt.Schema.Field(rec, 0)
+		v1 := tgt.Schema.Field(rec, 1)
+		if set[v0] {
+			if v1 != -3*v0 {
+				t.Fatalf("victim %d has f1=%d, want %d", v0, v1, -3*v0)
+			}
+		} else if v1 != 3*v0 {
+			t.Fatalf("survivor %d has f1=%d", v0, v1)
+		}
+		f1 = append(f1, pair{v: v1, rid: rid})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib := &tgt.Indexes[1]
+	if err := ib.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if ib.Tree.Count() != int64(len(f1)) {
+		t.Fatalf("IB count %d, heap %d", ib.Tree.Count(), len(f1))
+	}
+	for i, p := range f1 {
+		if i%500 != 0 {
+			continue
+		}
+		rids, err := ib.Tree.Search(keyenc.Int64Key(p.v, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range rids {
+			if r == p.rid {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("IB misses entry (%d, %s)", p.v, p.rid)
+		}
+	}
+	// The access index on f0 is untouched.
+	if tgt.Indexes[0].Tree.Count() != 8000 {
+		t.Fatal("IA churned although f0 unchanged")
+	}
+}
+
+func TestBulkUpdateIdentityTransformIsFree(t *testing.T) {
+	pool := testPool(1024)
+	tgt := makeTarget(t, pool, 2000, []int{0}, []bool{true})
+	victims, _ := pickVictims(2000, 500, 35)
+	st, err := ExecuteUpdate(tgt, 0, victims, 0, func(v int64) int64 { return v }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updated != 0 || st.EntriesMoved != 0 {
+		t.Fatalf("identity transform did work: %+v", st)
+	}
+}
+
+func TestBulkUpdateUniqueViolation(t *testing.T) {
+	pool := testPool(1024)
+	tgt := makeTarget(t, pool, 1000, []int{0}, []bool{true})
+	// Mapping victim 10 onto existing key 11 violates the unique index.
+	_, err := ExecuteUpdate(tgt, 0, []int64{10}, 0, func(v int64) int64 { return 11 }, Options{})
+	if err == nil {
+		t.Fatal("unique violation not detected")
+	}
+}
+
+func TestBulkUpdateNoIndexOnSetField(t *testing.T) {
+	pool := testPool(1024)
+	tgt := makeTarget(t, pool, 2000, []int{0}, []bool{true})
+	victims, set := pickVictims(2000, 400, 37)
+	// f2 has no index: pure heap update.
+	st, err := ExecuteUpdate(tgt, 0, victims, 2, func(v int64) int64 { return v + 7 }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updated != 400 || st.EntriesMoved != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	err = tgt.Heap.Scan(func(_ record.RID, rec []byte) error {
+		v0 := tgt.Schema.Field(rec, 0)
+		v2 := tgt.Schema.Field(rec, 2)
+		want := v0 % 211
+		if set[v0] {
+			want += 7
+		}
+		if v2 != want {
+			t.Fatalf("row %d has f2=%d, want %d", v0, v2, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkUpdateValidation(t *testing.T) {
+	pool := testPool(256)
+	tgt := makeTarget(t, pool, 100, []int{0}, []bool{true})
+	if _, err := ExecuteUpdate(tgt, 9, nil, 0, func(v int64) int64 { return v }, Options{}); err == nil {
+		t.Fatal("bad predicate field accepted")
+	}
+	if _, err := ExecuteUpdate(tgt, 0, nil, 9, func(v int64) int64 { return v }, Options{}); err == nil {
+		t.Fatal("bad set field accepted")
+	}
+	if _, err := ExecuteUpdate(tgt, 0, nil, 0, nil, Options{}); err == nil {
+		t.Fatal("nil transform accepted")
+	}
+	if _, err := ExecuteUpdate(tgt, 0, nil, 0, func(v int64) int64 { return v },
+		Options{Log: wal.Create(pool.Disk())}); err == nil {
+		t.Fatal("logged update should be rejected")
+	}
+}

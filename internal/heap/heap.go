@@ -1,0 +1,373 @@
+// Package heap implements heap files: unordered (or load-ordered) base
+// table storage made of slotted pages, addressed by RID.
+//
+// The paper's table R lives in a heap file. Its properties that the
+// bulk-delete algorithms exploit are all present here:
+//
+//   - records never move when other records are deleted (tombstoned slots),
+//     so index entries stay valid during a bulk delete;
+//   - the file can be scanned sequentially at chained-I/O speed, which is
+//     what the hash-based bulk delete does ("all pages of table R are
+//     scanned and the RID of each record is probed");
+//   - a victim list sorted by RID visits pages in physical order, which is
+//     what the sort/merge bulk delete does;
+//   - a clustered table is simply a heap file loaded in key order (the
+//     paper's "R is sorted by attribute A" scenario of Experiment 5).
+//
+// Page 0 of the file is a header page holding the record size; data pages
+// start at page 1.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/page"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+)
+
+// PageTypeData marks heap data pages.
+const PageTypeData = uint8('H')
+
+const headerMagic = 0x48454150 // "HEAP"
+
+// File is a heap file of fixed-size records.
+type File struct {
+	pool    *buffer.Pool
+	id      sim.FileID
+	recSize int
+	count   int64
+	// fsm tracks data pages known to have free space (from deletes or
+	// partially filled tails). It is a performance hint, not a source of
+	// truth: losing it only costs space reuse, never correctness.
+	fsm map[sim.PageNo]struct{}
+	// tail is the last data page inserts are currently filling.
+	tail sim.PageNo
+}
+
+// Create makes a new heap file for records of recSize bytes.
+func Create(pool *buffer.Pool, recSize int) (*File, error) {
+	if recSize <= 0 || page.Capacity(recSize) < 1 {
+		return nil, fmt.Errorf("heap: unusable record size %d", recSize)
+	}
+	id := pool.Disk().CreateFile()
+	fr, err := pool.NewPage(id) // header page 0
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(fr.Data()[0:], headerMagic)
+	binary.LittleEndian.PutUint32(fr.Data()[4:], uint32(recSize))
+	pool.Unpin(fr, true)
+	return &File{
+		pool:    pool,
+		id:      id,
+		recSize: recSize,
+		fsm:     make(map[sim.PageNo]struct{}),
+		tail:    sim.InvalidPage,
+	}, nil
+}
+
+// Open attaches to an existing heap file, validating the header and
+// recounting the records (the count and free-space map are volatile).
+func Open(pool *buffer.Pool, id sim.FileID) (*File, error) {
+	fr, err := pool.Get(id, 0)
+	if err != nil {
+		return nil, err
+	}
+	magic := binary.LittleEndian.Uint32(fr.Data()[0:])
+	recSize := int(binary.LittleEndian.Uint32(fr.Data()[4:]))
+	pool.Unpin(fr, false)
+	if magic != headerMagic {
+		return nil, fmt.Errorf("heap: file %d is not a heap file", id)
+	}
+	f := &File{
+		pool:    pool,
+		id:      id,
+		recSize: recSize,
+		fsm:     make(map[sim.PageNo]struct{}),
+		tail:    sim.InvalidPage,
+	}
+	cap := page.Capacity(recSize)
+	n, err := pool.Disk().NumPages(id)
+	if err != nil {
+		return nil, err
+	}
+	for p := sim.PageNo(1); p < n; p++ {
+		fr, err := pool.GetForScan(id, p)
+		if err != nil {
+			return nil, err
+		}
+		sp := page.Wrap(fr.Data())
+		live := sp.LiveCount()
+		f.count += int64(live)
+		if live < cap {
+			f.fsm[p] = struct{}{}
+		}
+		pool.Unpin(fr, false)
+	}
+	return f, nil
+}
+
+// ID returns the underlying file ID.
+func (f *File) ID() sim.FileID { return f.id }
+
+// RecordSize returns the fixed record size.
+func (f *File) RecordSize() int { return f.recSize }
+
+// Count returns the number of live records.
+func (f *File) Count() int64 { return f.count }
+
+// NumPages returns the file size in pages, including the header page.
+func (f *File) NumPages() (sim.PageNo, error) {
+	return f.pool.Disk().NumPages(f.id)
+}
+
+// FirstDataPage is the page number of the first data page.
+func FirstDataPage() sim.PageNo { return 1 }
+
+// Insert stores rec and returns its RID, reusing freed space when known.
+func (f *File) Insert(rec []byte) (record.RID, error) {
+	if len(rec) != f.recSize {
+		return record.NilRID, fmt.Errorf("heap: record is %d bytes, file stores %d", len(rec), f.recSize)
+	}
+	// Try pages believed to have space: the tail first, then the FSM.
+	try := make([]sim.PageNo, 0, 2)
+	if f.tail != sim.InvalidPage {
+		try = append(try, f.tail)
+	}
+	for p := range f.fsm {
+		if p != f.tail {
+			try = append(try, p)
+		}
+		break // one candidate per insert keeps this O(1)
+	}
+	for _, p := range try {
+		fr, err := f.pool.Get(f.id, p)
+		if err != nil {
+			return record.NilRID, err
+		}
+		sp := page.Wrap(fr.Data())
+		if slot, ok := sp.Insert(rec); ok {
+			rid := record.RID{Page: p, Slot: uint16(slot)}
+			if sp.FreeSpace() < f.recSize {
+				delete(f.fsm, p)
+				if f.tail == p {
+					f.tail = sim.InvalidPage
+				}
+			}
+			f.pool.Unpin(fr, true)
+			f.count++
+			f.pool.Disk().ChargeRecords(1)
+			return rid, nil
+		}
+		delete(f.fsm, p)
+		if f.tail == p {
+			f.tail = sim.InvalidPage
+		}
+		f.pool.Unpin(fr, false)
+	}
+	// Grow the file.
+	fr, err := f.pool.NewPage(f.id)
+	if err != nil {
+		return record.NilRID, err
+	}
+	sp := page.Wrap(fr.Data())
+	sp.Init(PageTypeData)
+	slot, ok := sp.Insert(rec)
+	if !ok {
+		f.pool.Unpin(fr, true)
+		return record.NilRID, fmt.Errorf("heap: record of %d bytes does not fit an empty page", len(rec))
+	}
+	rid := record.RID{Page: fr.Page(), Slot: uint16(slot)}
+	f.tail = fr.Page()
+	if sp.FreeSpace() >= f.recSize {
+		f.fsm[fr.Page()] = struct{}{}
+	}
+	f.pool.Unpin(fr, true)
+	f.count++
+	f.pool.Disk().ChargeRecords(1)
+	return rid, nil
+}
+
+// Get returns a copy of the record at rid.
+func (f *File) Get(rid record.RID) ([]byte, error) {
+	fr, err := f.pool.Get(f.id, rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer f.pool.Unpin(fr, false)
+	sp := page.Wrap(fr.Data())
+	if sp.Type() != PageTypeData {
+		return nil, fmt.Errorf("heap: page %d is not a data page", rid.Page)
+	}
+	rec, err := sp.Get(int(rid.Slot))
+	if err != nil {
+		return nil, fmt.Errorf("heap: %s: %w", rid, err)
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	f.pool.Disk().ChargeRecords(1)
+	return out, nil
+}
+
+// Delete removes the record at rid. The slot is tombstoned; surviving RIDs
+// are unaffected.
+func (f *File) Delete(rid record.RID) error {
+	fr, err := f.pool.Get(f.id, rid.Page)
+	if err != nil {
+		return err
+	}
+	sp := page.Wrap(fr.Data())
+	if err := sp.Delete(int(rid.Slot)); err != nil {
+		f.pool.Unpin(fr, false)
+		return fmt.Errorf("heap: %s: %w", rid, err)
+	}
+	f.fsm[rid.Page] = struct{}{}
+	f.pool.Unpin(fr, true)
+	f.count--
+	f.pool.Disk().ChargeRecords(1)
+	return nil
+}
+
+// Update overwrites the record at rid in place.
+func (f *File) Update(rid record.RID, rec []byte) error {
+	if len(rec) != f.recSize {
+		return fmt.Errorf("heap: record is %d bytes, file stores %d", len(rec), f.recSize)
+	}
+	fr, err := f.pool.Get(f.id, rid.Page)
+	if err != nil {
+		return err
+	}
+	sp := page.Wrap(fr.Data())
+	if err := sp.Update(int(rid.Slot), rec); err != nil {
+		f.pool.Unpin(fr, false)
+		return fmt.Errorf("heap: %s: %w", rid, err)
+	}
+	f.pool.Unpin(fr, true)
+	f.pool.Disk().ChargeRecords(1)
+	return nil
+}
+
+// Scan calls fn for every live record in physical (RID) order, using
+// chained sequential I/O. The rec slice is only valid during the call.
+// Returning a non-nil error from fn stops the scan and propagates it.
+func (f *File) Scan(fn func(rid record.RID, rec []byte) error) error {
+	n, err := f.pool.Disk().NumPages(f.id)
+	if err != nil {
+		return err
+	}
+	for p := sim.PageNo(1); p < n; p++ {
+		fr, err := f.pool.GetForScan(f.id, p)
+		if err != nil {
+			return err
+		}
+		sp := page.Wrap(fr.Data())
+		for s := 0; s < sp.NumSlots(); s++ {
+			if !sp.InUse(s) {
+				continue
+			}
+			rec, err := sp.Get(s)
+			if err != nil {
+				f.pool.Unpin(fr, false)
+				return err
+			}
+			f.pool.Disk().ChargeRecords(1)
+			if err := fn(record.RID{Page: p, Slot: uint16(s)}, rec); err != nil {
+				f.pool.Unpin(fr, false)
+				return err
+			}
+		}
+		f.pool.Unpin(fr, false)
+	}
+	return nil
+}
+
+// PageEditor gives a bulk operation direct, page-at-a-time access to the
+// heap so it can delete many records on a page with one pin. The editor
+// visits every data page in physical order.
+type PageEditor struct {
+	f    *File
+	n    sim.PageNo
+	cur  sim.PageNo
+	fr   *buffer.Frame
+	dirt bool
+}
+
+// EditPages starts a sequential pass over the heap's data pages.
+func (f *File) EditPages() (*PageEditor, error) {
+	n, err := f.pool.Disk().NumPages(f.id)
+	if err != nil {
+		return nil, err
+	}
+	return &PageEditor{f: f, n: n, cur: 0}, nil
+}
+
+// Seek positions the editor on data page p (fetching it sequentially when
+// p follows the previous page) and returns the slotted page. The page stays
+// pinned until the next Seek or Close.
+func (e *PageEditor) Seek(p sim.PageNo) (page.Slotted, error) {
+	if p < 1 || p >= e.n {
+		return page.Slotted{}, fmt.Errorf("heap: edit of page %d outside data pages [1,%d)", p, e.n)
+	}
+	if e.fr != nil {
+		if e.fr.Page() == p {
+			return page.Wrap(e.fr.Data()), nil
+		}
+		e.f.pool.Unpin(e.fr, e.dirt)
+		e.fr = nil
+		e.dirt = false
+	}
+	fr, err := e.f.pool.GetForScan(e.f.id, p)
+	if err != nil {
+		return page.Slotted{}, err
+	}
+	e.fr = fr
+	e.cur = p
+	return page.Wrap(fr.Data()), nil
+}
+
+// DeleteSlot tombstones a slot on the currently seeked page.
+func (e *PageEditor) DeleteSlot(slot int) error {
+	if e.fr == nil {
+		return fmt.Errorf("heap: DeleteSlot without Seek")
+	}
+	sp := page.Wrap(e.fr.Data())
+	if err := sp.Delete(slot); err != nil {
+		return fmt.Errorf("heap: %d.%d: %w", e.cur, slot, err)
+	}
+	e.dirt = true
+	e.fr.MarkDirty() // visible to checkpoint flushes while still pinned
+	e.f.count--
+	e.f.fsm[e.cur] = struct{}{}
+	e.f.pool.Disk().ChargeRecords(1)
+	return nil
+}
+
+// MarkDirty flags the currently seeked page as mutated — used by callers
+// that update record bytes in place (fixed-width field updates).
+func (e *PageEditor) MarkDirty() {
+	if e.fr != nil {
+		e.dirt = true
+		e.fr.MarkDirty()
+	}
+}
+
+// NumDataPages returns the number of data pages the editor covers.
+func (e *PageEditor) NumDataPages() int { return int(e.n) - 1 }
+
+// Close unpins the current page.
+func (e *PageEditor) Close() {
+	if e.fr != nil {
+		e.f.pool.Unpin(e.fr, e.dirt)
+		e.fr = nil
+		e.dirt = false
+	}
+}
+
+// Flush writes the heap's dirty pages back to disk.
+func (f *File) Flush() error { return f.pool.FlushFile(f.id) }
+
+// Drop discards the heap file entirely.
+func (f *File) Drop() error { return f.pool.DropFile(f.id) }

@@ -1,0 +1,139 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64RoundTrip(t *testing.T) {
+	vals := []int64{math.MinInt64, -1e12, -2, -1, 0, 1, 2, 42, 1e15, math.MaxInt64}
+	for _, v := range vals {
+		var b [8]byte
+		PutInt64(b[:], v)
+		if got := Int64(b[:]); got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestInt64OrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		var ka, kb [8]byte
+		PutInt64(ka[:], a)
+		PutInt64(kb[:], b)
+		c := bytes.Compare(ka[:], kb[:])
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64OrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		var ka, kb [8]byte
+		PutUint64(ka[:], a)
+		PutUint64(kb[:], b)
+		c := bytes.Compare(ka[:], kb[:])
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	var b [8]byte
+	PutUint64(b[:], 77)
+	if Uint64(b[:]) != 77 {
+		t.Fatal("uint64 round trip failed")
+	}
+}
+
+func TestInt64KeyWidths(t *testing.T) {
+	k := Int64Key(123, 32)
+	if len(k) != 32 {
+		t.Fatalf("len = %d, want 32", len(k))
+	}
+	if Int64(k) != 123 {
+		t.Fatal("prefix does not decode")
+	}
+	// Padding must not disturb order for distinct values.
+	a, b := Int64Key(5, 32), Int64Key(6, 32)
+	if bytes.Compare(a, b) >= 0 {
+		t.Fatal("padded keys out of order")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("narrow width should panic")
+		}
+	}()
+	Int64Key(1, 4)
+}
+
+func TestAppendInt64(t *testing.T) {
+	k := AppendInt64(nil, 9)
+	k = AppendInt64(k, 10)
+	if len(k) != 16 {
+		t.Fatalf("len = %d, want 16", len(k))
+	}
+	if Int64(k[:8]) != 9 || Int64(k[8:]) != 10 {
+		t.Fatal("append round trip failed")
+	}
+}
+
+func TestStringKey(t *testing.T) {
+	a := StringKey("apple", 8)
+	b := StringKey("banana", 8)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatal("wrong width")
+	}
+	if bytes.Compare(a, b) >= 0 {
+		t.Fatal("string keys out of order")
+	}
+	long := StringKey("averyverylongstring", 4)
+	if string(long) != "aver" {
+		t.Fatalf("truncation produced %q", long)
+	}
+}
+
+func TestComposite(t *testing.T) {
+	k := Composite(24, AppendInt64(nil, 1), StringKey("xy", 4))
+	if len(k) != 24 {
+		t.Fatalf("len = %d, want 24", len(k))
+	}
+	if Int64(k[:8]) != 1 || string(k[8:10]) != "xy" {
+		t.Fatal("composite layout wrong")
+	}
+	// Composite order: first component dominates.
+	k1 := Composite(16, AppendInt64(nil, 1), AppendInt64(nil, 99))
+	k2 := Composite(16, AppendInt64(nil, 2), AppendInt64(nil, 0))
+	if Compare(k1, k2) >= 0 {
+		t.Fatal("composite order violated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing composite should panic")
+		}
+	}()
+	Composite(4, AppendInt64(nil, 1))
+}
+
+func TestCompare(t *testing.T) {
+	if Compare([]byte{1}, []byte{2}) >= 0 || Compare([]byte{2}, []byte{1}) <= 0 || Compare([]byte{3}, []byte{3}) != 0 {
+		t.Fatal("Compare is not bytes.Compare")
+	}
+}

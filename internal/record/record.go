@@ -1,0 +1,168 @@
+// Package record defines row identifiers (RIDs) and the fixed-width record
+// codec used by the benchmark schema.
+//
+// A RID names a record by its physical position: (page number, slot
+// number). The paper's example RIDs "4.2" follow the same scheme. RIDs are
+// the join attribute of the bulk-delete operator when the primary predicate
+// is "by RID", so they need an order-preserving byte encoding too: sorting
+// a victim list by encoded RID sorts it by physical table position, which
+// is exactly how the sort/merge bulk delete turns random heap I/O into one
+// sequential pass.
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bulkdel/internal/sim"
+)
+
+// RID identifies a record in a heap file by page and slot.
+type RID struct {
+	Page sim.PageNo
+	Slot uint16
+}
+
+// RIDSize is the width of an encoded RID.
+const RIDSize = 8
+
+// NilRID is the zero RID; heap files never place a record at page 0 slot 0
+// reserved? They do — so use an explicit invalid page instead.
+var NilRID = RID{Page: sim.InvalidPage, Slot: 0xFFFF}
+
+// Valid reports whether the RID refers to a real record position.
+func (r RID) Valid() bool { return r.Page != sim.InvalidPage }
+
+// Compare orders RIDs by (page, slot), i.e. by physical position.
+func (r RID) Compare(o RID) int {
+	switch {
+	case r.Page < o.Page:
+		return -1
+	case r.Page > o.Page:
+		return 1
+	case r.Slot < o.Slot:
+		return -1
+	case r.Slot > o.Slot:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether r sorts before o.
+func (r RID) Less(o RID) bool { return r.Compare(o) < 0 }
+
+// String formats the RID in the paper's "page.slot" style.
+func (r RID) String() string {
+	if !r.Valid() {
+		return "nil-rid"
+	}
+	return fmt.Sprintf("%d.%d", r.Page, r.Slot)
+}
+
+// PutRID writes the order-preserving encoding of r into dst[:RIDSize]:
+// big-endian page, big-endian slot, two zero bytes. Byte order equals
+// Compare order.
+func PutRID(dst []byte, r RID) {
+	binary.BigEndian.PutUint32(dst, uint32(r.Page))
+	binary.BigEndian.PutUint16(dst[4:], r.Slot)
+	dst[6], dst[7] = 0, 0
+}
+
+// GetRID decodes an encoding written by PutRID.
+func GetRID(b []byte) RID {
+	return RID{
+		Page: sim.PageNo(binary.BigEndian.Uint32(b)),
+		Slot: binary.BigEndian.Uint16(b[4:]),
+	}
+}
+
+// AppendRID appends the encoding of r to dst.
+func AppendRID(dst []byte, r RID) []byte {
+	var b [RIDSize]byte
+	PutRID(b[:], r)
+	return append(dst, b[:]...)
+}
+
+// Schema describes a fixed-width record: NumFields int64 attributes
+// followed by padding up to Size bytes. The benchmark schema of the paper
+// — R(A, B, ..., J, K) with ten integer attributes and a garbage string K
+// padding each tuple to 512 bytes — is BenchSchema.
+type Schema struct {
+	NumFields int // number of int64 attributes
+	Size      int // total record size in bytes, >= NumFields*8
+}
+
+// BenchSchema is the paper's table R: 10 integer attributes padded to
+// 512-byte tuples (1,000,000 of them in the full-scale experiments).
+var BenchSchema = Schema{NumFields: 10, Size: 512}
+
+// Validate reports whether the schema is internally consistent.
+func (s Schema) Validate() error {
+	if s.NumFields < 1 {
+		return fmt.Errorf("record: schema needs at least one field, got %d", s.NumFields)
+	}
+	if s.Size < s.NumFields*8 {
+		return fmt.Errorf("record: size %d cannot hold %d int64 fields", s.Size, s.NumFields)
+	}
+	return nil
+}
+
+// Encode writes the field values into a fresh record of the schema's size.
+// Missing values are zero; extra values are an error.
+func (s Schema) Encode(fields []int64) ([]byte, error) {
+	if len(fields) > s.NumFields {
+		return nil, fmt.Errorf("record: %d values for %d fields", len(fields), s.NumFields)
+	}
+	rec := make([]byte, s.Size)
+	for i, v := range fields {
+		binary.LittleEndian.PutUint64(rec[i*8:], uint64(v))
+	}
+	return rec, nil
+}
+
+// EncodeInto is like Encode but fills a caller-provided buffer of exactly
+// Size bytes, zeroing the padding.
+func (s Schema) EncodeInto(dst []byte, fields []int64) error {
+	if len(dst) != s.Size {
+		return fmt.Errorf("record: buffer %d bytes, schema size %d", len(dst), s.Size)
+	}
+	if len(fields) > s.NumFields {
+		return fmt.Errorf("record: %d values for %d fields", len(fields), s.NumFields)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, v := range fields {
+		binary.LittleEndian.PutUint64(dst[i*8:], uint64(v))
+	}
+	return nil
+}
+
+// Decode extracts all field values from a record.
+func (s Schema) Decode(rec []byte) ([]int64, error) {
+	if len(rec) != s.Size {
+		return nil, fmt.Errorf("record: record %d bytes, schema size %d", len(rec), s.Size)
+	}
+	out := make([]int64, s.NumFields)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(rec[i*8:]))
+	}
+	return out, nil
+}
+
+// Field extracts field i without decoding the rest of the record.
+func (s Schema) Field(rec []byte, i int) int64 {
+	if i < 0 || i >= s.NumFields {
+		panic(fmt.Sprintf("record: field %d out of range (%d fields)", i, s.NumFields))
+	}
+	return int64(binary.LittleEndian.Uint64(rec[i*8:]))
+}
+
+// SetField overwrites field i in place.
+func (s Schema) SetField(rec []byte, i int, v int64) {
+	if i < 0 || i >= s.NumFields {
+		panic(fmt.Sprintf("record: field %d out of range (%d fields)", i, s.NumFields))
+	}
+	binary.LittleEndian.PutUint64(rec[i*8:], uint64(v))
+}

@@ -1,0 +1,149 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bulkdel/internal/sim"
+)
+
+func TestRIDCompare(t *testing.T) {
+	a := RID{Page: 1, Slot: 2}
+	b := RID{Page: 1, Slot: 3}
+	c := RID{Page: 2, Slot: 0}
+	if !(a.Less(b) && b.Less(c) && a.Less(c)) {
+		t.Fatal("RID order wrong")
+	}
+	if a.Compare(a) != 0 || b.Compare(a) != 1 || a.Compare(b) != -1 {
+		t.Fatal("Compare wrong")
+	}
+}
+
+func TestRIDEncodingOrderPreserving(t *testing.T) {
+	f := func(p1 uint32, s1 uint16, p2 uint32, s2 uint16) bool {
+		a := RID{Page: sim.PageNo(p1), Slot: s1}
+		b := RID{Page: sim.PageNo(p2), Slot: s2}
+		var ka, kb [RIDSize]byte
+		PutRID(ka[:], a)
+		PutRID(kb[:], b)
+		c := bytes.Compare(ka[:], kb[:])
+		want := a.Compare(b)
+		return (c < 0) == (want < 0) && (c > 0) == (want > 0) && (c == 0) == (want == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDRoundTrip(t *testing.T) {
+	f := func(p uint32, s uint16) bool {
+		r := RID{Page: sim.PageNo(p), Slot: s}
+		var b [RIDSize]byte
+		PutRID(b[:], r)
+		return GetRID(b[:]) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	k := AppendRID(nil, RID{Page: 7, Slot: 9})
+	if len(k) != RIDSize || GetRID(k) != (RID{Page: 7, Slot: 9}) {
+		t.Fatal("AppendRID round trip failed")
+	}
+}
+
+func TestNilRID(t *testing.T) {
+	if NilRID.Valid() {
+		t.Fatal("NilRID must be invalid")
+	}
+	if (RID{Page: 3, Slot: 1}).Valid() == false {
+		t.Fatal("real RID must be valid")
+	}
+	if NilRID.String() != "nil-rid" {
+		t.Fatal("NilRID string")
+	}
+	if (RID{Page: 4, Slot: 2}).String() != "4.2" {
+		t.Fatal("RID string should use the paper's page.slot style")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := BenchSchema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Schema{NumFields: 0, Size: 8}).Validate(); err == nil {
+		t.Fatal("zero fields should be invalid")
+	}
+	if err := (Schema{NumFields: 2, Size: 8}).Validate(); err == nil {
+		t.Fatal("undersized schema should be invalid")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	s := Schema{NumFields: 3, Size: 40}
+	rec, err := s.Encode([]int64{-5, 0, 123456789})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 40 {
+		t.Fatalf("record size %d", len(rec))
+	}
+	vals, err := s.Decode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != -5 || vals[1] != 0 || vals[2] != 123456789 {
+		t.Fatalf("decode = %v", vals)
+	}
+	if s.Field(rec, 2) != 123456789 {
+		t.Fatal("Field extraction wrong")
+	}
+	s.SetField(rec, 1, 77)
+	if s.Field(rec, 1) != 77 {
+		t.Fatal("SetField failed")
+	}
+	if _, err := s.Encode([]int64{1, 2, 3, 4}); err == nil {
+		t.Fatal("too many values should fail")
+	}
+	if _, err := s.Decode(rec[:10]); err == nil {
+		t.Fatal("short record should fail")
+	}
+}
+
+func TestEncodeInto(t *testing.T) {
+	s := Schema{NumFields: 2, Size: 24}
+	buf := bytes.Repeat([]byte{0xFF}, 24)
+	if err := s.EncodeInto(buf, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Field(buf, 0) != 1 || s.Field(buf, 1) != 2 {
+		t.Fatal("EncodeInto wrong values")
+	}
+	for _, b := range buf[16:] {
+		if b != 0 {
+			t.Fatal("padding not zeroed")
+		}
+	}
+	if err := s.EncodeInto(buf[:10], []int64{1}); err == nil {
+		t.Fatal("wrong buffer size should fail")
+	}
+}
+
+func TestFieldPanics(t *testing.T) {
+	s := Schema{NumFields: 1, Size: 16}
+	rec, _ := s.Encode([]int64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range field should panic")
+		}
+	}()
+	s.Field(rec, 1)
+}
+
+func TestBenchSchemaShape(t *testing.T) {
+	// The paper: 512-byte tuples, first 10 attributes random integers,
+	// rest padding.
+	if BenchSchema.Size != 512 || BenchSchema.NumFields != 10 {
+		t.Fatalf("BenchSchema = %+v", BenchSchema)
+	}
+}

@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// testModel uses round numbers so expected clock values are easy to assert.
+func testModel() CostModel {
+	return CostModel{
+		Seek:         8 * time.Millisecond,
+		Rotation:     4 * time.Millisecond,
+		TransferPage: 1 * time.Millisecond,
+		CPUCompare:   100 * time.Nanosecond,
+		CPURecord:    1 * time.Microsecond,
+	}
+}
+
+func TestCreateAllocateReadWrite(t *testing.T) {
+	d := NewDisk(testModel())
+	f := d.CreateFile()
+	p, err := d.Allocate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("first page = %d, want 0", p)
+	}
+	data := make([]byte, PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := d.WritePage(f, p, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.ReadPage(f, p, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back different data")
+	}
+	n, err := d.NumPages(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("NumPages = %d, want 1", n)
+	}
+}
+
+func TestSequentialVsRandomCost(t *testing.T) {
+	d := NewDisk(testModel())
+	f := d.CreateFile()
+	for i := 0; i < 10; i++ {
+		if _, err := d.Allocate(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, PageSize)
+
+	// First access: random (13 ms).
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Clock(), 13*time.Millisecond; got != want {
+		t.Fatalf("after first read clock = %v, want %v", got, want)
+	}
+	// Successor page: sequential (1 ms).
+	if err := d.ReadPage(f, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Clock(), 14*time.Millisecond; got != want {
+		t.Fatalf("after sequential read clock = %v, want %v", got, want)
+	}
+	// Jump back: random again.
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Clock(), 27*time.Millisecond; got != want {
+		t.Fatalf("after random read clock = %v, want %v", got, want)
+	}
+	st := d.Stats()
+	if st.RandomOps != 2 || st.SeqOps != 1 {
+		t.Fatalf("stats random=%d seq=%d, want 2/1", st.RandomOps, st.SeqOps)
+	}
+}
+
+func TestSequentialAcrossFilesIsRandom(t *testing.T) {
+	d := NewDisk(testModel())
+	f1 := d.CreateFile()
+	f2 := d.CreateFile()
+	if _, err := d.Allocate(f1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Allocate(f1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Allocate(f2); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Page 1 of a different file is not the physical successor.
+	if err := d.ReadPage(f2, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.RandomOps != 2 {
+		t.Fatalf("RandomOps = %d, want 2", st.RandomOps)
+	}
+}
+
+func TestChainedRun(t *testing.T) {
+	d := NewDisk(testModel())
+	f := d.CreateFile()
+	var want [][]byte
+	for i := 0; i < 8; i++ {
+		p, err := d.Allocate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{byte(i + 1)}, PageSize)
+		if err := d.WritePage(f, p, data); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, data)
+	}
+	start := d.Clock()
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, PageSize)
+	}
+	if err := d.ReadRun(f, 0, bufs); err != nil {
+		t.Fatal(err)
+	}
+	// One positioning charge (12 ms) + 8 transfers (8 ms).
+	if got, w := d.Clock()-start, 20*time.Millisecond; got != w {
+		t.Fatalf("chained read cost = %v, want %v", got, w)
+	}
+	for i := range bufs {
+		if !bytes.Equal(bufs[i], want[i]) {
+			t.Fatalf("page %d content mismatch", i)
+		}
+	}
+	// The head is now after the run: reading page 8's successor position
+	// (none) — but a fresh allocation at page 8 then read is sequential.
+	p, err := d.Allocate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats().SeqOps
+	if err := d.ReadPage(f, p, bufs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().SeqOps != before+1 {
+		t.Fatal("read after chained run should be sequential")
+	}
+}
+
+func TestWriteRun(t *testing.T) {
+	d := NewDisk(testModel())
+	f := d.CreateFile()
+	for i := 0; i < 4; i++ {
+		if _, err := d.Allocate(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := make([][]byte, 4)
+	for i := range data {
+		data[i] = bytes.Repeat([]byte{byte(0xA0 + i)}, PageSize)
+	}
+	start := d.Clock()
+	if err := d.WriteRun(f, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if got, w := d.Clock()-start, 16*time.Millisecond; got != w {
+		t.Fatalf("chained write cost = %v, want %v", got, w)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 4; i++ {
+		if err := d.ReadPage(f, PageNo(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[i]) {
+			t.Fatalf("page %d mismatch after WriteRun", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := NewDisk(testModel())
+	f := d.CreateFile()
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); err == nil {
+		t.Fatal("read past EOF should fail")
+	}
+	if err := d.WritePage(f, 5, buf); err == nil {
+		t.Fatal("write past EOF should fail")
+	}
+	if err := d.ReadPage(f, 0, make([]byte, 10)); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+	if err := d.ReadPage(FileID(99), 0, buf); err == nil {
+		t.Fatal("unknown file should fail")
+	}
+	if err := d.DropFile(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Allocate(f); err == nil {
+		t.Fatal("allocate on dropped file should fail")
+	}
+	if err := d.DropFile(f); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestCPUCharges(t *testing.T) {
+	d := NewDisk(testModel())
+	d.ChargeCompares(1000) // 100 µs
+	d.ChargeRecords(100)   // 100 µs
+	if got, want := d.Clock(), 200*time.Microsecond; got != want {
+		t.Fatalf("clock = %v, want %v", got, want)
+	}
+	d.ChargeCompares(0)
+	d.ChargeRecords(-5)
+	if got, want := d.Clock(), 200*time.Microsecond; got != want {
+		t.Fatalf("zero/negative charges must not move clock: %v", got)
+	}
+	st := d.Stats()
+	if st.Compares != 1000 || st.Records != 100 {
+		t.Fatalf("stats compares=%d records=%d", st.Compares, st.Records)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := NewDisk(testModel())
+	f := d.CreateFile()
+	if _, err := d.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	clk := d.Clock()
+	d.ResetStats()
+	if st := d.Stats(); st != (Stats{}) {
+		t.Fatalf("stats not zeroed: %+v", st)
+	}
+	if d.Clock() != clk {
+		t.Fatal("ResetStats must not touch the clock")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		d := NewDisk(DefaultCostModel())
+		f := d.CreateFile()
+		buf := make([]byte, PageSize)
+		for i := 0; i < 100; i++ {
+			p, err := d.Allocate(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WritePage(f, p, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 99; i >= 0; i-- {
+			if err := d.ReadPage(f, PageNo(i), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Clock()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("clock not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestDistanceDependentSeek(t *testing.T) {
+	cm := testModel()
+	cm.SeekSpan = 1 << 20
+	cm.SeekMin = 1 * time.Millisecond
+	d := NewDisk(cm)
+	f := d.CreateFile()
+	for i := 0; i < 3000; i++ {
+		if _, err := d.Allocate(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, PageSize)
+	read := func(p PageNo) time.Duration {
+		before := d.Clock()
+		if err := d.ReadPage(f, p, buf); err != nil {
+			t.Fatal(err)
+		}
+		return d.Clock() - before
+	}
+	read(0)            // establish position (cross-file/unknown: full seek)
+	short := read(500) // jump 500 pages
+	long := read(2900) // jump 2400 pages
+	if short >= long {
+		t.Fatalf("short jump (%v) should cost less than long jump (%v)", short, long)
+	}
+	// Both must be cheaper than an unknown-distance (cross-file) jump.
+	g := d.CreateFile()
+	if _, err := d.Allocate(g); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Clock()
+	if err := d.ReadPage(g, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	cross := d.Clock() - before
+	if long >= cross {
+		t.Fatalf("same-file jump (%v) should cost less than cross-file jump (%v)", long, cross)
+	}
+	// The curve is bounded: even a full-span jump costs at most
+	// 2*Seek - SeekMin + Rotation + Transfer.
+	maxCost := 2*cm.Seek - cm.SeekMin + cm.Rotation + cm.TransferPage
+	if long > maxCost {
+		t.Fatalf("long jump %v exceeds curve bound %v", long, maxCost)
+	}
+}
+
+func TestNearTier(t *testing.T) {
+	cm := testModel()
+	cm.NearDistance = 128
+	d := NewDisk(cm)
+	f := d.CreateFile()
+	for i := 0; i < 400; i++ {
+		if _, err := d.Allocate(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Clock()
+	if err := d.ReadPage(f, 100, buf); err != nil { // within NearDistance
+		t.Fatal(err)
+	}
+	nearCost := d.Clock() - before
+	if want := cm.Rotation/2 + cm.TransferPage; nearCost != want {
+		t.Fatalf("near jump cost %v, want %v", nearCost, want)
+	}
+	if st := d.Stats(); st.NearOps != 1 {
+		t.Fatalf("NearOps = %d", st.NearOps)
+	}
+	// Beyond NearDistance: full positioning (SeekSpan is 0 here).
+	before = d.Clock()
+	if err := d.ReadPage(f, 300, buf); err != nil {
+		t.Fatal(err)
+	}
+	farCost := d.Clock() - before
+	if want := cm.Seek + cm.Rotation + cm.TransferPage; farCost != want {
+		t.Fatalf("far jump cost %v, want %v", farCost, want)
+	}
+}

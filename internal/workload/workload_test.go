@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/table"
+)
+
+func testPool() *buffer.Pool {
+	d := sim.NewDisk(sim.CostModel{
+		Seek:         8 * time.Millisecond,
+		Rotation:     4 * time.Millisecond,
+		TransferPage: 1 * time.Millisecond,
+	})
+	return buffer.New(d, 2048*sim.PageSize)
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec(1000)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields != 10 || s.TupleSize != 512 || len(s.Indexes) != 1 {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Rows: 0, Fields: 1, TupleSize: 8, ClusterField: -1},
+		{Rows: 1, Fields: 0, TupleSize: 8, ClusterField: -1},
+		{Rows: 1, Fields: 2, TupleSize: 8, ClusterField: -1},
+		{Rows: 1, Fields: 1, TupleSize: 8, ClusterField: 5},
+		{Rows: 1, Fields: 1, TupleSize: 8, ClusterField: -1,
+			Indexes: []table.IndexDef{{Name: "IX", Field: 3}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("spec %d should be invalid", i)
+		}
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	s := DefaultSpec(3000)
+	s.Indexes = append(s.Indexes, table.IndexDef{Name: "IB", Field: 1})
+	tbl, rows, err := Build(testPool(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Heap.Count() != 3000 || len(rows) != 3000 {
+		t.Fatalf("rows = %d/%d", tbl.Heap.Count(), len(rows))
+	}
+	if len(tbl.Idx) != 2 {
+		t.Fatalf("indexes = %d", len(tbl.Idx))
+	}
+	// Attributes are duplicate-free permutations of [0, n).
+	for f := 0; f < 2; f++ {
+		seen := make([]bool, 3000)
+		for _, r := range rows {
+			v := r[f]
+			if v < 0 || v >= 3000 || seen[v] {
+				t.Fatalf("field %d not a permutation (value %d)", f, v)
+			}
+			seen[v] = true
+		}
+	}
+	if err := tbl.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s := DefaultSpec(500)
+	_, rows1, err := Build(testPool(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows2, err := Build(testPool(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows1 {
+		for f := range rows1[i] {
+			if rows1[i][f] != rows2[i][f] {
+				t.Fatalf("row %d field %d differs across builds", i, f)
+			}
+		}
+	}
+	s.Seed = 2
+	_, rows3, err := Build(testPool(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range rows1 {
+		if rows1[i][0] != rows3[i][0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClusteredBuild(t *testing.T) {
+	s := DefaultSpec(2000)
+	s.ClusterField = 0
+	tbl, rows, err := Build(testPool(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rows
+	if !tbl.Idx[0].Def.Clustered {
+		t.Fatal("index over the cluster field not flagged clustered")
+	}
+	// The heap is physically sorted by attribute 0.
+	v := int64(-1)
+	err = tbl.Heap.Scan(func(_ record.RID, rec []byte) error {
+		x := tbl.Schema.Field(rec, 0)
+		if x <= v {
+			t.Fatalf("heap not clustered: %d after %d", x, v)
+		}
+		v = x
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimSample(t *testing.T) {
+	s := DefaultSpec(1000)
+	_, rows, err := Build(testPool(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := VictimSample(rows, 0, 0.15, 7)
+	if len(v) != 150 {
+		t.Fatalf("sample size %d, want 150", len(v))
+	}
+	seen := map[int64]bool{}
+	for _, x := range v {
+		if seen[x] {
+			t.Fatalf("duplicate victim %d", x)
+		}
+		seen[x] = true
+		if x < 0 || x >= 1000 {
+			t.Fatalf("victim %d out of domain", x)
+		}
+	}
+	// Deterministic.
+	v2 := VictimSample(rows, 0, 0.15, 7)
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatal("victim sample not deterministic")
+		}
+	}
+	// Over-fraction clamps.
+	if got := VictimSample(rows, 0, 2.0, 7); len(got) != 1000 {
+		t.Fatalf("clamped sample = %d", len(got))
+	}
+}

@@ -1,0 +1,436 @@
+// Package xsort implements k-way external merge sort for fixed-width rows
+// under a byte budget.
+//
+// The sort/merge bulk-delete plans of the paper (§2.2.1, Figure 3) sort the
+// victim lists — keys extracted from table D, RIDs produced by the first
+// bulk-delete operator, ⟨B,RID⟩ / ⟨C,RID⟩ pairs for the secondary indexes —
+// so that each subsequent bulk delete visits its table or index in physical
+// order. The paper stresses that "only the (small) lists of keys and RIDs
+// need to be sorted", and that with enough memory the sort is a single
+// in-memory pass; when the victim list outgrows the budget, runs are
+// spilled to disk and merged, exactly like a classic sort/merge join build.
+//
+// Rows are opaque fixed-width byte strings compared with a caller-supplied
+// comparator (usually bytes.Compare over an order-preserving encoding).
+// Spilled runs live in a temporary file on the simulated disk so that the
+// I/O they cause is priced into the experiment clock.
+package xsort
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"bulkdel/internal/sim"
+)
+
+// Sorter accumulates rows and produces them in sorted order.
+type Sorter struct {
+	disk    *sim.Disk
+	rowSize int
+	budget  int // bytes of working memory
+	compare func(a, b []byte) int
+
+	maxRows int // rows held in memory before spilling
+	buf     [][]byte
+	runs    []runInfo
+	file    sim.FileID
+	haveTmp bool
+	nextPg  sim.PageNo
+	rowsIn  int64
+	done    bool
+}
+
+type runInfo struct {
+	start sim.PageNo
+	pages int
+	rows  int64
+}
+
+// New creates a sorter for rows of rowSize bytes under a memory budget of
+// budgetBytes. compare orders two rows; bytes.Compare is the common choice.
+func New(disk *sim.Disk, rowSize, budgetBytes int, compare func(a, b []byte) int) (*Sorter, error) {
+	if rowSize <= 0 || rowSize > sim.PageSize {
+		return nil, fmt.Errorf("xsort: unusable row size %d", rowSize)
+	}
+	if compare == nil {
+		compare = bytes.Compare
+	}
+	maxRows := budgetBytes / rowSize
+	if maxRows < 16 {
+		maxRows = 16
+	}
+	return &Sorter{
+		disk:    disk,
+		rowSize: rowSize,
+		budget:  budgetBytes,
+		compare: compare,
+		maxRows: maxRows,
+	}, nil
+}
+
+// RowsAdded returns the number of rows fed into the sorter.
+func (s *Sorter) RowsAdded() int64 { return s.rowsIn }
+
+// Spilled reports whether the input exceeded memory and runs were written
+// to disk.
+func (s *Sorter) Spilled() bool { return len(s.runs) > 0 }
+
+// Add copies a row into the sorter.
+func (s *Sorter) Add(row []byte) error {
+	if s.done {
+		return fmt.Errorf("xsort: Add after Finish")
+	}
+	if len(row) != s.rowSize {
+		return fmt.Errorf("xsort: row is %d bytes, sorter uses %d", len(row), s.rowSize)
+	}
+	s.buf = append(s.buf, append([]byte(nil), row...))
+	s.rowsIn++
+	if len(s.buf) >= s.maxRows {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *Sorter) sortBuf() {
+	cmps := 0
+	sort.Slice(s.buf, func(i, j int) bool {
+		cmps++
+		return s.compare(s.buf[i], s.buf[j]) < 0
+	})
+	s.disk.ChargeCompares(cmps)
+}
+
+const spillChunkPages = 16
+
+func (s *Sorter) rowsPerPage() int { return sim.PageSize / s.rowSize }
+
+// spill sorts the in-memory buffer and writes it as a run.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	s.sortBuf()
+	if !s.haveTmp {
+		s.file = s.disk.CreateFile()
+		s.haveTmp = true
+	}
+	rpp := s.rowsPerPage()
+	pages := (len(s.buf) + rpp - 1) / rpp
+	run := runInfo{start: s.nextPg, pages: pages, rows: int64(len(s.buf))}
+	// Allocate and write in chained chunks.
+	for i := 0; i < pages; i++ {
+		if _, err := s.disk.Allocate(s.file); err != nil {
+			return err
+		}
+	}
+	row := 0
+	for base := 0; base < pages; base += spillChunkPages {
+		n := spillChunkPages
+		if base+n > pages {
+			n = pages - base
+		}
+		chunk := make([][]byte, n)
+		for i := range chunk {
+			pg := make([]byte, sim.PageSize)
+			for r := 0; r < rpp && row < len(s.buf); r++ {
+				copy(pg[r*s.rowSize:], s.buf[row])
+				row++
+			}
+			chunk[i] = pg
+		}
+		if err := s.disk.WriteRun(s.file, run.start+sim.PageNo(base), chunk); err != nil {
+			return err
+		}
+	}
+	s.nextPg += sim.PageNo(pages)
+	s.runs = append(s.runs, run)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Iterator yields rows in sorted order. The returned slice is only valid
+// until the next call.
+type Iterator struct {
+	next  func() ([]byte, bool, error)
+	close func() error
+}
+
+// Next returns the next row, or ok=false at the end.
+func (it *Iterator) Next() ([]byte, bool, error) { return it.next() }
+
+// Close releases temporary resources.
+func (it *Iterator) Close() error {
+	if it.close != nil {
+		return it.close()
+	}
+	return nil
+}
+
+// Finish completes the sort and returns an iterator over the rows in order.
+// The sorter cannot be reused afterwards.
+func (s *Sorter) Finish() (*Iterator, error) {
+	if s.done {
+		return nil, fmt.Errorf("xsort: Finish called twice")
+	}
+	s.done = true
+	if len(s.runs) == 0 {
+		// Everything fit in memory: one in-memory sort, no I/O.
+		s.sortBuf()
+		i := 0
+		buf := s.buf
+		s.buf = nil
+		return &Iterator{next: func() ([]byte, bool, error) {
+			if i >= len(buf) {
+				return nil, false, nil
+			}
+			r := buf[i]
+			i++
+			return r, true, nil
+		}}, nil
+	}
+	// Spill the tail, then merge runs, multi-pass if the fan-in exceeds
+	// one read buffer per run.
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	fanIn := s.budget/(sim.PageSize*mergeBufPages) - 1
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	runs := s.runs
+	for len(runs) > fanIn {
+		var next []runInfo
+		for base := 0; base < len(runs); base += fanIn {
+			n := fanIn
+			if base+n > len(runs) {
+				n = len(runs) - base
+			}
+			merged, err := s.mergeToRun(runs[base : base+n])
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return s.mergeIterator(runs)
+}
+
+// mergeBufPages is the chained-I/O read buffer per run during merges.
+const mergeBufPages = 4
+
+// runReader streams one run with buffered chained reads.
+type runReader struct {
+	s      *Sorter
+	run    runInfo
+	pgOff  int // pages consumed
+	rowOff int64
+	buf    [][]byte
+	bufPos int // row index within buf
+	bufLen int // rows valid in buf
+	cur    []byte
+}
+
+func (r *runReader) fill() error {
+	if r.rowOff >= r.run.rows {
+		r.cur = nil
+		return nil
+	}
+	if r.bufPos >= r.bufLen {
+		n := mergeBufPages
+		if r.pgOff+n > r.run.pages {
+			n = r.run.pages - r.pgOff
+		}
+		bufs := make([][]byte, n)
+		for i := range bufs {
+			bufs[i] = make([]byte, sim.PageSize)
+		}
+		if err := r.s.disk.ReadRun(r.s.file, r.run.start+sim.PageNo(r.pgOff), bufs); err != nil {
+			return err
+		}
+		r.pgOff += n
+		r.buf = bufs
+		r.bufPos = 0
+		rpp := r.s.rowsPerPage()
+		r.bufLen = n * rpp
+	}
+	rpp := r.s.rowsPerPage()
+	pg := r.bufPos / rpp
+	slot := r.bufPos % rpp
+	r.cur = r.buf[pg][slot*r.s.rowSize : (slot+1)*r.s.rowSize]
+	return nil
+}
+
+func (r *runReader) advance() error {
+	r.bufPos++
+	r.rowOff++
+	return r.fill()
+}
+
+// mergeHeap is a binary min-heap of run readers ordered by current row.
+type mergeHeap struct {
+	s       *Sorter
+	readers []*runReader
+}
+
+func (h *mergeHeap) lessRR(a, b *runReader) bool {
+	h.s.disk.ChargeCompares(1)
+	return h.s.compare(a.cur, b.cur) < 0
+}
+
+func (h *mergeHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.lessRR(h.readers[i], h.readers[p]) {
+			break
+		}
+		h.readers[i], h.readers[p] = h.readers[p], h.readers[i]
+		i = p
+	}
+}
+
+func (h *mergeHeap) down(i int) {
+	n := len(h.readers)
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && h.lessRR(h.readers[l], h.readers[sm]) {
+			sm = l
+		}
+		if r < n && h.lessRR(h.readers[r], h.readers[sm]) {
+			sm = r
+		}
+		if sm == i {
+			return
+		}
+		h.readers[i], h.readers[sm] = h.readers[sm], h.readers[i]
+		i = sm
+	}
+}
+
+func (s *Sorter) openReaders(runs []runInfo) (*mergeHeap, error) {
+	h := &mergeHeap{s: s}
+	for _, r := range runs {
+		rr := &runReader{s: s, run: r}
+		if err := rr.fill(); err != nil {
+			return nil, err
+		}
+		if rr.cur != nil {
+			h.readers = append(h.readers, rr)
+		}
+	}
+	for i := len(h.readers)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h, nil
+}
+
+// pop yields the globally smallest row and refills the heap.
+func (h *mergeHeap) pop() ([]byte, bool, error) {
+	if len(h.readers) == 0 {
+		return nil, false, nil
+	}
+	top := h.readers[0]
+	row := top.cur
+	if err := top.advance(); err != nil {
+		return nil, false, err
+	}
+	if top.cur == nil {
+		last := len(h.readers) - 1
+		h.readers[0] = h.readers[last]
+		h.readers = h.readers[:last]
+	}
+	if len(h.readers) > 0 {
+		h.down(0)
+	}
+	return row, true, nil
+}
+
+// mergeToRun merges runs into one new run on disk (one intermediate pass).
+func (s *Sorter) mergeToRun(runs []runInfo) (runInfo, error) {
+	h, err := s.openReaders(runs)
+	if err != nil {
+		return runInfo{}, err
+	}
+	var totalRows int64
+	for _, r := range runs {
+		totalRows += r.rows
+	}
+	rpp := s.rowsPerPage()
+	pages := int((totalRows + int64(rpp) - 1) / int64(rpp))
+	out := runInfo{start: s.nextPg, pages: pages, rows: totalRows}
+	for i := 0; i < pages; i++ {
+		if _, err := s.disk.Allocate(s.file); err != nil {
+			return runInfo{}, err
+		}
+	}
+	written := 0
+	chunk := make([][]byte, 0, spillChunkPages)
+	pg := make([]byte, sim.PageSize)
+	inPg := 0
+	flushChunk := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		err := s.disk.WriteRun(s.file, out.start+sim.PageNo(written), chunk)
+		written += len(chunk)
+		chunk = chunk[:0]
+		return err
+	}
+	for {
+		row, ok, err := h.pop()
+		if err != nil {
+			return runInfo{}, err
+		}
+		if !ok {
+			break
+		}
+		copy(pg[inPg*s.rowSize:], row)
+		inPg++
+		if inPg == rpp {
+			chunk = append(chunk, pg)
+			pg = make([]byte, sim.PageSize)
+			inPg = 0
+			if len(chunk) == spillChunkPages {
+				if err := flushChunk(); err != nil {
+					return runInfo{}, err
+				}
+			}
+		}
+	}
+	if inPg > 0 {
+		chunk = append(chunk, pg)
+	}
+	if err := flushChunk(); err != nil {
+		return runInfo{}, err
+	}
+	s.nextPg += sim.PageNo(pages)
+	return out, nil
+}
+
+// mergeIterator streams the final merge of runs.
+func (s *Sorter) mergeIterator(runs []runInfo) (*Iterator, error) {
+	h, err := s.openReaders(runs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, s.rowSize)
+	return &Iterator{
+		next: func() ([]byte, bool, error) {
+			row, ok, err := h.pop()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			copy(out, row) // row aliases a reader buffer about to be refilled
+			return out, true, nil
+		},
+		close: func() error {
+			if s.haveTmp {
+				s.haveTmp = false
+				return s.disk.DropFile(s.file)
+			}
+			return nil
+		},
+	}, nil
+}

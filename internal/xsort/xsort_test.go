@@ -1,0 +1,364 @@
+package xsort
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bulkdel/internal/sim"
+)
+
+func testDisk() *sim.Disk {
+	return sim.NewDisk(sim.CostModel{
+		Seek:         8 * time.Millisecond,
+		Rotation:     4 * time.Millisecond,
+		TransferPage: 1 * time.Millisecond,
+	})
+}
+
+func row8(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func drain(t *testing.T, it *Iterator) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, append([]byte(nil), r...))
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInMemorySort(t *testing.T) {
+	d := testDisk()
+	s, err := New(d, 8, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint64{5, 3, 9, 1, 7, 3, 0}
+	for _, v := range vals {
+		if err := s.Add(row8(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spilled() {
+		t.Fatal("small input should not spill")
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := drain(t, it)
+	if len(out) != len(vals) {
+		t.Fatalf("got %d rows", len(out))
+	}
+	want := append([]uint64(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, r := range out {
+		if binary.BigEndian.Uint64(r) != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, binary.BigEndian.Uint64(r), want[i])
+		}
+	}
+	// No disk I/O for an in-memory sort.
+	if st := d.Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Fatalf("in-memory sort did I/O: %+v", st)
+	}
+	if s.RowsAdded() != int64(len(vals)) {
+		t.Fatalf("RowsAdded = %d", s.RowsAdded())
+	}
+}
+
+func TestSpillingSort(t *testing.T) {
+	d := testDisk()
+	// Budget for ~2000 rows; feed 50000 so it spills into many runs.
+	s, err := New(d, 8, 16000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	n := 50000
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = rng.Uint64()
+		if err := s.Add(row8(want[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Spilled() {
+		t.Fatal("input over budget should spill")
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	i := 0
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if got := binary.BigEndian.Uint64(r); got != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, got, want[i])
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("iterated %d rows, want %d", i, n)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Reads == 0 || st.Writes == 0 {
+		t.Fatal("spilling sort should do I/O")
+	}
+}
+
+func TestMultiPassMerge(t *testing.T) {
+	d := testDisk()
+	// Tiny budget: maxRows clamps to 16 per run; fan-in 2, so a few
+	// thousand rows force several merge passes.
+	s, err := New(d, 8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := 3000
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = uint64(rng.Intn(1000))
+		if err := s.Add(row8(want[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := drain(t, it)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(out) != n {
+		t.Fatalf("got %d rows", len(out))
+	}
+	for i := range out {
+		if binary.BigEndian.Uint64(out[i]) != want[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestCustomComparator(t *testing.T) {
+	d := testDisk()
+	// Sort descending via inverted comparator.
+	s, err := New(d, 8, 1<<20, func(a, b []byte) int { return bytes.Compare(b, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{1, 5, 3} {
+		if err := s.Add(row8(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := drain(t, it)
+	got := []uint64{
+		binary.BigEndian.Uint64(out[0]),
+		binary.BigEndian.Uint64(out[1]),
+		binary.BigEndian.Uint64(out[2]),
+	}
+	if got[0] != 5 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("descending sort = %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := testDisk()
+	if _, err := New(d, 0, 100, nil); err == nil {
+		t.Fatal("row size 0 should fail")
+	}
+	if _, err := New(d, sim.PageSize+1, 100, nil); err == nil {
+		t.Fatal("row size > page should fail")
+	}
+	s, err := New(d, 8, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(make([]byte, 4)); err == nil {
+		t.Fatal("wrong row size should fail")
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(row8(1)); err == nil {
+		t.Fatal("Add after Finish should fail")
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("double Finish should fail")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	d := testDisk()
+	s, err := New(d, 16, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := drain(t, it); len(out) != 0 {
+		t.Fatalf("empty sort produced %d rows", len(out))
+	}
+}
+
+// TestQuickAgainstSortSlice verifies the external sort against the stdlib
+// across random row sizes, budgets, and contents.
+func TestQuickAgainstSortSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rowSize := 4 + rng.Intn(60)
+		budget := rng.Intn(8000) // often forces spills
+		n := rng.Intn(4000)
+		d := testDisk()
+		s, err := New(d, rowSize, budget, nil)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		rows := make([][]byte, n)
+		for i := range rows {
+			rows[i] = make([]byte, rowSize)
+			rng.Read(rows[i])
+			if err := s.Add(rows[i]); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		it, err := s.Finish()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i], rows[j]) < 0 })
+		i := 0
+		for {
+			r, ok, err := it.Next()
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if !ok {
+				break
+			}
+			if i >= n || !bytes.Equal(r, rows[i]) {
+				t.Logf("mismatch at row %d (n=%d rowSize=%d budget=%d)", i, n, rowSize, budget)
+				return false
+			}
+			i++
+		}
+		if err := it.Close(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return i == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillIOIsChained(t *testing.T) {
+	d := testDisk()
+	s, err := New(d, 8, 32000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if err := s.Add(row8(uint64(i * 2147483647))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	// Chained I/O: page transfers should dominate positioning charges.
+	if st.RandomOps*3 > st.Reads+st.Writes {
+		t.Fatalf("sort I/O not chained: %d positioning for %d transfers",
+			st.RandomOps, st.Reads+st.Writes)
+	}
+}
+
+func TestAllEqualRows(t *testing.T) {
+	d := testDisk()
+	s, err := New(d, 8, 1000, nil) // tiny budget: spills and merges
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 5000
+	for i := 0; i < n; i++ {
+		if err := s.Add(row8(42)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if binary.BigEndian.Uint64(r) != 42 {
+			t.Fatal("wrong value among equal rows")
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("equal-key merge lost rows: %d of %d", count, n)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,454 @@
+package bulkdel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bulkdel/internal/btree"
+	"bulkdel/internal/cc"
+	"bulkdel/internal/core"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/table"
+)
+
+// IndexOptions describes an index to create.
+type IndexOptions struct {
+	// Name of the index (unique per table).
+	Name string
+	// Field is the attribute position the index covers.
+	Field int
+	// KeyLen widens the stored key (0 = 8 bytes). Wider keys shrink the
+	// fan-out and grow the tree.
+	KeyLen int
+	// Unique enforces key uniqueness; unique indexes are processed first
+	// during bulk deletes (the paper's §3.1 requirement).
+	Unique bool
+	// Clustered declares that the heap is loaded in this attribute's
+	// order (the engine does not re-sort existing data).
+	Clustered bool
+	// Priority ranks application-critical indexes for processing order.
+	Priority int
+}
+
+// Table is a base table with its indexes.
+type Table struct {
+	db *DB
+	t  *table.Table
+	// updMu serializes updater DML (Insert/DeleteRow) against each
+	// other. It stands in for the fine-grained page latches a production
+	// engine would take; the bulk deleter does not take it — during a
+	// concurrent bulk delete it only touches offline index trees, which
+	// updaters reach exclusively through their (thread-safe) side-files.
+	updMu sync.Mutex
+}
+
+// Name returns the table name.
+func (tbl *Table) Name() string { return tbl.t.Name }
+
+// NumFields returns the number of int64 attributes.
+func (tbl *Table) NumFields() int { return tbl.t.Schema.NumFields }
+
+// Count returns the number of live records.
+func (tbl *Table) Count() int64 { return tbl.t.Heap.Count() }
+
+// CreateIndex builds an index over the current contents (scan + external
+// sort + bottom-up bulk load).
+func (tbl *Table) CreateIndex(opts IndexOptions) error {
+	if tbl.db.crashed {
+		return errCrashed
+	}
+	_, err := tbl.t.CreateIndex(table.IndexDef{
+		Name: opts.Name, Field: opts.Field, KeyLen: opts.KeyLen,
+		Unique: opts.Unique, Clustered: opts.Clustered, Priority: opts.Priority,
+	})
+	if err != nil {
+		return err
+	}
+	return tbl.db.saveCatalog()
+}
+
+// DropIndex removes an index.
+func (tbl *Table) DropIndex(name string) error {
+	if err := tbl.t.DropIndex(name); err != nil {
+		return err
+	}
+	return tbl.db.saveCatalog()
+}
+
+// IndexNames lists the table's indexes in catalog order.
+func (tbl *Table) IndexNames() []string {
+	var out []string
+	for _, ix := range tbl.t.Idx {
+		out = append(out, ix.Def.Name)
+	}
+	return out
+}
+
+// IndexHeight returns the height of the named index (0 if absent).
+func (tbl *Table) IndexHeight(name string) int {
+	ix := tbl.t.FindIndex(name)
+	if ix == nil {
+		return 0
+	}
+	return ix.Tree.Height()
+}
+
+// Insert adds one row (values for the leading fields; the rest zero) and
+// maintains every index. It returns the new record's RID. Inserts take a
+// shared table lock, so they block while a bulk delete holds the table
+// exclusively and resume once the lock is released (after the heap and the
+// unique indexes are processed); updates to still-offline indexes go
+// through their side-files.
+func (tbl *Table) Insert(fields ...int64) (RID, error) {
+	if tbl.db.crashed {
+		return record.NilRID, errCrashed
+	}
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
+	tbl.updMu.Lock()
+	defer tbl.updMu.Unlock()
+	return tbl.t.Insert(fields)
+}
+
+// InsertDirect adds a row using direct propagation when indexes are
+// offline during a concurrent bulk delete: entries are installed
+// immediately and marked undeletable (paper §3.1.2).
+func (tbl *Table) InsertDirect(fields ...int64) (RID, error) {
+	if tbl.db.crashed {
+		return record.NilRID, errCrashed
+	}
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
+	tbl.updMu.Lock()
+	defer tbl.updMu.Unlock()
+	return tbl.t.InsertDirect(fields)
+}
+
+// DeleteRow removes one record by RID.
+func (tbl *Table) DeleteRow(rid RID) error {
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
+	tbl.updMu.Lock()
+	defer tbl.updMu.Unlock()
+	return tbl.t.DeleteRow(rid)
+}
+
+// Get decodes the record at rid.
+func (tbl *Table) Get(rid RID) ([]int64, error) { return tbl.t.Get(rid) }
+
+// Lookup returns all rows whose field equals v, via an index on the field.
+func (tbl *Table) Lookup(field int, v int64) ([][]int64, error) {
+	return tbl.t.Lookup(field, v)
+}
+
+// LookupRIDs returns the RIDs of all rows whose field equals v, via an
+// index on the field.
+func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
+	ix := tbl.t.IndexOnField(field)
+	if ix == nil {
+		return nil, fmt.Errorf("bulkdel: table %s has no index on field %d", tbl.t.Name, field)
+	}
+	return ix.Tree.Search(ix.EncodeKey(v))
+}
+
+// Scan calls fn for every row in physical order.
+func (tbl *Table) Scan(fn func(rid RID, fields []int64) error) error {
+	return tbl.t.Heap.Scan(func(rid record.RID, rec []byte) error {
+		vals, err := tbl.t.Schema.Decode(rec)
+		if err != nil {
+			return err
+		}
+		return fn(rid, vals)
+	})
+}
+
+// Check verifies heap/index agreement and every tree invariant.
+func (tbl *Table) Check() error { return tbl.t.CheckConsistency() }
+
+// Flush forces the table's pages to disk.
+func (tbl *Table) Flush() error { return tbl.t.Flush() }
+
+// SetDeletePolicy switches the traditional delete's page reclamation
+// between free-at-empty (default, the paper's choice) and merge-at-half.
+func (tbl *Table) SetDeletePolicy(mergeAtHalf bool) {
+	if mergeAtHalf {
+		tbl.t.SetPolicyAll(btree.MergeAtHalf)
+	} else {
+		tbl.t.SetPolicyAll(btree.FreeAtEmpty)
+	}
+}
+
+// BulkOptions tunes Table.BulkDelete.
+type BulkOptions struct {
+	// Method selects the plan (default Auto).
+	Method Method
+	// Memory is the sort/hash working budget in bytes (default 5 MB).
+	Memory int
+	// Reorganize enables §2.3 leaf reorganization during the passes.
+	Reorganize bool
+	// Concurrent enables the §3.1 protocol: exclusive table lock,
+	// indexes offline, side-files applied as each index completes, the
+	// lock released once the table and all unique indexes are done.
+	// Without it the whole statement runs under the exclusive lock.
+	Concurrent bool
+}
+
+// BulkResult reports a bulk delete.
+type BulkResult struct {
+	// Deleted records removed from the table.
+	Deleted int64
+	// Victims is the size of the victim list.
+	Victims int
+	// Method actually used.
+	Method Method
+	// Partitions used by the hash+range-partitioning plan.
+	Partitions int
+	// Elapsed simulated time.
+	Elapsed time.Duration
+	// PlanText is the executed plan, rendered like the paper's figures.
+	PlanText string
+	// SideFileOps counts concurrent updates replayed from side-files.
+	SideFileOps int
+	// Cascaded counts rows removed from child tables by ON DELETE
+	// CASCADE foreign keys (recursively).
+	Cascaded int64
+}
+
+// target builds core's view of the table.
+func (tbl *Table) target() *core.Target {
+	tgt := &core.Target{
+		Name: tbl.t.Name, Heap: tbl.t.Heap, Schema: tbl.t.Schema, Pool: tbl.db.pool,
+	}
+	for _, ix := range tbl.t.Idx {
+		tgt.Indexes = append(tgt.Indexes, core.IndexRef{
+			Name: ix.Def.Name, Tree: ix.Tree, Field: ix.Def.Field,
+			Unique: ix.Def.Unique, Clustered: ix.Def.Clustered,
+			Priority: ix.Def.Priority, Gate: ix.Gate,
+		})
+	}
+	return tgt
+}
+
+// BulkDelete executes DELETE FROM tbl WHERE field IN (values) with the
+// vertical bulk delete operator — the paper's contribution. With the WAL
+// enabled the statement is checkpointed and crash-recoverable (it is
+// rolled forward, not back). Declared foreign keys are enforced first,
+// vertically: RESTRICT probes run read-only before anything is modified,
+// CASCADE recursively bulk-deletes the referencing child rows.
+func (tbl *Table) BulkDelete(field int, values []int64, opts BulkOptions) (*BulkResult, error) {
+	return tbl.bulkDeleteWithDepth(field, values, opts, 0)
+}
+
+func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOptions, depth int) (*BulkResult, error) {
+	if tbl.db.crashed {
+		return nil, errCrashed
+	}
+	if opts.Memory <= 0 {
+		opts.Memory = table.DefaultSortBudget
+	}
+	res := &BulkResult{Victims: len(values)}
+
+	// Referential integrity first — "as early as possible and before
+	// deleting records from the table and the indices" (paper §2.1).
+	cascaded, err := tbl.db.enforceForeignKeys(tbl, field, values, opts, depth)
+	if err != nil {
+		return nil, err
+	}
+	res.Cascaded = cascaded
+
+	coreOpts := core.Options{
+		Method:     opts.Method,
+		Memory:     opts.Memory,
+		Reorganize: opts.Reorganize,
+	}
+	if tbl.db.log != nil {
+		coreOpts.Log = tbl.db.log
+		coreOpts.TxID = tbl.db.nextTx()
+	}
+
+	// §3.1 concurrency protocol.
+	tbl.t.Lock.LockExclusive()
+	locked := true
+	unlock := func() {
+		if locked {
+			tbl.t.Lock.UnlockExclusive()
+			locked = false
+		}
+	}
+	defer unlock()
+
+	if opts.Concurrent {
+		byFile := make(map[sim.FileID]*table.Index, len(tbl.t.Idx))
+		for _, ix := range tbl.t.Idx {
+			ix.Gate.TakeOffline()
+			byFile[ix.Tree.ID()] = ix
+		}
+		coreOpts.Undeletable = tbl.t.Undeletable
+		coreOpts.OnStructureDone = func(file sim.FileID) {
+			ix, ok := byFile[file]
+			if !ok {
+				return // the heap: nothing to reopen
+			}
+			// Apply the side-file: drain in batches while appends
+			// continue, then quiesce for the final batch and bring
+			// the index online (§3.1.1).
+			sf := ix.Gate.SideFile()
+			for sf.Len() > 64 {
+				for _, op := range sf.Drain(64) {
+					res.SideFileOps++
+					_ = tbl.applySideOp(ix, op)
+				}
+			}
+			for _, op := range sf.Quiesce() {
+				res.SideFileOps++
+				_ = tbl.applySideOp(ix, op)
+			}
+			ix.Gate.BringOnline()
+		}
+		coreOpts.OnCriticalDone = func() {
+			// Table and unique indexes durable: release the lock so
+			// readers and updaters may proceed (§3.1).
+			unlock()
+		}
+		defer func() {
+			// Whatever happens, no index stays offline.
+			for _, ix := range tbl.t.Idx {
+				if ix.Gate.State() != cc.Online {
+					for _, op := range ix.Gate.SideFile().Quiesce() {
+						res.SideFileOps++
+						_ = tbl.applySideOp(ix, op)
+					}
+					ix.Gate.BringOnline()
+				}
+			}
+		}()
+	}
+
+	st, err := core.Execute(tbl.target(), field, values, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.Deleted = st.Deleted
+	res.Method = st.Method
+	res.Partitions = st.Partitions
+	res.Elapsed = st.Elapsed
+	res.PlanText = st.PlanText
+	return res, nil
+}
+
+// applySideOp replays one deferred index operation.
+func (tbl *Table) applySideOp(ix *table.Index, op cc.Op) error {
+	if op.Kind == cc.OpInsert {
+		err := ix.Tree.Insert(op.Key, op.RID)
+		if err == btree.ErrDuplicateKey {
+			return err
+		}
+		return err
+	}
+	err := ix.Tree.Delete(op.Key, op.RID)
+	if err == btree.ErrNotFound {
+		return nil // already removed by the bulk delete
+	}
+	return err
+}
+
+// UpdateResult reports a bulk update.
+type UpdateResult struct {
+	// Updated records.
+	Updated int64
+	// EntriesMoved counts index entries deleted and reinserted.
+	EntriesMoved int64
+	// Elapsed simulated time.
+	Elapsed time.Duration
+}
+
+// BulkUpdate executes
+//
+//	UPDATE tbl SET setField = transform(setField) WHERE predField IN (values)
+//
+// with the vertical technique the paper's introduction sketches for UPDATE
+// statements: the records are updated in one physical-order pass and each
+// index over setField receives a bulk delete of the old entries followed
+// by a bulk insert of the new ones. Indexes over other attributes are
+// untouched. The statement runs under the exclusive table lock and is not
+// WAL-protected (see DESIGN.md's future-work notes).
+func (tbl *Table) BulkUpdate(predField int, values []int64, setField int,
+	transform func(int64) int64, opts BulkOptions) (*UpdateResult, error) {
+
+	if tbl.db.crashed {
+		return nil, errCrashed
+	}
+	if opts.Memory <= 0 {
+		opts.Memory = table.DefaultSortBudget
+	}
+	tbl.t.Lock.LockExclusive()
+	defer tbl.t.Lock.UnlockExclusive()
+	st, err := core.ExecuteUpdate(tbl.target(), predField, values, setField, transform, core.Options{
+		Memory:     opts.Memory,
+		Reorganize: opts.Reorganize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &UpdateResult{
+		Updated:      st.Updated,
+		EntriesMoved: st.EntriesMoved,
+		Elapsed:      st.Elapsed,
+	}, nil
+}
+
+// DeleteTraditional runs the record-at-a-time baseline: every victim
+// probed through the access index, each record removed from the heap and
+// from every index individually.
+func (tbl *Table) DeleteTraditional(field int, values []int64, sortValues bool) (int64, error) {
+	if tbl.db.crashed {
+		return 0, errCrashed
+	}
+	tbl.t.Lock.LockExclusive()
+	defer tbl.t.Lock.UnlockExclusive()
+	return tbl.t.TraditionalDelete(field, values, sortValues)
+}
+
+// DeleteDropCreate runs the drop-&-create baseline: secondary indexes are
+// dropped, the delete runs against the access index only, and the dropped
+// indexes are rebuilt.
+func (tbl *Table) DeleteDropCreate(field int, values []int64) (int64, error) {
+	if tbl.db.crashed {
+		return 0, errCrashed
+	}
+	tbl.t.Lock.LockExclusive()
+	defer tbl.t.Lock.UnlockExclusive()
+	n, err := tbl.t.DropCreateDelete(field, values, true)
+	if err != nil {
+		return n, err
+	}
+	return n, tbl.db.saveCatalog()
+}
+
+// Explain renders the plan the given method would execute for a bulk
+// delete on the field — the code form of the paper's Figures 3–5.
+func (tbl *Table) Explain(field int, m Method, memory int) string {
+	if memory <= 0 {
+		memory = table.DefaultSortBudget
+	}
+	tgt := tbl.target()
+	if m == Auto {
+		m = core.ChooseMethod(tgt, field, 0, memory)
+	}
+	return core.BuildPlan(tgt, field, m, memory, 1).String()
+}
+
+// EstimateMethods returns the planner's cost estimates for a victim count,
+// in plan order.
+func (tbl *Table) EstimateMethods(field, victims, memory int) map[string]time.Duration {
+	if memory <= 0 {
+		memory = table.DefaultSortBudget
+	}
+	out := make(map[string]time.Duration)
+	for _, e := range core.EstimateCosts(tbl.target(), field, victims, memory) {
+		out[e.Method.String()] = e.Time
+	}
+	return out
+}
