@@ -10,6 +10,7 @@ import (
 	"bulkdel/internal/cc"
 	"bulkdel/internal/core"
 	"bulkdel/internal/heap"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/table"
@@ -171,6 +172,10 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		catalog: 0,
 		txSeq:   root.TxSeq,
 		opts:    opts,
+		obs:     opts.Observer,
+	}
+	if db.obs == nil {
+		db.obs = obs.NewObserver()
 	}
 	if opts.ReadAhead > 0 {
 		db.pool.SetReadAhead(opts.ReadAhead)
@@ -243,6 +248,9 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 	st, err := core.Resume(victim.target(), bs, log, recs, field, core.Options{})
 	if err != nil {
 		return nil, nil, fmt.Errorf("bulkdel: roll-forward failed: %w", err)
+	}
+	if st.Trace != nil {
+		db.obs.OnTrace(st.Trace)
 	}
 	report.RolledForward = st.Deleted
 	return db, report, nil

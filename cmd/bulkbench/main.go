@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -34,6 +35,7 @@ func main() {
 		rows    = flag.Int("rows", bench.FullScaleRows, "table size (paper: 1000000)")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
+		jsonDir = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory (\".\" for cwd)")
 		started = time.Now()
 	)
 	flag.Parse()
@@ -82,12 +84,31 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println(e.Format())
+		if *jsonDir != "" {
+			path, err := writeJSON(*jsonDir, e)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", rr.name, err))
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 		ran++
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown experiment %q (want fig1, exp1..exp5, plans, reorg, methods, all)", *exp))
 	}
 	fmt.Printf("done in %s of real time\n", time.Since(started).Round(time.Second))
+}
+
+// writeJSON encodes the experiment as BENCH_<id>.json in dir; the file
+// stem is the first field of the experiment ID ("exp1 (fig7)" → exp1).
+func writeJSON(dir string, e bench.Experiment) (string, error) {
+	stem := strings.Fields(e.ID)[0]
+	j, err := e.JSON()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+stem+".json")
+	return path, os.WriteFile(path, append(j, '\n'), 0o644)
 }
 
 func fatal(err error) {

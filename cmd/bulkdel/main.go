@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	bulkdel            # interactive (reads commands from stdin)
-//	bulkdel -f demo.bd # run a script
+//	bulkdel                             # interactive (reads commands from stdin)
+//	bulkdel -f demo.bd                  # run a script
+//	bulkdel -f demo.bd -explain-analyze # annotate every bulk delete with actuals
+//	bulkdel -f demo.bd -metrics-json    # emit every bulk delete's metrics as JSON
 //
 // Commands (type `help` in the shell):
 //
@@ -20,7 +22,7 @@
 //	lookup <table> <field> <value>
 //	count <table> | check <table> | explain <table> <field> [method]
 //	estimate <table> <field> <victims>
-//	clock | stats | flush | crash | recover | help | quit
+//	clock | stats | metrics | flush | crash | recover | help | quit
 package main
 
 import (
@@ -36,13 +38,19 @@ import (
 )
 
 type shell struct {
-	db   *bulkdel.DB
-	disk *sim.Disk
-	out  *bufio.Writer
+	db             *bulkdel.DB
+	disk           *sim.Disk
+	out            *bufio.Writer
+	explainAnalyze bool
+	metricsJSON    bool
 }
 
 func main() {
 	script := flag.String("f", "", "script file (default: interactive stdin)")
+	explainAnalyze := flag.Bool("explain-analyze", false,
+		"after every bulk delete, print the plan tree annotated with measured actuals")
+	metricsJSON := flag.Bool("metrics-json", false,
+		"after every bulk delete, print its metrics (estimates, per-structure I/O, phase trace) as JSON")
 	flag.Parse()
 
 	in := os.Stdin
@@ -60,7 +68,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bulkdel:", err)
 		os.Exit(1)
 	}
-	sh := &shell{db: db, out: bufio.NewWriter(os.Stdout)}
+	sh := &shell{db: db, out: bufio.NewWriter(os.Stdout),
+		explainAnalyze: *explainAnalyze, metricsJSON: *metricsJSON}
 	defer sh.out.Flush()
 
 	interactive := *script == "" && isTTY()
@@ -140,6 +149,19 @@ func (s *shell) exec(line string) error {
 		fmt.Fprintf(s.out, "reads=%d writes=%d random=%d near=%d sequential=%d chained-runs=%d\n",
 			st.Reads, st.Writes, st.RandomOps, st.NearOps, st.SeqOps, st.ChainedRuns)
 		return nil
+	case "metrics":
+		snap := s.db.Metrics()
+		ps := s.db.PoolStats()
+		fmt.Fprintf(s.out, "clock=%v reads=%d writes=%d seeks=%d pool-hits=%d pool-misses=%d wal=%d bytes\n",
+			snap.Clock, snap.Disk.Reads, snap.Disk.Writes, snap.Disk.RandomOps,
+			ps.Hits, ps.Misses, snap.WALBytes)
+		j, err := s.db.Observer().Registry().JSON()
+		if err != nil {
+			return err
+		}
+		s.out.Write(j)
+		fmt.Fprintln(s.out)
+		return nil
 	case "flush":
 		return s.db.Flush()
 	case "crash":
@@ -181,7 +203,7 @@ func (s *shell) help() {
   count <table> | check <table>
   explain <table> <field> [sort|hash|partition]
   estimate <table> <field> <victims>
-  clock | stats | flush | crash | recover | quit
+  clock | stats | metrics | flush | crash | recover | quit
 `)
 }
 
@@ -404,6 +426,17 @@ func (s *shell) delete(args []string) error {
 		}
 		fmt.Fprintf(s.out, "bulk delete (%v) removed %d of %d victims in %v simulated\n",
 			res.Method, res.Deleted, res.Victims, res.Elapsed)
+		if s.explainAnalyze {
+			fmt.Fprint(s.out, res.ExplainAnalyze())
+		}
+		if s.metricsJSON {
+			j, err := res.MetricsJSON()
+			if err != nil {
+				return err
+			}
+			s.out.Write(j)
+			fmt.Fprintln(s.out)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown delete mode %q", mode)

@@ -26,6 +26,7 @@ import (
 
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/core"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/table"
@@ -53,6 +54,17 @@ const (
 // RID identifies a record by physical position (page, slot).
 type RID = record.RID
 
+// Trace is a statement's span tree on the simulated clock (see
+// internal/obs); BulkResult.Trace carries one per bulk delete.
+type Trace = obs.Trace
+
+// Observer aggregates statement traces into engine-wide metrics.
+type Observer = obs.Observer
+
+// NewObserver creates an observer that can be shared across DB instances
+// via Options.Observer.
+func NewObserver() *Observer { return obs.NewObserver() }
+
 // Options configures a database instance.
 type Options struct {
 	// BufferBytes is the buffer-pool budget (default 8 MB — comfortably
@@ -66,6 +78,9 @@ type Options struct {
 	DisableWAL bool
 	// ReadAhead overrides the chained-I/O run length in pages.
 	ReadAhead int
+	// Observer receives every statement's trace and aggregates engine-wide
+	// metrics (nil = the DB creates its own; see DB.Observer).
+	Observer *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +100,7 @@ type DB struct {
 	fks     []ForeignKey
 	txSeq   uint64
 	opts    Options
+	obs     *obs.Observer
 	crashed bool
 }
 
@@ -101,6 +117,10 @@ func Open(opts Options) (*DB, error) {
 		pool:   buffer.New(disk, opts.BufferBytes),
 		tables: make(map[string]*Table),
 		opts:   opts,
+		obs:    opts.Observer,
+	}
+	if db.obs == nil {
+		db.obs = obs.NewObserver()
 	}
 	if opts.ReadAhead > 0 {
 		db.pool.SetReadAhead(opts.ReadAhead)
@@ -133,6 +153,30 @@ func (db *DB) DiskStats() sim.Stats { return db.disk.Stats() }
 
 // ResetDiskStats zeroes the counters (the clock keeps running).
 func (db *DB) ResetDiskStats() { db.disk.ResetStats() }
+
+// PoolStats returns the buffer-pool counters (hits, misses, evictions).
+func (db *DB) PoolStats() buffer.Stats { return db.pool.Stats() }
+
+// ResetPoolStats zeroes the buffer-pool counters.
+func (db *DB) ResetPoolStats() { db.pool.ResetStats() }
+
+// Observer returns the engine-wide metrics collector: aggregated counters,
+// latency histograms, and the most recent statement traces.
+func (db *DB) Observer() *obs.Observer { return db.obs }
+
+// obsSource describes where this DB's counters live, for snapshotting.
+func (db *DB) obsSource() obs.Source {
+	src := obs.Source{Disk: db.disk, Pool: db.pool}
+	if db.log != nil {
+		src.WALBytes = func() uint64 { return uint64(db.log.FlushedLSN()) }
+	}
+	return src
+}
+
+// Metrics captures a point-in-time snapshot of the simulated clock, the
+// disk counters, the buffer-pool counters, and the durable WAL bytes.
+// Subtract two snapshots (Snapshot.Sub) to attribute work to a scope.
+func (db *DB) Metrics() obs.Snapshot { return db.obsSource().Capture() }
 
 // WALEnabled reports whether bulk deletes are logged and recoverable.
 func (db *DB) WALEnabled() bool { return db.log != nil }

@@ -15,6 +15,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"bulkdel/internal/btree"
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/core"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/table"
 	"bulkdel/internal/workload"
@@ -115,6 +117,27 @@ type Result struct {
 	Method core.Method
 	// Disk are the I/O counters for the statement.
 	Disk sim.Stats
+	// Phases is the per-phase I/O breakdown of the statement, from the
+	// trace the run records (bulk approaches get one entry per engine
+	// phase; the baselines a single "statement" phase).
+	Phases []PhaseIO
+	// Trace is the full span tree of the statement.
+	Trace *obs.Trace
+}
+
+// PhaseIO is one phase's I/O attribution.
+type PhaseIO struct {
+	Name string        `json:"name"`
+	IO   obs.DeltaWire `json:"io"`
+}
+
+// phases flattens a trace's first-level spans into the breakdown.
+func phases(tr *obs.Trace) []PhaseIO {
+	var out []PhaseIO
+	for _, sp := range tr.Root().Children {
+		out = append(out, PhaseIO{Name: sp.Name, IO: sp.IO.Wire()})
+	}
+	return out
 }
 
 // scaledMemory converts the full-scale MB budget to bytes at this scale.
@@ -189,13 +212,21 @@ func Run(cfg Config, ap Approach) (Result, error) {
 
 	disk.ResetStats()
 	start := disk.Clock()
+	tr := obs.NewTrace("bench", fmt.Sprintf("%v rows=%d fraction=%g", ap, cfg.Rows, cfg.Fraction),
+		obs.Source{Disk: disk, Pool: pool})
 	switch ap {
 	case NotSortedTrad:
+		sp := tr.Root().Child("statement", "record-at-a-time delete")
 		res.Deleted, err = tbl.TraditionalDelete(0, victims, false)
+		sp.Finish()
 	case SortedTrad:
+		sp := tr.Root().Child("statement", "record-at-a-time delete, sorted victims")
 		res.Deleted, err = tbl.TraditionalDelete(0, victims, true)
+		sp.Finish()
 	case DropCreate:
+		sp := tr.Root().Child("statement", "drop indexes, delete, rebuild")
 		res.Deleted, err = tbl.DropCreateDelete(0, victims, true)
+		sp.Finish()
 	case BulkSortMerge, BulkHash, BulkPartition, BulkAuto:
 		method := map[Approach]core.Method{
 			BulkSortMerge: core.SortMerge,
@@ -205,7 +236,7 @@ func Run(cfg Config, ap Approach) (Result, error) {
 		}[ap]
 		var st *core.Stats
 		st, err = core.Execute(Target(tbl), 0, victims, core.Options{
-			Method: method, Memory: mem, Reorganize: cfg.Reorganize,
+			Method: method, Memory: mem, Reorganize: cfg.Reorganize, Trace: tr,
 		})
 		if st != nil {
 			res.Deleted = st.Deleted
@@ -219,12 +250,17 @@ func Run(cfg Config, ap Approach) (Result, error) {
 	}
 	// The statement is complete when its effects are durable: force the
 	// write-back so every approach pays for the pages it dirtied.
+	wb := tr.Root().Child("write-back", "flush dirty pages")
 	if err := tbl.Flush(); err != nil {
 		return Result{}, err
 	}
+	wb.Finish()
+	tr.Finish()
 	res.SimTime = disk.Clock() - start
 	res.Minutes = res.SimTime.Minutes()
 	res.Disk = disk.Stats()
+	res.Trace = tr
+	res.Phases = phases(tr)
 
 	if cfg.Verify {
 		if err := tbl.CheckConsistency(); err != nil {
@@ -281,6 +317,70 @@ func (e Experiment) Format() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// The BENCH_*.json wire format: every point carries the simulated time,
+// the statement's I/O counters, and the per-phase breakdown, with fixed
+// field order and integral microseconds so identical runs produce
+// identical bytes — the perf-trajectory contract later PRs report against.
+type experimentJSON struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Label  string      `json:"label"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	X        string    `json:"x"`
+	Approach string    `json:"approach"`
+	Method   string    `json:"method,omitempty"`
+	Rows     int       `json:"rows"`
+	Fraction float64   `json:"fraction"`
+	Indexes  int       `json:"indexes"`
+	SimUS    int64     `json:"sim_us"`
+	Minutes  float64   `json:"minutes"`
+	Deleted  int64     `json:"deleted"`
+	Reads    uint64    `json:"reads"`
+	Writes   uint64    `json:"writes"`
+	Seeks    uint64    `json:"seeks"`
+	Phases   []PhaseIO `json:"phases,omitempty"`
+}
+
+// JSON encodes the experiment in the stable BENCH_*.json format.
+func (e Experiment) JSON() ([]byte, error) {
+	out := experimentJSON{ID: e.ID, Title: e.Title, XLabel: e.XLabel}
+	for _, s := range e.Series {
+		sj := seriesJSON{Label: s.Label}
+		for _, p := range s.Points {
+			r := p.Result
+			pj := pointJSON{
+				X:        p.X,
+				Approach: r.Approach.String(),
+				Rows:     r.Config.Rows,
+				Fraction: r.Config.Fraction,
+				Indexes:  r.Config.NumIndexes,
+				SimUS:    r.SimTime.Microseconds(),
+				Minutes:  r.Minutes,
+				Deleted:  r.Deleted,
+				Reads:    r.Disk.Reads,
+				Writes:   r.Disk.Writes,
+				Seeks:    r.Disk.RandomOps,
+				Phases:   r.Phases,
+			}
+			switch r.Approach {
+			case BulkSortMerge, BulkHash, BulkPartition, BulkAuto:
+				pj.Method = r.Method.String()
+			}
+			sj.Points = append(sj.Points, pj)
+		}
+		out.Series = append(out.Series, sj)
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // Runner executes experiments at a given scale, reporting progress.

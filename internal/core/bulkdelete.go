@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"bulkdel/internal/keyenc"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/wal"
@@ -22,23 +23,43 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 	if field < 0 || field >= tgt.Schema.NumFields {
 		return nil, fmt.Errorf("core: field %d out of range", field)
 	}
+	ests := EstimateCosts(tgt, field, len(values), o.Memory)
 	method := o.Method
 	if method == Auto {
-		method = ChooseMethod(tgt, field, len(values), o.Memory)
+		method = bestEstimate(ests)
 	}
 	e := &execCtx{tgt: tgt, opts: o}
-	stats := &Stats{Method: method, Victims: len(values)}
+	stats := &Stats{Method: method, Victims: len(values), Estimates: ests}
 	e.stats = stats
+
+	// Tracing: every execution carries a span tree; an externally supplied
+	// trace is appended to (and finished by) its owner.
+	tr := o.Trace
+	ownTrace := tr == nil
+	if ownTrace {
+		tr = obs.NewTrace("bulk-delete",
+			fmt.Sprintf("table=%s field=%d victims=%d", tgt.Name, field, len(values)),
+			traceSource(tgt, o.Log))
+	}
+	e.trace = tr
+	stats.Trace = tr
+	root := tr.Root()
+	root.Set("method", method.String())
+	for _, est := range ests {
+		root.Set("estimate["+est.Method.String()+"]", est.Time.String())
+	}
 	start := e.disk().Clock()
 
 	access := accessIndex(tgt, field)
 	rest := remainingIndexes(tgt, access)
 	parts := estimatePartitions(tgt, rest, len(values), o.Memory)
-	stats.PlanText = BuildPlan(tgt, field, method, o.Memory, parts).String()
+	stats.Plan = BuildPlan(tgt, field, method, o.Memory, parts)
+	stats.PlanText = stats.Plan.String()
 
 	logged := o.Log != nil
 	var victimFile *rowFile
 	if logged {
+		sp := e.span("materialize-victims", fmt.Sprintf("%d values → stable storage", len(values)))
 		if _, err := o.Log.Append(wal.TBegin, o.TxID, 0, 0, nil); err != nil {
 			return nil, err
 		}
@@ -69,6 +90,7 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 		if err := o.Log.Flush(); err != nil {
 			return nil, err
 		}
+		sp.Finish()
 	}
 
 	if err := e.run(field, values, method, access, rest, victimFile, nil); err != nil {
@@ -76,6 +98,7 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 	}
 
 	if logged {
+		sp := e.span("wal-commit", "bulk-end + commit records")
 		if _, err := o.Log.Append(wal.TBulkEnd, o.TxID, 0, 0, nil); err != nil {
 			return stats, err
 		}
@@ -85,8 +108,14 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 		if err := o.Log.Flush(); err != nil {
 			return stats, err
 		}
+		sp.Finish()
 	}
 	stats.Elapsed = e.disk().Clock() - start
+	root.Set("deleted", fmt.Sprintf("%d", stats.Deleted))
+	annotatePlan(stats)
+	if ownTrace {
+		tr.Finish()
+	}
 	return stats, nil
 }
 
@@ -112,11 +141,14 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		if victimFile != nil {
 			return victimFile.iterator(0)
 		}
+		sp := e.child("sort-victims", fmt.Sprintf("%d values by key", len(values)))
 		srt, err := sortVictims(e, values)
 		if err != nil {
+			sp.Finish()
 			return nil, err
 		}
 		it, err := srt.Finish()
+		sp.Finish()
 		if err != nil {
 			return nil, err
 		}
@@ -155,6 +187,8 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		ridFile = rs.ridFile
 	} else if logged {
 		// Read-only collect pass → sort by RID → materialize.
+		sp := e.span("collect-rids", "read-only ⋈̸ → sorted RID list → stable storage")
+		e.cur = sp
 		srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
 		if err != nil {
 			return err
@@ -184,10 +218,14 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		if err := o.Log.Flush(); err != nil {
 			return err
 		}
+		sp.Finish()
+		e.cur = nil
 	}
 
 	// Destructive pass on the access index.
 	if access != nil && !e.skip(access.Tree.ID()) {
+		sp := e.span("access-pass", fmt.Sprintf("⋈̸[merge] %s (by key)", access.Name))
+		e.cur = sp
 		t0 := disk.Clock()
 		if err := e.structStart(access.Tree.ID(), 1); err != nil {
 			return err
@@ -236,9 +274,11 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		if err := e.structDone(access.Tree.ID(), func() error { return access.Tree.Flush() }); err != nil {
 			return err
 		}
-		stats.PerStructure = append(stats.PerStructure, StructStats{
-			Name: access.Name, File: access.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0,
-		})
+		sp.Finish()
+		e.cur = nil
+		ss := StructStats{Name: access.Name, File: access.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
+		ss.fillIO(sp)
+		stats.PerStructure = append(stats.PerStructure, ss)
 		if e.pendingRIDSorter != nil {
 			it, err := e.pendingRIDSorter.Finish()
 			if err != nil {
@@ -253,6 +293,8 @@ func (e *execCtx) run(field int, values []int64, method Method,
 
 	if access == nil && !logged {
 		// Victims located by table scan: RIDs arrive already sorted.
+		sp := e.span("collect-rids", "table scan → RID list")
+		e.cur = sp
 		if method == Hash {
 			ridSet = make(map[record.RID]struct{}, len(values))
 			if err := collectRIDs(func(rid record.RID) error {
@@ -279,6 +321,8 @@ func (e *execCtx) run(field int, values []int64, method Method,
 			}
 			ridIter = it.Next
 		}
+		sp.Finish()
+		e.cur = nil
 	}
 	if logged && method == Hash {
 		// Build the RID hash from the materialized list.
@@ -303,6 +347,8 @@ func (e *execCtx) run(field int, values []int64, method Method,
 			// Extract into per-index sorters, then materialize the
 			// *sorted* lists — the paper's "results of the join
 			// variants should be materialized to stable storage".
+			sp := e.span("extract", fmt.Sprintf("π ⟨key,RID⟩ for %d indexes → sorted, stable storage", len(rest)))
+			e.cur = sp
 			extractSorters := make(map[sim.FileID]*xsort.Sorter, len(rest))
 			for _, ix := range rest {
 				srt, err := xsort.New(disk, ix.Tree.KeyLen()+record.RIDSize, o.Memory, nil)
@@ -342,12 +388,16 @@ func (e *execCtx) run(field int, values []int64, method Method,
 			if err := o.Log.Flush(); err != nil {
 				return err
 			}
+			sp.Finish()
+			e.cur = nil
 		}
 	}
 
 	// ---- Phase 2b: delete from the heap.
 	sorters := make(map[sim.FileID]*xsort.Sorter) // unlogged sort/merge
 	if !e.skip(e.tgt.Heap.ID()) {
+		sp := e.span("heap-pass", fmt.Sprintf("⋈̸[%s] %s (by RID)", method, e.tgt.Name))
+		e.cur = sp
 		t0 := disk.Clock()
 		if err := e.structStart(e.tgt.Heap.ID(), 0); err != nil {
 			return err
@@ -399,10 +449,12 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		if err := e.structDone(e.tgt.Heap.ID(), func() error { return e.tgt.Heap.Flush() }); err != nil {
 			return err
 		}
+		sp.Finish()
+		e.cur = nil
 		stats.Deleted = del
-		stats.PerStructure = append(stats.PerStructure, StructStats{
-			Name: e.tgt.Name, File: e.tgt.Heap.ID(), Deleted: del, Elapsed: disk.Clock() - t0,
-		})
+		ss := StructStats{Name: e.tgt.Name, File: e.tgt.Heap.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
+		ss.fillIO(sp)
+		stats.PerStructure = append(stats.PerStructure, ss)
 	}
 
 	// For HashPartition (unlogged), seal the key files written above.
@@ -440,6 +492,8 @@ func (e *execCtx) run(field int, values []int64, method Method,
 			signalCritical()
 			continue
 		}
+		sp := e.span("index-pass", fmt.Sprintf("⋈̸[%s] %s (by key)", method, ix.Name))
+		e.cur = sp
 		t0 := disk.Clock()
 		if err := e.structStart(ix.Tree.ID(), 1); err != nil {
 			return err
@@ -490,9 +544,11 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		if err := e.structDone(ix.Tree.ID(), func() error { return ix.Tree.Flush() }); err != nil {
 			return err
 		}
-		stats.PerStructure = append(stats.PerStructure, StructStats{
-			Name: ix.Name, File: ix.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0,
-		})
+		sp.Finish()
+		e.cur = nil
+		ss := StructStats{Name: ix.Name, File: ix.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
+		ss.fillIO(sp)
+		stats.PerStructure = append(stats.PerStructure, ss)
 		if ix.Unique {
 			criticalLeft--
 		}

@@ -7,6 +7,7 @@ import (
 
 	"bulkdel/internal/btree"
 	"bulkdel/internal/keyenc"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/wal"
@@ -22,6 +23,10 @@ type execCtx struct {
 	tgt   *Target
 	opts  Options
 	stats *Stats
+	// trace is the statement's span tree (nil when untraced); cur is the
+	// currently open phase span, so pass internals can nest sub-spans.
+	trace *obs.Trace
+	cur   *obs.Span
 	// checkpoint state
 	sinceCkpt int
 	applied   int64 // rows applied to the current structure
@@ -32,6 +37,33 @@ type execCtx struct {
 }
 
 func (e *execCtx) disk() *sim.Disk { return e.tgt.Pool.Disk() }
+
+// span opens a phase span under the trace root (nil when untraced; every
+// obs.Span method is nil-safe, so call sites need no guards).
+func (e *execCtx) span(name, detail string) *obs.Span {
+	if e.trace == nil {
+		return nil
+	}
+	return e.trace.Root().Child(name, detail)
+}
+
+// child opens a sub-span of the currently open phase (or a root phase span
+// when no phase is open).
+func (e *execCtx) child(name, detail string) *obs.Span {
+	if e.cur != nil {
+		return e.cur.Child(name, detail)
+	}
+	return e.span(name, detail)
+}
+
+// traceSource builds the snapshot source for a statement against tgt.
+func traceSource(tgt *Target, log *wal.Log) obs.Source {
+	src := obs.Source{Disk: tgt.Pool.Disk(), Pool: tgt.Pool}
+	if log != nil {
+		src.WALBytes = func() uint64 { return uint64(log.FlushedLSN()) }
+	}
+	return src
+}
 
 // errInjectedCrash is returned by the crash-injection hooks so recovery
 // tests can interrupt a run at a precise point.

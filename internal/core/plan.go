@@ -29,6 +29,7 @@ import (
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/cc"
 	"bulkdel/internal/heap"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/wal"
@@ -121,6 +122,10 @@ type Options struct {
 	// OnCriticalDone is invoked once the heap and every unique index are
 	// processed — the point where the paper releases the table lock.
 	OnCriticalDone func()
+	// Trace, when set, receives one child span per plan phase under its
+	// root (the caller finishes the trace). When nil, Execute creates and
+	// finishes its own trace; either way Stats.Trace carries it.
+	Trace *obs.Trace
 
 	// failAfterApplied injects a crash (errInjectedCrash) after that many
 	// noteApplied calls across the whole run — recovery tests only.
@@ -141,12 +146,33 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// StructStats reports what happened to one structure.
+// StructStats reports what happened to one structure, including the I/O
+// the structure's ⋈̸ pass caused (taken from the pass's trace-span diff).
 type StructStats struct {
 	Name    string
 	File    sim.FileID
 	Deleted int64
 	Elapsed time.Duration
+	// Per-pass I/O attribution.
+	Reads    uint64 // pages read during the pass
+	Writes   uint64 // pages written during the pass
+	Seeks    uint64 // full positioning charges paid
+	Hits     uint64 // buffer-pool hits
+	Misses   uint64 // buffer-pool misses
+	WALBytes uint64 // log bytes made durable during the pass
+}
+
+// HitRatio returns the pass's buffer hit ratio in [0,1] (-1 when the pass
+// never touched the pool).
+func (ss StructStats) HitRatio() float64 {
+	return obs.Delta{Hits: ss.Hits, Misses: ss.Misses}.HitRatio()
+}
+
+// fillIO copies a span's I/O attribution into the structure stats.
+func (ss *StructStats) fillIO(sp *obs.Span) {
+	d := sp.Delta()
+	ss.Reads, ss.Writes, ss.Seeks = d.Reads, d.Writes, d.Seeks
+	ss.Hits, ss.Misses, ss.WALBytes = d.Hits, d.Misses, d.WALBytes
 }
 
 // Stats reports one bulk delete execution.
@@ -158,6 +184,14 @@ type Stats struct {
 	Partitions   int // hash+range-partition only
 	PlanText     string
 	Elapsed      time.Duration
+	// Plan is the executed plan tree (PlanText is its plain rendering);
+	// after the run it carries per-node actuals for ExplainAnalyze.
+	Plan *PlanNode
+	// Estimates is the planner's cost table, in plan order — kept so the
+	// estimated cost can be compared against the measured time.
+	Estimates []CostEstimate
+	// Trace is the phase tree with per-span I/O attribution.
+	Trace *obs.Trace
 }
 
 // PlanNode is one operator of the logical plan, used for explain output in
@@ -166,6 +200,9 @@ type PlanNode struct {
 	Op       string
 	Detail   string
 	Children []*PlanNode
+	// Annot, when set, is rendered on its own "↳" line under the node —
+	// EXPLAIN ANALYZE fills it with the node's measured actuals.
+	Annot string
 }
 
 // String renders the plan as an indented operator tree.
@@ -191,6 +228,9 @@ func (p *PlanNode) render(b *strings.Builder, prefix string, last bool) {
 		b.WriteString("  " + p.Detail)
 	}
 	b.WriteString("\n")
+	if p.Annot != "" {
+		b.WriteString(childPrefix + "↳ " + p.Annot + "\n")
+	}
 	for i, c := range p.Children {
 		c.render(b, childPrefix, i == len(p.Children)-1)
 	}

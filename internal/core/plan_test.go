@@ -1,0 +1,215 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// planTarget builds a three-index target for plan rendering. BuildPlan only
+// reads names and fields, so the trees may stay nil.
+func planTarget() *Target {
+	return &Target{
+		Name: "orders",
+		Indexes: []IndexRef{
+			{Name: "IA", Field: 0, Unique: true},
+			{Name: "IB", Field: 1},
+			{Name: "IC", Field: 2},
+		},
+	}
+}
+
+const goldenSortMerge = `DELETE  FROM orders WHERE field0 IN D  —  method=sort/merge, memory=5.0 MB
+   ├─ ⋈̸[merge] orders (by RID)  → π_{key,RID} per remaining index
+   │  └─ sort  RIDs by physical position
+   │     └─ ⋈̸[merge] IA (by key)  → RIDs of deleted entries
+   │        └─ sort  π_field0(D) by key
+   ├─ ⋈̸[merge] IB (by key,RID)
+   │  └─ sort  π_{IB,RID} by key
+   │     └─ π  {key(IB), RID} from orders deletes
+   └─ ⋈̸[merge] IC (by key,RID)
+      └─ sort  π_{IC,RID} by key
+         └─ π  {key(IC), RID} from orders deletes
+`
+
+const goldenHash = `DELETE  FROM orders WHERE field0 IN D  —  method=hash, memory=5.0 MB
+   ├─ ⋈̸[hash-probe scan] orders (by RID)
+   │  └─ hash build  RID list → main-memory hash table
+   │     └─ ⋈̸[merge] IA (by key)  → RIDs of deleted entries
+   │        └─ sort  π_field0(D) by key
+   ├─ ⋈̸[hash-probe scan] IB (by RID)
+   │  └─ ⤷ shared  the RID hash table built above
+   └─ ⋈̸[hash-probe scan] IC (by RID)
+      └─ ⤷ shared  the RID hash table built above
+`
+
+const goldenPartition = `DELETE  FROM orders WHERE field0 IN D  —  method=hash+range-partition, memory=5.0 MB
+   ├─ ⋈̸[merge] orders (by RID)  → π_{key,RID} per remaining index
+   │  └─ sort  RIDs by physical position
+   │     └─ ⋈̸[merge] IA (by key)  → RIDs of deleted entries
+   │        └─ sort  π_field0(D) by key
+   ├─ ⋈̸[hash-probe leaf range] IB (by key,RID)  one in-memory hash per partition
+   │  └─ range partition  π_{IB,RID} into 4 partitions by index separators
+   │     └─ π  {key(IB), RID} from orders deletes
+   └─ ⋈̸[hash-probe leaf range] IC (by key,RID)  one in-memory hash per partition
+      └─ range partition  π_{IC,RID} into 4 partitions by index separators
+         └─ π  {key(IC), RID} from orders deletes
+`
+
+const goldenNoAccess = `DELETE  FROM orders WHERE field3 IN D  —  method=sort/merge, memory=5.0 MB
+   ├─ ⋈̸[merge] orders (by RID)  → π_{key,RID} per remaining index
+   │  └─ sort  RIDs by physical position
+   │     └─ scan orders  filter field3 ∈ D → RIDs
+   │        └─ sort  π_field3(D) by key
+   ├─ ⋈̸[merge] IA (by key,RID)
+   │  └─ sort  π_{IA,RID} by key
+   │     └─ π  {key(IA), RID} from orders deletes
+   ├─ ⋈̸[merge] IB (by key,RID)
+   │  └─ sort  π_{IB,RID} by key
+   │     └─ π  {key(IB), RID} from orders deletes
+   └─ ⋈̸[merge] IC (by key,RID)
+      └─ sort  π_{IC,RID} by key
+         └─ π  {key(IC), RID} from orders deletes
+`
+
+func TestBuildPlanGoldens(t *testing.T) {
+	cases := []struct {
+		name   string
+		field  int
+		method Method
+		parts  int
+		want   string
+	}{
+		{"sort-merge", 0, SortMerge, 1, goldenSortMerge},
+		{"hash", 0, Hash, 1, goldenHash},
+		{"hash-partition", 0, HashPartition, 4, goldenPartition},
+		{"no-access-index", 3, SortMerge, 1, goldenNoAccess},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := BuildPlan(planTarget(), tc.field, tc.method, 5<<20, tc.parts).String()
+			if got != tc.want {
+				t.Errorf("plan mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPlanNodeAnnotRendering(t *testing.T) {
+	p := &PlanNode{
+		Op:    "DELETE",
+		Annot: "actual: deleted=9",
+		Children: []*PlanNode{
+			{Op: "a", Annot: "actual: rows=1", Children: []*PlanNode{{Op: "leaf"}}},
+			{Op: "b"},
+		},
+	}
+	got := p.String()
+	want := `DELETE
+   ↳ actual: deleted=9
+   ├─ a
+   │  ↳ actual: rows=1
+   │  └─ leaf
+   └─ b
+`
+	if got != want {
+		t.Errorf("annot rendering mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPlanStructName(t *testing.T) {
+	cases := map[string]string{
+		"⋈̸[merge] IA (by key)":                     "IA",
+		"⋈̸[merge] orders (by RID)":                 "orders",
+		"⋈̸[hash-probe scan] IB (by RID)":           "IB",
+		"⋈̸[hash-probe leaf range] IC (by key,RID)": "IC",
+		"sort  RIDs by physical position":           "",
+		"scan orders":                               "",
+		"DELETE":                                    "",
+	}
+	for op, want := range cases {
+		if got := planStructName(op); got != want {
+			t.Errorf("planStructName(%q) = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestAnnotatePlan(t *testing.T) {
+	st := &Stats{
+		Method:  SortMerge,
+		Victims: 10,
+		Deleted: 9,
+		Plan:    BuildPlan(planTarget(), 0, SortMerge, 5<<20, 1),
+		Estimates: []CostEstimate{
+			{Method: SortMerge, Time: 1500000},
+			{Method: Hash, Time: 2500000},
+		},
+		PerStructure: []StructStats{
+			{Name: "IA", Deleted: 9, Reads: 4, Writes: 2, Seeks: 1, Hits: 3, Misses: 1},
+			{Name: "orders", Deleted: 9, Reads: 8, Writes: 5},
+		},
+	}
+	annotatePlan(st)
+	out := st.Plan.String()
+	if !strings.Contains(out, "↳ actual: deleted=9 victims=10") {
+		t.Errorf("root annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(estimated=1.5ms)") {
+		t.Errorf("estimated-vs-actual comparison missing:\n%s", out)
+	}
+	if !strings.Contains(out, "↳ actual: rows=9 time=0s reads=4 writes=2 seeks=1 hit=75.0%") {
+		t.Errorf("IA annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "reads=8 writes=5") {
+		t.Errorf("heap annotation missing:\n%s", out)
+	}
+	// Unprocessed structures keep their plain nodes.
+	if strings.Count(out, "↳") != 3 {
+		t.Errorf("want exactly 3 annotations (root, IA, orders):\n%s", out)
+	}
+}
+
+func TestExplainAnalyzeAndJSON(t *testing.T) {
+	st := &Stats{
+		Method:  SortMerge,
+		Victims: 10,
+		Deleted: 9,
+		Elapsed: 2000000,
+		Plan:    BuildPlan(planTarget(), 0, SortMerge, 5<<20, 1),
+		Estimates: []CostEstimate{
+			{Method: SortMerge, Time: 1500000},
+			{Method: Hash, Time: 2500000},
+		},
+		PerStructure: []StructStats{
+			{Name: "IA", File: 3, Deleted: 9, Reads: 4, Writes: 2, Hits: 3, Misses: 1, WALBytes: 54},
+		},
+	}
+	annotatePlan(st)
+	out := st.ExplainAnalyze()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE  method=sort/merge  victims=10  deleted=9",
+		"planner estimates:  sort/merge=1.5ms*  hash=2.5ms  (*=chosen)",
+		"structure",
+		"54B",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainAnalyze missing %q:\n%s", want, out)
+		}
+	}
+
+	j1, err := st.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := st.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("MetricsJSON not stable")
+	}
+	for _, want := range []string{`"method": "sort/merge"`, `"est_us": 1500`, `"chosen": true`, `"wal_bytes": 54`} {
+		if !strings.Contains(string(j1), want) {
+			t.Errorf("MetricsJSON missing %q:\n%s", want, j1)
+		}
+	}
+}

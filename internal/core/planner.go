@@ -15,15 +15,19 @@ import (
 // cost model the simulated disk charges, so the planner and the execution
 // agree by construction.
 
-// costEstimate is a simulated-time estimate for one method.
-type costEstimate struct {
+// CostEstimate is a simulated-time estimate for one method.
+type CostEstimate struct {
 	Method Method
 	Time   time.Duration
 }
 
 // ChooseMethod picks the cheapest applicable strategy.
 func ChooseMethod(tgt *Target, field int, victims int, memory int) Method {
-	ests := EstimateCosts(tgt, field, victims, memory)
+	return bestEstimate(EstimateCosts(tgt, field, victims, memory))
+}
+
+// bestEstimate returns the cheapest method of a non-empty estimate list.
+func bestEstimate(ests []CostEstimate) Method {
 	best := ests[0]
 	for _, e := range ests[1:] {
 		if e.Time < best.Time {
@@ -35,7 +39,7 @@ func ChooseMethod(tgt *Target, field int, victims int, memory int) Method {
 
 // EstimateCosts returns the estimated execution time of every applicable
 // method, in plan order (SortMerge, Hash, HashPartition).
-func EstimateCosts(tgt *Target, field int, victims int, memory int) []costEstimate {
+func EstimateCosts(tgt *Target, field int, victims int, memory int) []CostEstimate {
 	cm := tgt.Pool.Disk().CostModelInUse()
 	randIO := cm.Seek + cm.Rotation + cm.TransferPage
 	seqIO := cm.TransferPage
@@ -80,7 +84,7 @@ func EstimateCosts(tgt *Target, field int, victims int, memory int) []costEstima
 	pVictimPage := 1 - pow(1-sel, recsPerPage)
 	heapPass := leafPass(heapPages, pVictimPage)
 
-	var ests []costEstimate
+	var ests []CostEstimate
 
 	// --- SortMerge: sort victims + access pass + sort RIDs + heap pass +
 	// per index: sort (key,RID) + leaf pass.
@@ -94,7 +98,7 @@ func EstimateCosts(tgt *Target, field int, victims int, memory int) []costEstima
 		sm += sortCost(v, float64(ix.Tree.KeyLen()+record.RIDSize))
 		sm += leafPass(leafPages(ix), pVictimLeaf(sel, float64(ix.Tree.LeafCapacity())))
 	}
-	ests = append(ests, costEstimate{Method: SortMerge, Time: sm})
+	ests = append(ests, CostEstimate{Method: SortMerge, Time: sm})
 
 	// --- Hash: applicable when the RID set fits in memory. Full scans of
 	// the heap and every remaining index.
@@ -110,7 +114,7 @@ func EstimateCosts(tgt *Target, field int, victims int, memory int) []costEstima
 		for _, ix := range rest {
 			h += leafPass(leafPages(ix), pVictimLeaf(sel, float64(ix.Tree.LeafCapacity())))
 		}
-		ests = append(ests, costEstimate{Method: Hash, Time: h})
+		ests = append(ests, CostEstimate{Method: Hash, Time: h})
 	}
 
 	// --- HashPartition: like SortMerge for the access index and heap,
@@ -128,7 +132,7 @@ func EstimateCosts(tgt *Target, field int, victims int, memory int) []costEstima
 		hp += time.Duration(ioPages)*seqIO + time.Duration(ioPages/rowFileChunk)*randIO
 		hp += leafPass(leafPages(ix), pVictimLeaf(sel, float64(ix.Tree.LeafCapacity())))
 	}
-	ests = append(ests, costEstimate{Method: HashPartition, Time: hp})
+	ests = append(ests, CostEstimate{Method: HashPartition, Time: hp})
 
 	return ests
 }

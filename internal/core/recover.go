@@ -6,6 +6,7 @@ import (
 
 	"bulkdel/internal/btree"
 	"bulkdel/internal/keyenc"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/wal"
@@ -50,6 +51,15 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 	e := &execCtx{tgt: tgt, opts: o}
 	stats := &Stats{Method: SortMerge}
 	e.stats = stats
+	tr := o.Trace
+	ownTrace := tr == nil
+	if ownTrace {
+		tr = obs.NewTrace("bulk-delete-resume",
+			fmt.Sprintf("table=%s tx=%d field=%d", tgt.Name, st.TxID, field),
+			traceSource(tgt, log))
+	}
+	e.trace = tr
+	stats.Trace = tr
 	disk := e.disk()
 	start := disk.Clock()
 
@@ -145,8 +155,9 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 		rs.keyFiles = nil
 	}
 
-	stats.PlanText = BuildPlan(tgt, field, SortMerge, o.Memory,
-		estimatePartitions(tgt, rest, stats.Victims, o.Memory)).String()
+	stats.Plan = BuildPlan(tgt, field, SortMerge, o.Memory,
+		estimatePartitions(tgt, rest, stats.Victims, o.Memory))
+	stats.PlanText = stats.Plan.String()
 
 	if err := e.run(field, nil, SortMerge, access, rest, victimFile, rs); err != nil {
 		return stats, err
@@ -162,6 +173,10 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 		return stats, err
 	}
 	stats.Elapsed = disk.Clock() - start
+	annotatePlan(stats)
+	if ownTrace {
+		tr.Finish()
+	}
 	return stats, nil
 }
 

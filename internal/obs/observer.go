@@ -1,0 +1,70 @@
+package obs
+
+import "sync"
+
+// maxKeptTraces bounds the observer's trace ring.
+const maxKeptTraces = 16
+
+// Observer is the per-database observability hub: it owns the metrics
+// registry and collects the traces of completed statements. The engine
+// calls OnTrace after every traced statement; the public API exposes the
+// observer so applications and tools can read metrics and pull the latest
+// EXPLAIN ANALYZE data. Safe for concurrent use.
+type Observer struct {
+	mu     sync.Mutex
+	reg    *Registry
+	traces []*Trace
+}
+
+// NewObserver returns an observer with an empty registry.
+func NewObserver() *Observer {
+	return &Observer{reg: NewRegistry()}
+}
+
+// Registry returns the observer's metrics registry.
+func (o *Observer) Registry() *Registry { return o.reg }
+
+// OnTrace records a completed trace: it is kept in a bounded ring (newest
+// last) and its root-span I/O is folded into the registry's aggregate
+// counters, so the registry tracks the engine's cumulative traced work.
+func (o *Observer) OnTrace(t *Trace) {
+	if o == nil || t == nil {
+		return
+	}
+	root := t.Root()
+	d := root.Delta()
+	o.reg.Counter("statements_traced").Add(1)
+	o.reg.Counter("pages_read").Add(int64(d.Reads))
+	o.reg.Counter("pages_written").Add(int64(d.Writes))
+	o.reg.Counter("seeks").Add(int64(d.Seeks))
+	o.reg.Counter("pool_hits").Add(int64(d.Hits))
+	o.reg.Counter("pool_misses").Add(int64(d.Misses))
+	o.reg.Counter("wal_bytes").Add(int64(d.WALBytes))
+	o.reg.Histogram("statement_elapsed").Observe(d.Elapsed)
+
+	o.mu.Lock()
+	o.traces = append(o.traces, t)
+	if len(o.traces) > maxKeptTraces {
+		o.traces = o.traces[len(o.traces)-maxKeptTraces:]
+	}
+	o.mu.Unlock()
+}
+
+// LastTrace returns the most recently recorded trace, or nil.
+func (o *Observer) LastTrace() *Trace {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.traces) == 0 {
+		return nil
+	}
+	return o.traces[len(o.traces)-1]
+}
+
+// Traces returns the kept traces, oldest first.
+func (o *Observer) Traces() []*Trace {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Trace, len(o.traces))
+	copy(out, o.traces)
+	return out
+}

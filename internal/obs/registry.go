@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a named-metric store: monotonically increasing counters,
+// set-to-value gauges, and simulated-clock duration histograms. Metrics are
+// created on first use and live for the registry's lifetime. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it empty.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter (negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a set-to-value integer metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts observations d with d < 1µs·2^i; the last bucket is +Inf.
+const histBuckets = 40
+
+// Histogram accumulates simulated-clock durations in power-of-two
+// microsecond buckets plus count/sum/min/max.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [histBuckets]uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	us := d.Microseconds()
+	i := 0
+	for i < histBuckets-1 && us >= int64(1)<<i {
+		i++
+	}
+	h.buckets[i]++
+}
+
+// HistogramSnapshot is the JSON-stable view of one histogram.
+type HistogramSnapshot struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	SumUS   int64         `json:"sum_us"`
+	MinUS   int64         `json:"min_us"`
+	MaxUS   int64         `json:"max_us"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket: Count observations below
+// LeUS microseconds (LeUS = -1 marks the +Inf bucket).
+type BucketCount struct {
+	LeUS  int64  `json:"le_us"`
+	Count uint64 `json:"count"`
+}
+
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Name:  name,
+		Count: h.count,
+		SumUS: h.sum.Microseconds(),
+		MinUS: h.min.Microseconds(),
+		MaxUS: h.max.Microseconds(),
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		le := int64(1) << i
+		if i == histBuckets-1 {
+			le = -1
+		}
+		s.Buckets = append(s.Buckets, BucketCount{LeUS: le, Count: c})
+	}
+	return s
+}
+
+// NamedValue pairs a metric name with its current value.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// RegistrySnapshot is a stable (name-sorted) view of every metric.
+type RegistrySnapshot struct {
+	Counters   []NamedValue        `json:"counters"`
+	Gauges     []NamedValue        `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric, sorted by name so the encoding is stable.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s RegistrySnapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, NamedValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// JSON encodes the snapshot; key order is fixed, so identical state always
+// produces identical bytes.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

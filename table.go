@@ -8,6 +8,7 @@ import (
 	"bulkdel/internal/btree"
 	"bulkdel/internal/cc"
 	"bulkdel/internal/core"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/table"
@@ -214,6 +215,32 @@ type BulkResult struct {
 	// Cascaded counts rows removed from child tables by ON DELETE
 	// CASCADE foreign keys (recursively).
 	Cascaded int64
+	// Trace is the statement's phase tree: one span per execution phase
+	// (victim collection, sort, per-structure ⋈̸ pass, WAL flush), each
+	// with its I/O attribution on the simulated clock.
+	Trace *Trace
+
+	stats *core.Stats
+}
+
+// ExplainAnalyze renders the executed plan annotated per node with the
+// measured actuals — rows, page reads/writes, seeks, buffer hit ratio,
+// WAL bytes, simulated time — beside the planner's estimates.
+func (r *BulkResult) ExplainAnalyze() string {
+	if r.stats == nil {
+		return ""
+	}
+	return r.stats.ExplainAnalyze()
+}
+
+// MetricsJSON encodes the same data as ExplainAnalyze — method, planner
+// estimates, per-structure I/O, the full phase trace — as stable JSON:
+// identical runs produce identical bytes.
+func (r *BulkResult) MetricsJSON() ([]byte, error) {
+	if r.stats == nil {
+		return nil, fmt.Errorf("bulkdel: result carries no statistics")
+	}
+	return r.stats.MetricsJSON()
 }
 
 // target builds core's view of the table.
@@ -267,6 +294,13 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		coreOpts.Log = tbl.db.log
 		coreOpts.TxID = tbl.db.nextTx()
 	}
+
+	// The statement trace: core fills in the phase spans; we own the root.
+	tr := obs.NewTrace("bulk-delete",
+		fmt.Sprintf("table=%s field=%d victims=%d", tbl.t.Name, field, len(values)),
+		tbl.db.obsSource())
+	coreOpts.Trace = tr
+	res.Trace = tr
 
 	// §3.1 concurrency protocol.
 	tbl.t.Lock.LockExclusive()
@@ -327,6 +361,8 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	}
 
 	st, err := core.Execute(tbl.target(), field, values, coreOpts)
+	tr.Finish()
+	tbl.db.obs.OnTrace(tr)
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +371,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	res.Partitions = st.Partitions
 	res.Elapsed = st.Elapsed
 	res.PlanText = st.PlanText
+	res.stats = st
 	return res, nil
 }
 
