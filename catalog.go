@@ -177,6 +177,7 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 	if db.obs == nil {
 		db.obs = obs.NewObserver()
 	}
+	db.obs.Registry().Counter("recoveries_run").Add(1)
 	if opts.ReadAhead > 0 {
 		db.pool.SetReadAhead(opts.ReadAhead)
 	}

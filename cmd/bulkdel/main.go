@@ -9,6 +9,7 @@
 //	bulkdel -f demo.bd                  # run a script
 //	bulkdel -f demo.bd -explain-analyze # annotate every bulk delete with actuals
 //	bulkdel -f demo.bd -metrics-json    # emit every bulk delete's metrics as JSON
+//	bulkdel -f demo.bd -faults crash@40 # crash at the first delete's 40th page I/O
 //
 // Commands (type `help` in the shell):
 //
@@ -43,6 +44,7 @@ type shell struct {
 	out            *bufio.Writer
 	explainAnalyze bool
 	metricsJSON    bool
+	faultPlan      *sim.FaultPlan // armed for the next delete statement
 }
 
 func main() {
@@ -51,6 +53,8 @@ func main() {
 		"after every bulk delete, print the plan tree annotated with measured actuals")
 	metricsJSON := flag.Bool("metrics-json", false,
 		"after every bulk delete, print its metrics (estimates, per-structure I/O, phase trace) as JSON")
+	faults := flag.String("faults", "",
+		"fault spec armed for the first delete statement: crash@K, crash@K:tear=N, read@N, write@N\n(ordinals count the statement's page I/Os; after the crash, run `crash` then `recover`)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -70,6 +74,14 @@ func main() {
 	}
 	sh := &shell{db: db, out: bufio.NewWriter(os.Stdout),
 		explainAnalyze: *explainAnalyze, metricsJSON: *metricsJSON}
+	if *faults != "" {
+		plan, err := sim.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bulkdel:", err)
+			os.Exit(1)
+		}
+		sh.faultPlan = plan
+	}
 	defer sh.out.Flush()
 
 	interactive := *script == "" && isTTY()
@@ -166,6 +178,9 @@ func (s *shell) exec(line string) error {
 		return s.db.Flush()
 	case "crash":
 		s.disk = s.db.SimulateCrash()
+		// The reboot clears any tripped fault plan: the replacement
+		// machine's I/O works.
+		s.disk.SetFaultPlan(nil)
 		fmt.Fprintln(s.out, "crashed: volatile state discarded (use `recover`)")
 		return nil
 	case "recover":
@@ -375,6 +390,12 @@ func methodByName(name string) (bulkdel.Method, error) {
 func (s *shell) delete(args []string) error {
 	if len(args) < 3 {
 		return fmt.Errorf("delete <table> <field> <values|lo..hi> [method m|traditional [sorted]|dropcreate]")
+	}
+	if s.faultPlan != nil {
+		// -faults arms the plan for the first delete; ordinals in the
+		// spec count this statement's page I/Os from here.
+		s.db.Disk().SetFaultPlan(s.faultPlan)
+		s.faultPlan = nil
 	}
 	tbl, err := s.table(args)
 	if err != nil {

@@ -181,6 +181,16 @@ func (db *DB) Metrics() obs.Snapshot { return db.obsSource().Capture() }
 // WALEnabled reports whether bulk deletes are logged and recoverable.
 func (db *DB) WALEnabled() bool { return db.log != nil }
 
+// WALFile returns the file holding the write-ahead log, for fault plans
+// that target the log specifically (e.g. sim.FaultPlan.TearFileWrite).
+// ok is false when logging is off.
+func (db *DB) WALFile() (id sim.FileID, ok bool) {
+	if db.log == nil {
+		return 0, false
+	}
+	return db.log.FileID(), true
+}
+
 // CreateTable adds a table of numFields int64 attributes padded to
 // recordSize bytes.
 func (db *DB) CreateTable(name string, numFields, recordSize int) (*Table, error) {
@@ -245,6 +255,7 @@ func (db *DB) SimulateCrash() *sim.Disk {
 	db.pool.InvalidateAll()
 	db.crashed = true
 	db.tables = nil
+	db.obs.Registry().Counter("crashes_simulated").Add(1)
 	return db.disk
 }
 

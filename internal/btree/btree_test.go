@@ -1137,3 +1137,61 @@ func TestStructuralCheckDetectsDamage(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecomputeCountRepairsDrift(t *testing.T) {
+	p := testPool(64)
+	tr, err := Create(p, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(intKey(int64(i)), ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the durable meta count, as a crash whose evicted leaf
+	// writes outran the meta-page flush would: reopen sees a stale value.
+	tr.count = 123
+	if err := tr.writeMeta(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.InvalidateAll()
+	re, err := Open(p, tr.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Count() != 123 {
+		t.Fatalf("reopened count = %d, want the drifted 123", re.Count())
+	}
+	if err := re.CheckInvariants(); err == nil {
+		t.Fatal("CheckInvariants should reject the drifted count")
+	}
+	got, err := re.RecomputeCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 500 || re.Count() != 500 {
+		t.Fatalf("recomputed count = %d / %d, want 500", got, re.Count())
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The repaired count is durable: it survives another reopen.
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.InvalidateAll()
+	re2, err := Open(p, tr.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Count() != 500 {
+		t.Fatalf("count after flush+reopen = %d, want 500", re2.Count())
+	}
+}

@@ -41,6 +41,21 @@ func (t *Tree) StructuralCheck() error {
 	return err
 }
 
+// RecomputeCount validates the tree structurally, adopts the walked entry
+// count as authoritative, and persists it to the meta page. Recovery calls
+// it on every surviving tree instead of trusting the cached header count:
+// after a crash the cached value can drift, because evicted leaf writes may
+// outrun the flushed meta page (see RebuildUpper). Returns the recomputed
+// count.
+func (t *Tree) RecomputeCount() (int64, error) {
+	total, err := t.structuralCheck()
+	if err != nil {
+		return 0, err
+	}
+	t.count = total
+	return total, t.writeMeta()
+}
+
 func (t *Tree) structuralCheck() (int64, error) {
 	type job struct {
 		page     sim.PageNo

@@ -379,8 +379,9 @@ func (t *Tree) RebuildUpper(reorg bool) error {
 	}
 
 	// The walk counted the surviving entries authoritatively; adopt that
-	// count. (After crash recovery the cached count can drift because
-	// evicted leaf writes may outrun the flushed meta page.)
+	// count. (After a crash the cached count can drift because evicted
+	// leaf writes may outrun the flushed meta page; recovery repairs any
+	// surviving tree's count with RecomputeCount.)
 	t.count = total
 
 	// Build the new inner levels *before* reclaiming the old ones: a

@@ -161,7 +161,10 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 }
 
 // evictOne drops the least recently used unpinned frame, writing it back if
-// dirty. It fails when every frame is pinned.
+// dirty. It fails when every frame is pinned. On a write-back error the
+// frame stays resident, dirty, and on the LRU list — the pool remains
+// consistent and the page is not lost, so the caller can retry or the DB
+// can be reopened.
 func (p *Pool) evictOne() error {
 	e := p.lru.Back()
 	if e == nil {
@@ -174,7 +177,8 @@ func (p *Pool) evictOne() error {
 	if f.dirty.Load() {
 		p.stats.DirtyEvicts++
 		if err := p.disk.WritePage(f.file, f.page, f.buf); err != nil {
-			return err
+			f.elem = p.lru.PushBack(f)
+			return fmt.Errorf("buffer: evicting dirty page %d/%d: %w", f.file, f.page, err)
 		}
 	}
 	delete(p.frames, frameKey{f.file, f.page})
@@ -213,7 +217,7 @@ func (p *Pool) Get(file sim.FileID, page sim.PageNo) (*Frame, error) {
 	}
 	buf := make([]byte, sim.PageSize)
 	if err := p.disk.ReadPage(file, page, buf); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("buffer: reading page %d/%d: %w", file, page, err)
 	}
 	f := p.install(file, page, buf)
 	p.pin(f)
@@ -274,10 +278,11 @@ func (p *Pool) GetForScan(file sim.FileID, page sim.PageNo) (*Frame, error) {
 	}
 	if n == 1 {
 		if err := p.disk.ReadPage(file, page, bufs[0]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("buffer: reading page %d/%d: %w", file, page, err)
 		}
 	} else if err := p.disk.ReadRun(file, page, bufs); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("buffer: chained read of pages %d/[%d,%d): %w",
+			file, page, page+sim.PageNo(n), err)
 	}
 	var first *Frame
 	for i := 0; i < n; i++ {
@@ -299,7 +304,7 @@ func (p *Pool) NewPage(file sim.FileID) (*Frame, error) {
 	defer p.mu.Unlock()
 	page, err := p.disk.Allocate(file)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("buffer: allocating page in file %d: %w", file, err)
 	}
 	if err := p.makeRoom(1); err != nil {
 		return nil, err
@@ -325,7 +330,7 @@ func (p *Pool) FlushFile(file sim.FileID) error {
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
 	for _, f := range dirty {
 		if err := p.disk.WritePage(f.file, f.page, f.buf); err != nil {
-			return err
+			return fmt.Errorf("buffer: flushing dirty page %d/%d: %w", f.file, f.page, err)
 		}
 		f.dirty.Store(false)
 	}
@@ -350,7 +355,7 @@ func (p *Pool) FlushAll() error {
 	})
 	for _, f := range dirty {
 		if err := p.disk.WritePage(f.file, f.page, f.buf); err != nil {
-			return err
+			return fmt.Errorf("buffer: flushing dirty page %d/%d: %w", f.file, f.page, err)
 		}
 		f.dirty.Store(false)
 	}

@@ -59,38 +59,44 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 	logged := o.Log != nil
 	var victimFile *rowFile
 	if logged {
-		sp := e.span("materialize-victims", fmt.Sprintf("%d values → stable storage", len(values)))
-		if _, err := o.Log.Append(wal.TBegin, o.TxID, 0, 0, nil); err != nil {
-			return nil, err
-		}
-		// Materialize the sorted victim list to stable storage before
-		// touching anything (paper §3.2).
-		srt, err := sortVictims(e, values)
+		err := func() error {
+			sp := e.span("materialize-victims", fmt.Sprintf("%d values → stable storage", len(values)))
+			if _, err := o.Log.Append(wal.TBegin, o.TxID, 0, 0, nil); err != nil {
+				return err
+			}
+			// Materialize the sorted victim list to stable storage before
+			// touching anything (paper §3.2).
+			srt, err := sortVictims(e, values)
+			if err != nil {
+				return err
+			}
+			it, err := srt.Finish()
+			if err != nil {
+				return err
+			}
+			victimFile, err = materialize(e, it.Next, keyenc.Int64Width)
+			it.Close()
+			if err != nil {
+				return err
+			}
+			// Payload: victim row count + delete attribute, so recovery can
+			// reconstruct the statement without the catalog's help.
+			var payload [16]byte
+			binary.LittleEndian.PutUint64(payload[:], uint64(victimFile.rows))
+			binary.LittleEndian.PutUint64(payload[8:], uint64(field))
+			if _, err := o.Log.Append(wal.TBulkStart, o.TxID,
+				uint64(tgt.Heap.ID()), uint64(victimFile.file), payload[:]); err != nil {
+				return err
+			}
+			if err := o.Log.Flush(); err != nil {
+				return err
+			}
+			sp.Finish()
+			return nil
+		}()
 		if err != nil {
-			return nil, err
+			return nil, phaseErr("materialize-victims", tgt.Name, err)
 		}
-		it, err := srt.Finish()
-		if err != nil {
-			return nil, err
-		}
-		victimFile, err = materialize(e, it.Next, keyenc.Int64Width)
-		it.Close()
-		if err != nil {
-			return nil, err
-		}
-		// Payload: victim row count + delete attribute, so recovery can
-		// reconstruct the statement without the catalog's help.
-		var payload [16]byte
-		binary.LittleEndian.PutUint64(payload[:], uint64(victimFile.rows))
-		binary.LittleEndian.PutUint64(payload[8:], uint64(field))
-		if _, err := o.Log.Append(wal.TBulkStart, o.TxID,
-			uint64(tgt.Heap.ID()), uint64(victimFile.file), payload[:]); err != nil {
-			return nil, err
-		}
-		if err := o.Log.Flush(); err != nil {
-			return nil, err
-		}
-		sp.Finish()
 	}
 
 	if err := e.run(field, values, method, access, rest, victimFile, nil); err != nil {
@@ -98,17 +104,23 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 	}
 
 	if logged {
-		sp := e.span("wal-commit", "bulk-end + commit records")
-		if _, err := o.Log.Append(wal.TBulkEnd, o.TxID, 0, 0, nil); err != nil {
-			return stats, err
+		err := func() error {
+			sp := e.span("wal-commit", "bulk-end + commit records")
+			if _, err := o.Log.Append(wal.TBulkEnd, o.TxID, 0, 0, nil); err != nil {
+				return err
+			}
+			if _, err := o.Log.Append(wal.TCommit, o.TxID, 0, 0, nil); err != nil {
+				return err
+			}
+			if err := o.Log.Flush(); err != nil {
+				return err
+			}
+			sp.Finish()
+			return nil
+		}()
+		if err != nil {
+			return stats, phaseErr("wal-commit", tgt.Name, err)
 		}
-		if _, err := o.Log.Append(wal.TCommit, o.TxID, 0, 0, nil); err != nil {
-			return stats, err
-		}
-		if err := o.Log.Flush(); err != nil {
-			return stats, err
-		}
-		sp.Finish()
 	}
 	stats.Elapsed = e.disk().Clock() - start
 	root.Set("deleted", fmt.Sprintf("%d", stats.Deleted))
@@ -183,109 +195,125 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		return err
 	}
 
+	collectStruct := e.tgt.Name
+	if access != nil {
+		collectStruct = access.Name
+	}
 	if rs != nil && rs.ridFile != nil {
 		ridFile = rs.ridFile
 	} else if logged {
 		// Read-only collect pass → sort by RID → materialize.
-		sp := e.span("collect-rids", "read-only ⋈̸ → sorted RID list → stable storage")
-		e.cur = sp
-		srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+		err := func() error {
+			sp := e.span("collect-rids", "read-only ⋈̸ → sorted RID list → stable storage")
+			e.cur = sp
+			srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+			if err != nil {
+				return err
+			}
+			var row [record.RIDSize]byte
+			err = collectRIDs(func(rid record.RID) error {
+				record.PutRID(row[:], rid)
+				return srt.Add(row[:])
+			})
+			if err != nil {
+				return err
+			}
+			it, err := srt.Finish()
+			if err != nil {
+				return err
+			}
+			ridFile, err = materialize(e, it.Next, record.RIDSize)
+			it.Close()
+			if err != nil {
+				return err
+			}
+			var rowsPayload [8]byte
+			binary.LittleEndian.PutUint64(rowsPayload[:], uint64(ridFile.rows))
+			if _, err := o.Log.Append(wal.TMaterialized, o.TxID, 0, uint64(ridFile.file), rowsPayload[:]); err != nil {
+				return err
+			}
+			if err := o.Log.Flush(); err != nil {
+				return err
+			}
+			sp.Finish()
+			e.cur = nil
+			return nil
+		}()
 		if err != nil {
-			return err
+			return phaseErr("collect-rids", collectStruct, err)
 		}
-		var row [record.RIDSize]byte
-		err = collectRIDs(func(rid record.RID) error {
-			record.PutRID(row[:], rid)
-			return srt.Add(row[:])
-		})
-		if err != nil {
-			return err
-		}
-		it, err := srt.Finish()
-		if err != nil {
-			return err
-		}
-		ridFile, err = materialize(e, it.Next, record.RIDSize)
-		it.Close()
-		if err != nil {
-			return err
-		}
-		var rowsPayload [8]byte
-		binary.LittleEndian.PutUint64(rowsPayload[:], uint64(ridFile.rows))
-		if _, err := o.Log.Append(wal.TMaterialized, o.TxID, 0, uint64(ridFile.file), rowsPayload[:]); err != nil {
-			return err
-		}
-		if err := o.Log.Flush(); err != nil {
-			return err
-		}
-		sp.Finish()
-		e.cur = nil
 	}
 
 	// Destructive pass on the access index.
 	if access != nil && !e.skip(access.Tree.ID()) {
-		sp := e.span("access-pass", fmt.Sprintf("⋈̸[merge] %s (by key)", access.Name))
-		e.cur = sp
-		t0 := disk.Clock()
-		if err := e.structStart(access.Tree.ID(), 1); err != nil {
-			return err
-		}
-		vi, err := victimIter()
-		if err != nil {
-			return err
-		}
-		var startKey []byte
-		if rs != nil && rs.st.HasInProgress && sim.FileID(rs.st.InProgress) == access.Tree.ID() && rs.st.Progress > 0 {
-			vi, startKey, err = skipRows(vi, rs.st.Progress)
+		err := func() error {
+			sp := e.span("access-pass", fmt.Sprintf("⋈̸[merge] %s (by key)", access.Name))
+			e.cur = sp
+			t0 := disk.Clock()
+			if err := e.structStart(access.Tree.ID(), 1); err != nil {
+				return err
+			}
+			vi, err := victimIter()
 			if err != nil {
 				return err
 			}
-			e.applied = int64(rs.st.Progress) // keep checkpoint progress absolute
-		}
-		var emit func(record.RID) error
-		if !logged {
-			if method == Hash {
-				ridSet = make(map[record.RID]struct{}, len(values))
-				emit = func(rid record.RID) error {
-					ridSet[rid] = struct{}{}
-					return nil
-				}
-			} else {
-				srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+			var startKey []byte
+			if rs != nil && rs.st.HasInProgress && sim.FileID(rs.st.InProgress) == access.Tree.ID() && rs.st.Progress > 0 {
+				vi, startKey, err = skipRows(vi, rs.st.Progress)
 				if err != nil {
 					return err
 				}
-				var row [record.RIDSize]byte
-				emit = func(rid record.RID) error {
-					record.PutRID(row[:], rid)
-					return srt.Add(row[:])
-				}
-				// Finished below, after the pass completes.
-				e.pendingRIDSorter = srt
+				e.applied = int64(rs.st.Progress) // keep checkpoint progress absolute
 			}
-		}
-		del, err := mergeDeleteIndexByKey(e, access, vi, true, emit, startKey)
-		if err != nil {
-			return err
-		}
-		if err := access.Tree.RebuildUpper(o.Reorganize); err != nil {
-			return err
-		}
-		if err := e.structDone(access.Tree.ID(), func() error { return access.Tree.Flush() }); err != nil {
-			return err
-		}
-		sp.Finish()
-		e.cur = nil
-		ss := StructStats{Name: access.Name, File: access.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
-		ss.fillIO(sp)
-		stats.PerStructure = append(stats.PerStructure, ss)
-		if e.pendingRIDSorter != nil {
-			it, err := e.pendingRIDSorter.Finish()
+			var emit func(record.RID) error
+			if !logged {
+				if method == Hash {
+					ridSet = make(map[record.RID]struct{}, len(values))
+					emit = func(rid record.RID) error {
+						ridSet[rid] = struct{}{}
+						return nil
+					}
+				} else {
+					srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+					if err != nil {
+						return err
+					}
+					var row [record.RIDSize]byte
+					emit = func(rid record.RID) error {
+						record.PutRID(row[:], rid)
+						return srt.Add(row[:])
+					}
+					// Finished below, after the pass completes.
+					e.pendingRIDSorter = srt
+				}
+			}
+			del, err := mergeDeleteIndexByKey(e, access, vi, true, emit, startKey)
 			if err != nil {
 				return err
 			}
-			ridIter = it.Next
-			e.pendingRIDSorter = nil
+			if err := access.Tree.RebuildUpper(o.Reorganize); err != nil {
+				return err
+			}
+			if err := e.structDone(access.Tree.ID(), func() error { return access.Tree.Flush() }); err != nil {
+				return err
+			}
+			sp.Finish()
+			e.cur = nil
+			ss := StructStats{Name: access.Name, File: access.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
+			ss.fillIO(sp)
+			stats.PerStructure = append(stats.PerStructure, ss)
+			if e.pendingRIDSorter != nil {
+				it, err := e.pendingRIDSorter.Finish()
+				if err != nil {
+					return err
+				}
+				ridIter = it.Next
+				e.pendingRIDSorter = nil
+			}
+			return nil
+		}()
+		if err != nil {
+			return phaseErr("access-pass", access.Name, err)
 		}
 	} else if access != nil && logged {
 		// Access index already done on resume; RID list comes from disk.
@@ -293,36 +321,42 @@ func (e *execCtx) run(field int, values []int64, method Method,
 
 	if access == nil && !logged {
 		// Victims located by table scan: RIDs arrive already sorted.
-		sp := e.span("collect-rids", "table scan → RID list")
-		e.cur = sp
-		if method == Hash {
-			ridSet = make(map[record.RID]struct{}, len(values))
-			if err := collectRIDs(func(rid record.RID) error {
-				ridSet[rid] = struct{}{}
-				return nil
-			}); err != nil {
-				return err
+		err := func() error {
+			sp := e.span("collect-rids", "table scan → RID list")
+			e.cur = sp
+			if method == Hash {
+				ridSet = make(map[record.RID]struct{}, len(values))
+				if err := collectRIDs(func(rid record.RID) error {
+					ridSet[rid] = struct{}{}
+					return nil
+				}); err != nil {
+					return err
+				}
+			} else {
+				srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
+				if err != nil {
+					return err
+				}
+				var row [record.RIDSize]byte
+				if err := collectRIDs(func(rid record.RID) error {
+					record.PutRID(row[:], rid)
+					return srt.Add(row[:])
+				}); err != nil {
+					return err
+				}
+				it, err := srt.Finish()
+				if err != nil {
+					return err
+				}
+				ridIter = it.Next
 			}
-		} else {
-			srt, err := xsort.New(disk, record.RIDSize, o.Memory, nil)
-			if err != nil {
-				return err
-			}
-			var row [record.RIDSize]byte
-			if err := collectRIDs(func(rid record.RID) error {
-				record.PutRID(row[:], rid)
-				return srt.Add(row[:])
-			}); err != nil {
-				return err
-			}
-			it, err := srt.Finish()
-			if err != nil {
-				return err
-			}
-			ridIter = it.Next
+			sp.Finish()
+			e.cur = nil
+			return nil
+		}()
+		if err != nil {
+			return phaseErr("collect-rids", e.tgt.Name, err)
 		}
-		sp.Finish()
-		e.cur = nil
 	}
 	if logged && method == Hash {
 		// Build the RID hash from the materialized list.
@@ -331,7 +365,7 @@ func (e *execCtx) run(field int, values []int64, method Method,
 			ridSet[record.GetRID(row)] = struct{}{}
 			return nil
 		}); err != nil {
-			return err
+			return phaseErr("collect-rids", e.tgt.Name, err)
 		}
 	}
 
@@ -341,127 +375,139 @@ func (e *execCtx) run(field int, values []int64, method Method,
 	needExtract := method != Hash && len(rest) > 0
 	if logged && needExtract {
 		have := rs != nil && len(rs.keyFiles) == len(rest)
-		if have {
-			keyFiles = rs.keyFiles
-		} else {
+		if !have {
 			// Extract into per-index sorters, then materialize the
 			// *sorted* lists — the paper's "results of the join
 			// variants should be materialized to stable storage".
-			sp := e.span("extract", fmt.Sprintf("π ⟨key,RID⟩ for %d indexes → sorted, stable storage", len(rest)))
-			e.cur = sp
-			extractSorters := make(map[sim.FileID]*xsort.Sorter, len(rest))
-			for _, ix := range rest {
-				srt, err := xsort.New(disk, ix.Tree.KeyLen()+record.RIDSize, o.Memory, nil)
+			err := func() error {
+				sp := e.span("extract", fmt.Sprintf("π ⟨key,RID⟩ for %d indexes → sorted, stable storage", len(rest)))
+				e.cur = sp
+				extractSorters := make(map[sim.FileID]*xsort.Sorter, len(rest))
+				for _, ix := range rest {
+					srt, err := xsort.New(disk, ix.Tree.KeyLen()+record.RIDSize, o.Memory, nil)
+					if err != nil {
+						return err
+					}
+					extractSorters[ix.Tree.ID()] = srt
+				}
+				it, err := ridFile.iterator(0)
 				if err != nil {
 					return err
 				}
-				extractSorters[ix.Tree.ID()] = srt
-			}
-			it, err := ridFile.iterator(0)
+				_, err = heapPassSortedRIDs(e, it, false, func(rid record.RID, rec []byte) error {
+					return e.extractToSorters(rest, extractSorters, rid, rec)
+				})
+				if err != nil {
+					return err
+				}
+				for _, ix := range rest {
+					sit, err := extractSorters[ix.Tree.ID()].Finish()
+					if err != nil {
+						return err
+					}
+					kf, err := materialize(e, sit.Next, ix.Tree.KeyLen()+record.RIDSize)
+					sit.Close()
+					if err != nil {
+						return err
+					}
+					keyFiles[ix.Tree.ID()] = kf
+					var rowsPayload [8]byte
+					binary.LittleEndian.PutUint64(rowsPayload[:], uint64(kf.rows))
+					if _, err := o.Log.Append(wal.TMaterialized, o.TxID,
+						uint64(ix.Tree.ID()), uint64(kf.file), rowsPayload[:]); err != nil {
+						return err
+					}
+				}
+				if err := o.Log.Flush(); err != nil {
+					return err
+				}
+				sp.Finish()
+				e.cur = nil
+				return nil
+			}()
 			if err != nil {
-				return err
+				return phaseErr("extract", e.tgt.Name, err)
 			}
-			_, err = heapPassSortedRIDs(e, it, false, func(rid record.RID, rec []byte) error {
-				return e.extractToSorters(rest, extractSorters, rid, rec)
-			})
-			if err != nil {
-				return err
-			}
-			for _, ix := range rest {
-				sit, err := extractSorters[ix.Tree.ID()].Finish()
-				if err != nil {
-					return err
-				}
-				kf, err := materialize(e, sit.Next, ix.Tree.KeyLen()+record.RIDSize)
-				sit.Close()
-				if err != nil {
-					return err
-				}
-				keyFiles[ix.Tree.ID()] = kf
-				var rowsPayload [8]byte
-				binary.LittleEndian.PutUint64(rowsPayload[:], uint64(kf.rows))
-				if _, err := o.Log.Append(wal.TMaterialized, o.TxID,
-					uint64(ix.Tree.ID()), uint64(kf.file), rowsPayload[:]); err != nil {
-					return err
-				}
-			}
-			if err := o.Log.Flush(); err != nil {
-				return err
-			}
-			sp.Finish()
-			e.cur = nil
+		} else {
+			keyFiles = rs.keyFiles
 		}
 	}
 
 	// ---- Phase 2b: delete from the heap.
 	sorters := make(map[sim.FileID]*xsort.Sorter) // unlogged sort/merge
 	if !e.skip(e.tgt.Heap.ID()) {
-		sp := e.span("heap-pass", fmt.Sprintf("⋈̸[%s] %s (by RID)", method, e.tgt.Name))
-		e.cur = sp
-		t0 := disk.Clock()
-		if err := e.structStart(e.tgt.Heap.ID(), 0); err != nil {
-			return err
-		}
-		var del int64
-		var err error
-		if method == Hash {
-			del, err = heapDeleteByRIDProbe(e, ridSet)
-		} else if logged {
-			from := resumeFrom(rs, e.tgt.Heap.ID())
-			it, ierr := ridFile.iterator(from)
-			if ierr != nil {
-				return ierr
+		err := func() error {
+			sp := e.span("heap-pass", fmt.Sprintf("⋈̸[%s] %s (by RID)", method, e.tgt.Name))
+			e.cur = sp
+			t0 := disk.Clock()
+			if err := e.structStart(e.tgt.Heap.ID(), 0); err != nil {
+				return err
 			}
-			e.applied = from // keep checkpoint progress absolute
-			del, err = heapPassSortedRIDs(e, it, true, nil)
-		} else {
-			// Single pass: extract keys for the remaining indexes and
-			// delete in one go.
-			for _, ix := range rest {
-				srt, serr := xsort.New(disk, ix.Tree.KeyLen()+record.RIDSize, o.Memory, nil)
-				if serr != nil {
-					return serr
+			var del int64
+			var err error
+			if method == Hash {
+				del, err = heapDeleteByRIDProbe(e, ridSet)
+			} else if logged {
+				from := resumeFrom(rs, e.tgt.Heap.ID())
+				it, ierr := ridFile.iterator(from)
+				if ierr != nil {
+					return ierr
 				}
-				sorters[ix.Tree.ID()] = srt
-			}
-			var extract func(record.RID, []byte) error
-			if method == HashPartition {
+				e.applied = from // keep checkpoint progress absolute
+				del, err = heapPassSortedRIDs(e, it, true, nil)
+			} else {
+				// Single pass: extract keys for the remaining indexes and
+				// delete in one go.
 				for _, ix := range rest {
-					kf, kerr := newRowFile(disk, ix.Tree.KeyLen()+record.RIDSize)
-					if kerr != nil {
-						return kerr
+					srt, serr := xsort.New(disk, ix.Tree.KeyLen()+record.RIDSize, o.Memory, nil)
+					if serr != nil {
+						return serr
 					}
-					keyFiles[ix.Tree.ID()] = kf
+					sorters[ix.Tree.ID()] = srt
 				}
-				extract = func(rid record.RID, rec []byte) error {
-					return e.extractKeys(rest, keyFiles, rid, rec)
+				var extract func(record.RID, []byte) error
+				if method == HashPartition {
+					for _, ix := range rest {
+						kf, kerr := newRowFile(disk, ix.Tree.KeyLen()+record.RIDSize)
+						if kerr != nil {
+							return kerr
+						}
+						keyFiles[ix.Tree.ID()] = kf
+					}
+					extract = func(rid record.RID, rec []byte) error {
+						return e.extractKeys(rest, keyFiles, rid, rec)
+					}
+				} else if len(rest) > 0 {
+					extract = func(rid record.RID, rec []byte) error {
+						return e.extractToSorters(rest, sorters, rid, rec)
+					}
 				}
-			} else if len(rest) > 0 {
-				extract = func(rid record.RID, rec []byte) error {
-					return e.extractToSorters(rest, sorters, rid, rec)
-				}
+				del, err = heapPassSortedRIDs(e, ridIter, true, extract)
 			}
-			del, err = heapPassSortedRIDs(e, ridIter, true, extract)
-		}
+			if err != nil {
+				return err
+			}
+			if err := e.structDone(e.tgt.Heap.ID(), func() error { return e.tgt.Heap.Flush() }); err != nil {
+				return err
+			}
+			sp.Finish()
+			e.cur = nil
+			stats.Deleted = del
+			ss := StructStats{Name: e.tgt.Name, File: e.tgt.Heap.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
+			ss.fillIO(sp)
+			stats.PerStructure = append(stats.PerStructure, ss)
+			return nil
+		}()
 		if err != nil {
-			return err
+			return phaseErr("heap-pass", e.tgt.Name, err)
 		}
-		if err := e.structDone(e.tgt.Heap.ID(), func() error { return e.tgt.Heap.Flush() }); err != nil {
-			return err
-		}
-		sp.Finish()
-		e.cur = nil
-		stats.Deleted = del
-		ss := StructStats{Name: e.tgt.Name, File: e.tgt.Heap.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
-		ss.fillIO(sp)
-		stats.PerStructure = append(stats.PerStructure, ss)
 	}
 
 	// For HashPartition (unlogged), seal the key files written above.
 	if method == HashPartition && !logged {
 		for _, kf := range keyFiles {
 			if err := kf.seal(); err != nil {
-				return err
+				return phaseErr("heap-pass", e.tgt.Name, err)
 			}
 		}
 	}
@@ -492,63 +538,69 @@ func (e *execCtx) run(field int, values []int64, method Method,
 			signalCritical()
 			continue
 		}
-		sp := e.span("index-pass", fmt.Sprintf("⋈̸[%s] %s (by key)", method, ix.Name))
-		e.cur = sp
-		t0 := disk.Clock()
-		if err := e.structStart(ix.Tree.ID(), 1); err != nil {
-			return err
-		}
-		var del int64
-		var err error
-		switch method {
-		case Hash:
-			del, err = indexDeleteByRIDProbe(e, ix, ridSet)
-		case HashPartition:
-			var p int
-			del, p, err = indexDeletePartitioned(e, ix, keyFiles[ix.Tree.ID()])
-			if p > stats.Partitions {
-				stats.Partitions = p
+		perr := func() error {
+			sp := e.span("index-pass", fmt.Sprintf("⋈̸[%s] %s (by key)", method, ix.Name))
+			e.cur = sp
+			t0 := disk.Clock()
+			if err := e.structStart(ix.Tree.ID(), 1); err != nil {
+				return err
 			}
-		default: // SortMerge
-			var rows rowIter
-			var startKey []byte
-			if logged {
-				kf := keyFiles[ix.Tree.ID()]
-				from := resumeFrom(rs, ix.Tree.ID())
-				rows, err = kf.iterator(from)
-				if err != nil {
-					return err
+			var del int64
+			var err error
+			switch method {
+			case Hash:
+				del, err = indexDeleteByRIDProbe(e, ix, ridSet)
+			case HashPartition:
+				var p int
+				del, p, err = indexDeletePartitioned(e, ix, keyFiles[ix.Tree.ID()])
+				if p > stats.Partitions {
+					stats.Partitions = p
 				}
-				if from > 0 {
-					rows, startKey, err = peekFirst(rows, ix.Tree.KeyLen())
+			default: // SortMerge
+				var rows rowIter
+				var startKey []byte
+				if logged {
+					kf := keyFiles[ix.Tree.ID()]
+					from := resumeFrom(rs, ix.Tree.ID())
+					rows, err = kf.iterator(from)
 					if err != nil {
 						return err
 					}
-					e.applied = from // keep checkpoint progress absolute
+					if from > 0 {
+						rows, startKey, err = peekFirst(rows, ix.Tree.KeyLen())
+						if err != nil {
+							return err
+						}
+						e.applied = from // keep checkpoint progress absolute
+					}
+				} else {
+					it, ferr := sorters[ix.Tree.ID()].Finish()
+					if ferr != nil {
+						return ferr
+					}
+					rows = it.Next
 				}
-			} else {
-				it, ferr := sorters[ix.Tree.ID()].Finish()
-				if ferr != nil {
-					return ferr
-				}
-				rows = it.Next
+				del, err = mergeDeleteIndexByFullKey(e, ix, rows, startKey)
 			}
-			del, err = mergeDeleteIndexByFullKey(e, ix, rows, startKey)
+			if err != nil {
+				return err
+			}
+			if err := ix.Tree.RebuildUpper(o.Reorganize); err != nil {
+				return err
+			}
+			if err := e.structDone(ix.Tree.ID(), func() error { return ix.Tree.Flush() }); err != nil {
+				return err
+			}
+			sp.Finish()
+			e.cur = nil
+			ss := StructStats{Name: ix.Name, File: ix.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
+			ss.fillIO(sp)
+			stats.PerStructure = append(stats.PerStructure, ss)
+			return nil
+		}()
+		if perr != nil {
+			return phaseErr("index-pass", ix.Name, perr)
 		}
-		if err != nil {
-			return err
-		}
-		if err := ix.Tree.RebuildUpper(o.Reorganize); err != nil {
-			return err
-		}
-		if err := e.structDone(ix.Tree.ID(), func() error { return ix.Tree.Flush() }); err != nil {
-			return err
-		}
-		sp.Finish()
-		e.cur = nil
-		ss := StructStats{Name: ix.Name, File: ix.Tree.ID(), Deleted: del, Elapsed: disk.Clock() - t0}
-		ss.fillIO(sp)
-		stats.PerStructure = append(stats.PerStructure, ss)
 		if ix.Unique {
 			criticalLeft--
 		}
@@ -560,7 +612,7 @@ func (e *execCtx) run(field int, values []int64, method Method,
 	if !logged {
 		for _, kf := range keyFiles {
 			if err := kf.drop(); err != nil {
-				return err
+				return phaseErr("cleanup", e.tgt.Name, err)
 			}
 		}
 	}

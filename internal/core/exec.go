@@ -69,6 +69,17 @@ func traceSource(tgt *Target, log *wal.Log) obs.Source {
 // tests can interrupt a run at a precise point.
 var errInjectedCrash = fmt.Errorf("core: injected crash")
 
+// phaseErr attaches the executing phase and the structure being worked on
+// to an error crossing a phase boundary, so BulkDelete's caller learns
+// where an I/O fault landed. The cause stays reachable via errors.Is /
+// errors.As (e.g. sim.IsCrash, *sim.FaultError).
+func phaseErr(phase, structure string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("core: phase %s on %s: %w", phase, structure, err)
+}
+
 // totalApplied / structsCompleted drive the test-only crash injection.
 type crashCounters struct {
 	applied int

@@ -102,7 +102,10 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 			// logging, so it is sound by protocol.
 			return nil
 		}
-		if err := ix.Tree.StructuralCheck(); err == nil {
+		if _, err := ix.Tree.RecomputeCount(); err == nil {
+			// Structurally sound; the walked entry count replaced the
+			// cached header value, which can drift when evicted leaf
+			// writes outran the last meta-page flush before the crash.
 			return nil
 		}
 		if err := rebuildIndexFromHeap(e, ix); err != nil {
@@ -149,17 +152,34 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 		}
 		rs.keyFiles[ix.Tree.ID()] = kf
 	}
+	method := SortMerge
 	if len(rs.keyFiles) != len(rest) {
-		// Extraction never completed, so the heap is untouched; run it
-		// again from the RID list inside run().
 		rs.keyFiles = nil
+		heapStarted := heapDone ||
+			(rs.st.HasInProgress && sim.FileID(rs.st.InProgress) == tgt.Heap.ID())
+		if heapStarted && rs.ridFile != nil {
+			// The destructive passes began without materialized key
+			// lists, so the interrupted statement ran the hash method:
+			// its join result is the RID list alone. Keys cannot be
+			// re-extracted (the heap no longer holds the victims), but
+			// the RID list is durable, so finish the remaining
+			// structures the same way the hash method would — probe
+			// every entry's RID against the set. The probes are
+			// idempotent, so a re-crash during this resume is safe.
+			method = Hash
+		}
+		// Otherwise the heap is untouched; re-run the extraction from
+		// the RID list inside run() as sort/merge.
 	}
+	stats.Method = method
+	o.Method = method
+	e.opts = o
 
-	stats.Plan = BuildPlan(tgt, field, SortMerge, o.Memory,
+	stats.Plan = BuildPlan(tgt, field, method, o.Memory,
 		estimatePartitions(tgt, rest, stats.Victims, o.Memory))
 	stats.PlanText = stats.Plan.String()
 
-	if err := e.run(field, nil, SortMerge, access, rest, victimFile, rs); err != nil {
+	if err := e.run(field, nil, method, access, rest, victimFile, rs); err != nil {
 		return stats, err
 	}
 

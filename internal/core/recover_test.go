@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"bulkdel/internal/btree"
@@ -120,7 +121,7 @@ func TestCrashRecoveryAtManyPoints(t *testing.T) {
 			Method: SortMerge, Log: log, TxID: 7, CheckpointRows: 300,
 			failAfterApplied: failAt,
 		})
-		if err != errInjectedCrash {
+		if !errors.Is(err, errInjectedCrash) {
 			t.Fatalf("failAt=%d: expected injected crash, got %v", failAt, err)
 		}
 		re := crashAndRecover(t, pool, tgt, log, 0)
@@ -145,7 +146,7 @@ func TestCrashRecoveryAtStructureBoundaries(t *testing.T) {
 			Method: SortMerge, Log: log, TxID: 9, CheckpointRows: 250,
 			failAfterStructs: failStructs,
 		})
-		if err != errInjectedCrash {
+		if !errors.Is(err, errInjectedCrash) {
 			t.Fatalf("failStructs=%d: expected injected crash, got %v", failStructs, err)
 		}
 		re := crashAndRecover(t, pool, tgt, log, 0)
@@ -159,7 +160,7 @@ func TestRecoveryIsIdempotentAcrossDoubleCrash(t *testing.T) {
 		Method: SortMerge, Log: log, TxID: 11, CheckpointRows: 200,
 		failAfterApplied: 900,
 	})
-	if err != errInjectedCrash {
+	if !errors.Is(err, errInjectedCrash) {
 		t.Fatalf("expected injected crash, got %v", err)
 	}
 	// First recovery also crashes.
@@ -182,7 +183,7 @@ func TestRecoveryIsIdempotentAcrossDoubleCrash(t *testing.T) {
 	}
 	bs, _ := wal.AnalyzeBulk(recs)
 	_, err = Resume(re, bs, log2, recs, 0, Options{CheckpointRows: 200, failAfterApplied: 700})
-	if err != errInjectedCrash {
+	if !errors.Is(err, errInjectedCrash) {
 		t.Fatalf("expected second injected crash, got %v", err)
 	}
 	// Second recovery completes.
@@ -246,7 +247,7 @@ func TestCrashBeforeAnyDestructiveWork(t *testing.T) {
 		Method: SortMerge, Log: log, TxID: 13, CheckpointRows: 100,
 		failAfterApplied: 1,
 	})
-	if err != errInjectedCrash {
+	if !errors.Is(err, errInjectedCrash) {
 		t.Fatalf("expected injected crash, got %v", err)
 	}
 	re := crashAndRecover(t, pool, tgt, log, 0)
@@ -286,7 +287,7 @@ func TestRecoveryRebuildsStructurallyDamagedAccessIndex(t *testing.T) {
 		Method: SortMerge, Log: log, TxID: 21, CheckpointRows: 200,
 		failAfterApplied: 1600,
 	})
-	if err != errInjectedCrash {
+	if !errors.Is(err, errInjectedCrash) {
 		t.Fatalf("expected injected crash, got %v", err)
 	}
 	// Simulate the crash *and* structural damage to the access index, as
@@ -334,7 +335,7 @@ func TestRecoveryRebuildsDamagedSecondaryIndex(t *testing.T) {
 		Method: SortMerge, Log: log, TxID: 23, CheckpointRows: 200,
 		failAfterApplied: 4600,
 	})
-	if err != errInjectedCrash {
+	if !errors.Is(err, errInjectedCrash) {
 		t.Fatalf("expected injected crash, got %v", err)
 	}
 	pool.InvalidateAll()

@@ -1,0 +1,370 @@
+// Package crashtest sweeps a bulk delete through every possible crash
+// point. It builds a deterministic scenario — a multi-index table, a
+// seeded victim set, a WAL-enabled database — runs the statement once
+// fault-free to count its page I/Os, and then, for every I/O ordinal k,
+// re-runs it with a simulated power failure at exactly the kth I/O,
+// reopens the database through crash recovery, and checks the full
+// invariant set:
+//
+//   - the heap and every index pass table.CheckConsistency (structure,
+//     entry counts, and an exact ⟨key,RID⟩ match between heap and index);
+//   - the victim set is atomic: either every victim is gone (the WAL
+//     recorded the bulk delete and recovery rolled it forward, §3.2) or
+//     every victim is intact (the crash hit before the bulk-start record
+//     was durable); non-victim rows always survive;
+//   - the run is deterministic: the same ordinal yields the same simulated
+//     clock and the same recovery actions, so any failure reproduces
+//     exactly with `crashtest -at k`.
+//
+// Because the disk, the clock, and the victim selection are all seeded and
+// simulated, a sweep is exhaustive rather than probabilistic: it visits
+// every I/O the statement performs, not a random sample.
+package crashtest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"bulkdel"
+	"bulkdel/internal/obs"
+	"bulkdel/internal/sim"
+)
+
+// Config describes one sweep scenario. The zero value is usable; every
+// field has a small-but-interesting default chosen so that the statement
+// spills sorts, takes mid-structure checkpoints, and evicts dirty pages.
+type Config struct {
+	// Rows in the table (default 48). Each row is R(A,B,C) with A=i
+	// unique, B=3i, C=i%7, indexed IA (unique, the access index), IB, IC.
+	Rows int
+	// Victims is the number of rows deleted (default Rows/3).
+	Victims int
+	// Indexes is how many of the three indexes to create, 1..3 (default
+	// 3). With 1 only the access index exists, exercising the
+	// no-secondary-indexes protocol path.
+	Indexes int
+	// Method selects the join strategy (default bulkdel.SortMerge).
+	Method bulkdel.Method
+	// CheckpointRows between mid-structure WAL checkpoints (default 8 —
+	// small, so the sweep crosses checkpoint boundaries).
+	CheckpointRows int
+	// Memory is the sort/hash budget in bytes (default 512 — small, so
+	// external sorts spill and partitioning partitions).
+	Memory int
+	// BufferBytes is the buffer-pool budget (default 24 pages — small, so
+	// dirty evictions happen mid-statement).
+	BufferBytes int
+	// Seed drives victim selection (default 1).
+	Seed int64
+	// From, To, Stride bound the swept ordinals (defaults 1, total, 1).
+	From, To, Stride int
+	// TearBytes, when > 0, additionally tears the crashing write: only the
+	// first TearBytes bytes of the page reach the platter.
+	TearBytes int
+	// TearWALOnly restricts tearing to the WAL file (torn-log-tail tests).
+	TearWALOnly bool
+	// Observer, when set, accumulates metrics across every run of the
+	// sweep (faults_injected, crashes_simulated, recoveries_run).
+	Observer *obs.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows <= 0 {
+		c.Rows = 48
+	}
+	if c.Victims <= 0 {
+		c.Victims = c.Rows / 3
+	}
+	if c.Victims > c.Rows {
+		c.Victims = c.Rows
+	}
+	if c.Indexes <= 0 || c.Indexes > 3 {
+		c.Indexes = 3
+	}
+	if c.Method == bulkdel.Auto {
+		c.Method = bulkdel.SortMerge
+	}
+	if c.CheckpointRows <= 0 {
+		c.CheckpointRows = 8
+	}
+	if c.Memory <= 0 {
+		c.Memory = 512
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 24 * sim.PageSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+	return c
+}
+
+// OrdinalResult reports one crash-and-recover cycle.
+type OrdinalResult struct {
+	// Ordinal is the I/O (1-based, counted from statement start) at which
+	// the crash was injected.
+	Ordinal int
+	// CrashFired reports whether the statement actually reached the
+	// ordinal (false past the statement's last I/O: the delete committed).
+	CrashFired bool
+	// BulkInWAL reports whether recovery found an unfinished bulk delete
+	// in the log and rolled it forward.
+	BulkInWAL bool
+	// RolledForward is the number of records recovery deleted.
+	RolledForward int64
+	// Survivors is the row count after recovery.
+	Survivors int64
+	// ClockUS is the simulated clock after recovery, in microseconds —
+	// equal across runs of the same ordinal iff the engine is
+	// deterministic.
+	ClockUS int64
+	// Err describes an invariant violation ("" = the ordinal passed).
+	Err string
+}
+
+// SweepResult aggregates a sweep.
+type SweepResult struct {
+	// TotalIOs the fault-free statement performs; ordinals range 1..TotalIOs.
+	TotalIOs int
+	// Ran and Failed count the swept ordinals.
+	Ran, Failed int
+	// Ordinals holds every per-ordinal result, in sweep order.
+	Ordinals []OrdinalResult
+}
+
+// Failures returns the results whose invariants failed.
+func (s *SweepResult) Failures() []OrdinalResult {
+	var out []OrdinalResult
+	for _, r := range s.Ordinals {
+		if r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Digest fingerprints the sweep's observable behaviour — per ordinal: did
+// the crash fire, was a bulk found in the WAL, how many records rolled
+// forward, the survivor count, and the simulated clock. Two sweeps of the
+// same Config must produce identical digests.
+func (s *SweepResult) Digest() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "total=%d\n", s.TotalIOs)
+	for _, r := range s.Ordinals {
+		fmt.Fprintf(h, "%d:%v:%v:%d:%d:%d:%s\n",
+			r.Ordinal, r.CrashFired, r.BulkInWAL, r.RolledForward, r.Survivors, r.ClockUS, r.Err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// buildDB constructs the scenario database: table R with three indexes,
+// flushed durable, plus the seeded victim list (values of the unique
+// attribute A).
+func buildDB(cfg Config) (*bulkdel.DB, *bulkdel.Table, []int64, error) {
+	db, err := bulkdel.Open(bulkdel.Options{
+		BufferBytes: cfg.BufferBytes,
+		Observer:    cfg.Observer,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tbl, err := db.CreateTable("R", 3, 64)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		if _, err := tbl.Insert(int64(i), int64(3*i), int64(i%7)); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	defs := []bulkdel.IndexOptions{
+		{Name: "IA", Field: 0, Unique: true},
+		{Name: "IB", Field: 1},
+		{Name: "IC", Field: 2},
+	}
+	for _, ix := range defs[:cfg.Indexes] {
+		if err := tbl.CreateIndex(ix); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(cfg.Rows)
+	victims := make([]int64, cfg.Victims)
+	for i := range victims {
+		victims[i] = int64(perm[i])
+	}
+	return db, tbl, victims, nil
+}
+
+func bulkOpts(cfg Config) bulkdel.BulkOptions {
+	return bulkdel.BulkOptions{
+		Method:         cfg.Method,
+		Memory:         cfg.Memory,
+		CheckpointRows: cfg.CheckpointRows,
+	}
+}
+
+// CountIOs runs the scenario once without faults and returns the number of
+// page I/Os the statement performs — the sweep's ordinal range. It also
+// validates the fault-free run: the delete must succeed and leave the
+// table consistent.
+func CountIOs(cfg Config) (int, error) {
+	cfg = cfg.withDefaults()
+	db, tbl, victims, err := buildDB(cfg)
+	if err != nil {
+		return 0, err
+	}
+	before := db.Disk().IOCount()
+	res, err := tbl.BulkDelete(0, victims, bulkOpts(cfg))
+	if err != nil {
+		return 0, fmt.Errorf("crashtest: fault-free run failed: %w", err)
+	}
+	if res.Deleted != int64(len(victims)) {
+		return 0, fmt.Errorf("crashtest: fault-free run deleted %d of %d victims", res.Deleted, len(victims))
+	}
+	if err := tbl.Check(); err != nil {
+		return 0, fmt.Errorf("crashtest: fault-free run left the table inconsistent: %w", err)
+	}
+	return int(db.Disk().IOCount() - before), nil
+}
+
+// RunOrdinal executes one crash-and-recover cycle: fresh scenario, crash
+// at the kth statement I/O, recovery, invariant checks. Invariant
+// violations are reported in the result's Err field; the returned error is
+// reserved for harness failures (the scenario itself could not be built).
+func RunOrdinal(cfg Config, k int) (OrdinalResult, error) {
+	cfg = cfg.withDefaults()
+	res := OrdinalResult{Ordinal: k}
+	db, tbl, victims, err := buildDB(cfg)
+	if err != nil {
+		return res, err
+	}
+
+	plan := sim.NewFaultPlan().CrashAtIO(uint64(k))
+	if cfg.TearBytes > 0 {
+		if cfg.TearWALOnly {
+			if wf, ok := db.WALFile(); ok {
+				plan = plan.TearFileWrite(wf, cfg.TearBytes)
+			}
+		} else {
+			plan = plan.TearWrite(cfg.TearBytes)
+		}
+	}
+	db.Disk().SetFaultPlan(plan)
+
+	_, derr := tbl.BulkDelete(0, victims, bulkOpts(cfg))
+	switch {
+	case derr == nil:
+		// The statement finished before its kth I/O: k is past the end.
+		res.CrashFired = false
+	case sim.IsCrash(derr):
+		res.CrashFired = true
+	default:
+		res.Err = fmt.Sprintf("unexpected non-crash error: %v", derr)
+		return res, nil
+	}
+
+	// Power off, clear the fault plan (the machine rebooted), recover.
+	disk := db.SimulateCrash()
+	disk.SetFaultPlan(nil)
+	rdb, rep, rerr := bulkdel.Recover(disk, bulkdel.Options{
+		BufferBytes: cfg.BufferBytes,
+		Observer:    cfg.Observer,
+	})
+	if rerr != nil {
+		res.Err = fmt.Sprintf("recovery failed: %v", rerr)
+		return res, nil
+	}
+	res.BulkInWAL = rep.BulkInProgress
+	res.RolledForward = rep.RolledForward
+	res.Err = verifyState(rdb, cfg, victims, rep.BulkInProgress, &res)
+	res.ClockUS = disk.Clock().Microseconds()
+	return res, nil
+}
+
+// verifyState checks the recovered database against the sweep invariants
+// and returns a description of the first violation ("" = all hold).
+func verifyState(rdb *bulkdel.DB, cfg Config, victims []int64, rolledForward bool, res *OrdinalResult) string {
+	tbl := rdb.Table("R")
+	if tbl == nil {
+		return "table R missing after recovery"
+	}
+	// Heap ↔ every index: structure, counts, and exact entry sets.
+	if err := tbl.Check(); err != nil {
+		return fmt.Sprintf("consistency check: %v", err)
+	}
+
+	vset := make(map[int64]bool, len(victims))
+	for _, v := range victims {
+		vset[v] = true
+	}
+	var total, victimsPresent, others int64
+	err := tbl.Scan(func(_ bulkdel.RID, fields []int64) error {
+		total++
+		if vset[fields[0]] {
+			victimsPresent++
+		} else {
+			others++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Sprintf("scanning recovered heap: %v", err)
+	}
+	res.Survivors = total
+
+	if others != int64(cfg.Rows-len(victims)) {
+		return fmt.Sprintf("non-victim rows: %d survive, want %d", others, cfg.Rows-len(victims))
+	}
+	switch victimsPresent {
+	case 0, int64(len(victims)):
+		// Atomic: all gone or all intact.
+	default:
+		return fmt.Sprintf("victim set torn: %d of %d victims survive", victimsPresent, len(victims))
+	}
+	if rolledForward && victimsPresent != 0 {
+		return fmt.Sprintf("recovery rolled the bulk delete forward but %d victims survive", victimsPresent)
+	}
+	if tbl.Count() != total {
+		return fmt.Sprintf("cached row count %d, scanned %d", tbl.Count(), total)
+	}
+	return ""
+}
+
+// Sweep counts the statement's I/Os and runs RunOrdinal for every ordinal
+// in the configured range. The returned error reports harness failures
+// only; per-ordinal invariant violations are in the result.
+func Sweep(cfg Config) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	total, err := CountIOs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	from, to := cfg.From, cfg.To
+	if from <= 0 {
+		from = 1
+	}
+	if to <= 0 || to > total {
+		to = total
+	}
+	sw := &SweepResult{TotalIOs: total}
+	for k := from; k <= to; k += cfg.Stride {
+		r, err := RunOrdinal(cfg, k)
+		if err != nil {
+			return sw, err
+		}
+		sw.Ran++
+		if r.Err != "" {
+			sw.Failed++
+		}
+		sw.Ordinals = append(sw.Ordinals, r)
+	}
+	return sw, nil
+}

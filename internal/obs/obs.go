@@ -83,6 +83,7 @@ func (s Snapshot) Sub(b Snapshot) Delta {
 		Evictions:   satSub(s.Pool.Evictions, b.Pool.Evictions),
 		DirtyEvicts: satSub(s.Pool.DirtyEvicts, b.Pool.DirtyEvicts),
 		WALBytes:    satSub(s.WALBytes, b.WALBytes),
+		Faults:      satSub(s.Disk.FaultsInjected, b.Disk.FaultsInjected),
 	}
 }
 
@@ -118,6 +119,7 @@ type Delta struct {
 	Evictions   uint64        // frames evicted
 	DirtyEvicts uint64        // evictions that wrote back
 	WALBytes    uint64        // log bytes made durable
+	Faults      uint64        // injected I/O faults tripped (crash tests)
 }
 
 // Add accumulates another delta into d.
@@ -137,6 +139,7 @@ func (d *Delta) Add(o Delta) {
 	d.Evictions += o.Evictions
 	d.DirtyEvicts += o.DirtyEvicts
 	d.WALBytes += o.WALBytes
+	d.Faults += o.Faults
 }
 
 // HitRatio returns the buffer-pool hit ratio in [0,1], or -1 when the span

@@ -40,6 +40,9 @@ func (o *Observer) OnTrace(t *Trace) {
 	o.reg.Counter("pool_hits").Add(int64(d.Hits))
 	o.reg.Counter("pool_misses").Add(int64(d.Misses))
 	o.reg.Counter("wal_bytes").Add(int64(d.WALBytes))
+	if d.Faults > 0 {
+		o.reg.Counter("faults_injected").Add(int64(d.Faults))
+	}
 	o.reg.Histogram("statement_elapsed").Observe(d.Elapsed)
 
 	o.mu.Lock()

@@ -218,6 +218,7 @@ type DeltaWire struct {
 	Evictions   uint64 `json:"evictions"`
 	DirtyEvicts uint64 `json:"dirty_evicts"`
 	WALBytes    uint64 `json:"wal_bytes"`
+	Faults      uint64 `json:"faults_injected,omitempty"`
 }
 
 // Wire converts the delta to its stable JSON form.
@@ -238,6 +239,7 @@ func (d Delta) Wire() DeltaWire {
 		Evictions:   d.Evictions,
 		DirtyEvicts: d.DirtyEvicts,
 		WALBytes:    d.WALBytes,
+		Faults:      d.Faults,
 	}
 }
 

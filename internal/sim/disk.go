@@ -124,6 +124,11 @@ type Stats struct {
 	Allocated   uint64 // pages allocated across all files
 	Compares    uint64 // comparisons charged
 	Records     uint64 // records charged
+
+	// Fault-injection counters (see fault.go). Faulted operations are not
+	// counted as Reads/Writes — the transfer never happened.
+	FaultsInjected uint64 // injected errors returned, crash trip included
+	Crashes        uint64 // crash faults tripped (once per installed plan)
 }
 
 type file struct {
@@ -144,6 +149,13 @@ type Disk struct {
 	lastPage PageNo
 	hasLast  bool
 	stats    Stats
+
+	// Fault injection (see fault.go). ioSeq numbers every attempted page
+	// I/O; readSeq/writeSeq number them per class.
+	fault    *FaultPlan
+	ioSeq    uint64
+	readSeq  uint64
+	writeSeq uint64
 }
 
 // NewDisk creates an empty simulated disk with the given cost model.
@@ -274,6 +286,9 @@ func (d *Disk) ReadPage(id FileID, p PageNo, buf []byte) error {
 	if int(p) >= len(f.pages) {
 		return fmt.Errorf("sim: read past end of file %d: page %d of %d", id, p, len(f.pages))
 	}
+	if err := d.faultLocked(opRead, id, p, nil, nil); err != nil {
+		return err
+	}
 	d.positionLocked(id, p)
 	d.clock += d.cm.TransferPage
 	d.stats.Reads++
@@ -294,6 +309,9 @@ func (d *Disk) WritePage(id FileID, p PageNo, data []byte) error {
 	}
 	if int(p) >= len(f.pages) {
 		return fmt.Errorf("sim: write past end of file %d: page %d of %d", id, p, len(f.pages))
+	}
+	if err := d.faultLocked(opWrite, id, p, data, f.pages[p]); err != nil {
+		return err
 	}
 	d.positionLocked(id, p)
 	d.clock += d.cm.TransferPage
@@ -324,6 +342,11 @@ func (d *Disk) ReadRun(id FileID, p PageNo, bufs [][]byte) error {
 		if len(buf) != PageSize {
 			return fmt.Errorf("sim: read buffer %d must be %d bytes, got %d", i, PageSize, len(buf))
 		}
+		// Each page of the run occupies its own I/O ordinal, so a crash
+		// can land mid-run; earlier pages of the run were transferred.
+		if err := d.faultLocked(opRead, id, p+PageNo(i), nil, nil); err != nil {
+			return err
+		}
 		d.clock += d.cm.TransferPage
 		d.stats.Reads++
 		copy(buf, f.pages[int(p)+i])
@@ -353,6 +376,11 @@ func (d *Disk) WriteRun(id FileID, p PageNo, data [][]byte) error {
 	for i, buf := range data {
 		if len(buf) != PageSize {
 			return fmt.Errorf("sim: write buffer %d must be %d bytes, got %d", i, PageSize, len(buf))
+		}
+		// Pages before the crash point persisted; the crashing page may
+		// persist a torn prefix (see faultLocked); later pages are lost.
+		if err := d.faultLocked(opWrite, id, p+PageNo(i), buf, f.pages[int(p)+i]); err != nil {
+			return err
 		}
 		d.clock += d.cm.TransferPage
 		d.stats.Writes++

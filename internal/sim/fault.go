@@ -1,0 +1,266 @@
+// Fault injection for the simulated disk.
+//
+// A FaultPlan installed on a Disk can fail a chosen page read or write with
+// an injectable error, trip a deterministic crash at any global I/O
+// ordinal, and tear the crashing write so that only a byte prefix of the
+// page reaches the platter — the three failure shapes a recovery protocol
+// has to survive. Ordinals are counted per page: a chained run of n pages
+// occupies n consecutive ordinals, so a crash can land in the middle of a
+// run exactly as a power failure would. Once the crash ordinal trips, every
+// subsequent operation on the disk fails with ErrCrashed until the plan is
+// cleared — a dead machine does not come back for one more write.
+//
+// Everything is deterministic: the same plan against the same operation
+// sequence trips at the same ordinal, tears the same bytes, and leaves the
+// same platter image, which is what lets the crash-sweep harness in
+// internal/crashtest enumerate every ordinal of a bulk delete and assert
+// recovery invariants at each one.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrInjected is the root cause of every injected non-crash I/O fault.
+// Callers detect injected faults with errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("injected I/O fault")
+
+// ErrCrashed is the root cause of every operation refused at or after the
+// crash ordinal of a FaultPlan. Detect with IsCrash.
+var ErrCrashed = errors.New("simulated crash (power failure)")
+
+// IsCrash reports whether err originates from a tripped crash fault.
+func IsCrash(err error) bool { return errors.Is(err, ErrCrashed) }
+
+// IsInjected reports whether err originates from the fault layer at all —
+// an injected error or a simulated crash.
+func IsInjected(err error) bool {
+	return errors.Is(err, ErrInjected) || errors.Is(err, ErrCrashed)
+}
+
+// FaultError carries the context of one injected fault: which operation on
+// which page tripped it and at which global I/O ordinal. It unwraps to the
+// injected cause (ErrInjected or ErrCrashed).
+type FaultError struct {
+	Op   string // "read" or "write"
+	File FileID
+	Page PageNo
+	Seq  uint64 // I/O ordinal of the faulted operation, counted from plan installation (1-based)
+	Err  error
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("sim: %s of page %d/%d at I/O %d: %v", e.Op, e.File, e.Page, e.Seq, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// FaultPlan is a deterministic schedule of I/O faults for one Disk. Build
+// one with NewFaultPlan and the chainable setters, install it with
+// Disk.SetFaultPlan, and clear it (SetFaultPlan(nil)) to model the machine
+// coming back up after a crash. A plan tracks trip state, so do not share
+// one plan across disks or reuse it for a second run.
+// All plan ordinals are 1-based and counted from the moment the plan is
+// installed, so "fail the 3rd write" and "crash at I/O 40" mean the 3rd
+// write and the 40th page I/O after SetFaultPlan.
+type FaultPlan struct {
+	readErrs  map[uint64]error // Nth page read (1-based, counted per class) → cause
+	writeErrs map[uint64]error
+	crashAt   uint64 // I/O ordinal that trips the crash; 0 = never
+	tornBytes int    // bytes of the crashing write that still persist
+	tornFile  FileID // tear only writes of this file when tornOnly
+	tornOnly  bool
+	crashed   bool // the crash has tripped; refuse everything
+
+	// Counter values at installation time; set by SetFaultPlan.
+	ioBase    uint64
+	readBase  uint64
+	writeBase uint64
+}
+
+// NewFaultPlan returns an empty plan that injects nothing.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		readErrs:  make(map[uint64]error),
+		writeErrs: make(map[uint64]error),
+	}
+}
+
+// FailReadAt makes the Nth page read after installation (1-based, counted
+// over reads only, including each page of a chained run) fail once with
+// cause, or ErrInjected when cause is nil. The page is not transferred.
+func (p *FaultPlan) FailReadAt(n uint64, cause error) *FaultPlan {
+	if cause == nil {
+		cause = ErrInjected
+	}
+	p.readErrs[n] = cause
+	return p
+}
+
+// FailWriteAt makes the Nth page write after installation fail once with
+// cause (default ErrInjected). Nothing reaches the platter.
+func (p *FaultPlan) FailWriteAt(n uint64, cause error) *FaultPlan {
+	if cause == nil {
+		cause = ErrInjected
+	}
+	p.writeErrs[n] = cause
+	return p
+}
+
+// CrashAtIO trips a crash at the kth page I/O after installation (1-based,
+// reads and writes counted together; a scenario's total is the difference
+// of Disk.IOCount around it). The operation at k and every operation after
+// it fail with ErrCrashed.
+func (p *FaultPlan) CrashAtIO(k uint64) *FaultPlan {
+	p.crashAt = k
+	return p
+}
+
+// TearWrite makes the crashing operation, when it is a write, persist only
+// the first n bytes of the page — a sector-granular torn write. Reads and
+// untorn writes at the crash point persist nothing.
+func (p *FaultPlan) TearWrite(n int) *FaultPlan {
+	p.tornBytes = n
+	p.tornOnly = false
+	return p
+}
+
+// TearFileWrite is TearWrite restricted to writes of one file, so a
+// harness can tear the WAL tail while leaving data pages write-atomic.
+func (p *FaultPlan) TearFileWrite(id FileID, n int) *FaultPlan {
+	p.tornBytes = n
+	p.tornFile = id
+	p.tornOnly = true
+	return p
+}
+
+// ParseFaultSpec parses a comma-separated fault specification into a plan:
+//
+//	crash@K          trip a crash at global I/O ordinal K
+//	crash@K:tear=N   ditto, persisting only the first N bytes of the
+//	                 crashing write
+//	read@N           fail the Nth page read with an injected error
+//	write@N          fail the Nth page write with an injected error
+//
+// Example: "write@3,crash@120:tear=512".
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	p := NewFaultPlan()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("sim: fault %q: want kind@ordinal", part)
+		}
+		arg, opt, hasOpt := strings.Cut(rest, ":")
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("sim: fault %q: bad ordinal %q", part, arg)
+		}
+		if hasOpt && kind != "crash" {
+			return nil, fmt.Errorf("sim: fault %q: only crash@ accepts options", part)
+		}
+		switch kind {
+		case "read":
+			p.FailReadAt(n, nil)
+		case "write":
+			p.FailWriteAt(n, nil)
+		case "crash":
+			p.CrashAtIO(n)
+			if hasOpt {
+				val, okTear := strings.CutPrefix(opt, "tear=")
+				tear, terr := strconv.Atoi(val)
+				if !okTear || terr != nil || tear < 0 || tear > PageSize {
+					return nil, fmt.Errorf("sim: fault %q: bad option %q", part, opt)
+				}
+				p.TearWrite(tear)
+			}
+		default:
+			return nil, fmt.Errorf("sim: fault %q: unknown kind %q", part, kind)
+		}
+	}
+	return p, nil
+}
+
+// SetFaultPlan installs plan on the disk (nil clears any installed plan,
+// e.g. when restarting the machine after a simulated crash). The plan's
+// ordinals start counting at the moment of installation.
+func (d *Disk) SetFaultPlan(plan *FaultPlan) {
+	d.mu.Lock()
+	if plan != nil {
+		plan.ioBase = d.ioSeq
+		plan.readBase = d.readSeq
+		plan.writeBase = d.writeSeq
+	}
+	d.fault = plan
+	d.mu.Unlock()
+}
+
+// IOCount returns the number of page I/Os attempted on the disk so far
+// (reads and writes, each page of a chained run counted separately). A
+// harness reads it before and after a scenario to learn the ordinal range
+// the scenario occupies, then aims CrashAtIO at every ordinal inside it.
+func (d *Disk) IOCount() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ioSeq
+}
+
+const (
+	opRead  = "read"
+	opWrite = "write"
+)
+
+// faultLocked advances the I/O ordinal counters and consults the installed
+// fault plan for one attempted page access. For writes, data is the page
+// image about to be persisted and dst the platter page; on a torn crash a
+// prefix of data is copied into dst before the crash error is returned.
+// Returns nil when the operation may proceed. Caller holds d.mu.
+func (d *Disk) faultLocked(op string, id FileID, p PageNo, data, dst []byte) error {
+	d.ioSeq++
+	var classSeq uint64
+	if op == opRead {
+		d.readSeq++
+		classSeq = d.readSeq
+	} else {
+		d.writeSeq++
+		classSeq = d.writeSeq
+	}
+	pl := d.fault
+	if pl == nil {
+		return nil
+	}
+	relSeq := d.ioSeq - pl.ioBase
+	if pl.crashed {
+		// The machine is down: refuse without counting a fresh fault.
+		return &FaultError{Op: op, File: id, Page: p, Seq: relSeq, Err: ErrCrashed}
+	}
+	if pl.crashAt != 0 && relSeq >= pl.crashAt {
+		pl.crashed = true
+		d.stats.FaultsInjected++
+		d.stats.Crashes++
+		if op == opWrite && pl.tornBytes > 0 && (!pl.tornOnly || pl.tornFile == id) {
+			n := pl.tornBytes
+			if n > len(data) {
+				n = len(data)
+			}
+			copy(dst[:n], data[:n])
+		}
+		return &FaultError{Op: op, File: id, Page: p, Seq: relSeq, Err: ErrCrashed}
+	}
+	errs, base := pl.writeErrs, pl.writeBase
+	if op == opRead {
+		errs, base = pl.readErrs, pl.readBase
+	}
+	if cause, ok := errs[classSeq-base]; ok {
+		delete(errs, classSeq-base) // one-shot
+		d.stats.FaultsInjected++
+		return &FaultError{Op: op, File: id, Page: p, Seq: relSeq, Err: cause}
+	}
+	return nil
+}

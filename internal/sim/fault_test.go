@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func newFaultDisk(t *testing.T, pages int) (*Disk, FileID) {
+	t.Helper()
+	d := NewDisk(DefaultCostModel())
+	id := d.CreateFile()
+	for i := 0; i < pages; i++ {
+		if _, err := d.Allocate(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, id
+}
+
+func pageOf(b byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestIOCountCountsEveryPage(t *testing.T) {
+	d, id := newFaultDisk(t, 8)
+	buf := make([]byte, PageSize)
+	if got := d.IOCount(); got != 0 {
+		t.Fatalf("fresh disk IOCount = %d", got)
+	}
+	if err := d.WritePage(id, 0, pageOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(id, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	bufs := [][]byte{make([]byte, PageSize), make([]byte, PageSize), make([]byte, PageSize)}
+	if err := d.ReadRun(id, 0, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.IOCount(); got != 5 {
+		t.Fatalf("IOCount after 1 write + 1 read + 3-page run = %d, want 5", got)
+	}
+}
+
+func TestFailReadAtInjectsOnce(t *testing.T) {
+	d, id := newFaultDisk(t, 4)
+	d.SetFaultPlan(NewFaultPlan().FailReadAt(2, nil))
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(id, 0, buf); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	err := d.ReadPage(id, 3, buf)
+	if err == nil {
+		t.Fatal("read 2 should fail")
+	}
+	if !IsInjected(err) || IsCrash(err) {
+		t.Fatalf("read 2 error = %v, want injected non-crash", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v does not carry *FaultError", err)
+	}
+	if fe.Op != "read" || fe.File != id || fe.Page != 3 {
+		t.Fatalf("fault context = %+v", fe)
+	}
+	// One-shot: the next read succeeds, and writes were never affected.
+	if err := d.ReadPage(id, 3, buf); err != nil {
+		t.Fatalf("read 3: %v", err)
+	}
+	if err := d.WritePage(id, 0, pageOf(9)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if st := d.Stats(); st.FaultsInjected != 1 || st.Crashes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFailWriteAtCustomCause(t *testing.T) {
+	d, id := newFaultDisk(t, 2)
+	cause := errors.New("media error")
+	d.SetFaultPlan(NewFaultPlan().FailWriteAt(1, cause))
+	err := d.WritePage(id, 1, pageOf(7))
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want wrapped %v", err, cause)
+	}
+	// The failed write must not have reached the platter.
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(id, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("failed write persisted data")
+	}
+}
+
+func TestCrashAtStopsAllLaterIO(t *testing.T) {
+	d, id := newFaultDisk(t, 8)
+	d.SetFaultPlan(NewFaultPlan().CrashAtIO(3))
+	buf := make([]byte, PageSize)
+	if err := d.WritePage(id, 0, pageOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(id, 1, pageOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(id, 2, pageOf(3)); !IsCrash(err) {
+		t.Fatalf("I/O 3 = %v, want crash", err)
+	}
+	// Everything after the crash is refused too — reads included.
+	if err := d.ReadPage(id, 0, buf); !IsCrash(err) {
+		t.Fatalf("post-crash read = %v, want crash", err)
+	}
+	if err := d.WriteRun(id, 0, [][]byte{pageOf(9)}); !IsCrash(err) {
+		t.Fatalf("post-crash run = %v, want crash", err)
+	}
+	st := d.Stats()
+	if st.Crashes != 1 || st.FaultsInjected != 1 {
+		t.Fatalf("crash counted %d times, faults %d; want 1/1", st.Crashes, st.FaultsInjected)
+	}
+	// Clearing the plan restarts the machine; the crashing write is lost.
+	d.SetFaultPlan(nil)
+	if err := d.ReadPage(id, 2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("crashed write persisted data")
+	}
+}
+
+func TestCrashMidRunLosesTail(t *testing.T) {
+	d, id := newFaultDisk(t, 4)
+	d.SetFaultPlan(NewFaultPlan().CrashAtIO(3))
+	err := d.WriteRun(id, 0, [][]byte{pageOf(1), pageOf(2), pageOf(3), pageOf(4)})
+	if !IsCrash(err) {
+		t.Fatalf("run = %v, want crash", err)
+	}
+	d.SetFaultPlan(nil)
+	buf := make([]byte, PageSize)
+	want := []byte{1, 2, 0, 0} // pages before the crash point persisted
+	for i, w := range want {
+		if err := d.ReadPage(id, PageNo(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != w {
+			t.Fatalf("page %d byte0 = %d, want %d", i, buf[0], w)
+		}
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	d, id := newFaultDisk(t, 2)
+	if err := d.WritePage(id, 0, pageOf(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultPlan(NewFaultPlan().CrashAtIO(1).TearWrite(100))
+	if err := d.WritePage(id, 0, pageOf(0xBB)); !IsCrash(err) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	d.SetFaultPlan(nil)
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(id, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if buf[i] != 0xBB {
+			t.Fatalf("byte %d = %x, want new content in torn prefix", i, buf[i])
+		}
+	}
+	for i := 100; i < PageSize; i++ {
+		if buf[i] != 0xAA {
+			t.Fatalf("byte %d = %x, want old content past the tear", i, buf[i])
+		}
+	}
+}
+
+func TestTearFileWriteOnlyTearsThatFile(t *testing.T) {
+	d, a := newFaultDisk(t, 2)
+	b := d.CreateFile()
+	if _, err := d.Allocate(b); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultPlan(NewFaultPlan().CrashAtIO(1).TearFileWrite(b, 64))
+	if err := d.WritePage(a, 0, pageOf(0xCC)); !IsCrash(err) {
+		t.Fatal("want crash")
+	}
+	d.SetFaultPlan(nil)
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(a, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("write to non-torn file persisted a prefix")
+	}
+}
+
+func TestCrashDeterminism(t *testing.T) {
+	run := func() (uint64, int64) {
+		d, id := newFaultDisk(t, 8)
+		d.SetFaultPlan(NewFaultPlan().CrashAtIO(5))
+		buf := make([]byte, PageSize)
+		var failedAt uint64
+		for i := 0; i < 8; i++ {
+			if err := d.WritePage(id, PageNo(i), pageOf(byte(i))); err != nil {
+				var fe *FaultError
+				if errors.As(err, &fe) && failedAt == 0 {
+					failedAt = fe.Seq
+				}
+			}
+			_ = d.ReadPage(id, PageNo(i%2), buf)
+		}
+		return failedAt, int64(d.Clock())
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if s1 != s2 || c1 != c2 {
+		t.Fatalf("non-deterministic: trip %d/%d clock %d/%d", s1, s2, c1, c2)
+	}
+	if s1 != 5 {
+		t.Fatalf("tripped at %d, want 5", s1)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	p, err := ParseFaultSpec("read@2, write@7,crash@120:tear=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.crashAt != 120 || p.tornBytes != 512 || p.tornOnly {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	if _, ok := p.readErrs[2]; !ok {
+		t.Fatal("read@2 missing")
+	}
+	if _, ok := p.writeErrs[7]; !ok {
+		t.Fatal("write@7 missing")
+	}
+	for _, bad := range []string{"boom", "read@x", "read@0", "read@2:tear=9", "crash@5:tear=waaat", "crash@5:tear=9999"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+	if _, err := ParseFaultSpec(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}
+
+func TestFaultErrorMessageNamesPage(t *testing.T) {
+	d, id := newFaultDisk(t, 2)
+	d.SetFaultPlan(NewFaultPlan().FailWriteAt(1, nil))
+	err := d.WritePage(id, 1, pageOf(1))
+	if err == nil || !strings.Contains(err.Error(), "write of page 0/1") {
+		t.Fatalf("err = %v, want write of page 0/1 context", err)
+	}
+}

@@ -27,6 +27,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"bulkdel/internal/sim"
 )
@@ -100,18 +101,43 @@ func (t Type) String() string {
 type Record struct {
 	LSN     LSN
 	Type    Type
+	Gen     uint32 // log generation that wrote the record
 	TxID    uint64
 	A, B    uint64
 	Payload []byte
 }
 
-// record wire format: [1B type][8B txID][8B A][8B B][2B payload len][payload]
-const recHeaderSize = 1 + 8 + 8 + 8 + 2
+// record wire format:
+//
+//	[1B type][4B gen][8B txID][8B A][8B B][2B payload len][4B crc][payload]
+//
+// gen is the log generation: it starts at 1 and is bumped every time the
+// log is reopened after a crash, so a torn tail overwritten by a new
+// generation can never resurrect records of an old one — generations are
+// nondecreasing along the stream and the recovery scan stops when they go
+// backwards. crc is CRC-32C over the header (crc field zeroed) and the
+// payload; it rejects torn records whether the tear landed inside the
+// header, inside the payload, or left a misaligned remnant of an earlier
+// flush image of the same page.
+const recHeaderSize = 1 + 4 + 8 + 8 + 8 + 2 + 4
+
+const crcOff = recHeaderSize - 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recCRC computes the checksum of an encoded record: the header with its
+// crc field zeroed, followed by the payload.
+func recCRC(hdr []byte, payload []byte) uint32 {
+	c := crc32.Update(0, crcTable, hdr[:crcOff])
+	c = crc32.Update(c, crcTable, []byte{0, 0, 0, 0})
+	return crc32.Update(c, crcTable, payload)
+}
 
 // Log is an append-only write-ahead log.
 type Log struct {
 	disk    *sim.Disk
 	file    sim.FileID
+	gen     uint32 // generation stamped on appended records
 	buf     []byte // unflushed bytes (tail of the stream)
 	off     uint64 // stream offset of buf[0]
 	flushed uint64 // bytes durably on disk
@@ -120,11 +146,14 @@ type Log struct {
 
 // Create makes a fresh, empty log on its own file.
 func Create(disk *sim.Disk) *Log {
-	return &Log{disk: disk, file: disk.CreateFile()}
+	return &Log{disk: disk, file: disk.CreateFile(), gen: 1}
 }
 
 // FileID returns the log's file.
 func (l *Log) FileID() sim.FileID { return l.file }
+
+// Generation returns the generation stamped on records this Log appends.
+func (l *Log) Generation() uint32 { return l.gen }
 
 // Append adds a record and returns its LSN. The record is durable only
 // after the next Flush.
@@ -135,10 +164,12 @@ func (l *Log) Append(t Type, txID, a, b uint64, payload []byte) (LSN, error) {
 	lsn := LSN(l.off + uint64(len(l.buf)))
 	var hdr [recHeaderSize]byte
 	hdr[0] = byte(t)
-	binary.LittleEndian.PutUint64(hdr[1:], txID)
-	binary.LittleEndian.PutUint64(hdr[9:], a)
-	binary.LittleEndian.PutUint64(hdr[17:], b)
-	binary.LittleEndian.PutUint16(hdr[25:], uint16(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[1:], l.gen)
+	binary.LittleEndian.PutUint64(hdr[5:], txID)
+	binary.LittleEndian.PutUint64(hdr[13:], a)
+	binary.LittleEndian.PutUint64(hdr[21:], b)
+	binary.LittleEndian.PutUint16(hdr[29:], uint16(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[crcOff:], recCRC(hdr[:], payload))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	return lsn, nil
@@ -169,6 +200,13 @@ func (l *Log) Flush() error {
 	if inPageOff > 0 {
 		if err := l.disk.ReadPage(l.file, startPage, first); err != nil {
 			return err
+		}
+		// Zero everything past the flushed prefix so the rewritten page
+		// never carries stale bytes of an earlier flush image beyond the
+		// new content — those could otherwise parse as records after the
+		// next crash.
+		for i := inPageOff; i < sim.PageSize; i++ {
+			first[i] = 0
 		}
 	}
 	src := l.buf
@@ -214,6 +252,7 @@ func Open(disk *sim.Disk, file sim.FileID) (*Log, []Record, error) {
 	}
 	var recs []Record
 	off := uint64(0)
+	maxGen := uint32(0)
 	for {
 		if int(off)+recHeaderSize > len(stream) {
 			break
@@ -222,28 +261,42 @@ func Open(disk *sim.Disk, file sim.FileID) (*Log, []Record, error) {
 		if t == 0 || t > TNote {
 			break // end of valid records (zero fill or torn tail)
 		}
-		txID := binary.LittleEndian.Uint64(stream[off+1:])
-		a := binary.LittleEndian.Uint64(stream[off+9:])
-		b := binary.LittleEndian.Uint64(stream[off+17:])
-		plen := int(binary.LittleEndian.Uint16(stream[off+25:]))
+		gen := binary.LittleEndian.Uint32(stream[off+1:])
+		if gen == 0 || gen < maxGen {
+			// Generations are nondecreasing along the stream; a smaller
+			// one is a stale remnant of a previous log generation that a
+			// later, shorter tail happened not to overwrite. Do not
+			// resurrect it.
+			break
+		}
+		txID := binary.LittleEndian.Uint64(stream[off+5:])
+		a := binary.LittleEndian.Uint64(stream[off+13:])
+		b := binary.LittleEndian.Uint64(stream[off+21:])
+		plen := int(binary.LittleEndian.Uint16(stream[off+29:]))
 		if int(off)+recHeaderSize+plen > len(stream) {
 			break // torn record
 		}
-		var payload []byte
-		if plen > 0 {
-			payload = append([]byte(nil), stream[off+recHeaderSize:off+recHeaderSize+uint64(plen)]...)
+		hdr := stream[off : off+recHeaderSize]
+		payload := stream[off+recHeaderSize : off+recHeaderSize+uint64(plen)]
+		if binary.LittleEndian.Uint32(hdr[crcOff:]) != recCRC(hdr, payload) {
+			break // torn or corrupt record (tear in header or payload)
 		}
 		recs = append(recs, Record{
 			LSN:     LSN(off),
 			Type:    t,
+			Gen:     gen,
 			TxID:    txID,
 			A:       a,
 			B:       b,
-			Payload: payload,
+			Payload: append([]byte(nil), payload...),
 		})
+		maxGen = gen
 		off += recHeaderSize + uint64(plen)
 	}
-	l := &Log{disk: disk, file: file, off: off, flushed: off, pages: n}
+	// The new incarnation writes a strictly larger generation, so records
+	// it appends over a torn tail can never be confused with what the old
+	// incarnation left behind.
+	l := &Log{disk: disk, file: file, gen: maxGen + 1, off: off, flushed: off, pages: n}
 	return l, recs, nil
 }
 

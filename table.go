@@ -189,6 +189,10 @@ type BulkOptions struct {
 	Memory int
 	// Reorganize enables §2.3 leaf reorganization during the passes.
 	Reorganize bool
+	// CheckpointRows overrides the number of deletions between
+	// mid-structure WAL checkpoints (default 100000; only with the WAL).
+	// Crash tests set it low to exercise checkpoint replay.
+	CheckpointRows int
 	// Concurrent enables the §3.1 protocol: exclusive table lock,
 	// indexes offline, side-files applied as each index completes, the
 	// lock released once the table and all unique indexes are done.
@@ -286,9 +290,10 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	res.Cascaded = cascaded
 
 	coreOpts := core.Options{
-		Method:     opts.Method,
-		Memory:     opts.Memory,
-		Reorganize: opts.Reorganize,
+		Method:         opts.Method,
+		Memory:         opts.Memory,
+		Reorganize:     opts.Reorganize,
+		CheckpointRows: opts.CheckpointRows,
 	}
 	if tbl.db.log != nil {
 		coreOpts.Log = tbl.db.log
@@ -364,7 +369,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	tr.Finish()
 	tbl.db.obs.OnTrace(tr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bulkdel: bulk delete on %s: %w", tbl.t.Name, err)
 	}
 	res.Deleted = st.Deleted
 	res.Method = st.Method
