@@ -30,6 +30,7 @@ type catalogIndex struct {
 	Clustered bool   `json:"clustered"`
 	Priority  int    `json:"priority"`
 	File      uint32 `json:"file"`
+	Device    int    `json:"device,omitempty"`
 }
 
 type catalogTable struct {
@@ -54,13 +55,15 @@ type catalogRoot struct {
 	WALFile uint32         `json:"walFile"`
 	HasWAL  bool           `json:"hasWAL"`
 	TxSeq   uint64         `json:"txSeq"`
+	Devices int            `json:"devices,omitempty"`
+	IxSeq   int            `json:"ixSeq,omitempty"`
 }
 
 // saveCatalog serializes the catalog and writes it to file 0, length-
 // prefixed, spanning as many pages as needed. Catalog writes are rare
 // (DDL only), so the whole file is rewritten each time.
 func (db *DB) saveCatalog() error {
-	root := catalogRoot{TxSeq: db.txSeq}
+	root := catalogRoot{TxSeq: db.txSeq, Devices: db.opts.Devices, IxSeq: db.ixSeq}
 	if db.log != nil {
 		root.HasWAL = true
 		root.WALFile = uint32(db.log.FileID())
@@ -77,6 +80,7 @@ func (db *DB) saveCatalog() error {
 				Name: ix.Def.Name, Field: ix.Def.Field, KeyLen: ix.Def.KeyLen,
 				Unique: ix.Def.Unique, Clustered: ix.Def.Clustered,
 				Priority: ix.Def.Priority, File: uint32(ix.Tree.ID()),
+				Device: db.disk.DeviceOf(ix.Tree.ID()),
 			})
 		}
 		root.Tables = append(root.Tables, ct)
@@ -165,12 +169,19 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if opts.Devices == 0 {
+		opts.Devices = root.Devices // keep the crashed instance's layout
+	}
+	if opts.Devices > 1 {
+		disk.ConfigureDevices(opts.Devices + 1)
+	}
 	db := &DB{
 		disk:    disk,
 		pool:    buffer.New(disk, opts.BufferBytes),
 		tables:  make(map[string]*Table),
 		catalog: 0,
 		txSeq:   root.TxSeq,
+		ixSeq:   root.IxSeq,
 		opts:    opts,
 		obs:     opts.Observer,
 	}
@@ -192,6 +203,14 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 			tr, err := btree.Open(db.pool, sim.FileID(ci.File))
 			if err != nil {
 				return nil, nil, fmt.Errorf("bulkdel: reopening index %s.%s: %w", ct.Name, ci.Name, err)
+			}
+			if ci.Device > 0 {
+				// Reapply the catalog's device placement; the disk object
+				// usually retains it across a simulated crash, but a
+				// catalog restored onto a replacement array would not.
+				if err := disk.PlaceFile(sim.FileID(ci.File), ci.Device); err != nil {
+					return nil, nil, fmt.Errorf("bulkdel: placing index %s.%s: %w", ct.Name, ci.Name, err)
+				}
 			}
 			t.Idx = append(t.Idx, &table.Index{
 				Def: table.IndexDef{

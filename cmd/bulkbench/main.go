@@ -11,7 +11,13 @@
 //
 // Experiments: fig1, exp1 (fig7), exp2 (fig8), exp3 (table1), exp4 (fig9),
 // exp5 (fig10), plans (fig3/4/5), reorg (fig6 ablation), methods (sort vs
-// hash ablation), all.
+// hash ablation), parallel (DAG scheduler on a multi-device array), all.
+//
+// -devices/-parallel run any experiment on a simulated disk array with
+// parallel index passes; the parallel experiment sweeps the array width
+// itself. -check-parallel turns the parallel experiment into a smoke test:
+// the run fails unless the scheduled makespan is never worse than the
+// serial time.
 //
 // At the paper's full scale (-rows 1000000) a complete -exp all run builds
 // dozens of 512 MB databases and takes a while of real time; the simulated
@@ -31,16 +37,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, exp1..exp5, plans, reorg, methods, update, all")
-		rows    = flag.Int("rows", bench.FullScaleRows, "table size (paper: 1000000)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		quiet   = flag.Bool("q", false, "suppress per-run progress")
-		jsonDir = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory (\".\" for cwd)")
-		started = time.Now()
+		exp      = flag.String("exp", "all", "experiment: fig1, exp1..exp5, plans, reorg, methods, update, parallel, all")
+		rows     = flag.Int("rows", bench.FullScaleRows, "table size (paper: 1000000)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		devices  = flag.Int("devices", 0, "run on a simulated disk array this wide (0 = single spindle)")
+		parallel = flag.Int("parallel", 0, "cap the bulk deletes' index-pass workers (needs -devices)")
+		check    = flag.Bool("check-parallel", false, "fail unless the parallel experiment's makespan is never worse than serial (CI smoke)")
+		quiet    = flag.Bool("q", false, "suppress per-run progress")
+		jsonDir  = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory (\".\" for cwd)")
+		started  = time.Now()
 	)
 	flag.Parse()
 
-	r := &bench.Runner{Rows: *rows, Seed: *seed}
+	r := &bench.Runner{Rows: *rows, Seed: *seed, Devices: *devices, Parallel: *parallel}
 	if !*quiet {
 		r.Progress = func(line string) { fmt.Println(line) }
 	}
@@ -62,6 +71,7 @@ func main() {
 		{"reorg", r.ReorgAblation},
 		{"methods", r.MethodAblation},
 		{"update", r.UpdateAblation},
+		{"parallel", r.ParallelScaling},
 	}
 
 	want := strings.ToLower(*exp)
@@ -84,6 +94,12 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println(e.Format())
+		if *check && rr.name == "parallel" {
+			if err := verifyParallel(e); err != nil {
+				fatal(err)
+			}
+			fmt.Println("parallel check passed: makespan never worse than serial")
+		}
 		if *jsonDir != "" {
 			path, err := writeJSON(*jsonDir, e)
 			if err != nil {
@@ -94,9 +110,32 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fatal(fmt.Errorf("unknown experiment %q (want fig1, exp1..exp5, plans, reorg, methods, all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig1, exp1..exp5, plans, reorg, methods, update, parallel, all)", *exp))
+	}
+	if *check && want != "parallel" && want != "all" {
+		fatal(fmt.Errorf("-check-parallel needs the parallel experiment (-exp parallel)"))
 	}
 	fmt.Printf("done in %s of real time\n", time.Since(started).Round(time.Second))
+}
+
+// verifyParallel is the CI smoke assertion: at every array width the
+// scheduled makespan must be at least as good as the serial time.
+func verifyParallel(e bench.Experiment) error {
+	pts := map[string][]bench.Point{}
+	for _, s := range e.Series {
+		pts[s.Label] = s.Points
+	}
+	ser, par := pts["serial"], pts["parallel"]
+	if len(ser) == 0 || len(ser) != len(par) {
+		return fmt.Errorf("parallel experiment lacks matching serial/parallel series")
+	}
+	for i := range ser {
+		if par[i].Result.Makespan > ser[i].Result.Makespan {
+			return fmt.Errorf("parallel makespan %v worse than serial %v at %s devices",
+				par[i].Result.Makespan, ser[i].Result.Makespan, ser[i].X)
+		}
+	}
+	return nil
 }
 
 // writeJSON encodes the experiment as BENCH_<id>.json in dir; the file

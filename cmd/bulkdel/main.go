@@ -10,6 +10,9 @@
 //	bulkdel -f demo.bd -explain-analyze # annotate every bulk delete with actuals
 //	bulkdel -f demo.bd -metrics-json    # emit every bulk delete's metrics as JSON
 //	bulkdel -f demo.bd -faults crash@40 # crash at the first delete's 40th page I/O
+//	bulkdel -f demo.bd -devices 4 -parallel 4
+//	                                    # 4-spindle disk array, indexes placed
+//	                                    # round-robin, independent ⋈̸ passes overlap
 //
 // Commands (type `help` in the shell):
 //
@@ -44,6 +47,7 @@ type shell struct {
 	out            *bufio.Writer
 	explainAnalyze bool
 	metricsJSON    bool
+	parallel       int            // worker cap for every bulk delete
 	faultPlan      *sim.FaultPlan // armed for the next delete statement
 }
 
@@ -55,6 +59,10 @@ func main() {
 		"after every bulk delete, print its metrics (estimates, per-structure I/O, phase trace) as JSON")
 	faults := flag.String("faults", "",
 		"fault spec armed for the first delete statement: crash@K, crash@K:tear=N, read@N, write@N\n(ordinals count the statement's page I/Os; after the crash, run `crash` then `recover`)")
+	devices := flag.Int("devices", 0,
+		"simulated disk array width: indexes are placed round-robin on devices 1..N\n(device 0 holds the catalog, WAL, heap, and scratch files; 0 = single spindle)")
+	parallel := flag.Int("parallel", 0,
+		"worker cap for every bulk delete's remaining-index passes (0/1 = serial; needs -devices)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -67,13 +75,14 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	db, err := bulkdel.Open(bulkdel.Options{})
+	db, err := bulkdel.Open(bulkdel.Options{Devices: *devices})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bulkdel:", err)
 		os.Exit(1)
 	}
 	sh := &shell{db: db, out: bufio.NewWriter(os.Stdout),
-		explainAnalyze: *explainAnalyze, metricsJSON: *metricsJSON}
+		explainAnalyze: *explainAnalyze, metricsJSON: *metricsJSON,
+		parallel: *parallel}
 	if *faults != "" {
 		plan, err := sim.ParseFaultSpec(*faults)
 		if err != nil {
@@ -441,12 +450,17 @@ func (s *shell) delete(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := tbl.BulkDelete(field, values, bulkdel.BulkOptions{Method: m})
+		res, err := tbl.BulkDelete(field, values, bulkdel.BulkOptions{Method: m, Parallel: s.parallel})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(s.out, "bulk delete (%v) removed %d of %d victims in %v simulated\n",
-			res.Method, res.Deleted, res.Victims, res.Elapsed)
+		if res.Workers > 1 {
+			fmt.Fprintf(s.out, "bulk delete (%v) removed %d of %d victims: makespan %v with %d workers (%v serial-equivalent)\n",
+				res.Method, res.Deleted, res.Victims, res.Makespan, res.Workers, res.Elapsed)
+		} else {
+			fmt.Fprintf(s.out, "bulk delete (%v) removed %d of %d victims in %v simulated\n",
+				res.Method, res.Deleted, res.Victims, res.Elapsed)
+		}
 		if s.explainAnalyze {
 			fmt.Fprint(s.out, res.ExplainAnalyze())
 		}

@@ -43,6 +43,8 @@ func main() {
 	checkpointRows := flag.Int("checkpoint-rows", 0, "deletions between WAL checkpoints (default 8)")
 	memory := flag.Int("memory", 0, "sort/hash budget in bytes (default 512)")
 	buffer := flag.Int("buffer", 0, "buffer-pool budget in bytes (default 24 pages)")
+	devices := flag.Int("devices", 0, "simulated disk array width (indexes placed round-robin; 0 = single spindle)")
+	parallel := flag.Int("parallel", 0, "worker cap for the remaining-index passes (makes the crash point nondeterministic; invariants still checked)")
 	verbose := flag.Bool("v", false, "print every ordinal's outcome")
 	metricsJSON := flag.Bool("metrics-json", false, "print the accumulated metrics registry as JSON")
 	flag.Parse()
@@ -79,6 +81,7 @@ func main() {
 			CheckpointRows: *checkpointRows, Memory: *memory, BufferBytes: *buffer,
 			Seed: *seed, From: *from, To: *to, Stride: *stride,
 			TearBytes: *tear, TearWALOnly: *tearWAL,
+			Devices: *devices, Parallel: *parallel,
 			Observer: observer,
 		}
 		if *at > 0 {

@@ -78,6 +78,11 @@ type Options struct {
 	DisableWAL bool
 	// ReadAhead overrides the chained-I/O run length in pages.
 	ReadAhead int
+	// Devices sizes the simulated disk array for parallel bulk deletes:
+	// device 0 is the system spindle (catalog, WAL, heap, scratch) and
+	// indexes are placed round-robin on devices 1..Devices. 0 or 1 keeps
+	// the single-spindle model.
+	Devices int
 	// Observer receives every statement's trace and aggregates engine-wide
 	// metrics (nil = the DB creates its own; see DB.Observer).
 	Observer *obs.Observer
@@ -99,6 +104,7 @@ type DB struct {
 	tables  map[string]*Table
 	fks     []ForeignKey
 	txSeq   uint64
+	ixSeq   int // round-robin cursor for index device placement
 	opts    Options
 	obs     *obs.Observer
 	crashed bool
@@ -112,6 +118,9 @@ func Open(opts Options) (*DB, error) {
 		cm = *opts.CostModel
 	}
 	disk := sim.NewDisk(cm)
+	if opts.Devices > 1 {
+		disk.ConfigureDevices(opts.Devices + 1) // +1: device 0 is the system spindle
+	}
 	db := &DB{
 		disk:   disk,
 		pool:   buffer.New(disk, opts.BufferBytes),

@@ -87,6 +87,20 @@ type Config struct {
 	NumIndexes int
 	// KeyLen widens the index keys (Experiment 3; 0 = 8 bytes).
 	KeyLen int
+	// WideRest applies KeyLen only to the secondary indexes, leaving the
+	// access index IA at the default width (the parallel experiment's
+	// shape: a slim access path over payload-heavy secondary indexes).
+	WideRest bool
+	// TupleSize overrides the record size (0 = the paper's 512 bytes).
+	TupleSize int
+	// Devices sizes the simulated disk array: device 0 holds the system
+	// files (heap, WAL, scratch) and the indexes are placed round-robin
+	// on devices 1..Devices. 0 or 1 keeps the single-spindle model.
+	Devices int
+	// Parallel caps the workers for the remaining-index ⋈̸ passes of bulk
+	// deletes (0/1 = serial; effective degree clamps to the devices the
+	// index trees occupy).
+	Parallel int
 	// Clustered loads the table sorted by field 0 (Experiment 5).
 	Clustered bool
 	// Reorganize enables §2.3 leaf reorganization in bulk deletes.
@@ -105,10 +119,19 @@ type Config struct {
 type Result struct {
 	Approach Approach
 	Config   Config
-	// SimTime is the simulated duration of the DELETE statement.
+	// SimTime is the simulated duration of the DELETE statement as the
+	// serial-equivalent total: the sum of every device's busy time plus
+	// CPU, regardless of parallelism.
 	SimTime time.Duration
-	// Minutes is SimTime in minutes (the paper's unit).
+	// Makespan is the statement's simulated wall-clock length: SimTime
+	// with the parallel section's summed device time replaced by its
+	// scheduled length. Equal to SimTime for serial runs.
+	Makespan time.Duration
+	// Minutes is Makespan in minutes (the paper's unit; == SimTime in
+	// minutes for every serial run).
 	Minutes float64
+	// Workers that executed the remaining-index passes (1 = serial).
+	Workers int
 	// Deleted records.
 	Deleted int64
 	// Heights of the indexes before the delete (Experiment 3 reports it).
@@ -152,18 +175,21 @@ func (c Config) scaledMemory() int {
 func (c Config) spec() workload.Spec {
 	s := workload.DefaultSpec(c.Rows)
 	s.Seed = c.Seed
+	if c.TupleSize > 0 {
+		s.TupleSize = c.TupleSize
+	}
 	if c.Clustered {
 		s.ClusterField = 0
 	}
 	s.Indexes = nil
-	names := []string{"IA", "IB", "IC", "ID", "IE"}
+	names := []string{"IA", "IB", "IC", "ID", "IE", "IF", "IG", "IH", "II"}
 	n := c.NumIndexes
 	if n < 1 {
 		n = 1
 	}
 	for i := 0; i < n; i++ {
 		def := table.IndexDef{Name: names[i], Field: i}
-		if c.KeyLen > 0 {
+		if c.KeyLen > 0 && !(c.WideRest && i == 0) {
 			def.KeyLen = c.KeyLen
 		}
 		s.Indexes = append(s.Indexes, def)
@@ -191,6 +217,9 @@ func Run(cfg Config, ap Approach) (Result, error) {
 	}
 	mem := cfg.scaledMemory()
 	disk := sim.NewDisk(sim.DefaultCostModel())
+	if cfg.Devices > 1 {
+		disk.ConfigureDevices(cfg.Devices + 1) // +1: device 0 is the system spindle
+	}
 	pool := buffer.New(disk, mem)
 	if cfg.ReadAhead > 0 {
 		pool.SetReadAhead(cfg.ReadAhead)
@@ -198,6 +227,13 @@ func Run(cfg Config, ap Approach) (Result, error) {
 	tbl, rows, err := workload.Build(pool, cfg.spec())
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.Devices > 1 {
+		for k, ix := range tbl.Idx {
+			if err := pool.Relocate(ix.Tree.ID(), 1+k%cfg.Devices); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	tbl.SortBudget = mem
 	tbl.SetPolicyAll(cfg.Policy)
@@ -212,6 +248,10 @@ func Run(cfg Config, ap Approach) (Result, error) {
 
 	disk.ResetStats()
 	start := disk.Clock()
+	// overlapped is the simulated time the parallel section saved: zero
+	// for serial runs, Elapsed-Makespan when the ⋈̸ passes overlapped.
+	var overlapped time.Duration
+	res.Workers = 1
 	tr := obs.NewTrace("bench", fmt.Sprintf("%v rows=%d fraction=%g", ap, cfg.Rows, cfg.Fraction),
 		obs.Source{Disk: disk, Pool: pool})
 	switch ap {
@@ -237,10 +277,17 @@ func Run(cfg Config, ap Approach) (Result, error) {
 		var st *core.Stats
 		st, err = core.Execute(Target(tbl), 0, victims, core.Options{
 			Method: method, Memory: mem, Reorganize: cfg.Reorganize, Trace: tr,
+			Parallel: cfg.Parallel,
 		})
 		if st != nil {
 			res.Deleted = st.Deleted
 			res.Method = st.Method
+			if st.Makespan > 0 {
+				overlapped = st.Elapsed - st.Makespan
+			}
+			if st.Workers > 1 {
+				res.Workers = st.Workers
+			}
 		}
 	default:
 		return Result{}, fmt.Errorf("bench: unknown approach %v", ap)
@@ -257,7 +304,8 @@ func Run(cfg Config, ap Approach) (Result, error) {
 	wb.Finish()
 	tr.Finish()
 	res.SimTime = disk.Clock() - start
-	res.Minutes = res.SimTime.Minutes()
+	res.Makespan = res.SimTime - overlapped
+	res.Minutes = res.Makespan.Minutes()
 	res.Disk = disk.Stats()
 	res.Trace = tr
 	res.Phases = phases(tr)
@@ -344,6 +392,9 @@ type pointJSON struct {
 	Indexes  int       `json:"indexes"`
 	SimUS    int64     `json:"sim_us"`
 	Minutes  float64   `json:"minutes"`
+	Devices  int       `json:"devices,omitempty"`
+	Workers  int       `json:"workers,omitempty"`
+	Makespan int64     `json:"makespan_us,omitempty"`
 	Deleted  int64     `json:"deleted"`
 	Reads    uint64    `json:"reads"`
 	Writes   uint64    `json:"writes"`
@@ -376,6 +427,13 @@ func (e Experiment) JSON() ([]byte, error) {
 			case BulkSortMerge, BulkHash, BulkPartition, BulkAuto:
 				pj.Method = r.Method.String()
 			}
+			// Multi-device points carry the wall-clock fields; single-
+			// spindle output keeps its pre-scheduler byte layout.
+			if r.Config.Devices > 1 {
+				pj.Devices = r.Config.Devices
+				pj.Workers = r.Workers
+				pj.Makespan = r.Makespan.Microseconds()
+			}
 			sj.Points = append(sj.Points, pj)
 		}
 		out.Series = append(out.Series, sj)
@@ -389,6 +447,11 @@ type Runner struct {
 	Rows int
 	// Seed for data generation.
 	Seed int64
+	// Devices, when > 1, runs every experiment on a simulated disk array
+	// of that width (configs that set their own width keep it).
+	Devices int
+	// Parallel caps the bulk deletes' index-pass workers (see Config).
+	Parallel int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
 }
@@ -417,6 +480,10 @@ func (r *Runner) report(format string, args ...any) {
 func (r *Runner) runSeries(label string, ap Approach, cfgs []Config, xs []string) (Series, error) {
 	s := Series{Label: label}
 	for i, cfg := range cfgs {
+		if cfg.Devices == 0 && r.Devices > 1 {
+			cfg.Devices = r.Devices
+			cfg.Parallel = r.Parallel
+		}
 		res, err := Run(cfg, ap)
 		if err != nil {
 			return s, err

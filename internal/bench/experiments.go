@@ -237,6 +237,53 @@ func (r *Runner) Experiment5() (Experiment, error) {
 	return e, nil
 }
 
+// ParallelScaling measures the parallel DAG scheduler on the multi-device
+// disk array: the same DELETE — a slim access index plus eight payload-
+// heavy secondary indexes, 5% victims — executed serially and with the
+// remaining-index ⋈̸ passes fanned out across 1/2/4/8 device arms. The
+// serial curve reports the serial-equivalent simulated time; the parallel
+// curve the scheduled makespan. At one device the two coincide (nothing
+// can overlap); the gap then widens with the array until the pass count
+// caps the usable width.
+func (r *Runner) ParallelScaling() (Experiment, error) {
+	devices := []int{1, 2, 4, 8}
+	xs := []string{"1", "2", "4", "8"}
+	mk := func(parallel bool) []Config {
+		var cfgs []Config
+		for _, d := range devices {
+			c := Config{
+				Rows: r.rows(), Fraction: 0.05, MemoryMB: 16, NumIndexes: 9,
+				KeyLen: 200, WideRest: true, TupleSize: 96,
+				Seed: r.seed(), Devices: d,
+			}
+			if parallel {
+				c.Parallel = d
+			}
+			cfgs = append(cfgs, c)
+		}
+		return cfgs
+	}
+	e := Experiment{
+		ID:     "parallel",
+		Title:  "Parallel DAG scheduler: 8 secondary indexes over a multi-device array, 5% deletes",
+		XLabel: "devices",
+	}
+	for _, row := range []struct {
+		label    string
+		parallel bool
+	}{
+		{"serial", false},
+		{"parallel", true},
+	} {
+		s, err := r.runSeries(row.label, BulkSortMerge, mk(row.parallel), xs)
+		if err != nil {
+			return e, err
+		}
+		e.Series = append(e.Series, s)
+	}
+	return e, nil
+}
+
 // PlanGallery renders the paper's Figures 3, 4 and 5 as explain output of
 // the three physical plans over the example table R(A, B, C) with indexes
 // I_A, I_B, I_C.

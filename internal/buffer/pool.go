@@ -12,6 +12,14 @@
 //   - chained I/O: sequential scans read runs of pages with a single
 //     positioning charge (the vertical bulk delete), as the paper's
 //     prototype does with "chunks of several pages from disk".
+//
+// The pool is sharded by device: each device of the simulated disk array
+// gets its own latch, frame map, and LRU list, so concurrent passes over
+// files on different spindles never serialize on a common mutex and never
+// steal each other's frames (eviction is device-local — a pass hammering
+// device 2 cannot evict device 1's hot pages). With a single device there
+// is a single shard holding the whole budget, which is exactly the
+// original pool.
 package buffer
 
 import (
@@ -38,6 +46,7 @@ type Frame struct {
 	pins  int
 	dirty atomic.Bool
 	elem  *list.Element // position in the LRU list when unpinned
+	sh    *shard        // owning shard (set at install)
 }
 
 // File returns the file the frame caches.
@@ -68,18 +77,38 @@ type Stats struct {
 	DirtyEvicts uint64
 }
 
-// Pool is an LRU buffer pool with a fixed frame budget. It is safe for
-// concurrent use: a single mutex serializes frame management, mirroring a
-// latch on the buffer manager; callers coordinate page content access via
-// the engine's own locks and gates.
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.DirtyEvicts += o.DirtyEvicts
+}
+
+// shard is the per-device slice of the pool: one latch, one frame map, one
+// LRU list.
+type shard struct {
+	mu     sync.Mutex
+	frames map[frameKey]*Frame
+	lru    *list.List // of *Frame; front = most recently used
+	stats  Stats
+}
+
+func newShard() *shard {
+	return &shard{frames: make(map[frameKey]*Frame), lru: list.New()}
+}
+
+// Pool is an LRU buffer pool with a fixed frame budget, sharded by device.
+// It is safe for concurrent use: a per-shard mutex serializes frame
+// management on that device, mirroring a latch on the buffer manager;
+// callers coordinate page content access via the engine's own locks and
+// gates.
 type Pool struct {
-	mu        sync.Mutex
-	disk      *sim.Disk
-	capacity  int
-	frames    map[frameKey]*Frame
-	lru       *list.List // of *Frame; front = most recently used
+	disk     *sim.Disk
+	capacity int // total frames across all shards
+
+	mu        sync.Mutex // guards shards growth and readAhead
+	shards    []*shard   // index = device number
 	readAhead int
-	stats     Stats
 }
 
 // New creates a pool holding budgetBytes worth of pages (at least 4 frames).
@@ -91,8 +120,7 @@ func New(disk *sim.Disk, budgetBytes int) *Pool {
 	return &Pool{
 		disk:      disk,
 		capacity:  capacity,
-		frames:    make(map[frameKey]*Frame, capacity),
-		lru:       list.New(),
+		shards:    []*shard{newShard()},
 		readAhead: DefaultReadAhead,
 	}
 }
@@ -108,36 +136,97 @@ func (p *Pool) SetReadAhead(pages int) {
 	p.mu.Unlock()
 }
 
-// Capacity returns the pool size in frames.
+func (p *Pool) getReadAhead() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readAhead
+}
+
+// Capacity returns the pool size in frames (total across shards).
 func (p *Pool) Capacity() int { return p.capacity }
+
+// shardCap is the frame budget of one shard: the total budget divided
+// evenly over the devices of the disk array (at least 4 frames each).
+func (p *Pool) shardCap() int {
+	n := p.disk.NumDevices()
+	c := p.capacity / n
+	if c < 4 {
+		c = 4
+	}
+	return c
+}
+
+// shardFor returns the shard caching the given device's files, growing the
+// shard set on first access.
+func (p *Pool) shardFor(dev int) *shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.shards) <= dev {
+		p.shards = append(p.shards, newShard())
+	}
+	return p.shards[dev]
+}
+
+// shardOf returns the shard for a file's current device placement.
+func (p *Pool) shardOf(file sim.FileID) *shard {
+	return p.shardFor(p.disk.DeviceOf(file))
+}
+
+// allShards snapshots the shard list.
+func (p *Pool) allShards() []*shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*shard, len(p.shards))
+	copy(out, p.shards)
+	return out
+}
 
 // Resident returns the number of frames currently holding pages.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Disk returns the underlying simulated disk.
 func (p *Pool) Disk() *sim.Disk { return p.disk }
 
-// Stats returns a snapshot of the hit/miss counters.
+// Stats returns a snapshot of the hit/miss counters, summed over shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var out Stats
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
 }
 
-// ResetStats zeroes the counters.
+// ShardStats returns the counters of one device's shard.
+func (p *Pool) ShardStats(dev int) Stats {
+	s := p.shardFor(dev)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the counters of every shard.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	p.stats = Stats{}
-	p.mu.Unlock()
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
 }
 
-func (p *Pool) pin(f *Frame) {
+// pin marks a frame in use. Caller holds the shard mutex.
+func (s *shard) pin(f *Frame) {
 	if f.pins == 0 && f.elem != nil {
-		p.lru.Remove(f.elem)
+		s.lru.Remove(f.elem)
 		f.elem = nil
 	}
 	f.pins++
@@ -146,8 +235,9 @@ func (p *Pool) pin(f *Frame) {
 // Unpin releases one pin. dirty=true records that the caller mutated the
 // page; it is written back at eviction or flush time.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := f.sh
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("buffer: unpin of unpinned frame %d/%d", f.file, f.page))
 	}
@@ -156,71 +246,72 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = p.lru.PushFront(f)
+		f.elem = s.lru.PushFront(f)
 	}
 }
 
-// evictOne drops the least recently used unpinned frame, writing it back if
-// dirty. It fails when every frame is pinned. On a write-back error the
-// frame stays resident, dirty, and on the LRU list — the pool remains
-// consistent and the page is not lost, so the caller can retry or the DB
-// can be reopened.
-func (p *Pool) evictOne() error {
-	e := p.lru.Back()
+// evictOne drops the least recently used unpinned frame of the shard,
+// writing it back if dirty. It fails when every frame is pinned. On a
+// write-back error the frame stays resident, dirty, and on the LRU list —
+// the pool remains consistent and the page is not lost, so the caller can
+// retry or the DB can be reopened.
+func (s *shard) evictOne(disk *sim.Disk, cap int) error {
+	e := s.lru.Back()
 	if e == nil {
-		return fmt.Errorf("buffer: pool exhausted: all %d frames pinned", p.capacity)
+		return fmt.Errorf("buffer: pool exhausted: all %d frames pinned", cap)
 	}
 	f := e.Value.(*Frame)
-	p.lru.Remove(e)
+	s.lru.Remove(e)
 	f.elem = nil
-	p.stats.Evictions++
+	s.stats.Evictions++
 	if f.dirty.Load() {
-		p.stats.DirtyEvicts++
-		if err := p.disk.WritePage(f.file, f.page, f.buf); err != nil {
-			f.elem = p.lru.PushBack(f)
+		s.stats.DirtyEvicts++
+		if err := disk.WritePage(f.file, f.page, f.buf); err != nil {
+			f.elem = s.lru.PushBack(f)
 			return fmt.Errorf("buffer: evicting dirty page %d/%d: %w", f.file, f.page, err)
 		}
 	}
-	delete(p.frames, frameKey{f.file, f.page})
+	delete(s.frames, frameKey{f.file, f.page})
 	return nil
 }
 
-// makeRoom ensures at least n more frames can be installed.
-func (p *Pool) makeRoom(n int) error {
-	for len(p.frames)+n > p.capacity {
-		if err := p.evictOne(); err != nil {
+// makeRoom ensures at least n more frames can be installed in the shard.
+func (s *shard) makeRoom(disk *sim.Disk, cap, n int) error {
+	for len(s.frames)+n > cap {
+		if err := s.evictOne(disk, cap); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (p *Pool) install(file sim.FileID, page sim.PageNo, buf []byte) *Frame {
-	f := &Frame{file: file, page: page, buf: buf}
-	p.frames[frameKey{file, page}] = f
+func (s *shard) install(file sim.FileID, page sim.PageNo, buf []byte) *Frame {
+	f := &Frame{file: file, page: page, buf: buf, sh: s}
+	s.frames[frameKey{file, page}] = f
 	return f
 }
 
 // Get pins and returns the frame for (file, page), reading it from disk on
 // a miss.
 func (p *Pool) Get(file sim.FileID, page sim.PageNo) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[frameKey{file, page}]; ok {
-		p.stats.Hits++
-		p.pin(f)
+	s := p.shardOf(file)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[frameKey{file, page}]; ok {
+		s.stats.Hits++
+		s.pin(f)
 		return f, nil
 	}
-	p.stats.Misses++
-	if err := p.makeRoom(1); err != nil {
+	s.stats.Misses++
+	if err := s.makeRoom(p.disk, p.shardCap(), 1); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, sim.PageSize)
 	if err := p.disk.ReadPage(file, page, buf); err != nil {
 		return nil, fmt.Errorf("buffer: reading page %d/%d: %w", file, page, err)
 	}
-	f := p.install(file, page, buf)
-	p.pin(f)
+	f := s.install(file, page, buf)
+	s.pin(f)
 	return f, nil
 }
 
@@ -230,17 +321,19 @@ func (p *Pool) Get(file sim.FileID, page sim.PageNo) (*Frame, error) {
 // pages are installed unpinned so the following Gets of a sequential scan
 // hit the pool.
 func (p *Pool) GetForScan(file sim.FileID, page sim.PageNo) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[frameKey{file, page}]; ok {
-		p.stats.Hits++
-		p.pin(f)
+	s := p.shardOf(file)
+	cap := p.shardCap()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[frameKey{file, page}]; ok {
+		s.stats.Hits++
+		s.pin(f)
 		return f, nil
 	}
-	p.stats.Misses++
-	run := p.readAhead
-	if run > p.capacity/2 {
-		run = p.capacity / 2
+	s.stats.Misses++
+	run := p.getReadAhead()
+	if run > cap/2 {
+		run = cap / 2
 	}
 	if run < 1 {
 		run = 1
@@ -259,15 +352,15 @@ func (p *Pool) GetForScan(file sim.FileID, page sim.PageNo) (*Frame, error) {
 	// not clobber a dirty resident copy.
 	n := 1
 	for n < run {
-		if _, ok := p.frames[frameKey{file, page + sim.PageNo(n)}]; ok {
+		if _, ok := s.frames[frameKey{file, page + sim.PageNo(n)}]; ok {
 			break
 		}
 		n++
 	}
-	if err := p.makeRoom(n); err != nil {
+	if err := s.makeRoom(p.disk, cap, n); err != nil {
 		// Fall back to a single-page fetch when the pool is too full
 		// of pinned frames for the whole run.
-		if err2 := p.makeRoom(1); err2 != nil {
+		if err2 := s.makeRoom(p.disk, cap, 1); err2 != nil {
 			return nil, err2
 		}
 		n = 1
@@ -286,12 +379,12 @@ func (p *Pool) GetForScan(file sim.FileID, page sim.PageNo) (*Frame, error) {
 	}
 	var first *Frame
 	for i := 0; i < n; i++ {
-		f := p.install(file, page+sim.PageNo(i), bufs[i])
+		f := s.install(file, page+sim.PageNo(i), bufs[i])
 		if i == 0 {
 			first = f
-			p.pin(f)
+			s.pin(f)
 		} else {
-			f.elem = p.lru.PushFront(f)
+			f.elem = s.lru.PushFront(f)
 		}
 	}
 	return first, nil
@@ -300,36 +393,34 @@ func (p *Pool) GetForScan(file sim.FileID, page sim.PageNo) (*Frame, error) {
 // NewPage allocates a fresh page in the file and returns its pinned,
 // zeroed, dirty frame. The page is not read from disk.
 func (p *Pool) NewPage(file sim.FileID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.shardOf(file)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	page, err := p.disk.Allocate(file)
 	if err != nil {
 		return nil, fmt.Errorf("buffer: allocating page in file %d: %w", file, err)
 	}
-	if err := p.makeRoom(1); err != nil {
+	if err := s.makeRoom(p.disk, p.shardCap(), 1); err != nil {
 		return nil, err
 	}
-	f := p.install(file, page, make([]byte, sim.PageSize))
+	f := s.install(file, page, make([]byte, sim.PageSize))
 	f.dirty.Store(true)
-	p.pin(f)
+	s.pin(f)
 	return f, nil
 }
 
-// FlushFile writes back every dirty resident page of the file, in page
-// order so the write-back is as sequential as the residency allows. Frames
-// stay resident and clean.
-func (p *Pool) FlushFile(file sim.FileID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// flushFileLocked writes back the dirty resident pages of one file in one
+// shard, in page order. Caller holds the shard mutex.
+func (s *shard) flushFileLocked(disk *sim.Disk, file sim.FileID) error {
 	var dirty []*Frame
-	for k, f := range p.frames {
+	for k, f := range s.frames {
 		if k.file == file && f.dirty.Load() {
 			dirty = append(dirty, f)
 		}
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
 	for _, f := range dirty {
-		if err := p.disk.WritePage(f.file, f.page, f.buf); err != nil {
+		if err := disk.WritePage(f.file, f.page, f.buf); err != nil {
 			return fmt.Errorf("buffer: flushing dirty page %d/%d: %w", f.file, f.page, err)
 		}
 		f.dirty.Store(false)
@@ -337,48 +428,76 @@ func (p *Pool) FlushFile(file sim.FileID) error {
 	return nil
 }
 
-// FlushAll writes back every dirty resident page, ordered by (file, page).
-func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var dirty []*Frame
-	for _, f := range p.frames {
-		if f.dirty.Load() {
-			dirty = append(dirty, f)
+// FlushFile writes back every dirty resident page of the file, in page
+// order so the write-back is as sequential as the residency allows. Frames
+// stay resident and clean. All shards are visited, so a flush is correct
+// even for a file whose frames predate a placement change.
+func (p *Pool) FlushFile(file sim.FileID) error {
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		err := s.flushFileLocked(p.disk, file)
+		s.mu.Unlock()
+		if err != nil {
+			return err
 		}
-	}
-	sort.Slice(dirty, func(i, j int) bool {
-		if dirty[i].file != dirty[j].file {
-			return dirty[i].file < dirty[j].file
-		}
-		return dirty[i].page < dirty[j].page
-	})
-	for _, f := range dirty {
-		if err := p.disk.WritePage(f.file, f.page, f.buf); err != nil {
-			return fmt.Errorf("buffer: flushing dirty page %d/%d: %w", f.file, f.page, err)
-		}
-		f.dirty.Store(false)
 	}
 	return nil
+}
+
+// FlushAll writes back every dirty resident page, shard by shard, ordered
+// by (file, page) within each shard.
+func (p *Pool) FlushAll() error {
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		var dirty []*Frame
+		for _, f := range s.frames {
+			if f.dirty.Load() {
+				dirty = append(dirty, f)
+			}
+		}
+		sort.Slice(dirty, func(i, j int) bool {
+			if dirty[i].file != dirty[j].file {
+				return dirty[i].file < dirty[j].file
+			}
+			return dirty[i].page < dirty[j].page
+		})
+		for _, f := range dirty {
+			if err := p.disk.WritePage(f.file, f.page, f.buf); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("buffer: flushing dirty page %d/%d: %w", f.file, f.page, err)
+			}
+			f.dirty.Store(false)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// discardFile drops the file's frames from one shard without write-back.
+// Pinned frames are a caller bug. Caller holds the shard mutex.
+func (s *shard) discardFile(file sim.FileID, op string) {
+	for k, f := range s.frames {
+		if k.file != file {
+			continue
+		}
+		if f.pins > 0 {
+			panic(fmt.Sprintf("buffer: %s %d with pinned frame %d", op, file, f.page))
+		}
+		if f.elem != nil {
+			s.lru.Remove(f.elem)
+		}
+		delete(s.frames, k)
+	}
 }
 
 // DropFile discards every resident frame of the file (without write-back;
 // the pages are about to vanish) and drops the file on disk. Any pinned
 // frame of the file is a caller bug and panics.
 func (p *Pool) DropFile(file sim.FileID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for k, f := range p.frames {
-		if k.file != file {
-			continue
-		}
-		if f.pins > 0 {
-			panic(fmt.Sprintf("buffer: DropFile %d with pinned frame %d", file, f.page))
-		}
-		if f.elem != nil {
-			p.lru.Remove(f.elem)
-		}
-		delete(p.frames, k)
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		s.discardFile(file, "DropFile")
+		s.mu.Unlock()
 	}
 	return p.disk.DropFile(file)
 }
@@ -387,33 +506,49 @@ func (p *Pool) DropFile(file sim.FileID) error {
 // and without dropping the file on disk. It is used by recovery tests to
 // simulate losing volatile state.
 func (p *Pool) Invalidate(file sim.FileID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for k, f := range p.frames {
-		if k.file != file {
-			continue
-		}
-		if f.pins > 0 {
-			panic(fmt.Sprintf("buffer: Invalidate %d with pinned frame %d", file, f.page))
-		}
-		if f.elem != nil {
-			p.lru.Remove(f.elem)
-		}
-		delete(p.frames, k)
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		s.discardFile(file, "Invalidate")
+		s.mu.Unlock()
 	}
 }
 
 // InvalidateAll discards every unpinned resident frame without write-back.
 func (p *Pool) InvalidateAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for k, f := range p.frames {
-		if f.pins > 0 {
-			panic(fmt.Sprintf("buffer: InvalidateAll with pinned frame %d/%d", f.file, f.page))
+	for _, s := range p.allShards() {
+		s.mu.Lock()
+		for k, f := range s.frames {
+			if f.pins > 0 {
+				panic(fmt.Sprintf("buffer: InvalidateAll with pinned frame %d/%d", f.file, f.page))
+			}
+			if f.elem != nil {
+				s.lru.Remove(f.elem)
+			}
+			delete(s.frames, k)
 		}
-		if f.elem != nil {
-			p.lru.Remove(f.elem)
-		}
-		delete(p.frames, k)
+		s.mu.Unlock()
 	}
+}
+
+// Relocate places a file on a device, first migrating any frames the file
+// already has resident in another shard: dirty pages are written back and
+// the frames discarded, so the file's next access faults into the correct
+// shard. Callers place files between statements (no pins outstanding).
+func (p *Pool) Relocate(file sim.FileID, dev int) error {
+	target := p.shardFor(dev)
+	for _, s := range p.allShards() {
+		if s == target {
+			continue
+		}
+		s.mu.Lock()
+		err := s.flushFileLocked(p.disk, file)
+		if err == nil {
+			s.discardFile(file, "Relocate")
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return p.disk.PlaceFile(file, dev)
 }

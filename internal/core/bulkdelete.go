@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"bulkdel/internal/keyenc"
 	"bulkdel/internal/obs"
@@ -123,12 +124,34 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 		}
 	}
 	stats.Elapsed = e.disk().Clock() - start
+	finishTiming(stats, e.disk())
 	root.Set("deleted", fmt.Sprintf("%d", stats.Deleted))
 	annotatePlan(stats)
 	if ownTrace {
 		tr.Finish()
 	}
 	return stats, nil
+}
+
+// finishTiming derives the wall-clock view of a finished statement. The
+// global clock accumulates every charge, so Elapsed is the elapsed time of
+// a serial execution; when phase 3 ran in parallel, the makespan replaces
+// the parallel section's summed device time with its scheduled length (CPU
+// charges of the section stay serial — a conservative accounting, since the
+// simulator cannot attribute them to a worker).
+func finishTiming(stats *Stats, disk *sim.Disk) {
+	stats.Devices = disk.NumDevices()
+	if stats.Workers == 0 {
+		stats.Workers = 1
+	}
+	stats.Makespan = stats.Elapsed
+	if sc := stats.Schedule; sc != nil {
+		var sum time.Duration
+		for _, it := range sc.Items {
+			sum += it.Duration
+		}
+		stats.Makespan = stats.Elapsed - sum + sc.Makespan
+	}
 }
 
 // resumeState carries recovery positions into run.
@@ -147,6 +170,16 @@ func (e *execCtx) run(field int, values []int64, method Method,
 	logged := o.Log != nil
 	stats := e.stats
 	disk := e.disk()
+
+	// Degree of parallelism for phase 3. Recovery replays serially: the
+	// roll-forward has per-structure progress to respect and nothing to
+	// gain from overlap it could not also get on the original run.
+	workers := 1
+	if o.Parallel > 1 && rs == nil {
+		workers = chooseParallelRest(e.tgt, rest, o.Parallel)
+	}
+	e.parWorkers = workers
+	par := workers > 1
 
 	// victimIter returns a fresh iterator over the sorted victim keys.
 	victimIter := func() (rowIter, error) {
@@ -258,12 +291,12 @@ func (e *execCtx) run(field int, values []int64, method Method,
 				return err
 			}
 			var startKey []byte
-			if rs != nil && rs.st.HasInProgress && sim.FileID(rs.st.InProgress) == access.Tree.ID() && rs.st.Progress > 0 {
-				vi, startKey, err = skipRows(vi, rs.st.Progress)
+			if from := resumeFrom(rs, access.Tree.ID()); from > 0 {
+				vi, startKey, err = skipRows(vi, uint64(from))
 				if err != nil {
 					return err
 				}
-				e.applied = int64(rs.st.Progress) // keep checkpoint progress absolute
+				e.applied = from // keep checkpoint progress absolute
 			}
 			var emit func(record.RID) error
 			if !logged {
@@ -405,7 +438,7 @@ func (e *execCtx) run(field int, values []int64, method Method,
 					if err != nil {
 						return err
 					}
-					kf, err := materialize(e, sit.Next, ix.Tree.KeyLen()+record.RIDSize)
+					kf, err := materializeOn(e, sit.Next, ix.Tree.KeyLen()+record.RIDSize, e.stageDev(ix))
 					sit.Close()
 					if err != nil {
 						return err
@@ -468,7 +501,7 @@ func (e *execCtx) run(field int, values []int64, method Method,
 				var extract func(record.RID, []byte) error
 				if method == HashPartition {
 					for _, ix := range rest {
-						kf, kerr := newRowFile(disk, ix.Tree.KeyLen()+record.RIDSize)
+						kf, kerr := newRowFileOn(disk, ix.Tree.KeyLen()+record.RIDSize, e.stageDev(ix))
 						if kerr != nil {
 							return kerr
 						}
@@ -512,6 +545,41 @@ func (e *execCtx) run(field int, values []int64, method Method,
 		}
 	}
 
+	// Parallel sort/merge (unlogged): the per-index sorters were filled
+	// during the heap pass but their spill and in-memory state lives on the
+	// system device, so a concurrent pass draining them would contend for
+	// that arm. Stage each sorted key list onto its index's device now,
+	// serially — the same declustering the logged protocol gets for free
+	// from its materialization pass.
+	if par && method == SortMerge && !logged {
+		err := func() error {
+			sp := e.span("stage-keys", fmt.Sprintf("decluster %d sorted key lists onto index devices", len(rest)))
+			e.cur = sp
+			for _, ix := range rest {
+				srt := sorters[ix.Tree.ID()]
+				if srt == nil || e.skip(ix.Tree.ID()) {
+					continue
+				}
+				it, ferr := srt.Finish()
+				if ferr != nil {
+					return ferr
+				}
+				kf, merr := materializeOn(e, it.Next, ix.Tree.KeyLen()+record.RIDSize, e.stageDev(ix))
+				it.Close()
+				if merr != nil {
+					return merr
+				}
+				keyFiles[ix.Tree.ID()] = kf
+			}
+			sp.Finish()
+			e.cur = nil
+			return nil
+		}()
+		if err != nil {
+			return phaseErr("stage-keys", e.tgt.Name, err)
+		}
+	}
+
 	// The table and every unique index that has been processed so far is
 	// durable; remaining unique indexes are handled first below. Signal
 	// "critical done" once the last unique structure completes.
@@ -529,7 +597,23 @@ func (e *execCtx) run(field int, values []int64, method Method,
 	}
 	signalCritical()
 
-	// ---- Phase 3: one ⋈̸ per remaining index, unique-first.
+	// ---- Phase 3: one ⋈̸ per remaining index, unique-first. With a degree
+	// of parallelism above one the passes run as a DAG over the device
+	// array; otherwise the original serial loop below runs unchanged.
+	if par {
+		if err := e.runIndexPassesParallel(rest, method, workers, keyFiles, ridSet,
+			&criticalLeft, signalCritical); err != nil {
+			return err
+		}
+		if !logged {
+			for _, kf := range keyFiles {
+				if err := kf.drop(); err != nil {
+					return phaseErr("cleanup", e.tgt.Name, err)
+				}
+			}
+		}
+		return nil
+	}
 	for _, ix := range rest {
 		if e.skip(ix.Tree.ID()) {
 			if ix.Unique {
@@ -707,10 +791,15 @@ func peekFirst(it rowIter, keyLen int) (rowIter, []byte, error) {
 }
 
 // resumeFrom returns the checkpointed progress for a structure (0 outside
-// recovery).
+// recovery). It consults the full active-structure map, so progress survives
+// even when several structures were in flight at the crash (parallel mode).
 func resumeFrom(rs *resumeState, file sim.FileID) int64 {
-	if rs == nil || !rs.st.HasInProgress || sim.FileID(rs.st.InProgress) != file {
+	if rs == nil {
 		return 0
 	}
-	return int64(rs.st.Progress)
+	p, ok := rs.st.ProgressOf(uint64(file))
+	if !ok {
+		return 0
+	}
+	return int64(p)
 }

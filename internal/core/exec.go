@@ -34,6 +34,12 @@ type execCtx struct {
 	// pass of an unlogged sort/merge run until the pass completes.
 	pendingRIDSorter *xsort.Sorter
 	crash            crashCounters
+	// parWorkers is the degree of parallelism chosen for phase 3 (1 =
+	// serial); scratchDev is the device scratch row files of this context
+	// must be created on, so a parallel index pass never touches another
+	// pass's arm (0 = the system device, the default placement).
+	parWorkers int
+	scratchDev int
 }
 
 func (e *execCtx) disk() *sim.Disk { return e.tgt.Pool.Disk() }
@@ -570,7 +576,7 @@ func indexDeletePartitioned(e *execCtx, ix *IndexRef, rows *rowFile) (int64, int
 	// Partition pass: route each row by binary search over boundaries.
 	partFiles := make([]*rowFile, parts)
 	for i := range partFiles {
-		pf, err := newRowFile(e.disk(), fkLen)
+		pf, err := newRowFileOn(e.disk(), fkLen, e.scratchDev)
 		if err != nil {
 			return 0, 0, err
 		}

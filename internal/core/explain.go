@@ -84,6 +84,10 @@ func (st *Stats) ExplainAnalyze() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "EXPLAIN ANALYZE  method=%s  victims=%d  deleted=%d  elapsed=%v (simulated)\n",
 		st.Method, st.Victims, st.Deleted, st.Elapsed)
+	if st.Schedule != nil {
+		fmt.Fprintf(&b, "parallel: workers=%d devices=%d makespan=%v (serial-equivalent %v, speedup %.2fx)\n",
+			st.Workers, st.Devices, st.Makespan, st.Elapsed, speedup(st))
+	}
 	if len(st.Estimates) > 0 {
 		b.WriteString("planner estimates:")
 		for _, e := range st.Estimates {
@@ -102,6 +106,45 @@ func (st *Stats) ExplainAnalyze() string {
 	}
 	if tbl := st.StructTable(); tbl != "" {
 		b.WriteString(tbl)
+	}
+	if tbl := st.ScheduleTable(); tbl != "" {
+		b.WriteString(tbl)
+	}
+	return b.String()
+}
+
+// speedup is the statement-level gain of the parallel schedule: the ratio
+// of the serial-equivalent elapsed time to the makespan.
+func speedup(st *Stats) float64 {
+	if st.Makespan <= 0 {
+		return 1
+	}
+	return float64(st.Elapsed) / float64(st.Makespan)
+}
+
+// ScheduleTable renders the parallel section's virtual schedule: one line
+// per ⋈̸ node with its worker, device, and start/finish ordinals, the
+// critical path marked with '*'. Empty for serial runs.
+func (st *Stats) ScheduleTable() string {
+	sc := st.Schedule
+	if sc == nil || len(sc.Items) == 0 {
+		return ""
+	}
+	crit := make(map[int]bool, len(sc.Critical))
+	for _, i := range sc.Critical {
+		crit[i] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel schedule  (workers=%d, section makespan=%v)\n", sc.Workers, sc.Makespan)
+	fmt.Fprintf(&b, "%4s %-16s %6s %6s %14s %14s %14s %5s\n",
+		"#", "node", "dev", "wkr", "start", "finish", "duration", "crit")
+	for i, it := range sc.Items {
+		mark := ""
+		if crit[i] {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%4d %-16s %6d %6d %14v %14v %14v %5s\n",
+			i, it.Label, it.Device, it.Worker, it.Start, it.Finish, it.Duration, mark)
 	}
 	return b.String()
 }
@@ -138,7 +181,27 @@ type statsJSON struct {
 	ElapsedUS  int64           `json:"elapsed_us"`
 	Estimates  []estimateJSON  `json:"estimates,omitempty"`
 	Structures []structJSON    `json:"structures"`
+	Schedule   *scheduleJSON   `json:"schedule,omitempty"`
 	Trace      json.RawMessage `json:"trace,omitempty"`
+}
+
+// scheduleJSON is the stable wire form of the parallel section's virtual
+// schedule; absent entirely for serial runs, so serial output is unchanged.
+type scheduleJSON struct {
+	Workers    int             `json:"workers"`
+	Devices    int             `json:"devices"`
+	MakespanUS int64           `json:"makespan_us"`
+	Items      []schedItemJSON `json:"items"`
+	Critical   []int           `json:"critical"`
+}
+
+type schedItemJSON struct {
+	Label      string `json:"label"`
+	Device     int    `json:"device"`
+	Worker     int    `json:"worker"`
+	StartUS    int64  `json:"start_us"`
+	FinishUS   int64  `json:"finish_us"`
+	DurationUS int64  `json:"duration_us"`
 }
 
 type estimateJSON struct {
@@ -190,6 +253,25 @@ func (st *Stats) MetricsJSON() ([]byte, error) {
 			Misses:    ss.Misses,
 			WALBytes:  ss.WALBytes,
 		})
+	}
+	if sc := st.Schedule; sc != nil {
+		sj := &scheduleJSON{
+			Workers:    sc.Workers,
+			Devices:    st.Devices,
+			MakespanUS: st.Makespan.Microseconds(),
+			Critical:   sc.Critical,
+		}
+		for _, it := range sc.Items {
+			sj.Items = append(sj.Items, schedItemJSON{
+				Label:      it.Label,
+				Device:     it.Device,
+				Worker:     it.Worker,
+				StartUS:    it.Start.Microseconds(),
+				FinishUS:   it.Finish.Microseconds(),
+				DurationUS: it.Duration.Microseconds(),
+			})
+		}
+		out.Schedule = sj
 	}
 	if st.Trace != nil {
 		out.Trace = st.Trace.RawJSON()

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/wal"
+)
+
+// parallelTarget builds a 3-index target spread over a 4-device array:
+// device 0 is the system spindle (heap, WAL, scratch), IA..IC live on
+// devices 1..3.
+func parallelTarget(t *testing.T, pool *buffer.Pool, n int) *Target {
+	t.Helper()
+	pool.Disk().ConfigureDevices(4)
+	tgt := makeTarget(t, pool, n, []int{0, 1, 2}, []bool{true, false, false})
+	for k, ix := range tgt.Indexes {
+		if err := pool.Relocate(ix.Tree.ID(), k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tgt
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const n = 3000
+	for _, m := range []Method{SortMerge, Hash, HashPartition} {
+		t.Run(m.String(), func(t *testing.T) {
+			run := func(parallel int) (*Stats, *Target, map[int64]bool) {
+				pool := testPool(256)
+				tgt := parallelTarget(t, pool, n)
+				victims, set := pickVictims(n, n/6, 77)
+				st, err := Execute(tgt, 0, victims, Options{
+					Method: m, Memory: 1 << 16, Parallel: parallel,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st, tgt, set
+			}
+			ser, stgt, sset := run(0)
+			par, ptgt, pset := run(4)
+			verifyTarget(t, stgt, sset, n)
+			verifyTarget(t, ptgt, pset, n)
+			if ser.Deleted != par.Deleted {
+				t.Fatalf("deleted: serial %d, parallel %d", ser.Deleted, par.Deleted)
+			}
+			if ser.Schedule != nil || ser.Makespan != ser.Elapsed {
+				t.Fatalf("serial run reported a parallel schedule: %+v", ser)
+			}
+			if par.Schedule == nil || len(par.Schedule.Items) != 2 {
+				t.Fatalf("parallel schedule missing or wrong size: %+v", par.Schedule)
+			}
+			if par.Workers != 2 { // two remaining indexes on two devices
+				t.Fatalf("workers = %d, want 2", par.Workers)
+			}
+			if par.Makespan >= par.Elapsed {
+				t.Fatalf("no overlap: makespan %v vs serial-equivalent %v", par.Makespan, par.Elapsed)
+			}
+			// Per-structure deletion counts must agree pairwise.
+			serDel := map[string]int64{}
+			for _, ss := range ser.PerStructure {
+				serDel[ss.Name] = ss.Deleted
+			}
+			for _, ss := range par.PerStructure {
+				if serDel[ss.Name] != ss.Deleted {
+					t.Fatalf("structure %s: serial deleted %d, parallel %d",
+						ss.Name, serDel[ss.Name], ss.Deleted)
+				}
+			}
+		})
+	}
+}
+
+// Same plan + same seed ⇒ identical simulated makespan, elapsed time, and
+// virtual schedule, no matter how the goroutines interleaved.
+func TestParallelDeterministicMakespan(t *testing.T) {
+	const n = 2500
+	run := func() *Stats {
+		pool := testPool(256)
+		tgt := parallelTarget(t, pool, n)
+		victims, _ := pickVictims(n, n/5, 13)
+		st, err := Execute(tgt, 0, victims, Options{
+			Method: SortMerge, Memory: 1 << 16, Parallel: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	first := run()
+	if first.Schedule == nil {
+		t.Fatal("no schedule reported")
+	}
+	for i := 0; i < 4; i++ {
+		again := run()
+		if first.Elapsed != again.Elapsed {
+			t.Fatalf("elapsed differs: %v vs %v", first.Elapsed, again.Elapsed)
+		}
+		if first.Makespan != again.Makespan {
+			t.Fatalf("makespan differs: %v vs %v", first.Makespan, again.Makespan)
+		}
+		if !reflect.DeepEqual(first.Schedule, again.Schedule) {
+			t.Fatalf("schedule differs:\n%+v\n%+v", first.Schedule, again.Schedule)
+		}
+	}
+}
+
+// A logged parallel run must keep the §3.2 protocol intact: one
+// struct-start/done pair per structure, materialized lists for every
+// remaining index, and a log that analyzes as finished.
+func TestParallelLoggedProtocol(t *testing.T) {
+	const n = 4000
+	pool := testPool(2048)
+	tgt := parallelTarget(t, pool, n)
+	if err := tgt.Heap.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range tgt.Indexes {
+		if err := ix.Tree.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victims, set := pickVictims(n, 900, 5)
+	log := wal.Create(pool.Disk())
+	st, err := Execute(tgt, 0, victims, Options{
+		Method: SortMerge, Log: log, TxID: 7, CheckpointRows: 200, Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 900 {
+		t.Fatalf("deleted %d", st.Deleted)
+	}
+	verifyTarget(t, tgt, set, n)
+	_, recs, err := wal.Open(pool.Disk(), log.FileID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[wal.Type]int{}
+	for _, r := range recs {
+		counts[r.Type]++
+	}
+	if counts[wal.TStructStart] != 4 || counts[wal.TStructDone] != 4 {
+		t.Fatalf("structure framing wrong: %v", counts)
+	}
+	if counts[wal.TMaterialized] != 3 {
+		t.Fatalf("materialized: %v", counts)
+	}
+	bs, ok := wal.AnalyzeBulk(recs)
+	if !ok || !bs.Finished {
+		t.Fatalf("analyze: %+v ok=%v", bs, ok)
+	}
+}
+
+func TestChooseParallel(t *testing.T) {
+	pool := testPool(256)
+	tgt := parallelTarget(t, pool, 500)
+	// Two remaining indexes on two distinct devices: degree 2 whatever the cap.
+	if w := ChooseParallel(tgt, 0, 8); w != 2 {
+		t.Fatalf("ChooseParallel cap 8 = %d, want 2", w)
+	}
+	if w := ChooseParallel(tgt, 0, 2); w != 2 {
+		t.Fatalf("ChooseParallel cap 2 = %d, want 2", w)
+	}
+	if w := ChooseParallel(tgt, 0, 1); w != 1 {
+		t.Fatalf("ChooseParallel cap 1 = %d, want 1", w)
+	}
+	// Collapse every tree onto one device: nothing to overlap.
+	for _, ix := range tgt.Indexes {
+		if err := pool.Relocate(ix.Tree.ID(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := ChooseParallel(tgt, 0, 8); w != 1 {
+		t.Fatalf("single device ChooseParallel = %d, want 1", w)
+	}
+}

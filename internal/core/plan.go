@@ -31,6 +31,7 @@ import (
 	"bulkdel/internal/heap"
 	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
+	"bulkdel/internal/sched"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/wal"
 )
@@ -115,6 +116,11 @@ type Options struct {
 	// Undeletable entries are skipped by the index passes (direct
 	// propagation by concurrent transactions, §3.1.2).
 	Undeletable *cc.UndeletableSet
+	// Parallel caps the number of workers for the remaining-index passes
+	// (phase 3). 0 or 1 runs them serially; >1 runs independent ⋈̸ passes
+	// concurrently, at most one per device of the disk array (the effective
+	// degree is ChooseParallel of this cap). Recovery always runs serially.
+	Parallel int
 	// OnStructureDone is invoked after each structure (heap or index) is
 	// fully processed — the hook where the engine applies side-files and
 	// brings index gates back online.
@@ -192,6 +198,19 @@ type Stats struct {
 	Estimates []CostEstimate
 	// Trace is the phase tree with per-span I/O attribution.
 	Trace *obs.Trace
+
+	// Schedule is the deterministic virtual schedule of the parallel
+	// index-pass section (nil when the statement ran serially).
+	Schedule *sched.Schedule
+	// Workers is the degree of parallelism actually used (1 when serial).
+	Workers int
+	// Devices is the size of the disk array the statement ran against.
+	Devices int
+	// Makespan is the simulated wall-clock time of the statement: Elapsed
+	// (the serial-equivalent total device+CPU time) minus the parallel
+	// section's summed device time plus its scheduled makespan. For a
+	// serial run Makespan == Elapsed.
+	Makespan time.Duration
 }
 
 // PlanNode is one operator of the logical plan, used for explain output in

@@ -113,10 +113,7 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 		}
 		// Any checkpointed progress inside this structure refers to the
 		// damaged incarnation; the rebuilt one starts over.
-		if rs.st.HasInProgress && sim.FileID(rs.st.InProgress) == ix.Tree.ID() {
-			rs.st.HasInProgress = false
-			rs.st.Progress = 0
-		}
+		rs.st.ClearActive(uint64(ix.Tree.ID()))
 		if final {
 			// The heap no longer holds the victims: the rebuilt index
 			// is already in its target state.
@@ -155,8 +152,8 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 	method := SortMerge
 	if len(rs.keyFiles) != len(rest) {
 		rs.keyFiles = nil
-		heapStarted := heapDone ||
-			(rs.st.HasInProgress && sim.FileID(rs.st.InProgress) == tgt.Heap.ID())
+		_, heapActive := rs.st.ProgressOf(uint64(tgt.Heap.ID()))
+		heapStarted := heapDone || heapActive
 		if heapStarted && rs.ridFile != nil {
 			// The destructive passes began without materialized key
 			// lists, so the interrupted statement ran the hash method:
@@ -193,6 +190,7 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 		return stats, err
 	}
 	stats.Elapsed = disk.Clock() - start
+	finishTiming(stats, disk)
 	annotatePlan(stats)
 	if ownTrace {
 		tr.Finish()

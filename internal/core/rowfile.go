@@ -34,6 +34,23 @@ func newRowFile(disk *sim.Disk, rowSize int) (*rowFile, error) {
 	return &rowFile{disk: disk, file: disk.CreateFile(), rowSize: rowSize}, nil
 }
 
+// newRowFileOn is newRowFile with an explicit device placement. dev < 0
+// falls back to the default placement (device 0) — callers thread a device
+// hint through without branching.
+func newRowFileOn(disk *sim.Disk, rowSize int, dev int) (*rowFile, error) {
+	if dev < 0 {
+		return newRowFile(disk, rowSize)
+	}
+	if rowSize <= 0 || rowSize > sim.PageSize {
+		return nil, fmt.Errorf("core: unusable row size %d", rowSize)
+	}
+	id, err := disk.CreateFileOn(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &rowFile{disk: disk, file: id, rowSize: rowSize}, nil
+}
+
 // openRowFile attaches to an existing row file with a known row count
 // (recovery: the count travels in the WAL payload).
 func openRowFile(disk *sim.Disk, file sim.FileID, rowSize int, rows int64) (*rowFile, error) {

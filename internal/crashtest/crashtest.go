@@ -64,6 +64,14 @@ type Config struct {
 	TearBytes int
 	// TearWALOnly restricts tearing to the WAL file (torn-log-tail tests).
 	TearWALOnly bool
+	// Devices sizes the simulated disk array; indexes are then placed
+	// round-robin on devices 1..Devices (default 0 = single spindle).
+	Devices int
+	// Parallel caps the workers for the remaining-index ⋈̸ passes. With
+	// goroutines in play the kth I/O is no longer a deterministic point
+	// in the statement, so parallel sweeps assert the recovery invariants
+	// per ordinal but must not compare digests across runs.
+	Parallel int
 	// Observer, when set, accumulates metrics across every run of the
 	// sweep (faults_injected, crashes_simulated, recoveries_run).
 	Observer *obs.Observer
@@ -167,6 +175,7 @@ func (s *SweepResult) Digest() string {
 func buildDB(cfg Config) (*bulkdel.DB, *bulkdel.Table, []int64, error) {
 	db, err := bulkdel.Open(bulkdel.Options{
 		BufferBytes: cfg.BufferBytes,
+		Devices:     cfg.Devices,
 		Observer:    cfg.Observer,
 	})
 	if err != nil {
@@ -208,6 +217,7 @@ func bulkOpts(cfg Config) bulkdel.BulkOptions {
 		Method:         cfg.Method,
 		Memory:         cfg.Memory,
 		CheckpointRows: cfg.CheckpointRows,
+		Parallel:       cfg.Parallel,
 	}
 }
 

@@ -1,0 +1,282 @@
+// Package sched executes the independent nodes of a bulk-delete plan DAG
+// concurrently over the devices of the simulated disk array, and computes
+// a deterministic parallel schedule from what each node cost.
+//
+// The execution and the reported timing are deliberately decoupled:
+//
+//   - Execution is real concurrency. Nodes are grouped by the device whose
+//     arm they own and each device's nodes run FIFO in plan order on its
+//     own goroutine, with a global semaphore bounding the worker count.
+//     Exactly one node touches a device (and its buffer-pool shard) at a
+//     time, so every node's cost is measured exactly as the busy-time
+//     delta of its device — no other goroutine can charge that device.
+//
+//   - Reported timing is a virtual schedule. Goroutine interleaving is
+//     nondeterministic, but the measured per-node durations are not (the
+//     device head state between same-device nodes follows plan order, and
+//     the buffer-pool shard is private to the device). The makespan, the
+//     per-node start/finish ordinals, and the critical path are therefore
+//     computed offline by deterministic list scheduling of the measured
+//     durations onto `workers` virtual workers under device exclusivity —
+//     the same plan + seed always reports the same schedule, regardless of
+//     how the goroutines actually interleaved.
+//
+// Dependencies are supported (Node.Deps), with the usual topological
+// restriction that a dependency must appear earlier in the node list; the
+// bulk-delete executor's per-index ⋈̸ passes are mutually independent, so
+// its DAG is a plain fan-out, but the scheduler does not assume that.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bulkdel/internal/sim"
+)
+
+// Node is one schedulable unit of work: a closure that, when run, performs
+// I/O only against files placed on the given device (plus CPU charges,
+// which land on the global clock and are accounted by the caller).
+type Node struct {
+	// Label identifies the node in the reported schedule (e.g. the index
+	// name of a ⋈̸ pass).
+	Label string
+	// Device is the spindle whose arm the node owns while it runs.
+	Device int
+	// Deps lists indexes of nodes that must finish before this one starts.
+	// Each dep must be a smaller index (the list is in topological order).
+	Deps []int
+	// Run does the work. It is called at most once, from a scheduler
+	// goroutine.
+	Run func() error
+}
+
+// Item is one node's position in the computed schedule.
+type Item struct {
+	Label    string
+	Device   int
+	Worker   int           // virtual worker the node was placed on
+	Start    time.Duration // virtual start, relative to the section start
+	Finish   time.Duration
+	Duration time.Duration // measured device busy time of the node
+}
+
+// Schedule reports the deterministic virtual schedule of one parallel
+// section.
+type Schedule struct {
+	Workers  int
+	Items    []Item // in plan (node) order
+	Makespan time.Duration
+	Critical []int // node indexes of one start-to-finish critical chain
+}
+
+// validate checks the topological-order restriction on deps.
+func validate(nodes []Node) error {
+	for i, n := range nodes {
+		for _, d := range n.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("sched: node %d (%s) dep %d is not an earlier node", i, n.Label, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Execute runs the nodes with at most `workers` concurrent goroutines (one
+// per device at most — device exclusivity), measures each node's duration
+// as its device's busy-time delta, and returns the deterministic virtual
+// schedule. On error the first failing node's error (in plan order) is
+// returned; nodes not yet started are skipped.
+func Execute(disk *sim.Disk, workers int, nodes []Node) (*Schedule, error) {
+	if err := validate(nodes); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(nodes)
+	if n == 0 {
+		return &Schedule{Workers: workers}, nil
+	}
+
+	// Group node indexes by device, preserving plan order: the per-device
+	// FIFO makes the head state each node inherits deterministic.
+	byDev := make(map[int][]int)
+	var devOrder []int
+	for i, nd := range nodes {
+		if _, ok := byDev[nd.Device]; !ok {
+			devOrder = append(devOrder, nd.Device)
+		}
+		byDev[nd.Device] = append(byDev[nd.Device], i)
+	}
+
+	var (
+		sem     = make(chan struct{}, workers)
+		done    = make([]chan struct{}, n)
+		errs    = make([]error, n)
+		durs    = make([]time.Duration, n)
+		abort   = make(chan struct{})
+		abortMu sync.Mutex
+		closed  bool
+		wg      sync.WaitGroup
+	)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	abortAll := func() {
+		abortMu.Lock()
+		if !closed {
+			closed = true
+			close(abort)
+		}
+		abortMu.Unlock()
+	}
+
+	for _, dev := range devOrder {
+		queue := byDev[dev]
+		wg.Add(1)
+		go func(dev int, queue []int) {
+			defer wg.Done()
+			for _, i := range queue {
+				nd := nodes[i]
+				// Wait for deps before taking a worker slot, so waiting
+				// nodes cannot starve runnable ones.
+				skip := false
+				for _, d := range nd.Deps {
+					select {
+					case <-done[d]:
+					case <-abort:
+						skip = true
+					}
+					if skip {
+						break
+					}
+				}
+				if !skip {
+					select {
+					case sem <- struct{}{}:
+					case <-abort:
+						skip = true
+					}
+				}
+				if skip {
+					close(done[i])
+					continue
+				}
+				busy0 := disk.DeviceBusy(dev)
+				err := nd.Run()
+				durs[i] = disk.DeviceBusy(dev) - busy0
+				<-sem
+				if err != nil {
+					errs[i] = err
+					abortAll()
+				}
+				close(done[i])
+			}
+		}(dev, queue)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Plan(workers, nodes, durs), nil
+}
+
+// Plan computes the deterministic virtual schedule: the nodes, in plan
+// order, are list-scheduled onto `workers` virtual workers with device
+// exclusivity (a device serves one node at a time) and dependency edges.
+// It is exported so tests (and the executor's serial mode) can schedule
+// measured durations without re-running anything.
+func Plan(workers int, nodes []Node, durs []time.Duration) *Schedule {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(nodes)
+	sc := &Schedule{Workers: workers, Items: make([]Item, n)}
+	workerFree := make([]time.Duration, workers)
+	deviceFree := make(map[int]time.Duration)
+	finish := make([]time.Duration, n)
+	start := make([]time.Duration, n)
+	assigned := make([]int, n)
+
+	for i, nd := range nodes {
+		var ready time.Duration
+		for _, d := range nd.Deps {
+			if finish[d] > ready {
+				ready = finish[d]
+			}
+		}
+		if df := deviceFree[nd.Device]; df > ready {
+			ready = df
+		}
+		// Earliest-free virtual worker; ties broken by lowest index.
+		w := 0
+		for j := 1; j < workers; j++ {
+			if workerFree[j] < workerFree[w] {
+				w = j
+			}
+		}
+		if workerFree[w] > ready {
+			ready = workerFree[w]
+		}
+		start[i] = ready
+		finish[i] = ready + durs[i]
+		workerFree[w] = finish[i]
+		deviceFree[nd.Device] = finish[i]
+		assigned[i] = w
+		sc.Items[i] = Item{
+			Label:    nd.Label,
+			Device:   nd.Device,
+			Worker:   w,
+			Start:    start[i],
+			Finish:   finish[i],
+			Duration: durs[i],
+		}
+		if finish[i] > sc.Makespan {
+			sc.Makespan = finish[i]
+		}
+	}
+
+	// Critical path: walk back from the last-finishing node through
+	// whichever constraint (dep, device, or worker occupancy) forced each
+	// start time, preferring deps, then the device, then the worker, with
+	// lowest node index breaking remaining ties.
+	last := -1
+	for i := 0; i < n; i++ {
+		if last == -1 || finish[i] > finish[last] {
+			last = i
+		}
+	}
+	for cur := last; cur >= 0; {
+		sc.Critical = append(sc.Critical, cur)
+		next := -1
+		pick := func(j int) {
+			if j >= 0 && j < cur && finish[j] == start[cur] && next == -1 {
+				next = j
+			}
+		}
+		for _, d := range nodes[cur].Deps {
+			pick(d)
+		}
+		for j := 0; j < cur && next == -1; j++ {
+			if nodes[j].Device == nodes[cur].Device {
+				pick(j)
+			}
+		}
+		for j := 0; j < cur && next == -1; j++ {
+			if assigned[j] == assigned[cur] {
+				pick(j)
+			}
+		}
+		cur = next
+	}
+	// The walk built the chain finish-to-start; reverse it.
+	for i, j := 0, len(sc.Critical)-1; i < j; i, j = i+1, j-1 {
+		sc.Critical[i], sc.Critical[j] = sc.Critical[j], sc.Critical[i]
+	}
+	return sc
+}

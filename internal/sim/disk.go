@@ -136,18 +136,22 @@ type file struct {
 	dropped bool
 }
 
-// Disk is a simulated disk: a set of files made of fixed-size pages, plus
-// the simulated clock. All methods are safe for concurrent use; the clock
-// serializes, which mirrors a single disk arm.
+// Disk is a simulated disk array: a set of files made of fixed-size pages
+// spread over one or more devices (spindles), plus the simulated clock. All
+// methods are safe for concurrent use; each device keeps its own arm
+// position and busy time, while the global clock accumulates every charge
+// (it is the *sum* of device time — with a single device, exactly the
+// elapsed time; with several, the serial-equivalent work. Wall-clock
+// makespan of a parallel schedule is computed by internal/sched from
+// per-device busy deltas).
 type Disk struct {
 	mu       sync.Mutex
 	cm       CostModel
 	files    map[FileID]*file
 	nextFile FileID
 	clock    time.Duration
-	lastFile FileID
-	lastPage PageNo
-	hasLast  bool
+	devs     []*device
+	fileDev  map[FileID]int
 	stats    Stats
 
 	// Fault injection (see fault.go). ioSeq numbers every attempted page
@@ -158,12 +162,18 @@ type Disk struct {
 	writeSeq uint64
 }
 
-// NewDisk creates an empty simulated disk with the given cost model.
+// NewDisk creates an empty simulated disk with the given cost model and a
+// single device.
 func NewDisk(cm CostModel) *Disk {
-	return &Disk{cm: cm, files: make(map[FileID]*file)}
+	return &Disk{
+		cm:      cm,
+		files:   make(map[FileID]*file),
+		devs:    []*device{{}},
+		fileDev: make(map[FileID]int),
+	}
 }
 
-// CreateFile adds a new empty file and returns its ID.
+// CreateFile adds a new empty file on device 0 and returns its ID.
 func (d *Disk) CreateFile() FileID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -224,29 +234,39 @@ func (d *Disk) NumPages(id FileID) (PageNo, error) {
 	return PageNo(len(f.pages)), nil
 }
 
-// position charges the head-positioning cost for an access to (id, p) and
-// records the new head position. Caller holds d.mu.
-func (d *Disk) positionLocked(id FileID, p PageNo) {
+// positionLocked charges the head-positioning cost for an access to (id, p)
+// on the file's device, records the device's new head position, and returns
+// the device so the caller can charge transfers to it. Caller holds d.mu.
+func (d *Disk) positionLocked(id FileID, p PageNo) *device {
+	dev := d.devs[d.fileDev[id]]
+	var charge time.Duration
 	switch {
-	case d.hasLast && d.lastFile == id && p == d.lastPage+1:
+	case dev.hasLast && dev.lastFile == id && p == dev.lastPage+1:
+		dev.stats.SeqOps++
 		d.stats.SeqOps++
-	case d.hasLast && d.lastFile == id && d.cm.NearDistance > 0 &&
-		absDist(p, d.lastPage) <= d.cm.NearDistance:
+	case dev.hasLast && dev.lastFile == id && d.cm.NearDistance > 0 &&
+		absDist(p, dev.lastPage) <= d.cm.NearDistance:
 		// Short jump on the same cylinder: no arm seek; a short forward
 		// skip waits only for the sectors to pass under the head while a
 		// short backward skip waits almost a full revolution — half a
 		// rotation on average.
-		d.clock += d.cm.Rotation / 2
+		charge = d.cm.Rotation / 2
+		dev.stats.NearOps++
 		d.stats.NearOps++
-	case d.hasLast && d.lastFile == id && d.cm.SeekSpan > 0:
+	case dev.hasLast && dev.lastFile == id && d.cm.SeekSpan > 0:
 		// Same-file jump of known distance: square-root seek curve.
-		d.clock += d.seekFor(absDist(p, d.lastPage)) + d.cm.Rotation
+		charge = d.seekFor(absDist(p, dev.lastPage)) + d.cm.Rotation
+		dev.stats.RandomOps++
 		d.stats.RandomOps++
 	default:
-		d.clock += d.cm.Seek + d.cm.Rotation
+		charge = d.cm.Seek + d.cm.Rotation
+		dev.stats.RandomOps++
 		d.stats.RandomOps++
 	}
-	d.lastFile, d.lastPage, d.hasLast = id, p, true
+	d.clock += charge
+	dev.busy += charge
+	dev.lastFile, dev.lastPage, dev.hasLast = id, p, true
+	return dev
 }
 
 // seekFor prices an arm movement of dist pages with the square-root curve:
@@ -289,8 +309,10 @@ func (d *Disk) ReadPage(id FileID, p PageNo, buf []byte) error {
 	if err := d.faultLocked(opRead, id, p, nil, nil); err != nil {
 		return err
 	}
-	d.positionLocked(id, p)
+	dev := d.positionLocked(id, p)
 	d.clock += d.cm.TransferPage
+	dev.busy += d.cm.TransferPage
+	dev.stats.Reads++
 	d.stats.Reads++
 	copy(buf, f.pages[p])
 	return nil
@@ -313,8 +335,10 @@ func (d *Disk) WritePage(id FileID, p PageNo, data []byte) error {
 	if err := d.faultLocked(opWrite, id, p, data, f.pages[p]); err != nil {
 		return err
 	}
-	d.positionLocked(id, p)
+	dev := d.positionLocked(id, p)
 	d.clock += d.cm.TransferPage
+	dev.busy += d.cm.TransferPage
+	dev.stats.Writes++
 	d.stats.Writes++
 	copy(f.pages[p], data)
 	return nil
@@ -336,7 +360,8 @@ func (d *Disk) ReadRun(id FileID, p PageNo, bufs [][]byte) error {
 		return fmt.Errorf("sim: chained read past end of file %d: pages [%d,%d) of %d",
 			id, p, int(p)+len(bufs), len(f.pages))
 	}
-	d.positionLocked(id, p)
+	dev := d.positionLocked(id, p)
+	dev.stats.ChainedRuns++
 	d.stats.ChainedRuns++
 	for i, buf := range bufs {
 		if len(buf) != PageSize {
@@ -348,10 +373,12 @@ func (d *Disk) ReadRun(id FileID, p PageNo, bufs [][]byte) error {
 			return err
 		}
 		d.clock += d.cm.TransferPage
+		dev.busy += d.cm.TransferPage
+		dev.stats.Reads++
 		d.stats.Reads++
 		copy(buf, f.pages[int(p)+i])
 	}
-	d.lastPage = p + PageNo(len(bufs)) - 1
+	dev.lastPage = p + PageNo(len(bufs)) - 1
 	return nil
 }
 
@@ -371,7 +398,8 @@ func (d *Disk) WriteRun(id FileID, p PageNo, data [][]byte) error {
 		return fmt.Errorf("sim: chained write past end of file %d: pages [%d,%d) of %d",
 			id, p, int(p)+len(data), len(f.pages))
 	}
-	d.positionLocked(id, p)
+	dev := d.positionLocked(id, p)
+	dev.stats.ChainedRuns++
 	d.stats.ChainedRuns++
 	for i, buf := range data {
 		if len(buf) != PageSize {
@@ -383,10 +411,12 @@ func (d *Disk) WriteRun(id FileID, p PageNo, data [][]byte) error {
 			return err
 		}
 		d.clock += d.cm.TransferPage
+		dev.busy += d.cm.TransferPage
+		dev.stats.Writes++
 		d.stats.Writes++
 		copy(f.pages[int(p)+i], buf)
 	}
-	d.lastPage = p + PageNo(len(data)) - 1
+	dev.lastPage = p + PageNo(len(data)) - 1
 	return nil
 }
 
@@ -426,10 +456,14 @@ func (d *Disk) Stats() Stats {
 	return d.stats
 }
 
-// ResetStats zeroes the operation counters (the clock keeps running).
+// ResetStats zeroes the operation counters, global and per-device (the
+// clock and per-device busy times keep running).
 func (d *Disk) ResetStats() {
 	d.mu.Lock()
 	d.stats = Stats{}
+	for _, dev := range d.devs {
+		dev.stats = Stats{}
+	}
 	d.mu.Unlock()
 }
 

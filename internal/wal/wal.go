@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"bulkdel/internal/sim"
 )
@@ -133,8 +134,15 @@ func recCRC(hdr []byte, payload []byte) uint32 {
 	return crc32.Update(c, crcTable, payload)
 }
 
-// Log is an append-only write-ahead log.
+// Log is an append-only write-ahead log. It is safe for concurrent use: a
+// single mutex orders appends, so records from concurrent bulk-delete
+// passes are funneled through one serialized appender and the stream stays
+// a valid totally-ordered log (the relative order of records from
+// *different* structures is scheduling-dependent, but each structure's own
+// start → checkpoint → done sequence is program-ordered by its goroutine,
+// which is all the §3.2 roll-forward protocol needs).
 type Log struct {
+	mu      sync.Mutex
 	disk    *sim.Disk
 	file    sim.FileID
 	gen     uint32 // generation stamped on appended records
@@ -161,6 +169,8 @@ func (l *Log) Append(t Type, txID, a, b uint64, payload []byte) (LSN, error) {
 	if len(payload) > 0xFFFF {
 		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit", len(payload))
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	lsn := LSN(l.off + uint64(len(l.buf)))
 	var hdr [recHeaderSize]byte
 	hdr[0] = byte(t)
@@ -177,6 +187,8 @@ func (l *Log) Append(t Type, txID, a, b uint64, payload []byte) (LSN, error) {
 
 // Flush forces every appended record to disk.
 func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.buf) == 0 {
 		return nil
 	}
@@ -233,7 +245,11 @@ func (l *Log) Flush() error {
 }
 
 // FlushedLSN returns the first LSN not yet guaranteed durable.
-func (l *Log) FlushedLSN() LSN { return LSN(l.flushed) }
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(l.flushed)
+}
 
 // Open attaches to an existing log file and returns every durable record —
 // the recovery scan. The returned Log appends after the recovered tail.
@@ -308,8 +324,16 @@ type BulkState struct {
 	VictimFile uint64 // materialized victim list
 	// Done lists structures fully processed (TStructDone seen).
 	Done map[uint64]bool
-	// InProgress is the structure with a TStructStart but no TStructDone,
-	// if any; Progress is its latest checkpointed victim-row count.
+	// Active maps every structure with a TStructStart but no TStructDone
+	// to its latest checkpointed victim-row count, and Kinds to its kind
+	// (0 heap, 1 index). A serial statement has at most one active
+	// structure; a parallel one may have been interrupted with several
+	// index passes mid-flight.
+	Active map[uint64]uint64
+	Kinds  map[uint64]uint64
+	// InProgress mirrors the most recently started active structure, with
+	// its Progress and Kind — the legacy single-pass view, still exact for
+	// serial logs.
 	InProgress    uint64
 	HasInProgress bool
 	Progress      uint64
@@ -320,6 +344,28 @@ type BulkState struct {
 	// Materialized maps a structure file to the row file holding its
 	// victim list (key 0 = the global sorted RID list).
 	Materialized map[uint64]uint64
+}
+
+// ProgressOf returns the checkpointed progress of a structure that was
+// in-flight at the crash, and whether it was in-flight at all.
+func (st *BulkState) ProgressOf(file uint64) (uint64, bool) {
+	if st.Active == nil {
+		return 0, false
+	}
+	p, ok := st.Active[file]
+	return p, ok
+}
+
+// ClearActive forgets a structure's in-flight state — recovery uses it
+// when the structure was rebuilt from scratch, so checkpointed progress
+// into the damaged incarnation must not be skipped.
+func (st *BulkState) ClearActive(file uint64) {
+	delete(st.Active, file)
+	delete(st.Kinds, file)
+	if st.HasInProgress && st.InProgress == file {
+		st.HasInProgress = false
+		st.Progress = 0
+	}
 }
 
 // AnalyzeBulk scans recovered records and returns the state of the most
@@ -335,6 +381,8 @@ func AnalyzeBulk(recs []Record) (BulkState, bool) {
 				Table:        r.A,
 				VictimFile:   r.B,
 				Done:         make(map[uint64]bool),
+				Active:       make(map[uint64]uint64),
+				Kinds:        make(map[uint64]uint64),
 				Materialized: make(map[uint64]uint64),
 			}
 			found = true
@@ -344,18 +392,27 @@ func AnalyzeBulk(recs []Record) (BulkState, bool) {
 			}
 		case TStructStart:
 			if found && r.TxID == st.TxID {
+				st.Active[r.A] = 0
+				st.Kinds[r.A] = r.B
 				st.InProgress = r.A
 				st.Kind = r.B
 				st.HasInProgress = true
 				st.Progress = 0
 			}
 		case TCheckpoint:
-			if found && r.TxID == st.TxID && st.HasInProgress && r.A == st.InProgress {
-				st.Progress = r.B
+			if found && r.TxID == st.TxID {
+				if _, ok := st.Active[r.A]; ok {
+					st.Active[r.A] = r.B
+				}
+				if st.HasInProgress && r.A == st.InProgress {
+					st.Progress = r.B
+				}
 			}
 		case TStructDone:
 			if found && r.TxID == st.TxID {
 				st.Done[r.A] = true
+				delete(st.Active, r.A)
+				delete(st.Kinds, r.A)
 				if st.HasInProgress && st.InProgress == r.A {
 					st.HasInProgress = false
 					st.Progress = 0

@@ -55,17 +55,26 @@ func (tbl *Table) NumFields() int { return tbl.t.Schema.NumFields }
 func (tbl *Table) Count() int64 { return tbl.t.Heap.Count() }
 
 // CreateIndex builds an index over the current contents (scan + external
-// sort + bottom-up bulk load).
+// sort + bottom-up bulk load). On a multi-device array (Options.Devices)
+// the new tree is placed round-robin on devices 1..Devices, so independent
+// ⋈̸ passes of a parallel bulk delete can overlap on separate spindles.
 func (tbl *Table) CreateIndex(opts IndexOptions) error {
 	if tbl.db.crashed {
 		return errCrashed
 	}
-	_, err := tbl.t.CreateIndex(table.IndexDef{
+	ix, err := tbl.t.CreateIndex(table.IndexDef{
 		Name: opts.Name, Field: opts.Field, KeyLen: opts.KeyLen,
 		Unique: opts.Unique, Clustered: opts.Clustered, Priority: opts.Priority,
 	})
 	if err != nil {
 		return err
+	}
+	if d := tbl.db.opts.Devices; d > 1 {
+		dev := 1 + tbl.db.ixSeq%d
+		tbl.db.ixSeq++
+		if err := tbl.db.pool.Relocate(ix.Tree.ID(), dev); err != nil {
+			return err
+		}
 	}
 	return tbl.db.saveCatalog()
 }
@@ -198,6 +207,11 @@ type BulkOptions struct {
 	// lock released once the table and all unique indexes are done.
 	// Without it the whole statement runs under the exclusive lock.
 	Concurrent bool
+	// Parallel caps the number of workers for the remaining-index ⋈̸
+	// passes (0/1 = serial). The effective degree is clamped to the
+	// number of distinct devices those indexes live on, so it only helps
+	// on a multi-device array (Options.Devices).
+	Parallel int
 }
 
 // BulkResult reports a bulk delete.
@@ -210,8 +224,15 @@ type BulkResult struct {
 	Method Method
 	// Partitions used by the hash+range-partitioning plan.
 	Partitions int
-	// Elapsed simulated time.
+	// Elapsed simulated time: the serial-equivalent total — the sum of
+	// every device's busy time plus CPU — regardless of parallelism.
 	Elapsed time.Duration
+	// Makespan is the statement's simulated wall-clock length: equal to
+	// Elapsed for serial runs, shorter when the remaining-index passes
+	// overlapped on separate devices.
+	Makespan time.Duration
+	// Workers that executed the remaining-index passes (1 = serial).
+	Workers int
 	// PlanText is the executed plan, rendered like the paper's figures.
 	PlanText string
 	// SideFileOps counts concurrent updates replayed from side-files.
@@ -294,6 +315,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		Memory:         opts.Memory,
 		Reorganize:     opts.Reorganize,
 		CheckpointRows: opts.CheckpointRows,
+		Parallel:       opts.Parallel,
 	}
 	if tbl.db.log != nil {
 		coreOpts.Log = tbl.db.log
@@ -318,6 +340,10 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	}
 	defer unlock()
 
+	// Parallel passes invoke OnStructureDone from concurrent goroutines;
+	// the side-file replay below mutates res, so serialize it.
+	var sfMu sync.Mutex
+
 	if opts.Concurrent {
 		byFile := make(map[sim.FileID]*table.Index, len(tbl.t.Idx))
 		for _, ix := range tbl.t.Idx {
@@ -326,6 +352,8 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		}
 		coreOpts.Undeletable = tbl.t.Undeletable
 		coreOpts.OnStructureDone = func(file sim.FileID) {
+			sfMu.Lock()
+			defer sfMu.Unlock()
 			ix, ok := byFile[file]
 			if !ok {
 				return // the heap: nothing to reopen
@@ -353,6 +381,8 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		}
 		defer func() {
 			// Whatever happens, no index stays offline.
+			sfMu.Lock()
+			defer sfMu.Unlock()
 			for _, ix := range tbl.t.Idx {
 				if ix.Gate.State() != cc.Online {
 					for _, op := range ix.Gate.SideFile().Quiesce() {
@@ -375,6 +405,11 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	res.Method = st.Method
 	res.Partitions = st.Partitions
 	res.Elapsed = st.Elapsed
+	res.Makespan = st.Makespan
+	res.Workers = st.Workers
+	if res.Workers == 0 {
+		res.Workers = 1
+	}
 	res.PlanText = st.PlanText
 	res.stats = st
 	return res, nil
