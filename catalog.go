@@ -63,7 +63,8 @@ type catalogRoot struct {
 // prefixed, spanning as many pages as needed. Catalog writes are rare
 // (DDL only), so the whole file is rewritten each time.
 func (db *DB) saveCatalog() error {
-	root := catalogRoot{TxSeq: db.txSeq, Devices: db.opts.Devices, IxSeq: db.ixSeq}
+	db.mu.Lock()
+	root := catalogRoot{TxSeq: db.txSeq.Load(), Devices: db.opts.Devices, IxSeq: db.ixSeq}
 	if db.log != nil {
 		root.HasWAL = true
 		root.WALFile = uint32(db.log.FileID())
@@ -92,6 +93,7 @@ func (db *DB) saveCatalog() error {
 			Cascade: fk.OnDelete == Cascade,
 		})
 	}
+	db.mu.Unlock()
 	blob, err := json.Marshal(root)
 	if err != nil {
 		return err
@@ -100,6 +102,10 @@ func (db *DB) saveCatalog() error {
 	binary.LittleEndian.PutUint64(stream, uint64(len(blob)))
 	copy(stream[8:], blob)
 
+	// Serialize the file-0 rewrite: concurrent DDL must not interleave
+	// page writes of two catalog images.
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	pages := (len(stream) + sim.PageSize - 1) / sim.PageSize
 	have, err := db.disk.NumPages(db.catalog)
 	if err != nil {
@@ -151,11 +157,18 @@ func loadCatalog(disk *sim.Disk) (catalogRoot, error) {
 type RecoveryReport struct {
 	// BulkInProgress reports whether an interrupted bulk delete was found.
 	BulkInProgress bool
-	// Table the interrupted statement targeted.
+	// Table the first interrupted statement targeted (see Tables for all —
+	// concurrent statements can leave several unfinished at a crash).
 	Table string
-	// RolledForward records completed by the roll-forward.
+	// Tables targeted by every rolled-forward statement, in WAL
+	// TBulkStart order.
+	Tables []string
+	// Statements is the number of interrupted bulk deletes rolled forward.
+	Statements int
+	// RolledForward records completed by the roll-forward, summed over all
+	// interrupted statements.
 	RolledForward int64
-	// StructuresSkipped were already durable before the crash.
+	// StructuresSkipped were already durable before the crash (summed).
 	StructuresSkipped int
 }
 
@@ -180,14 +193,15 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		pool:    buffer.New(disk, opts.BufferBytes),
 		tables:  make(map[string]*Table),
 		catalog: 0,
-		txSeq:   root.TxSeq,
 		ixSeq:   root.IxSeq,
 		opts:    opts,
 		obs:     opts.Observer,
 	}
+	db.txSeq.Store(root.TxSeq)
 	if db.obs == nil {
 		db.obs = obs.NewObserver()
 	}
+	db.initConcurrency()
 	db.obs.Registry().Counter("recoveries_run").Add(1)
 	if opts.ReadAhead > 0 {
 		db.pool.SetReadAhead(opts.ReadAhead)
@@ -221,6 +235,7 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 				Gate: cc.NewGate(),
 			})
 		}
+		t.Lock = db.cc.Lock(ct.Name)
 		db.tables[ct.Name] = &Table{db: db, t: t}
 	}
 
@@ -243,35 +258,43 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		return nil, nil, err
 	}
 	db.log = log
-	bs, ok := wal.AnalyzeBulk(recs)
-	if !ok || bs.Finished {
-		return db, report, nil
-	}
-	// Roll the interrupted bulk delete forward.
-	report.BulkInProgress = true
-	report.StructuresSkipped = len(bs.Done)
-	var victim *Table
-	for _, tbl := range db.tables {
-		if uint64(tbl.t.Heap.ID()) == bs.Table {
-			victim = tbl
-			break
+	// Concurrent statements interleave records in the shared log, so a
+	// crash can leave several bulk deletes unfinished; roll each forward
+	// in TBulkStart order (§3.2 — the roll-forwards are independent: each
+	// statement owns its table and its materialized row-files).
+	for _, bs := range wal.AnalyzeBulks(recs) {
+		if bs.Finished {
+			continue
 		}
+		report.BulkInProgress = true
+		report.Statements++
+		report.StructuresSkipped += len(bs.Done)
+		var victim *Table
+		for _, tbl := range db.tables {
+			if uint64(tbl.t.Heap.ID()) == bs.Table {
+				victim = tbl
+				break
+			}
+		}
+		if victim == nil {
+			return nil, nil, fmt.Errorf("bulkdel: interrupted bulk delete on unknown table (heap file %d)", bs.Table)
+		}
+		if report.Table == "" {
+			report.Table = victim.t.Name
+		}
+		report.Tables = append(report.Tables, victim.t.Name)
+		field, ok := core.BulkStartField(recs, bs.TxID)
+		if !ok {
+			return nil, nil, fmt.Errorf("bulkdel: bulk-start record lacks the delete attribute")
+		}
+		st, err := core.Resume(victim.target(), bs, log, recs, field, core.Options{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bulkdel: roll-forward on %s failed: %w", victim.t.Name, err)
+		}
+		if st.Trace != nil {
+			db.obs.OnTrace(st.Trace)
+		}
+		report.RolledForward += st.Deleted
 	}
-	if victim == nil {
-		return nil, nil, fmt.Errorf("bulkdel: interrupted bulk delete on unknown table (heap file %d)", bs.Table)
-	}
-	report.Table = victim.t.Name
-	field, ok := core.BulkStartField(recs, bs.TxID)
-	if !ok {
-		return nil, nil, fmt.Errorf("bulkdel: bulk-start record lacks the delete attribute")
-	}
-	st, err := core.Resume(victim.target(), bs, log, recs, field, core.Options{})
-	if err != nil {
-		return nil, nil, fmt.Errorf("bulkdel: roll-forward failed: %w", err)
-	}
-	if st.Trace != nil {
-		db.obs.OnTrace(st.Trace)
-	}
-	report.RolledForward = st.Deleted
 	return db, report, nil
 }

@@ -65,6 +65,13 @@ func main() {
 		"worker cap for every bulk delete's remaining-index passes (0/1 = serial; needs -devices)")
 	flag.Parse()
 
+	if *parallel > 1 && *devices <= 1 {
+		fmt.Fprintf(os.Stderr,
+			"bulkdel: warning: -parallel %d has no effect on a single spindle; "+
+				"every statement will run serial (workers=1). Add -devices N to spread the indexes.\n",
+			*parallel)
+	}
+
 	in := os.Stdin
 	if *script != "" {
 		f, err := os.Open(*script)

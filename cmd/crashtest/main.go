@@ -45,6 +45,7 @@ func main() {
 	buffer := flag.Int("buffer", 0, "buffer-pool budget in bytes (default 24 pages)")
 	devices := flag.Int("devices", 0, "simulated disk array width (indexes placed round-robin; 0 = single spindle)")
 	parallel := flag.Int("parallel", 0, "worker cap for the remaining-index passes (makes the crash point nondeterministic; invariants still checked)")
+	concurrent := flag.Bool("concurrent", false, "two-table scenario: crash a concurrent two-statement batch (invariants only, no digest)")
 	verbose := flag.Bool("v", false, "print every ordinal's outcome")
 	metricsJSON := flag.Bool("metrics-json", false, "print the accumulated metrics registry as JSON")
 	flag.Parse()
@@ -83,6 +84,10 @@ func main() {
 			TearBytes: *tear, TearWALOnly: *tearWAL,
 			Devices: *devices, Parallel: *parallel,
 			Observer: observer,
+		}
+		if *concurrent {
+			failed += runConcurrent(r.name, cfg, *at, *verbose)
+			continue
 		}
 		if *at > 0 {
 			res, err := crashtest.RunOrdinal(cfg, *at)
@@ -128,6 +133,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crashtest: %d ordinal(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runConcurrent sweeps (or, with at > 0, reproduces one ordinal of) the
+// two-table concurrent scenario and returns the number of failed ordinals.
+func runConcurrent(method string, cfg crashtest.Config, at int, verbose bool) int {
+	if at > 0 {
+		res, err := crashtest.RunConcurrentOrdinal(cfg, at)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crashtest:", err)
+			os.Exit(2)
+		}
+		printConcurrentOrdinal(method, res)
+		if res.Err != "" {
+			return 1
+		}
+		return 0
+	}
+	sw, err := crashtest.ConcurrentSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(2)
+	}
+	if verbose {
+		for _, res := range sw.Ordinals {
+			printConcurrentOrdinal(method, res)
+		}
+	} else {
+		for _, res := range sw.Failures() {
+			printConcurrentOrdinal(method, res)
+		}
+	}
+	fmt.Printf("%-9s concurrent 2-table batch: %d I/Os, swept %d ordinals, %d failed\n",
+		method+":", sw.TotalIOs, sw.Ran, sw.Failed)
+	return sw.Failed
+}
+
+func printConcurrentOrdinal(method string, r crashtest.ConcurrentOrdinalResult) {
+	status := "ok"
+	if r.Err != "" {
+		status = "FAIL " + r.Err
+	}
+	fmt.Printf("%-9s io=%-4d crash=%-5v statements=%d rolled-forward=%-3d %s\n",
+		method+":", r.Ordinal, r.CrashFired, r.Statements, r.RolledForward, status)
 }
 
 func printOrdinal(method string, r crashtest.OrdinalResult) {

@@ -22,12 +22,16 @@ package bulkdel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bulkdel/internal/buffer"
+	"bulkdel/internal/cc"
 	"bulkdel/internal/core"
 	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
+	"bulkdel/internal/sched"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/table"
 	"bulkdel/internal/wal"
@@ -83,6 +87,13 @@ type Options struct {
 	// indexes are placed round-robin on devices 1..Devices. 0 or 1 keeps
 	// the single-spindle model.
 	Devices int
+	// Parallel is the DB-wide worker budget shared by all concurrently
+	// running statements: however many statements overlap, at most this
+	// many parallel index-pass workers run at once — concurrent statements
+	// split the budget instead of each bringing their own. 0 leaves
+	// admission unbounded (each statement is still capped by its own
+	// BulkOptions.Parallel).
+	Parallel int
 	// Observer receives every statement's trace and aggregates engine-wide
 	// metrics (nil = the DB creates its own; see DB.Observer).
 	Observer *obs.Observer
@@ -101,13 +112,30 @@ type DB struct {
 	pool    *buffer.Pool
 	log     *wal.Log
 	catalog sim.FileID
-	tables  map[string]*Table
-	fks     []ForeignKey
-	txSeq   uint64
-	ixSeq   int // round-robin cursor for index device placement
-	opts    Options
-	obs     *obs.Observer
-	crashed bool
+
+	// mu guards the catalog maps (tables, fks, ixSeq). It is a leaf lock:
+	// never held while acquiring a table lock or running a statement.
+	mu     sync.Mutex
+	tables map[string]*Table
+	fks    []ForeignKey
+	ixSeq  int // round-robin cursor for index device placement
+	// catMu serializes catalog file rewrites (DDL from concurrent
+	// statements must not interleave page writes into file 0).
+	catMu sync.Mutex
+
+	txSeq atomic.Uint64
+	opts  Options
+	obs   *obs.Observer
+	// cc owns the per-table locks; every statement acquires its footprint
+	// through cc.Manager.AcquireOrdered (see internal/cc).
+	cc *cc.Manager
+	// sched is the DB-wide worker admission pool shared by concurrent
+	// statements' parallel index passes.
+	sched   *sched.Pool
+	crashed atomic.Bool
+	// active tracks statements currently holding table locks, for the
+	// cc_statements_active/peak gauges.
+	active atomic.Int64
 }
 
 // Open creates a fresh database on a new simulated disk.
@@ -131,6 +159,7 @@ func Open(opts Options) (*DB, error) {
 	if db.obs == nil {
 		db.obs = obs.NewObserver()
 	}
+	db.initConcurrency()
 	if opts.ReadAhead > 0 {
 		db.pool.SetReadAhead(opts.ReadAhead)
 	}
@@ -146,6 +175,149 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	return db, nil
+}
+
+// initConcurrency wires the lock manager and the shared scheduler pool.
+// Called once from Open/Recover before any statement can run.
+func (db *DB) initConcurrency() {
+	db.cc = cc.NewManager()
+	reg := db.obs.Registry()
+	db.cc.OnWait = func(table string, waited time.Duration) {
+		reg.Counter(obs.MetricLockWaits).Add(1)
+		if us := waited.Microseconds(); us > 0 {
+			reg.Counter(obs.MetricLockWaitUS).Add(us)
+		}
+	}
+	db.sched = sched.NewPool(db.opts.Parallel)
+}
+
+// acquireStatement takes a statement's full lock footprint in the global
+// deterministic order and maintains the active-statement gauges.
+func (db *DB) acquireStatement(claims []cc.Claim) *cc.Held {
+	held := db.cc.AcquireOrdered(claims)
+	reg := db.obs.Registry()
+	n := db.active.Add(1)
+	reg.Gauge(obs.MetricStatementsActive).Set(n)
+	if peak := reg.Gauge(obs.MetricStatementsPeak); n > peak.Value() {
+		peak.Set(n)
+	}
+	return held
+}
+
+// releaseStatement releases whatever the statement still holds and drops
+// the active gauge.
+func (db *DB) releaseStatement(held *cc.Held) {
+	held.ReleaseAll()
+	db.obs.Registry().Gauge(obs.MetricStatementsActive).Set(db.active.Add(-1))
+}
+
+// deleteFootprint computes the tables a bulk delete on tbl must lock: the
+// target and every table its CASCADE edges can reach, exclusively, plus
+// the RESTRICT children it probes, shared. Acquiring the whole footprint
+// up front (name-ordered, via cc.Manager.AcquireOrdered) is what makes
+// concurrent statements deadlock-free — and it also closes the window the
+// serial engine had, where FK probes ran before the target's lock was
+// taken.
+func (db *DB) deleteFootprint(tbl *Table) []cc.Claim {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	modes := make(map[string]cc.Mode)
+	var visit func(t *Table)
+	visit = func(t *Table) {
+		if m, ok := modes[t.t.Name]; ok && m == cc.Exclusive {
+			return // already visited as a delete target (FK cycles stop here)
+		}
+		modes[t.t.Name] = cc.Exclusive
+		for _, fk := range db.fks {
+			if fk.Parent != t {
+				continue
+			}
+			if fk.OnDelete == Cascade {
+				visit(fk.Child)
+			} else if _, ok := modes[fk.Child.t.Name]; !ok {
+				modes[fk.Child.t.Name] = cc.Shared
+			}
+		}
+	}
+	visit(tbl)
+	claims := make([]cc.Claim, 0, len(modes))
+	for name, mode := range modes {
+		claims = append(claims, cc.Claim{Table: name, Mode: mode})
+	}
+	return claims
+}
+
+// ConcurrentResult reports one batch of statements run via RunConcurrent.
+type ConcurrentResult struct {
+	// Statements in the batch.
+	Statements int
+	// Makespan is the batch's simulated I/O wall-clock: the busiest
+	// device's busy-time delta over the batch. Devices work in parallel,
+	// so the longest arm bounds how fast the array can complete the
+	// batch's combined work.
+	Makespan time.Duration
+	// SerialEquivalent is the batch's total I/O work — the sum of every
+	// device's busy-time delta, i.e. what a single spindle would spend
+	// executing the batch serially. Makespan < SerialEquivalent means the
+	// statements genuinely overlapped on separate arms; on a single-device
+	// array the two are equal.
+	SerialEquivalent time.Duration
+	// PerDevice is each device's busy-time delta.
+	PerDevice []time.Duration
+}
+
+// Overlap returns the I/O time saved by running the batch on the array
+// instead of serially on one spindle.
+func (r *ConcurrentResult) Overlap() time.Duration {
+	return r.SerialEquivalent - r.Makespan
+}
+
+// RunConcurrent executes the statements in concurrent goroutines and
+// reports the batch's device-level timing. Statements on different tables
+// proceed in parallel (each locks only its own footprint); statements on
+// overlapping footprints serialize on the lock manager in a deterministic
+// order. The first non-nil statement error is returned alongside the
+// timing (all statements always run to completion or failure).
+//
+// Note per-statement Elapsed values measured inside a concurrent batch
+// include the other statements' charges (the simulated clock is global);
+// the honest batch-level numbers are the ones reported here.
+func (db *DB) RunConcurrent(stmts ...func() error) (*ConcurrentResult, error) {
+	if db.crashed.Load() {
+		return nil, errCrashed
+	}
+	ndev := db.disk.NumDevices()
+	before := make([]time.Duration, ndev)
+	for d := range before {
+		before[d] = db.disk.DeviceBusy(d)
+	}
+	errs := make([]error, len(stmts))
+	var wg sync.WaitGroup
+	for i, fn := range stmts {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	db.obs.Registry().Counter(obs.MetricConcurrentBatches).Add(1)
+
+	res := &ConcurrentResult{Statements: len(stmts), PerDevice: make([]time.Duration, ndev)}
+	for d := 0; d < ndev; d++ {
+		delta := db.disk.DeviceBusy(d) - before[d]
+		res.PerDevice[d] = delta
+		res.SerialEquivalent += delta
+		if delta > res.Makespan {
+			res.Makespan = delta
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // Disk exposes the simulated disk (for cost-model inspection and tests).
@@ -203,19 +375,26 @@ func (db *DB) WALFile() (id sim.FileID, ok bool) {
 // CreateTable adds a table of numFields int64 attributes padded to
 // recordSize bytes.
 func (db *DB) CreateTable(name string, numFields, recordSize int) (*Table, error) {
-	if db.crashed {
+	if db.crashed.Load() {
 		return nil, errCrashed
 	}
+	schema := record.Schema{NumFields: numFields, Size: recordSize}
+	db.mu.Lock()
 	if _, ok := db.tables[name]; ok {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("bulkdel: table %q already exists", name)
 	}
-	schema := record.Schema{NumFields: numFields, Size: recordSize}
 	t, err := table.Create(db.pool, name, schema)
 	if err != nil {
+		db.mu.Unlock()
 		return nil, err
 	}
+	// Install the manager's shared lock so ordered multi-table acquisition
+	// and the table's own DML entry points contend on the same object.
+	t.Lock = db.cc.Lock(name)
 	tbl := &Table{db: db, t: t}
 	db.tables[name] = tbl
+	db.mu.Unlock()
 	if err := db.saveCatalog(); err != nil {
 		return nil, err
 	}
@@ -223,10 +402,16 @@ func (db *DB) CreateTable(name string, numFields, recordSize int) (*Table, error
 }
 
 // Table returns a table by name, or nil.
-func (db *DB) Table(name string) *Table { return db.tables[name] }
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables[name]
+}
 
 // TableNames lists the catalog.
 func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var out []string
 	for n := range db.tables {
 		out = append(out, n)
@@ -236,13 +421,19 @@ func (db *DB) TableNames() []string {
 
 // Flush forces the catalog, every table, and the log to disk.
 func (db *DB) Flush() error {
-	if db.crashed {
+	if db.crashed.Load() {
 		return errCrashed
 	}
 	if err := db.saveCatalog(); err != nil {
 		return err
 	}
+	db.mu.Lock()
+	tbls := make([]*Table, 0, len(db.tables))
 	for _, tbl := range db.tables {
+		tbls = append(tbls, tbl)
+	}
+	db.mu.Unlock()
+	for _, tbl := range tbls {
 		if err := tbl.t.Flush(); err != nil {
 			return err
 		}
@@ -262,14 +453,15 @@ var errCrashed = fmt.Errorf("bulkdel: database crashed; call Recover on its disk
 // would leave it. The DB becomes unusable; pass the disk to Recover.
 func (db *DB) SimulateCrash() *sim.Disk {
 	db.pool.InvalidateAll()
-	db.crashed = true
+	db.crashed.Store(true)
+	db.mu.Lock()
 	db.tables = nil
+	db.mu.Unlock()
 	db.obs.Registry().Counter("crashes_simulated").Add(1)
 	return db.disk
 }
 
 // nextTx hands out transaction IDs for logged bulk deletes.
 func (db *DB) nextTx() uint64 {
-	db.txSeq++
-	return db.txSeq
+	return db.txSeq.Add(1)
 }

@@ -3,6 +3,7 @@ package bulkdel
 import (
 	"fmt"
 
+	"bulkdel/internal/cc"
 	"bulkdel/internal/core"
 )
 
@@ -62,7 +63,7 @@ func (e *ErrRestricted) Error() string {
 // parent.parentField. The child must have an index on childField — the
 // vertical constraint check and the cascade both run through it.
 func (db *DB) AddForeignKey(child *Table, childField int, parent *Table, parentField int, onDelete RefAction) error {
-	if db.crashed {
+	if db.crashed.Load() {
 		return errCrashed
 	}
 	if child == nil || parent == nil {
@@ -78,21 +79,30 @@ func (db *DB) AddForeignKey(child *Table, childField int, parent *Table, parentF
 		return fmt.Errorf("bulkdel: foreign key requires an index on %s.field%d",
 			child.Name(), childField)
 	}
+	db.mu.Lock()
 	db.fks = append(db.fks, ForeignKey{
 		Child: child, ChildField: childField,
 		Parent: parent, ParentField: parentField,
 		OnDelete: onDelete,
 	})
+	db.mu.Unlock()
 	return db.saveCatalog()
 }
 
 // ForeignKeys returns the declared foreign keys.
-func (db *DB) ForeignKeys() []ForeignKey { return append([]ForeignKey(nil), db.fks...) }
+func (db *DB) ForeignKeys() []ForeignKey {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]ForeignKey(nil), db.fks...)
+}
 
 // enforceForeignKeys runs the vertical RI phase of a bulk delete on tbl:
 // RESTRICT probes first (so nothing is undone on failure), then CASCADEs
-// recursively. It returns the number of cascaded deletions.
-func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts BulkOptions, depth int) (int64, error) {
+// recursively. It returns the number of cascaded deletions. The locks for
+// every table touched here — RESTRICT children shared, CASCADE children
+// exclusive — are already in held (acquired at depth 0 in deterministic
+// order by DB.deleteFootprint); nothing is acquired at this level.
+func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts BulkOptions, depth int, held *cc.Held) (int64, error) {
 	if depth > 16 {
 		return 0, fmt.Errorf("bulkdel: foreign-key cascade deeper than 16 levels (cycle?)")
 	}
@@ -101,7 +111,7 @@ func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts Bul
 	// referenced keys) or another one (the doomed rows' values of that
 	// attribute must be projected first, read-only).
 	var direct, indirect []ForeignKey
-	for _, fk := range db.fks {
+	for _, fk := range db.ForeignKeys() {
 		if fk.Parent != tbl {
 			continue
 		}
@@ -172,7 +182,7 @@ func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts Bul
 		if len(keys) == 0 {
 			continue
 		}
-		res, err := fk.Child.bulkDeleteWithDepth(fk.ChildField, keys, opts, depth+1)
+		res, err := fk.Child.bulkDeleteWithDepth(fk.ChildField, keys, opts, depth+1, held)
 		if err != nil {
 			return cascaded, fmt.Errorf("bulkdel: cascading into %s: %w", fk.Child.Name(), err)
 		}

@@ -27,6 +27,7 @@ package cc
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"bulkdel/internal/record"
 )
@@ -58,24 +59,126 @@ func (s IndexState) String() string {
 // The paper argues lock escalation would force this anyway: "database
 // systems employing lock escalation would switch to an exclusive lock on
 // the base table".
+//
+// The implementation is a condition-variable reader/writer lock rather
+// than a sync.RWMutex so the Manager can observe contention and so an
+// exclusive acquisition can carry a deadline (LockExclusiveTimeout).
+// Like sync.RWMutex, a waiting writer blocks new readers, so bulk deletes
+// cannot be starved by a stream of scans. The zero value is ready to use.
 type TableLock struct {
-	mu sync.RWMutex
+	mu       sync.Mutex
+	cond     *sync.Cond
+	readers  int
+	writer   bool
+	writersW int // writers currently waiting; gives writers preference
+}
+
+// init must be called with mu held.
+func (l *TableLock) init() {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.mu)
+	}
 }
 
 // LockExclusive blocks until the exclusive (bulk-delete) lock is held.
-func (l *TableLock) LockExclusive() { l.mu.Lock() }
+func (l *TableLock) LockExclusive() { l.lockExclusive() }
+
+// lockExclusive reports whether the caller had to block.
+func (l *TableLock) lockExclusive() bool {
+	l.mu.Lock()
+	l.init()
+	blocked := false
+	l.writersW++
+	for l.writer || l.readers > 0 {
+		blocked = true
+		l.cond.Wait()
+	}
+	l.writersW--
+	l.writer = true
+	l.mu.Unlock()
+	return blocked
+}
+
+// LockExclusiveTimeout acquires the exclusive lock, giving up after d. It
+// returns true if the lock was acquired. A false return leaves the lock
+// untouched; it is the caller's deadlock insurance, not its ordering rule
+// (Manager.AcquireOrdered prevents deadlocks by construction).
+func (l *TableLock) LockExclusiveTimeout(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	l.mu.Lock()
+	l.init()
+	l.writersW++
+	for l.writer || l.readers > 0 {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			l.writersW--
+			// A reader may be waiting only on us; let it go.
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return false
+		}
+		// cond.Wait has no deadline; a timer broadcast bounds the wait.
+		t := time.AfterFunc(rem, func() {
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		})
+		l.cond.Wait()
+		t.Stop()
+	}
+	l.writersW--
+	l.writer = true
+	l.mu.Unlock()
+	return true
+}
 
 // UnlockExclusive releases the exclusive lock.
-func (l *TableLock) UnlockExclusive() { l.mu.Unlock() }
+func (l *TableLock) UnlockExclusive() {
+	l.mu.Lock()
+	l.init()
+	l.writer = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
 
 // LockShared blocks until a shared (reader/updater) lock is held.
-func (l *TableLock) LockShared() { l.mu.RLock() }
+func (l *TableLock) LockShared() { l.lockShared() }
+
+// lockShared reports whether the caller had to block.
+func (l *TableLock) lockShared() bool {
+	l.mu.Lock()
+	l.init()
+	blocked := false
+	for l.writer || l.writersW > 0 {
+		blocked = true
+		l.cond.Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+	return blocked
+}
 
 // UnlockShared releases a shared lock.
-func (l *TableLock) UnlockShared() { l.mu.RUnlock() }
+func (l *TableLock) UnlockShared() {
+	l.mu.Lock()
+	l.init()
+	l.readers--
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
 
 // TryLockExclusive acquires the exclusive lock without blocking.
-func (l *TableLock) TryLockExclusive() bool { return l.mu.TryLock() }
+func (l *TableLock) TryLockExclusive() bool {
+	l.mu.Lock()
+	l.init()
+	if l.writer || l.readers > 0 {
+		l.mu.Unlock()
+		return false
+	}
+	l.writer = true
+	l.mu.Unlock()
+	return true
+}
 
 // OpKind distinguishes side-file operations.
 type OpKind uint8
@@ -301,6 +404,20 @@ func (g *Gate) BringOnline() {
 	g.side.Reopen()
 	g.cond.Broadcast()
 	g.mu.Unlock()
+}
+
+// AppendIfOffline queues op in the side-file iff the index is offline,
+// atomically with the state check. queued=false means the index is online
+// and the caller must apply the op directly. Without the atomicity an
+// updater that saw the index offline could append after BringOnline has
+// reopened the side-file, leaving an op nobody will ever drain.
+func (g *Gate) AppendIfOffline(op Op) (queued bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.state == Online {
+		return false, nil
+	}
+	return true, g.side.Append(op)
 }
 
 // WaitOnline blocks until the index is online. An updater that hits a

@@ -1,0 +1,195 @@
+// DB-level lock manager: one TableLock per table, acquired in a global
+// deterministic order so concurrent statements cannot deadlock.
+//
+// The paper's §3 protocol is per-statement (exclusive table lock, offline
+// indexes, side-files); nothing in it prevents two statements from locking
+// overlapping FK footprints in opposite orders. The classical fix applies:
+// every statement computes its full lock footprint up front — the target
+// table plus every table its cascades can reach, plus the RESTRICT
+// children it must probe — and acquires the locks sorted by table name.
+// Two statements then always collide on the *first* table their footprints
+// share, so the wait-for graph is acyclic.
+package cc
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mode is the strength of a table-lock claim.
+type Mode int
+
+const (
+	// Shared admits concurrent readers (FK RESTRICT probes, scans).
+	Shared Mode = iota
+	// Exclusive is the bulk-delete / bulk-update lock.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// Claim names one table a statement must lock and how strongly.
+type Claim struct {
+	Table string
+	Mode  Mode
+}
+
+// Manager owns the per-table locks of one database. Statements must route
+// multi-table acquisitions through AcquireOrdered; single-table users may
+// take Lock(name) directly.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*TableLock
+
+	// OnWait, when set, is invoked after any managed acquisition that had
+	// to block, with the table name and the real (not simulated) time the
+	// statement spent waiting. Set it once at DB open, before statements
+	// run; it is read without synchronization afterwards.
+	OnWait func(table string, waited time.Duration)
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{locks: make(map[string]*TableLock)}
+}
+
+// Lock returns the lock for a table, creating it on first use. The same
+// *TableLock is returned for the life of the manager, so a table's
+// DML-path shared locks and the manager's ordered exclusive locks always
+// contend on one object.
+func (m *Manager) Lock(table string) *TableLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[table]
+	if !ok {
+		l = &TableLock{}
+		m.locks[table] = l
+	}
+	return l
+}
+
+// Forget drops a table's lock (after DROP TABLE). Safe to call for a
+// table that was never locked.
+func (m *Manager) Forget(table string) {
+	m.mu.Lock()
+	delete(m.locks, table)
+	m.mu.Unlock()
+}
+
+// heldLock is one acquired entry of a Held set.
+type heldLock struct {
+	table    string
+	mode     Mode
+	lock     *TableLock
+	released bool
+}
+
+// Held is a set of acquired table locks. Release methods are idempotent
+// and safe for concurrent use (the §3.1 early release fires from the
+// statement executor while the statement's defer still owns ReleaseAll).
+type Held struct {
+	mu    sync.Mutex
+	locks []heldLock
+}
+
+// AcquireOrdered deduplicates the claims (Exclusive wins over Shared for
+// the same table), sorts them by table name, and acquires each lock in
+// that order, blocking as needed. The deterministic order is the deadlock
+// freedom argument: all statements acquire along the same global sequence.
+func (m *Manager) AcquireOrdered(claims []Claim) *Held {
+	modes := make(map[string]Mode, len(claims))
+	for _, c := range claims {
+		if cur, ok := modes[c.Table]; !ok || c.Mode > cur {
+			modes[c.Table] = c.Mode
+		}
+	}
+	names := make([]string, 0, len(modes))
+	for n := range modes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	h := &Held{locks: make([]heldLock, 0, len(names))}
+	for _, n := range names {
+		l := m.Lock(n)
+		mode := modes[n]
+		start := time.Now()
+		var blocked bool
+		if mode == Exclusive {
+			blocked = l.lockExclusive()
+		} else {
+			blocked = l.lockShared()
+		}
+		if blocked && m.OnWait != nil {
+			m.OnWait(n, time.Since(start))
+		}
+		h.locks = append(h.locks, heldLock{table: n, mode: mode, lock: l})
+	}
+	return h
+}
+
+// ReleaseTable releases the named table's lock if this set still holds it.
+// This is the §3.1 early release: the statement drops its exclusive table
+// lock as soon as the heap and the unique indexes are durable, while the
+// remaining locks of the footprint stay held until ReleaseAll.
+func (h *Held) ReleaseTable(table string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.locks {
+		if h.locks[i].table == table && !h.locks[i].released {
+			h.locks[i].released = true
+			if h.locks[i].mode == Exclusive {
+				h.locks[i].lock.UnlockExclusive()
+			} else {
+				h.locks[i].lock.UnlockShared()
+			}
+		}
+	}
+}
+
+// ReleaseAll releases every lock still held, in reverse acquisition order.
+func (h *Held) ReleaseAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := len(h.locks) - 1; i >= 0; i-- {
+		if h.locks[i].released {
+			continue
+		}
+		h.locks[i].released = true
+		if h.locks[i].mode == Exclusive {
+			h.locks[i].lock.UnlockExclusive()
+		} else {
+			h.locks[i].lock.UnlockShared()
+		}
+	}
+}
+
+// Holds reports whether the set still holds a lock on the table, and in
+// which mode.
+func (h *Held) Holds(table string) (Mode, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.locks {
+		if h.locks[i].table == table && !h.locks[i].released {
+			return h.locks[i].mode, true
+		}
+	}
+	return 0, false
+}
+
+// Tables returns the footprint's table names in acquisition order.
+func (h *Held) Tables() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.locks))
+	for i := range h.locks {
+		out[i] = h.locks[i].table
+	}
+	return out
+}

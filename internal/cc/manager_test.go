@@ -1,0 +1,265 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLockExclusiveTimeout(t *testing.T) {
+	var l TableLock
+
+	// Uncontended: acquires immediately.
+	if !l.LockExclusiveTimeout(time.Second) {
+		t.Fatal("uncontended timeout-acquire failed")
+	}
+	l.UnlockExclusive()
+
+	// Held shared: the attempt must give up and leave the lock untouched.
+	l.LockShared()
+	if l.LockExclusiveTimeout(10 * time.Millisecond) {
+		t.Fatal("acquired exclusive over a shared holder")
+	}
+	// The failed attempt must not leave a phantom waiting writer that
+	// blocks new readers forever.
+	done := make(chan struct{})
+	go func() {
+		l.LockShared()
+		l.UnlockShared()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("failed timeout-acquire still blocks readers")
+	}
+	l.UnlockShared()
+
+	// Held exclusive: same story.
+	l.LockExclusive()
+	if l.LockExclusiveTimeout(10 * time.Millisecond) {
+		t.Fatal("acquired exclusive over an exclusive holder")
+	}
+	l.UnlockExclusive()
+
+	// After release the timed acquire succeeds and the lock still works.
+	if !l.LockExclusiveTimeout(time.Second) {
+		t.Fatal("timeout-acquire after release failed")
+	}
+	l.UnlockExclusive()
+	l.LockExclusive()
+	l.UnlockExclusive()
+}
+
+func TestLockExclusiveTimeoutWakesOnRelease(t *testing.T) {
+	var l TableLock
+	l.LockExclusive()
+	got := make(chan bool, 1)
+	go func() { got <- l.LockExclusiveTimeout(5 * time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	l.UnlockExclusive()
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("waiter timed out although the lock was released in time")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke after release")
+	}
+	l.UnlockExclusive()
+}
+
+func TestTryLockExclusive(t *testing.T) {
+	var l TableLock
+	if !l.TryLockExclusive() {
+		t.Fatal("try on a free lock failed")
+	}
+	if l.TryLockExclusive() {
+		t.Fatal("try succeeded over an exclusive holder")
+	}
+	l.UnlockExclusive()
+
+	l.LockShared()
+	if l.TryLockExclusive() {
+		t.Fatal("try succeeded over a shared holder")
+	}
+	l.UnlockShared()
+	if !l.TryLockExclusive() {
+		t.Fatal("try after release failed")
+	}
+	l.UnlockExclusive()
+}
+
+// TestAcquireOrderedOppositeClaims is the unit-level deadlock regression:
+// two statements name the same two tables in opposite textual orders —
+// the shape that deadlocks under naive as-written acquisition. Because
+// AcquireOrdered sorts the footprint, both goroutines collide on the
+// first shared table and the pair must always finish.
+func TestAcquireOrderedOppositeClaims(t *testing.T) {
+	m := NewManager()
+	const iters = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := 0; i < iters; i++ {
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				h := m.AcquireOrdered([]Claim{
+					{Table: "parent", Mode: Exclusive},
+					{Table: "child", Mode: Exclusive},
+				})
+				h.ReleaseAll()
+			}()
+			go func() {
+				defer wg.Done()
+				h := m.AcquireOrdered([]Claim{
+					{Table: "child", Mode: Exclusive},
+					{Table: "parent", Mode: Exclusive},
+				})
+				h.ReleaseAll()
+			}()
+			wg.Wait()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("opposite-order acquisitions deadlocked")
+	}
+}
+
+func TestAcquireOrderedDedup(t *testing.T) {
+	m := NewManager()
+	h := m.AcquireOrdered([]Claim{
+		{Table: "b", Mode: Shared},
+		{Table: "a", Mode: Shared},
+		{Table: "b", Mode: Exclusive}, // exclusive must win the dedup
+		{Table: "a", Mode: Shared},    // duplicate shared claim collapses
+	})
+	if got := h.Tables(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("footprint = %v, want [a b]", got)
+	}
+	if mode, ok := h.Holds("a"); !ok || mode != Shared {
+		t.Fatalf("a held as %v,%v, want shared", mode, ok)
+	}
+	if mode, ok := h.Holds("b"); !ok || mode != Exclusive {
+		t.Fatalf("b held as %v,%v, want exclusive", mode, ok)
+	}
+	// b is exclusively held: a second shared claim on it must block, so a
+	// try-lock through the manager's shared *TableLock instance fails.
+	if m.Lock("b").TryLockExclusive() {
+		t.Fatal("manager returned a lock instance the Held set is not holding")
+	}
+	h.ReleaseAll()
+	if _, ok := h.Holds("b"); ok {
+		t.Fatal("Holds reports b after ReleaseAll")
+	}
+}
+
+func TestReleaseTableIdempotent(t *testing.T) {
+	m := NewManager()
+	h := m.AcquireOrdered([]Claim{
+		{Table: "t", Mode: Exclusive},
+		{Table: "u", Mode: Shared},
+	})
+	// The §3.1 early release fires once from the executor and possibly
+	// again from the statement's own defer; double release must not
+	// corrupt the lock, and ReleaseAll afterwards must only release u.
+	h.ReleaseTable("t")
+	h.ReleaseTable("t")
+	if _, ok := h.Holds("t"); ok {
+		t.Fatal("t still reported held after release")
+	}
+	if mode, ok := h.Holds("u"); !ok || mode != Shared {
+		t.Fatal("early release of t dropped u")
+	}
+	// t is free again: an independent statement can take it immediately.
+	if !m.Lock("t").TryLockExclusive() {
+		t.Fatal("t not reacquirable after early release")
+	}
+	m.Lock("t").UnlockExclusive()
+	h.ReleaseAll()
+	h.ReleaseAll() // idempotent too
+	if !m.Lock("u").TryLockExclusive() {
+		t.Fatal("u not reacquirable after ReleaseAll")
+	}
+	m.Lock("u").UnlockExclusive()
+}
+
+func TestManagerOnWait(t *testing.T) {
+	m := NewManager()
+	var mu sync.Mutex
+	waits := make(map[string]int)
+	m.OnWait = func(table string, _ time.Duration) {
+		mu.Lock()
+		waits[table]++
+		mu.Unlock()
+	}
+
+	// Uncontended acquisition must not report a wait.
+	h := m.AcquireOrdered([]Claim{{Table: "q", Mode: Exclusive}})
+	mu.Lock()
+	if len(waits) != 0 {
+		t.Fatalf("uncontended acquisition reported waits: %v", waits)
+	}
+	mu.Unlock()
+
+	// A second statement blocking on q must report one.
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		h.ReleaseAll()
+		close(released)
+	}()
+	h2 := m.AcquireOrdered([]Claim{{Table: "q", Mode: Exclusive}})
+	<-released
+	h2.ReleaseAll()
+	mu.Lock()
+	defer mu.Unlock()
+	if waits["q"] != 1 {
+		t.Fatalf("waits = %v, want q:1", waits)
+	}
+}
+
+func TestManagerForget(t *testing.T) {
+	m := NewManager()
+	l := m.Lock("gone")
+	if m.Lock("gone") != l {
+		t.Fatal("manager must hand out one lock instance per table")
+	}
+	m.Forget("gone")
+	if m.Lock("gone") == l {
+		t.Fatal("Forget did not drop the lock")
+	}
+	m.Forget("never-locked") // must not panic
+}
+
+// TestAppendIfOffline pins the atomicity contract updaters rely on: the
+// state check and the side-file append are one step, and a quiesced
+// side-file is reported distinctly so the updater can wait and apply
+// directly.
+func TestAppendIfOffline(t *testing.T) {
+	g := NewGate()
+	if queued, err := g.AppendIfOffline(Op{Kind: OpDelete, Key: []byte{1}, RID: rid(1)}); queued || err != nil {
+		t.Fatalf("online gate: queued=%v err=%v, want false,nil", queued, err)
+	}
+	g.TakeOffline()
+	if queued, err := g.AppendIfOffline(Op{Kind: OpDelete, Key: []byte{2}, RID: rid(2)}); !queued || err != nil {
+		t.Fatalf("offline gate: queued=%v err=%v, want true,nil", queued, err)
+	}
+	ops := g.SideFile().Quiesce()
+	if len(ops) != 1 || ops[0].RID != rid(2) {
+		t.Fatalf("side-file holds %v, want the one queued op", ops)
+	}
+	// Quiesced but still offline: queued with ErrQuiesced tells the
+	// updater to WaitOnline and apply directly.
+	if queued, err := g.AppendIfOffline(Op{Kind: OpDelete, Key: []byte{3}, RID: rid(3)}); !queued || err != ErrQuiesced {
+		t.Fatalf("quiesced gate: queued=%v err=%v, want true,ErrQuiesced", queued, err)
+	}
+	g.BringOnline()
+	if queued, err := g.AppendIfOffline(Op{Kind: OpDelete, Key: []byte{4}, RID: rid(4)}); queued || err != nil {
+		t.Fatalf("reopened gate: queued=%v err=%v, want false,nil", queued, err)
+	}
+}

@@ -174,6 +174,7 @@ func (e *execCtx) run(field int, values []int64, method Method,
 	// Degree of parallelism for phase 3. Recovery replays serially: the
 	// roll-forward has per-structure progress to respect and nothing to
 	// gain from overlap it could not also get on the original run.
+	stats.ParallelRequested = o.Parallel
 	workers := 1
 	if o.Parallel > 1 && rs == nil {
 		workers = chooseParallelRest(e.tgt, rest, o.Parallel)

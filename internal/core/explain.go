@@ -87,6 +87,11 @@ func (st *Stats) ExplainAnalyze() string {
 	if st.Schedule != nil {
 		fmt.Fprintf(&b, "parallel: workers=%d devices=%d makespan=%v (serial-equivalent %v, speedup %.2fx)\n",
 			st.Workers, st.Devices, st.Makespan, st.Elapsed, speedup(st))
+	} else if st.ParallelRequested > 1 {
+		// Parallelism was asked for but clamped to serial; surface it
+		// rather than silently dropping the line.
+		fmt.Fprintf(&b, "parallel: workers=1 (requested %d; clamped — single device or too few secondary indexes)\n",
+			st.ParallelRequested)
 	}
 	if len(st.Estimates) > 0 {
 		b.WriteString("planner estimates:")

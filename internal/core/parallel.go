@@ -212,7 +212,7 @@ func (e *execCtx) runIndexPassesParallel(rest []*IndexRef, method Method, worker
 		}
 	}
 
-	sc, err := sched.Execute(disk, workers, nodes)
+	sc, err := sched.ExecutePool(e.opts.Sched, disk, workers, nodes)
 	if err != nil {
 		return phaseErr("index-pass", "parallel section", err)
 	}

@@ -121,6 +121,13 @@ type Options struct {
 	// concurrently, at most one per device of the disk array (the effective
 	// degree is ChooseParallel of this cap). Recovery always runs serially.
 	Parallel int
+	// Sched, when set, is the DB-wide admission pool shared by concurrent
+	// statements: every parallel index-pass node takes a pool slot and the
+	// pool's per-device mutex in addition to the statement-local Parallel
+	// semaphore, so simultaneous statements split — not duplicate — the
+	// worker budget and never co-occupy a device. Nil keeps the
+	// single-statement behavior.
+	Sched *sched.Pool
 	// OnStructureDone is invoked after each structure (heap or index) is
 	// fully processed — the hook where the engine applies side-files and
 	// brings index gates back online.
@@ -204,6 +211,12 @@ type Stats struct {
 	Schedule *sched.Schedule
 	// Workers is the degree of parallelism actually used (1 when serial).
 	Workers int
+	// ParallelRequested is the worker cap the statement asked for
+	// (Options.Parallel). When it exceeds 1 but Workers stayed 1, the
+	// request was clamped — single device, too few secondary indexes, or a
+	// recovery run — and EXPLAIN ANALYZE says so instead of silently
+	// dropping the parallel line.
+	ParallelRequested int
 	// Devices is the size of the disk array the statement ran against.
 	Devices int
 	// Makespan is the simulated wall-clock time of the statement: Elapsed

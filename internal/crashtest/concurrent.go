@@ -1,0 +1,258 @@
+// Two-table concurrent crash scenario: two bulk deletes on independent
+// tables run through DB.RunConcurrent while a power failure is injected at
+// the kth disk I/O. With goroutines racing to the fault the crash no
+// longer lands at a deterministic statement position, so this sweep is
+// invariants-only — no cross-run digest: after recovery each table must
+// pass its consistency check and have its victim set atomically deleted or
+// atomically intact, with every statement left unfinished in the shared
+// WAL rolled forward independently (wal.AnalyzeBulks routes the
+// interleaved records per transaction, in TBulkStart order).
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bulkdel"
+	"bulkdel/internal/sim"
+)
+
+// concurrentTableNames are the two independent victims of the scenario.
+var concurrentTableNames = [2]string{"R", "S"}
+
+// ConcurrentOrdinalResult reports one concurrent crash-and-recover cycle.
+type ConcurrentOrdinalResult struct {
+	// Ordinal is the I/O at which the crash was injected.
+	Ordinal int
+	// CrashFired reports whether any statement reached the ordinal.
+	CrashFired bool
+	// Statements is the number of interrupted bulk deletes recovery found
+	// in the WAL and rolled forward (0, 1, or 2).
+	Statements int
+	// RolledForward sums the records recovery deleted across them.
+	RolledForward int64
+	// Err describes the first invariant violation ("" = the ordinal passed).
+	Err string
+}
+
+// ConcurrentSweepResult aggregates a concurrent sweep.
+type ConcurrentSweepResult struct {
+	// TotalIOs of the fault-free batch; swept ordinals range 1..TotalIOs.
+	TotalIOs int
+	// Ran and Failed count the swept ordinals.
+	Ran, Failed int
+	// Ordinals holds every per-ordinal result, in sweep order.
+	Ordinals []ConcurrentOrdinalResult
+}
+
+// Failures returns the results whose invariants failed.
+func (s *ConcurrentSweepResult) Failures() []ConcurrentOrdinalResult {
+	var out []ConcurrentOrdinalResult
+	for _, r := range s.Ordinals {
+		if r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// buildConcurrentDB constructs the scenario: tables R and S with the same
+// shape as the single-table sweep, flushed durable, plus an independently
+// seeded victim list per table.
+func buildConcurrentDB(cfg Config) (*bulkdel.DB, [2]*bulkdel.Table, [2][]int64, error) {
+	var tables [2]*bulkdel.Table
+	var victims [2][]int64
+	db, err := bulkdel.Open(bulkdel.Options{
+		BufferBytes: cfg.BufferBytes,
+		Devices:     cfg.Devices,
+		Observer:    cfg.Observer,
+	})
+	if err != nil {
+		return nil, tables, victims, err
+	}
+	for ti, name := range concurrentTableNames {
+		tbl, err := db.CreateTable(name, 3, 64)
+		if err != nil {
+			return nil, tables, victims, err
+		}
+		for i := 0; i < cfg.Rows; i++ {
+			if _, err := tbl.Insert(int64(i), int64(3*i), int64(i%7)); err != nil {
+				return nil, tables, victims, err
+			}
+		}
+		defs := []bulkdel.IndexOptions{
+			{Name: "IA", Field: 0, Unique: true},
+			{Name: "IB", Field: 1},
+			{Name: "IC", Field: 2},
+		}
+		for _, ix := range defs[:cfg.Indexes] {
+			if err := tbl.CreateIndex(ix); err != nil {
+				return nil, tables, victims, err
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)))
+		perm := rng.Perm(cfg.Rows)
+		victims[ti] = make([]int64, cfg.Victims)
+		for i := range victims[ti] {
+			victims[ti][i] = int64(perm[i])
+		}
+		tables[ti] = tbl
+	}
+	if err := db.Flush(); err != nil {
+		return nil, tables, victims, err
+	}
+	return db, tables, victims, nil
+}
+
+// concurrentDelete runs both bulk deletes through DB.RunConcurrent under
+// the §3.1 protocol and returns the first statement error (nil when both
+// committed).
+func concurrentDelete(db *bulkdel.DB, tables [2]*bulkdel.Table, victims [2][]int64, cfg Config) error {
+	opts := bulkOpts(cfg)
+	opts.Concurrent = true
+	stmts := make([]func() error, len(tables))
+	for i := range tables {
+		tbl, vict := tables[i], victims[i]
+		stmts[i] = func() error {
+			_, err := tbl.BulkDelete(0, vict, opts)
+			return err
+		}
+	}
+	_, err := db.RunConcurrent(stmts...)
+	return err
+}
+
+// CountConcurrentIOs runs the batch once without faults, validates it, and
+// returns its total I/O count — the sweep's ordinal range. Scheduling can
+// shift which statement performs the kth I/O, but the batch's total work
+// is fixed, so the range is stable.
+func CountConcurrentIOs(cfg Config) (int, error) {
+	cfg = cfg.withDefaults()
+	db, tables, victims, err := buildConcurrentDB(cfg)
+	if err != nil {
+		return 0, err
+	}
+	before := db.Disk().IOCount()
+	if err := concurrentDelete(db, tables, victims, cfg); err != nil {
+		return 0, fmt.Errorf("crashtest: fault-free concurrent run failed: %w", err)
+	}
+	for ti, tbl := range tables {
+		if err := tbl.Check(); err != nil {
+			return 0, fmt.Errorf("crashtest: fault-free concurrent run left %s inconsistent: %w",
+				concurrentTableNames[ti], err)
+		}
+	}
+	return int(db.Disk().IOCount() - before), nil
+}
+
+// RunConcurrentOrdinal executes one concurrent crash-and-recover cycle.
+// Invariant violations are reported in the result's Err field; the
+// returned error is reserved for harness failures.
+func RunConcurrentOrdinal(cfg Config, k int) (ConcurrentOrdinalResult, error) {
+	cfg = cfg.withDefaults()
+	res := ConcurrentOrdinalResult{Ordinal: k}
+	db, tables, victims, err := buildConcurrentDB(cfg)
+	if err != nil {
+		return res, err
+	}
+
+	db.Disk().SetFaultPlan(sim.NewFaultPlan().CrashAtIO(uint64(k)))
+	derr := concurrentDelete(db, tables, victims, cfg)
+	switch {
+	case derr == nil:
+		res.CrashFired = false // the batch finished before its kth I/O
+	case sim.IsCrash(derr):
+		res.CrashFired = true
+	default:
+		res.Err = fmt.Sprintf("unexpected non-crash error: %v", derr)
+		return res, nil
+	}
+
+	disk := db.SimulateCrash()
+	disk.SetFaultPlan(nil)
+	rdb, rep, rerr := bulkdel.Recover(disk, bulkdel.Options{
+		BufferBytes: cfg.BufferBytes,
+		Observer:    cfg.Observer,
+	})
+	if rerr != nil {
+		res.Err = fmt.Sprintf("recovery failed: %v", rerr)
+		return res, nil
+	}
+	res.Statements = rep.Statements
+	res.RolledForward = rep.RolledForward
+	for ti, name := range concurrentTableNames {
+		if msg := verifyTable(rdb, name, cfg.Rows, victims[ti]); msg != "" {
+			res.Err = msg
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// verifyTable checks one recovered table: full heap↔index consistency,
+// non-victims all present, victim set atomically gone or intact.
+func verifyTable(rdb *bulkdel.DB, name string, rows int, victims []int64) string {
+	tbl := rdb.Table(name)
+	if tbl == nil {
+		return fmt.Sprintf("table %s missing after recovery", name)
+	}
+	if err := tbl.Check(); err != nil {
+		return fmt.Sprintf("%s consistency check: %v", name, err)
+	}
+	vset := make(map[int64]bool, len(victims))
+	for _, v := range victims {
+		vset[v] = true
+	}
+	var victimsPresent, others int64
+	err := tbl.Scan(func(_ bulkdel.RID, fields []int64) error {
+		if vset[fields[0]] {
+			victimsPresent++
+		} else {
+			others++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Sprintf("scanning recovered %s: %v", name, err)
+	}
+	if others != int64(rows-len(victims)) {
+		return fmt.Sprintf("%s non-victim rows: %d survive, want %d", name, others, rows-len(victims))
+	}
+	switch victimsPresent {
+	case 0, int64(len(victims)):
+		// Atomic per table: all gone or all intact.
+	default:
+		return fmt.Sprintf("%s victim set torn: %d of %d victims survive", name, victimsPresent, len(victims))
+	}
+	return ""
+}
+
+// ConcurrentSweep runs RunConcurrentOrdinal for every ordinal in the
+// configured range. The returned error reports harness failures only.
+func ConcurrentSweep(cfg Config) (*ConcurrentSweepResult, error) {
+	cfg = cfg.withDefaults()
+	total, err := CountConcurrentIOs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	from, to := cfg.From, cfg.To
+	if from <= 0 {
+		from = 1
+	}
+	if to <= 0 || to > total {
+		to = total
+	}
+	sw := &ConcurrentSweepResult{TotalIOs: total}
+	for k := from; k <= to; k += cfg.Stride {
+		r, err := RunConcurrentOrdinal(cfg, k)
+		if err != nil {
+			return sw, err
+		}
+		sw.Ran++
+		if r.Err != "" {
+			sw.Failed++
+		}
+		sw.Ordinals = append(sw.Ordinals, r)
+	}
+	return sw, nil
+}

@@ -1,0 +1,21 @@
+package obs
+
+// Canonical metric names for the DB-level concurrency layer. The values
+// live in the ordinary Registry; the constants exist so the DB, the tests,
+// and the CLIs agree on spelling.
+const (
+	// MetricLockWaits counts lock-manager acquisitions that had to block.
+	MetricLockWaits = "cc_lock_waits"
+	// MetricLockWaitUS accumulates the blocked time of those acquisitions
+	// in microseconds of *real* time — goroutines block on the wall clock,
+	// not the simulated disk clock, so this counter is not deterministic.
+	MetricLockWaitUS = "cc_lock_wait_us"
+	// MetricStatementsActive gauges the number of statements currently
+	// inside the lock manager (holding at least one table lock).
+	MetricStatementsActive = "cc_statements_active"
+	// MetricStatementsPeak gauges the high-water mark of concurrently
+	// active statements since open.
+	MetricStatementsPeak = "cc_statements_peak"
+	// MetricConcurrentBatches counts DB.RunConcurrent invocations.
+	MetricConcurrentBatches = "cc_concurrent_batches"
+)

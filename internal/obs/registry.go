@@ -83,6 +83,10 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add shifts the value by n (which may be negative); it returns the new
+// value so callers tracking high-water marks can read it atomically.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
 // Value returns the last set value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

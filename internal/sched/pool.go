@@ -1,0 +1,69 @@
+// Pool shares the scheduler's execution resources between concurrent
+// statements. Without it every Execute call mints its own semaphore, so
+// two statements running at once would each use the full Options.Parallel
+// budget — duplicating, not splitting, the worker pool — and could both
+// charge the same device at the same time, destroying the per-node
+// busy-time measurement that makes the reported schedule deterministic.
+package sched
+
+import "sync"
+
+// Pool is the DB-wide admission gate: a global worker-slot semaphore plus
+// one mutex per device. A node must hold a statement-local slot, a pool
+// slot, and its device's mutex before it runs; the device mutex extends
+// device exclusivity (and therefore exclusive use of the device's
+// buffer-pool shard) across statements.
+type Pool struct {
+	sem chan struct{} // nil = unbounded admission
+
+	mu  sync.Mutex
+	dev map[int]*sync.Mutex
+}
+
+// NewPool returns a pool admitting at most `workers` concurrently running
+// nodes across all statements. workers <= 0 means unbounded admission
+// (device mutexes still apply), which preserves the single-statement
+// behavior of a DB that never set a global budget.
+func NewPool(workers int) *Pool {
+	p := &Pool{dev: make(map[int]*sync.Mutex)}
+	if workers > 0 {
+		p.sem = make(chan struct{}, workers)
+	}
+	return p
+}
+
+// Workers returns the admission budget (0 = unbounded).
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// acquire takes one admission slot, abandoning the wait if abort closes.
+// It reports whether the slot was taken.
+func (p *Pool) acquire(abort <-chan struct{}) bool {
+	if p == nil || p.sem == nil {
+		return true
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+// release returns an admission slot.
+func (p *Pool) release() {
+	if p != nil && p.sem != nil {
+		<-p.sem
+	}
+}
+
+// deviceMu returns the cross-statement mutex for a device.
+func (p *Pool) deviceMu(dev int) *sync.Mutex {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.dev[dev]
+	if !ok {
+		m = &sync.Mutex{}
+		p.dev[dev] = m
+	}
+	return m
+}

@@ -89,6 +89,20 @@ func validate(nodes []Node) error {
 // schedule. On error the first failing node's error (in plan order) is
 // returned; nodes not yet started are skipped.
 func Execute(disk *sim.Disk, workers int, nodes []Node) (*Schedule, error) {
+	return ExecutePool(nil, disk, workers, nodes)
+}
+
+// ExecutePool is Execute under a shared admission pool: in addition to the
+// statement-local `workers` semaphore, each node takes a pool slot (so
+// concurrent statements split the DB-wide budget rather than each using
+// their own) and the pool's per-device mutex (so device exclusivity — and
+// the exactness of the busy-delta measurement — survives other statements
+// running at the same time). A nil pool is plain Execute.
+//
+// Lock order is fixed everywhere: local slot, then pool slot, then device
+// mutex. A node holding all three never waits on anything but its own
+// I/O, so the layered acquisition cannot deadlock.
+func ExecutePool(pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedule, error) {
 	if err := validate(nodes); err != nil {
 		return nil, err
 	}
@@ -160,13 +174,26 @@ func Execute(disk *sim.Disk, workers int, nodes []Node) (*Schedule, error) {
 						skip = true
 					}
 				}
+				if !skip && pool != nil && !pool.acquire(abort) {
+					<-sem
+					skip = true
+				}
 				if skip {
 					close(done[i])
 					continue
 				}
+				var devMu *sync.Mutex
+				if pool != nil {
+					devMu = pool.deviceMu(dev)
+					devMu.Lock()
+				}
 				busy0 := disk.DeviceBusy(dev)
 				err := nd.Run()
 				durs[i] = disk.DeviceBusy(dev) - busy0
+				if devMu != nil {
+					devMu.Unlock()
+				}
+				pool.release()
 				<-sem
 				if err != nil {
 					errs[i] = err

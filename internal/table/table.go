@@ -65,8 +65,12 @@ type Table struct {
 	Name   string
 	Schema record.Schema
 	Heap   *heap.File
-	Idx    []*Index
-	Lock   cc.TableLock
+	Idx []*Index
+	// Lock is the §3 coarse table lock. Create and ReattachForRecovery
+	// give every table a private lock; a DB replaces it with the shared
+	// instance from its cc.Manager so ordered multi-table acquisition and
+	// the DML entry points contend on one object.
+	Lock *cc.TableLock
 	// Undeletable marks entries installed by concurrent transactions via
 	// direct propagation during a bulk delete.
 	Undeletable *cc.UndeletableSet
@@ -89,6 +93,7 @@ func Create(pool *buffer.Pool, name string, schema record.Schema) (*Table, error
 		Name:        name,
 		Schema:      schema,
 		Heap:        h,
+		Lock:        &cc.TableLock{},
 		Undeletable: cc.NewUndeletableSet(),
 		SortBudget:  DefaultSortBudget,
 		pool:        pool,
@@ -105,6 +110,7 @@ func ReattachForRecovery(pool *buffer.Pool, name string, schema record.Schema, h
 		Name:        name,
 		Schema:      schema,
 		Heap:        h,
+		Lock:        &cc.TableLock{},
 		Undeletable: cc.NewUndeletableSet(),
 		SortBudget:  DefaultSortBudget,
 		pool:        pool,
@@ -176,16 +182,23 @@ func (t *Table) InsertDirect(fields []int64) (record.RID, error) {
 // applyIndexOp routes one index maintenance operation according to the
 // index's gate state. direct selects direct propagation over the side-file.
 func (t *Table) applyIndexOp(ix *Index, op cc.Op, direct bool) error {
-	if ix.Gate == nil || ix.Gate.State() == cc.Online {
+	if ix.Gate == nil {
 		return t.applyOpToTree(ix, op)
 	}
 	if direct {
-		if op.Kind == cc.OpInsert {
+		if ix.Gate.State() == cc.Offline && op.Kind == cc.OpInsert {
 			t.Undeletable.Mark(op.Key, op.RID)
 		}
 		return t.applyOpToTree(ix, op)
 	}
-	err := ix.Gate.SideFile().Append(op)
+	// The state check and the append must be one atomic step: checking
+	// State() first and appending after would let the bulk pass quiesce,
+	// apply the final batch, and reopen the side-file in between — the
+	// appended op would sit in the reopened side-file forever.
+	queued, err := ix.Gate.AppendIfOffline(op)
+	if !queued {
+		return t.applyOpToTree(ix, op)
+	}
 	if err == cc.ErrQuiesced {
 		// The bulk deleter is applying the final batch; wait for the
 		// index to come online and update it directly.

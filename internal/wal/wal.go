@@ -369,14 +369,31 @@ func (st *BulkState) ClearActive(file uint64) {
 }
 
 // AnalyzeBulk scans recovered records and returns the state of the most
-// recent bulk delete, or ok=false when the log holds none.
+// recent bulk delete, or ok=false when the log holds none. It is the
+// single-statement view of AnalyzeBulks, kept for callers that only care
+// about the last statement.
 func AnalyzeBulk(recs []Record) (BulkState, bool) {
-	var st BulkState
-	found := false
+	sts := AnalyzeBulks(recs)
+	if len(sts) == 0 {
+		return BulkState{}, false
+	}
+	return sts[len(sts)-1], true
+}
+
+// AnalyzeBulks scans recovered records and returns the state of every bulk
+// delete in the log, in TBulkStart order. Concurrent statements interleave
+// their records through the shared ordered appender, so each record is
+// routed to its statement by TxID; a crash can leave several statements
+// unfinished at once, and recovery must roll each of them forward.
+func AnalyzeBulks(recs []Record) []BulkState {
+	byTx := make(map[uint64]*BulkState)
+	var order []uint64
 	for _, r := range recs {
-		switch r.Type {
-		case TBulkStart:
-			st = BulkState{
+		if r.Type == TBulkStart {
+			if _, ok := byTx[r.TxID]; !ok {
+				order = append(order, r.TxID)
+			}
+			byTx[r.TxID] = &BulkState{
 				TxID:         r.TxID,
 				Table:        r.A,
 				VictimFile:   r.B,
@@ -385,44 +402,44 @@ func AnalyzeBulk(recs []Record) (BulkState, bool) {
 				Kinds:        make(map[uint64]uint64),
 				Materialized: make(map[uint64]uint64),
 			}
-			found = true
+			continue
+		}
+		st, ok := byTx[r.TxID]
+		if !ok {
+			continue
+		}
+		switch r.Type {
 		case TMaterialized:
-			if found && r.TxID == st.TxID {
-				st.Materialized[r.A] = r.B
-			}
+			st.Materialized[r.A] = r.B
 		case TStructStart:
-			if found && r.TxID == st.TxID {
-				st.Active[r.A] = 0
-				st.Kinds[r.A] = r.B
-				st.InProgress = r.A
-				st.Kind = r.B
-				st.HasInProgress = true
-				st.Progress = 0
-			}
+			st.Active[r.A] = 0
+			st.Kinds[r.A] = r.B
+			st.InProgress = r.A
+			st.Kind = r.B
+			st.HasInProgress = true
+			st.Progress = 0
 		case TCheckpoint:
-			if found && r.TxID == st.TxID {
-				if _, ok := st.Active[r.A]; ok {
-					st.Active[r.A] = r.B
-				}
-				if st.HasInProgress && r.A == st.InProgress {
-					st.Progress = r.B
-				}
+			if _, ok := st.Active[r.A]; ok {
+				st.Active[r.A] = r.B
+			}
+			if st.HasInProgress && r.A == st.InProgress {
+				st.Progress = r.B
 			}
 		case TStructDone:
-			if found && r.TxID == st.TxID {
-				st.Done[r.A] = true
-				delete(st.Active, r.A)
-				delete(st.Kinds, r.A)
-				if st.HasInProgress && st.InProgress == r.A {
-					st.HasInProgress = false
-					st.Progress = 0
-				}
+			st.Done[r.A] = true
+			delete(st.Active, r.A)
+			delete(st.Kinds, r.A)
+			if st.HasInProgress && st.InProgress == r.A {
+				st.HasInProgress = false
+				st.Progress = 0
 			}
 		case TBulkEnd:
-			if found && r.TxID == st.TxID {
-				st.Finished = true
-			}
+			st.Finished = true
 		}
 	}
-	return st, found
+	out := make([]BulkState, 0, len(order))
+	for _, tx := range order {
+		out = append(out, *byTx[tx])
+	}
+	return out
 }

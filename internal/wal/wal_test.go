@@ -219,3 +219,61 @@ func TestTypeString(t *testing.T) {
 		t.Fatal("unknown type string")
 	}
 }
+
+func TestAnalyzeBulksInterleaved(t *testing.T) {
+	// Two concurrent statements interleave their records in the shared
+	// log; AnalyzeBulks must route each record to its own transaction's
+	// state and report the statements in TBulkStart order.
+	recs := []Record{
+		{Type: TBulkStart, TxID: 1, A: 100, B: 200},
+		{Type: TBulkStart, TxID: 2, A: 300, B: 400},
+		{Type: TStructStart, TxID: 2, A: 301, B: 1},
+		{Type: TStructStart, TxID: 1, A: 101, B: 1},
+		{Type: TCheckpoint, TxID: 1, A: 101, B: 500},
+		{Type: TStructDone, TxID: 2, A: 301},
+		{Type: TStructStart, TxID: 2, A: 300, B: 0},
+		{Type: TCheckpoint, TxID: 2, A: 300, B: 900},
+		{Type: TStructDone, TxID: 1, A: 101},
+		{Type: TBulkEnd, TxID: 1},
+		// crash: tx 2 unfinished, tx 1 committed
+	}
+	sts := AnalyzeBulks(recs)
+	if len(sts) != 2 {
+		t.Fatalf("want 2 states, got %d", len(sts))
+	}
+	if sts[0].TxID != 1 || sts[1].TxID != 2 {
+		t.Fatalf("order wrong: tx %d then tx %d", sts[0].TxID, sts[1].TxID)
+	}
+	if !sts[0].Finished || !sts[0].Done[101] {
+		t.Fatalf("tx 1 state wrong: %+v", sts[0])
+	}
+	two := sts[1]
+	if two.Finished || two.Table != 300 || two.VictimFile != 400 {
+		t.Fatalf("tx 2 state wrong: %+v", two)
+	}
+	if !two.Done[301] || !two.HasInProgress || two.InProgress != 300 || two.Progress != 900 {
+		t.Fatalf("tx 2 progress wrong: %+v", two)
+	}
+	// The single-statement wrapper keeps its pick-the-latest contract.
+	st, ok := AnalyzeBulk(recs)
+	if !ok || st.TxID != 2 {
+		t.Fatalf("AnalyzeBulk should return the last statement: %+v", st)
+	}
+}
+
+func TestAnalyzeBulksRestartedTx(t *testing.T) {
+	// A TBulkStart that reuses a TxID replaces the earlier state without
+	// duplicating the statement in the ordering.
+	recs := []Record{
+		{Type: TBulkStart, TxID: 5, A: 10, B: 20},
+		{Type: TStructStart, TxID: 5, A: 11, B: 1},
+		{Type: TBulkStart, TxID: 5, A: 30, B: 40},
+	}
+	sts := AnalyzeBulks(recs)
+	if len(sts) != 1 {
+		t.Fatalf("want 1 state, got %d", len(sts))
+	}
+	if sts[0].Table != 30 || sts[0].VictimFile != 40 || len(sts[0].Done) != 0 {
+		t.Fatalf("restart did not replace state: %+v", sts[0])
+	}
+}

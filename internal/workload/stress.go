@@ -1,0 +1,325 @@
+// Concurrent stress generator for the DB-level lock manager: N worker
+// goroutines issue randomized bulk deletes, lookups, and inserts across M
+// tables from a seeded RNG, while a shadow model tracks what must survive.
+//
+// The model is the oracle: each table's live-key set is mutated under a
+// model mutex *around* the engine call — bulk-delete victims are claimed
+// (removed from the model) before the statement runs, inserts join the
+// model only after the engine accepted them — so whatever the goroutines'
+// interleaving, the engine must end in exactly the model's state. Every
+// bulk delete additionally asserts the per-statement victim invariant
+// (Deleted == number of claimed keys: all victims were live), and the
+// final sweep checks heap↔index consistency plus an exact scan↔model match
+// per table.
+//
+// Generator decisions are deterministic in (Seed, worker): a failing seed
+// replays the same operation streams (outcomes can differ across runs only
+// through goroutine interleaving, which the invariants are independent of).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"bulkdel"
+	"bulkdel/internal/obs"
+)
+
+// StressSpec configures one stress run.
+type StressSpec struct {
+	// Tables is the number of independent tables (default 4).
+	Tables int
+	// Rows initially loaded per table (default 200).
+	Rows int
+	// Workers is the number of concurrent statement-issuing goroutines
+	// (default 4).
+	Workers int
+	// Ops issued per worker (default 40).
+	Ops int
+	// Devices sizes the simulated disk array (0 = single spindle).
+	Devices int
+	// Parallel is the per-statement worker cap for remaining-index passes.
+	Parallel int
+	// Budget is the DB-wide admission budget (Options.Parallel).
+	Budget int
+	// Seed drives every worker's generator.
+	Seed int64
+	// Concurrent runs bulk deletes under the §3.1 protocol (offline
+	// indexes + side-files + early lock release) instead of holding the
+	// exclusive lock for the whole statement.
+	Concurrent bool
+	// DisableWAL turns logging off (the WAL path is the default).
+	DisableWAL bool
+}
+
+func (s StressSpec) withDefaults() StressSpec {
+	if s.Tables <= 0 {
+		s.Tables = 4
+	}
+	if s.Rows <= 0 {
+		s.Rows = 200
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.Ops <= 0 {
+		s.Ops = 40
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// StressStats summarizes a completed run.
+type StressStats struct {
+	BulkDeletes int64
+	RowsDeleted int64
+	RowsInserted int64
+	Lookups     int64
+	// Makespan and SerialEquivalent are the batch's device-level timing
+	// from DB.RunConcurrent (see bulkdel.ConcurrentResult).
+	Makespan         time.Duration
+	SerialEquivalent time.Duration
+	// LockWaits is the number of blocked lock acquisitions observed by the
+	// manager (real contention happened).
+	LockWaits int64
+}
+
+// stressModel is one table's oracle state.
+type stressModel struct {
+	mu   sync.Mutex
+	live map[int64]struct{}
+	ids  []int64 // the keys of live, in insertion order (for sampling)
+	next int64   // next fresh key
+}
+
+// claim removes up to n randomly chosen live keys from the model and
+// returns them; they are the victim list of a bulk delete.
+func (m *stressModel) claim(rng *rand.Rand, n int) []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > len(m.ids) {
+		n = len(m.ids)
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(len(m.ids))
+		id := m.ids[j]
+		m.ids[j] = m.ids[len(m.ids)-1]
+		m.ids = m.ids[:len(m.ids)-1]
+		delete(m.live, id)
+		out = append(out, id)
+	}
+	return out
+}
+
+// reserve hands out a fresh never-used key.
+func (m *stressModel) reserve() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.next
+	m.next++
+	return id
+}
+
+// commit adds a reserved key to the live set (after the engine accepted
+// the insert).
+func (m *stressModel) commit(id int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live[id] = struct{}{}
+	m.ids = append(m.ids, id)
+}
+
+// sample returns one live key, or ok=false when the table is empty.
+func (m *stressModel) sample(rng *rand.Rand) (int64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.ids) == 0 {
+		return 0, false
+	}
+	return m.ids[rng.Intn(len(m.ids))], true
+}
+
+// keys returns the live set, sorted.
+func (m *stressModel) keys() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]int64(nil), m.ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stressRow derives a table row from its key, so lookups can verify
+// content, not just presence.
+func stressRow(id int64) []int64 { return []int64{id, 3 * id, id % 7} }
+
+var stressMethods = []bulkdel.Method{bulkdel.Auto, bulkdel.SortMerge, bulkdel.Hash, bulkdel.HashPartition}
+
+// Stress builds the tables, runs the workers, and verifies the final
+// state. A nil error means every invariant held.
+func Stress(spec StressSpec) (*StressStats, error) {
+	spec = spec.withDefaults()
+	db, err := bulkdel.Open(bulkdel.Options{
+		Devices:    spec.Devices,
+		Parallel:   spec.Budget,
+		DisableWAL: spec.DisableWAL,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tables := make([]*bulkdel.Table, spec.Tables)
+	models := make([]*stressModel, spec.Tables)
+	for ti := range tables {
+		name := fmt.Sprintf("T%d", ti)
+		tbl, err := db.CreateTable(name, 3, 64)
+		if err != nil {
+			return nil, err
+		}
+		for _, ix := range []bulkdel.IndexOptions{
+			{Name: "IA", Field: 0, Unique: true},
+			{Name: "IB", Field: 1},
+			{Name: "IC", Field: 2},
+		} {
+			if err := tbl.CreateIndex(ix); err != nil {
+				return nil, err
+			}
+		}
+		m := &stressModel{live: make(map[int64]struct{})}
+		for id := int64(0); id < int64(spec.Rows); id++ {
+			if _, err := tbl.Insert(stressRow(id)...); err != nil {
+				return nil, err
+			}
+			m.commit(id)
+		}
+		m.next = int64(spec.Rows)
+		tables[ti] = tbl
+		models[ti] = m
+	}
+	if err := db.Flush(); err != nil {
+		return nil, err
+	}
+
+	stats := &StressStats{}
+	var statsMu sync.Mutex
+
+	worker := func(w int) func() error {
+		return func() error {
+			rng := rand.New(rand.NewSource(spec.Seed + int64(w)*1_000_003))
+			for op := 0; op < spec.Ops; op++ {
+				ti := rng.Intn(spec.Tables)
+				tbl, model := tables[ti], models[ti]
+				fail := func(err error) error {
+					return fmt.Errorf("seed %d worker %d op %d table T%d: %w",
+						spec.Seed, w, op, ti, err)
+				}
+				switch r := rng.Intn(100); {
+				case r < 45: // insert a small batch
+					n := 1 + rng.Intn(4)
+					for i := 0; i < n; i++ {
+						id := model.reserve()
+						if _, err := tbl.Insert(stressRow(id)...); err != nil {
+							return fail(fmt.Errorf("insert %d: %w", id, err))
+						}
+						model.commit(id)
+					}
+					statsMu.Lock()
+					stats.RowsInserted += int64(n)
+					statsMu.Unlock()
+				case r < 70: // indexed lookup of a probably-live key
+					id, ok := model.sample(rng)
+					if !ok {
+						continue
+					}
+					rows, err := tbl.Lookup(0, id)
+					if err != nil {
+						return fail(fmt.Errorf("lookup %d: %w", id, err))
+					}
+					// The key may have been claimed by a concurrent delete
+					// after sampling, so absence is fine — a hit must match.
+					if len(rows) > 1 {
+						return fail(fmt.Errorf("lookup %d: %d rows on a unique index", id, len(rows)))
+					}
+					if len(rows) == 1 && rows[0][1] != 3*id {
+						return fail(fmt.Errorf("lookup %d: wrong row %v", id, rows[0]))
+					}
+					statsMu.Lock()
+					stats.Lookups++
+					statsMu.Unlock()
+				default: // bulk delete of claimed victims
+					victims := model.claim(rng, 1+rng.Intn(8))
+					if len(victims) == 0 {
+						continue
+					}
+					res, err := tbl.BulkDelete(0, victims, bulkdel.BulkOptions{
+						Method:         stressMethods[rng.Intn(len(stressMethods))],
+						Concurrent:     spec.Concurrent,
+						Parallel:       spec.Parallel,
+						CheckpointRows: 16,
+					})
+					if err != nil {
+						return fail(fmt.Errorf("bulk delete of %d victims: %w", len(victims), err))
+					}
+					// Victim invariant: every claimed key was live and in
+					// the table exactly once — nothing more, nothing less.
+					if res.Deleted != int64(len(victims)) {
+						return fail(fmt.Errorf("bulk delete: %d victims, %d deleted", len(victims), res.Deleted))
+					}
+					statsMu.Lock()
+					stats.BulkDeletes++
+					stats.RowsDeleted += res.Deleted
+					statsMu.Unlock()
+				}
+			}
+			return nil
+		}
+	}
+
+	stmts := make([]func() error, spec.Workers)
+	for w := range stmts {
+		stmts[w] = worker(w)
+	}
+	cres, err := db.RunConcurrent(stmts...)
+	if err != nil {
+		return nil, err
+	}
+	stats.Makespan = cres.Makespan
+	stats.SerialEquivalent = cres.SerialEquivalent
+	stats.LockWaits = db.Observer().Registry().Counter(obs.MetricLockWaits).Value()
+
+	// Final sweep: heap↔index consistency and an exact model match.
+	for ti, tbl := range tables {
+		if err := tbl.Check(); err != nil {
+			return stats, fmt.Errorf("seed %d: table T%d inconsistent after stress: %w", spec.Seed, ti, err)
+		}
+		want := models[ti].keys()
+		got := make([]int64, 0, len(want))
+		err := tbl.Scan(func(_ bulkdel.RID, fields []int64) error {
+			got = append(got, fields[0])
+			if fields[1] != 3*fields[0] || fields[2] != fields[0]%7 {
+				return fmt.Errorf("row %v corrupted", fields)
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("seed %d: table T%d scan: %w", spec.Seed, ti, err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			return stats, fmt.Errorf("seed %d: table T%d has %d rows, model has %d (survivor mismatch)",
+				spec.Seed, ti, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return stats, fmt.Errorf("seed %d: table T%d row %d: got key %d, model %d",
+					spec.Seed, ti, i, got[i], want[i])
+			}
+		}
+	}
+	return stats, nil
+}

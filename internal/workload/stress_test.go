@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+// TestStress is the -race target for the DB-level lock manager: workers
+// hammer independent tables with bulk deletes, lookups, and inserts, and
+// the shadow model must match the engine exactly at the end. The CI seed
+// matrix re-runs this via cmd/stress.
+func TestStress(t *testing.T) {
+	cases := []struct {
+		name string
+		spec StressSpec
+	}{
+		{"serial-protocol", StressSpec{Seed: 1}},
+		{"concurrent-protocol", StressSpec{Seed: 2, Concurrent: true}},
+		{"device-array", StressSpec{Seed: 3, Devices: 4, Parallel: 3, Budget: 4, Concurrent: true}},
+		{"no-wal", StressSpec{Seed: 4, DisableWAL: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			stats, err := Stress(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.BulkDeletes == 0 || stats.RowsInserted == 0 {
+				t.Fatalf("degenerate run: %+v", stats)
+			}
+			t.Logf("deletes=%d deleted=%d inserted=%d lookups=%d lockWaits=%d makespan=%v serial=%v",
+				stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups,
+				stats.LockWaits, stats.Makespan, stats.SerialEquivalent)
+		})
+	}
+}
+
+// TestStressReplay asserts generator determinism: the same seed issues the
+// same operation mix (same totals in a single-worker run, where no
+// interleaving can perturb outcomes).
+func TestStressReplay(t *testing.T) {
+	spec := StressSpec{Seed: 7, Workers: 1, Ops: 60}
+	a, err := Stress(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stress(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BulkDeletes != b.BulkDeletes || a.RowsDeleted != b.RowsDeleted ||
+		a.RowsInserted != b.RowsInserted || a.Lookups != b.Lookups {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}

@@ -59,7 +59,7 @@ func (tbl *Table) Count() int64 { return tbl.t.Heap.Count() }
 // the new tree is placed round-robin on devices 1..Devices, so independent
 // ⋈̸ passes of a parallel bulk delete can overlap on separate spindles.
 func (tbl *Table) CreateIndex(opts IndexOptions) error {
-	if tbl.db.crashed {
+	if tbl.db.crashed.Load() {
 		return errCrashed
 	}
 	ix, err := tbl.t.CreateIndex(table.IndexDef{
@@ -70,8 +70,10 @@ func (tbl *Table) CreateIndex(opts IndexOptions) error {
 		return err
 	}
 	if d := tbl.db.opts.Devices; d > 1 {
+		tbl.db.mu.Lock()
 		dev := 1 + tbl.db.ixSeq%d
 		tbl.db.ixSeq++
+		tbl.db.mu.Unlock()
 		if err := tbl.db.pool.Relocate(ix.Tree.ID(), dev); err != nil {
 			return err
 		}
@@ -112,7 +114,7 @@ func (tbl *Table) IndexHeight(name string) int {
 // unique indexes are processed); updates to still-offline indexes go
 // through their side-files.
 func (tbl *Table) Insert(fields ...int64) (RID, error) {
-	if tbl.db.crashed {
+	if tbl.db.crashed.Load() {
 		return record.NilRID, errCrashed
 	}
 	tbl.t.Lock.LockShared()
@@ -126,7 +128,7 @@ func (tbl *Table) Insert(fields ...int64) (RID, error) {
 // offline during a concurrent bulk delete: entries are installed
 // immediately and marked undeletable (paper §3.1.2).
 func (tbl *Table) InsertDirect(fields ...int64) (RID, error) {
-	if tbl.db.crashed {
+	if tbl.db.crashed.Load() {
 		return record.NilRID, errCrashed
 	}
 	tbl.t.Lock.LockShared()
@@ -145,17 +147,28 @@ func (tbl *Table) DeleteRow(rid RID) error {
 	return tbl.t.DeleteRow(rid)
 }
 
-// Get decodes the record at rid.
-func (tbl *Table) Get(rid RID) ([]int64, error) { return tbl.t.Get(rid) }
+// Get decodes the record at rid. Like every read entry point it takes a
+// shared table lock: it blocks while a bulk delete holds the table
+// exclusively and proceeds once the §3.1 critical phase releases the lock
+// (indexes still offline are not needed — Get reads the heap).
+func (tbl *Table) Get(rid RID) ([]int64, error) {
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
+	return tbl.t.Get(rid)
+}
 
 // Lookup returns all rows whose field equals v, via an index on the field.
 func (tbl *Table) Lookup(field int, v int64) ([][]int64, error) {
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
 	return tbl.t.Lookup(field, v)
 }
 
 // LookupRIDs returns the RIDs of all rows whose field equals v, via an
 // index on the field.
 func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
 	ix := tbl.t.IndexOnField(field)
 	if ix == nil {
 		return nil, fmt.Errorf("bulkdel: table %s has no index on field %d", tbl.t.Name, field)
@@ -165,6 +178,8 @@ func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
 
 // Scan calls fn for every row in physical order.
 func (tbl *Table) Scan(fn func(rid RID, fields []int64) error) error {
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
 	return tbl.t.Heap.Scan(func(rid record.RID, rec []byte) error {
 		vals, err := tbl.t.Schema.Decode(rec)
 		if err != nil {
@@ -289,12 +304,26 @@ func (tbl *Table) target() *core.Target {
 // rolled forward, not back). Declared foreign keys are enforced first,
 // vertically: RESTRICT probes run read-only before anything is modified,
 // CASCADE recursively bulk-deletes the referencing child rows.
+//
+// The statement locks its whole footprint — this table plus every
+// cascade-reachable child exclusively, RESTRICT children shared — up
+// front, in the lock manager's deterministic order, so bulk deletes on
+// different tables run concurrently and overlapping ones cannot deadlock.
 func (tbl *Table) BulkDelete(field int, values []int64, opts BulkOptions) (*BulkResult, error) {
-	return tbl.bulkDeleteWithDepth(field, values, opts, 0)
+	if tbl.db.crashed.Load() {
+		return nil, errCrashed
+	}
+	held := tbl.db.acquireStatement(tbl.db.deleteFootprint(tbl))
+	defer tbl.db.releaseStatement(held)
+	return tbl.bulkDeleteWithDepth(field, values, opts, 0, held)
 }
 
-func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOptions, depth int) (*BulkResult, error) {
-	if tbl.db.crashed {
+// bulkDeleteWithDepth runs one level of the (possibly cascading) delete.
+// All locks were acquired by BulkDelete at depth 0; held carries them so
+// recursion never re-acquires (which would self-deadlock) and so each
+// level can release its own table early (§3.1).
+func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOptions, depth int, held *cc.Held) (*BulkResult, error) {
+	if tbl.db.crashed.Load() {
 		return nil, errCrashed
 	}
 	if opts.Memory <= 0 {
@@ -304,7 +333,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 
 	// Referential integrity first — "as early as possible and before
 	// deleting records from the table and the indices" (paper §2.1).
-	cascaded, err := tbl.db.enforceForeignKeys(tbl, field, values, opts, depth)
+	cascaded, err := tbl.db.enforceForeignKeys(tbl, field, values, opts, depth, held)
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +345,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		Reorganize:     opts.Reorganize,
 		CheckpointRows: opts.CheckpointRows,
 		Parallel:       opts.Parallel,
+		Sched:          tbl.db.sched,
 	}
 	if tbl.db.log != nil {
 		coreOpts.Log = tbl.db.log
@@ -329,16 +359,18 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	coreOpts.Trace = tr
 	res.Trace = tr
 
-	// §3.1 concurrency protocol.
-	tbl.t.Lock.LockExclusive()
-	locked := true
-	unlock := func() {
-		if locked {
-			tbl.t.Lock.UnlockExclusive()
-			locked = false
-		}
-	}
+	// §3.1 concurrency protocol: this level's exclusive lock is already in
+	// held; release it at this level's end (a cascade child goes back
+	// online as soon as its own sub-delete is durable, as before), or
+	// earlier via OnCriticalDone. ReleaseTable is idempotent.
+	unlock := func() { held.ReleaseTable(tbl.t.Name) }
 	defer unlock()
+
+	// A previous statement's early release means its non-critical index
+	// passes may still be running offline; wait for every gate before
+	// touching the trees (updaters may queue through side-files, but two
+	// bulk passes on one tree must not overlap).
+	tbl.waitIndexesOnline()
 
 	// Parallel passes invoke OnStructureDone from concurrent goroutines;
 	// the side-file replay below mutates res, so serialize it.
@@ -346,6 +378,13 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 
 	if opts.Concurrent {
 		byFile := make(map[sim.FileID]*table.Index, len(tbl.t.Idx))
+		// reopened tracks the gates this statement has already brought back
+		// online. The cleanup below must consult it, not Gate.State(): once
+		// every pass is done the next statement may acquire the lock, pass
+		// waitIndexesOnline, and take the gates offline again before our
+		// deferred cleanup runs — quiescing that statement's side-file and
+		// reopening its gates mid-pass would corrupt its trees.
+		reopened := make(map[sim.FileID]bool, len(tbl.t.Idx))
 		for _, ix := range tbl.t.Idx {
 			ix.Gate.TakeOffline()
 			byFile[ix.Tree.ID()] = ix
@@ -358,6 +397,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 			if !ok {
 				return // the heap: nothing to reopen
 			}
+			reopened[file] = true
 			// Apply the side-file: drain in batches while appends
 			// continue, then quiesce for the final batch and bring
 			// the index online (§3.1.1).
@@ -380,11 +420,13 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 			unlock()
 		}
 		defer func() {
-			// Whatever happens, no index stays offline.
+			// Whatever happens, no gate WE took offline stays offline. Only
+			// not-yet-reopened gates are ours — an offline gate whose pass
+			// completed belongs to the next statement (see reopened above).
 			sfMu.Lock()
 			defer sfMu.Unlock()
 			for _, ix := range tbl.t.Idx {
-				if ix.Gate.State() != cc.Online {
+				if !reopened[ix.Tree.ID()] {
 					for _, op := range ix.Gate.SideFile().Quiesce() {
 						res.SideFileOps++
 						_ = tbl.applySideOp(ix, op)
@@ -413,6 +455,18 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	res.PlanText = st.PlanText
 	res.stats = st
 	return res, nil
+}
+
+// waitIndexesOnline blocks until no index of the table is offline. Every
+// statement that modifies the table through the index trees directly calls
+// this right after taking the exclusive lock: the previous bulk delete may
+// have released the lock early (§3.1) with its remaining index passes
+// still in flight, and those passes own the offline trees until their
+// gates reopen.
+func (tbl *Table) waitIndexesOnline() {
+	for _, ix := range tbl.t.Idx {
+		ix.Gate.WaitOnline()
+	}
 }
 
 // applySideOp replays one deferred index operation.
@@ -454,14 +508,15 @@ type UpdateResult struct {
 func (tbl *Table) BulkUpdate(predField int, values []int64, setField int,
 	transform func(int64) int64, opts BulkOptions) (*UpdateResult, error) {
 
-	if tbl.db.crashed {
+	if tbl.db.crashed.Load() {
 		return nil, errCrashed
 	}
 	if opts.Memory <= 0 {
 		opts.Memory = table.DefaultSortBudget
 	}
-	tbl.t.Lock.LockExclusive()
-	defer tbl.t.Lock.UnlockExclusive()
+	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.releaseStatement(held)
+	tbl.waitIndexesOnline()
 	st, err := core.ExecuteUpdate(tbl.target(), predField, values, setField, transform, core.Options{
 		Memory:     opts.Memory,
 		Reorganize: opts.Reorganize,
@@ -480,11 +535,12 @@ func (tbl *Table) BulkUpdate(predField int, values []int64, setField int,
 // probed through the access index, each record removed from the heap and
 // from every index individually.
 func (tbl *Table) DeleteTraditional(field int, values []int64, sortValues bool) (int64, error) {
-	if tbl.db.crashed {
+	if tbl.db.crashed.Load() {
 		return 0, errCrashed
 	}
-	tbl.t.Lock.LockExclusive()
-	defer tbl.t.Lock.UnlockExclusive()
+	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.releaseStatement(held)
+	tbl.waitIndexesOnline()
 	return tbl.t.TraditionalDelete(field, values, sortValues)
 }
 
@@ -492,11 +548,12 @@ func (tbl *Table) DeleteTraditional(field int, values []int64, sortValues bool) 
 // dropped, the delete runs against the access index only, and the dropped
 // indexes are rebuilt.
 func (tbl *Table) DeleteDropCreate(field int, values []int64) (int64, error) {
-	if tbl.db.crashed {
+	if tbl.db.crashed.Load() {
 		return 0, errCrashed
 	}
-	tbl.t.Lock.LockExclusive()
-	defer tbl.t.Lock.UnlockExclusive()
+	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.releaseStatement(held)
+	tbl.waitIndexesOnline()
 	n, err := tbl.t.DropCreateDelete(field, values, true)
 	if err != nil {
 		return n, err
