@@ -63,6 +63,12 @@ type catalogRoot struct {
 // prefixed, spanning as many pages as needed. Catalog writes are rare
 // (DDL only), so the whole file is rewritten each time.
 func (db *DB) saveCatalog() error {
+	// catMu spans the snapshot AND the file-0 rewrite, and is acquired
+	// before db.mu (lock order: catMu > db.mu). Serializing only the write
+	// would let two concurrent DDLs interleave so the older snapshot lands
+	// last, durably dropping the newer table/FK until the next DDL.
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	db.mu.Lock()
 	root := catalogRoot{TxSeq: db.txSeq.Load(), Devices: db.opts.Devices, IxSeq: db.ixSeq}
 	if db.log != nil {
@@ -102,10 +108,6 @@ func (db *DB) saveCatalog() error {
 	binary.LittleEndian.PutUint64(stream, uint64(len(blob)))
 	copy(stream[8:], blob)
 
-	// Serialize the file-0 rewrite: concurrent DDL must not interleave
-	// page writes of two catalog images.
-	db.catMu.Lock()
-	defer db.catMu.Unlock()
 	pages := (len(stream) + sim.PageSize - 1) / sim.PageSize
 	have, err := db.disk.NumPages(db.catalog)
 	if err != nil {

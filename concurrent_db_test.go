@@ -1,6 +1,7 @@
 package bulkdel
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -168,5 +169,82 @@ func TestConcurrentFKOppositeOrderNoDeadlock(t *testing.T) {
 			t.Fatalf("flip=%v: %d orders / %d lines survive, want 450/600",
 				flip, counts[orders], counts[lines])
 		}
+	}
+}
+
+// TestReadPathsWaitForOfflineIndex is the regression for the read-side of
+// the gate protocol: after a concurrent bulk delete's §3.1 early release,
+// its non-unique secondary index passes keep rebuilding trees offline, and
+// a reader admitted by the released table lock must wait on the index gate
+// (updaters route through the side-file; reads cannot). The test stages the
+// window directly: it takes a secondary gate offline, issues the reads, and
+// asserts none of them returned before the gate came back online.
+func TestReadPathsWaitForOfflineIndex(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("T", 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range []IndexOptions{
+		{Name: "IA", Field: 0, Unique: true},
+		{Name: "IB", Field: 1},
+	} {
+		if err := tbl.CreateIndex(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 50; i++ {
+		if _, err := tbl.Insert(i, 3*i, i%7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := tbl.t.FindIndex("IB")
+
+	// reopened is set (strictly) before BringOnline, so a read that
+	// correctly waited on the gate must observe it as true.
+	var reopened atomic.Bool
+	stage := func() {
+		reopened.Store(false)
+		ix.Gate.TakeOffline()
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			reopened.Store(true)
+			ix.Gate.BringOnline()
+		}()
+	}
+
+	stage()
+	rows, err := tbl.Lookup(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.Load() {
+		t.Fatal("Lookup traversed a still-offline index")
+	}
+	if len(rows) != 1 || rows[0][0] != 3 {
+		t.Fatalf("Lookup(1, 9) = %v", rows)
+	}
+
+	stage()
+	rids, err := tbl.LookupRIDs(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.Load() {
+		t.Fatal("LookupRIDs traversed a still-offline index")
+	}
+	if len(rids) != 1 {
+		t.Fatalf("LookupRIDs(1, 9) = %v", rids)
+	}
+
+	stage()
+	if err := tbl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !reopened.Load() {
+		t.Fatal("Check scanned a still-offline index")
 	}
 }

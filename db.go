@@ -119,8 +119,9 @@ type DB struct {
 	tables map[string]*Table
 	fks    []ForeignKey
 	ixSeq  int // round-robin cursor for index device placement
-	// catMu serializes catalog file rewrites (DDL from concurrent
-	// statements must not interleave page writes into file 0).
+	// catMu serializes whole catalog saves — snapshot AND file-0 rewrite —
+	// so concurrent DDLs can neither interleave page writes nor durably
+	// write an older snapshot after a newer one. Acquired before mu.
 	catMu sync.Mutex
 
 	txSeq atomic.Uint64
@@ -198,9 +199,7 @@ func (db *DB) acquireStatement(claims []cc.Claim) *cc.Held {
 	reg := db.obs.Registry()
 	n := db.active.Add(1)
 	reg.Gauge(obs.MetricStatementsActive).Set(n)
-	if peak := reg.Gauge(obs.MetricStatementsPeak); n > peak.Value() {
-		peak.Set(n)
-	}
+	reg.Gauge(obs.MetricStatementsPeak).SetMax(n)
 	return held
 }
 
@@ -218,9 +217,15 @@ func (db *DB) releaseStatement(held *cc.Held) {
 // concurrent statements deadlock-free — and it also closes the window the
 // serial engine had, where FK probes ran before the target's lock was
 // taken.
-func (db *DB) deleteFootprint(tbl *Table) []cc.Claim {
+//
+// It also returns the FK snapshot the footprint was derived from. The
+// statement must enforce exactly this snapshot: re-reading db.fks during
+// execution would let an AddForeignKey that lands after the locks were
+// taken introduce a cascade into a child whose lock was never acquired.
+func (db *DB) deleteFootprint(tbl *Table) ([]cc.Claim, []ForeignKey) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	fks := append([]ForeignKey(nil), db.fks...)
 	modes := make(map[string]cc.Mode)
 	var visit func(t *Table)
 	visit = func(t *Table) {
@@ -228,7 +233,7 @@ func (db *DB) deleteFootprint(tbl *Table) []cc.Claim {
 			return // already visited as a delete target (FK cycles stop here)
 		}
 		modes[t.t.Name] = cc.Exclusive
-		for _, fk := range db.fks {
+		for _, fk := range fks {
 			if fk.Parent != t {
 				continue
 			}
@@ -244,7 +249,7 @@ func (db *DB) deleteFootprint(tbl *Table) []cc.Claim {
 	for name, mode := range modes {
 		claims = append(claims, cc.Claim{Table: name, Mode: mode})
 	}
-	return claims
+	return claims, fks
 }
 
 // ConcurrentResult reports one batch of statements run via RunConcurrent.

@@ -101,8 +101,11 @@ func (db *DB) ForeignKeys() []ForeignKey {
 // recursively. It returns the number of cascaded deletions. The locks for
 // every table touched here — RESTRICT children shared, CASCADE children
 // exclusive — are already in held (acquired at depth 0 in deterministic
-// order by DB.deleteFootprint); nothing is acquired at this level.
-func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts BulkOptions, depth int, held *cc.Held) (int64, error) {
+// order by DB.deleteFootprint); nothing is acquired at this level. fks is
+// the snapshot that footprint was computed from: enforcing the live list
+// instead would let an AddForeignKey landing mid-statement cascade into a
+// child whose lock was never acquired.
+func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts BulkOptions, depth int, held *cc.Held, fks []ForeignKey) (int64, error) {
 	if depth > 16 {
 		return 0, fmt.Errorf("bulkdel: foreign-key cascade deeper than 16 levels (cycle?)")
 	}
@@ -111,7 +114,7 @@ func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts Bul
 	// referenced keys) or another one (the doomed rows' values of that
 	// attribute must be projected first, read-only).
 	var direct, indirect []ForeignKey
-	for _, fk := range db.ForeignKeys() {
+	for _, fk := range fks {
 		if fk.Parent != tbl {
 			continue
 		}
@@ -152,9 +155,10 @@ func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts Bul
 		}
 	}
 
-	fks := append(append([]ForeignKey(nil), direct...), indirect...)
+	// tfks is this table's slice of the statement snapshot, probe-ordered.
+	tfks := append(append([]ForeignKey(nil), direct...), indirect...)
 	// Phase 1: all RESTRICT probes, before any modification anywhere.
-	for _, fk := range fks {
+	for _, fk := range tfks {
 		if fk.OnDelete != Restrict {
 			continue
 		}
@@ -174,7 +178,7 @@ func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts Bul
 	}
 	// Phase 2: cascades (each child delete enforces its own FKs first).
 	var cascaded int64
-	for _, fk := range fks {
+	for _, fk := range tfks {
 		if fk.OnDelete != Cascade {
 			continue
 		}
@@ -182,7 +186,13 @@ func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts Bul
 		if len(keys) == 0 {
 			continue
 		}
-		res, err := fk.Child.bulkDeleteWithDepth(fk.ChildField, keys, opts, depth+1, held)
+		// Invariant check: the footprint was computed from the same FK
+		// snapshot, so the child's exclusive lock must still be in held
+		// (cascade children are never released before ReleaseAll).
+		if mode, ok := held.Holds(fk.Child.Name()); !ok || mode != cc.Exclusive {
+			return cascaded, fmt.Errorf("bulkdel: internal: cascade into %s without its exclusive lock", fk.Child.Name())
+		}
+		res, err := fk.Child.bulkDeleteWithDepth(fk.ChildField, keys, opts, depth+1, held, fks)
 		if err != nil {
 			return cascaded, fmt.Errorf("bulkdel: cascading into %s: %w", fk.Child.Name(), err)
 		}

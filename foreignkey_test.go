@@ -238,3 +238,75 @@ func TestRefActionString(t *testing.T) {
 		t.Fatal("RefAction strings")
 	}
 }
+
+// TestForeignKeyDiamondCascade cascades into the same grandchild from two
+// branches: P → A → C and P → B → C. The second visit to C must still hold
+// C's exclusive lock (cascade children are kept locked until the statement's
+// ReleaseAll — an early release after the first visit would let another
+// statement take C while this one mutates it again), and the revisit must
+// be a clean no-op for the already-deleted rows.
+func TestForeignKeyDiamondCascade(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, fields int, indexed ...IndexOptions) *Table {
+		tbl, err := db.CreateTable(name, fields, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ix := range indexed {
+			if err := tbl.CreateIndex(ix); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tbl
+	}
+	p := mk("P", 1, IndexOptions{Name: "id", Field: 0, Unique: true})
+	a := mk("A", 2, IndexOptions{Name: "id", Field: 0, Unique: true}, IndexOptions{Name: "pref", Field: 1})
+	b := mk("B", 2, IndexOptions{Name: "id", Field: 0, Unique: true}, IndexOptions{Name: "pref", Field: 1})
+	c := mk("C", 3, IndexOptions{Name: "aref", Field: 1}, IndexOptions{Name: "bref", Field: 2})
+	for i := int64(0); i < 10; i++ {
+		if _, err := p.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Insert(100+i, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Insert(200+i, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Insert(300+i, 100+i, 200+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fk := range []struct {
+		child  *Table
+		cf     int
+		parent *Table
+	}{
+		{a, 1, p}, {b, 1, p}, {c, 1, a}, {c, 2, b},
+	} {
+		if err := db.AddForeignKey(fk.child, fk.cf, fk.parent, 0, Cascade); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := p.BulkDelete(0, []int64{0, 1, 2}, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 A rows + 3 C rows (via A) + 3 B rows + 0 C rows (via B: already
+	// deleted by the first branch).
+	if res.Deleted != 3 || res.Cascaded != 9 {
+		t.Fatalf("deleted=%d cascaded=%d, want 3/9", res.Deleted, res.Cascaded)
+	}
+	for tbl, want := range map[*Table]int64{p: 7, a: 7, b: 7, c: 7} {
+		if err := tbl.Check(); err != nil {
+			t.Fatalf("%s: %v", tbl.Name(), err)
+		}
+		if got := tbl.Count(); got != want {
+			t.Fatalf("%s has %d rows, want %d", tbl.Name(), got, want)
+		}
+	}
+}

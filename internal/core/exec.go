@@ -693,6 +693,17 @@ func indexDeletePartitioned(e *execCtx, ix *IndexRef, rows *rowFile) (int64, int
 // errFoundMatch stops a read-only probe as soon as one match appears.
 var errFoundMatch = fmt.Errorf("core: match found")
 
+// waitOnline blocks a read-only probe until the index is back online. A
+// previous statement's §3.1 early release admits readers while its
+// non-unique index passes are still rebuilding the trees offline; traversing
+// such a tree mid-pass is a data race. Updaters route through the side-file
+// instead; read probes have no side-file, so they wait for the gate.
+func waitOnline(ix *IndexRef) {
+	if ix != nil && ix.Gate != nil {
+		ix.Gate.WaitOnline()
+	}
+}
+
 // AnyKeyMatch reports whether the index holds an entry for any of the
 // victim values — a read-only vertical probe (sorted victims merged with
 // the leaf chain, stopping at the first hit). It is the paper's "check
@@ -700,6 +711,7 @@ var errFoundMatch = fmt.Errorf("core: match found")
 // a RESTRICT foreign key runs this against the child's index before any
 // structure is modified.
 func AnyKeyMatch(tgt *Target, ix *IndexRef, values []int64, memory int) (bool, int64, error) {
+	waitOnline(ix)
 	o := Options{Memory: memory}
 	e := &execCtx{tgt: tgt, opts: o.withDefaults()}
 	srt, err := sortVictims(e, values)
@@ -727,6 +739,7 @@ func AnyKeyMatch(tgt *Target, ix *IndexRef, values []int64, memory int) (bool, i
 // CountKeyMatches counts the child entries referencing any victim value —
 // the cascade planner uses it for reporting.
 func CountKeyMatches(tgt *Target, ix *IndexRef, values []int64, memory int) (int64, error) {
+	waitOnline(ix)
 	o := Options{Memory: memory}
 	e := &execCtx{tgt: tgt, opts: o.withDefaults()}
 	srt, err := sortVictims(e, values)
@@ -773,6 +786,7 @@ func CollectVictimFieldValues(tgt *Target, field int, values []int64, wantFields
 		return ridSorter.Add(ridRow[:])
 	}
 	if access := accessIndex(tgt, field); access != nil {
+		waitOnline(access)
 		vi, err := sortedVictimIter(e, values)
 		if err != nil {
 			return nil, err

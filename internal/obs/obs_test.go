@@ -367,3 +367,27 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGaugeSetMax verifies the atomic high-water-mark update: sequentially
+// it never lowers the value, and concurrently no peak is lost to a
+// read-then-set race (run with -race).
+func TestGaugeSetMax(t *testing.T) {
+	g := NewRegistry().Gauge("peak")
+	g.SetMax(5)
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	var wg sync.WaitGroup
+	for i := int64(1); i <= 64; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			g.SetMax(n)
+		}(i)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 64 {
+		t.Fatalf("concurrent SetMax peak = %d, want 64", got)
+	}
+}

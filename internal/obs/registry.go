@@ -87,6 +87,18 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // value so callers tracking high-water marks can read it atomically.
 func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
 
+// SetMax raises the gauge to n if n is greater than the current value,
+// atomically — high-water marks updated from concurrent statements must not
+// lose a peak to a read-then-set race.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Value returns the last set value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -131,6 +131,12 @@ func (t *Table) Lookup(field int, v int64) ([][]int64, error) {
 	if ix == nil {
 		return nil, fmt.Errorf("table %s: no index on field %d", t.Name, field)
 	}
+	// A bulk delete's §3.1 early release admits readers while non-unique
+	// index passes still rebuild their trees offline; wait for the gate
+	// before traversing (updaters go through the side-file, reads cannot).
+	if ix.Gate != nil {
+		ix.Gate.WaitOnline()
+	}
 	rids, err := ix.Tree.Search(ix.EncodeKey(v))
 	if err != nil {
 		return nil, err

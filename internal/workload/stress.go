@@ -231,7 +231,7 @@ func Stress(spec StressSpec) (*StressStats, error) {
 					statsMu.Lock()
 					stats.RowsInserted += int64(n)
 					statsMu.Unlock()
-				case r < 70: // indexed lookup of a probably-live key
+				case r < 70: // indexed lookups of a probably-live key
 					id, ok := model.sample(rng)
 					if !ok {
 						continue
@@ -248,8 +248,22 @@ func Stress(spec StressSpec) (*StressStats, error) {
 					if len(rows) == 1 && rows[0][1] != 3*id {
 						return fail(fmt.Errorf("lookup %d: wrong row %v", id, rows[0]))
 					}
+					// Probe the NON-unique secondary index too: after a
+					// concurrent delete's §3.1 early release this tree may
+					// still be offline mid-pass, so the read path must wait
+					// on its gate (field 1 holds 3*id, injective in id).
+					rows, err = tbl.Lookup(1, 3*id)
+					if err != nil {
+						return fail(fmt.Errorf("secondary lookup %d: %w", 3*id, err))
+					}
+					if len(rows) > 1 {
+						return fail(fmt.Errorf("secondary lookup %d: %d rows for one key", 3*id, len(rows)))
+					}
+					if len(rows) == 1 && rows[0][0] != id {
+						return fail(fmt.Errorf("secondary lookup %d: wrong row %v", 3*id, rows[0]))
+					}
 					statsMu.Lock()
-					stats.Lookups++
+					stats.Lookups += 2
 					statsMu.Unlock()
 				default: // bulk delete of claimed victims
 					victims := model.claim(rng, 1+rng.Intn(8))

@@ -173,6 +173,9 @@ func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
 	if ix == nil {
 		return nil, fmt.Errorf("bulkdel: table %s has no index on field %d", tbl.t.Name, field)
 	}
+	// Wait out a previous statement's still-offline index pass (§3.1 early
+	// release) before traversing the tree; see Table.Lookup.
+	ix.Gate.WaitOnline()
 	return ix.Tree.Search(ix.EncodeKey(v))
 }
 
@@ -189,8 +192,16 @@ func (tbl *Table) Scan(fn func(rid RID, fields []int64) error) error {
 	})
 }
 
-// Check verifies heap/index agreement and every tree invariant.
-func (tbl *Table) Check() error { return tbl.t.CheckConsistency() }
+// Check verifies heap/index agreement and every tree invariant. Like the
+// other read entry points it takes the shared table lock, and it additionally
+// waits for every index gate: a previous statement's early-released index
+// passes must finish before the trees can be scanned (or judged).
+func (tbl *Table) Check() error {
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
+	tbl.waitIndexesOnline()
+	return tbl.t.CheckConsistency()
+}
 
 // Flush forces the table's pages to disk.
 func (tbl *Table) Flush() error { return tbl.t.Flush() }
@@ -313,16 +324,19 @@ func (tbl *Table) BulkDelete(field int, values []int64, opts BulkOptions) (*Bulk
 	if tbl.db.crashed.Load() {
 		return nil, errCrashed
 	}
-	held := tbl.db.acquireStatement(tbl.db.deleteFootprint(tbl))
+	claims, fks := tbl.db.deleteFootprint(tbl)
+	held := tbl.db.acquireStatement(claims)
 	defer tbl.db.releaseStatement(held)
-	return tbl.bulkDeleteWithDepth(field, values, opts, 0, held)
+	return tbl.bulkDeleteWithDepth(field, values, opts, 0, held, fks)
 }
 
 // bulkDeleteWithDepth runs one level of the (possibly cascading) delete.
 // All locks were acquired by BulkDelete at depth 0; held carries them so
-// recursion never re-acquires (which would self-deadlock) and so each
-// level can release its own table early (§3.1).
-func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOptions, depth int, held *cc.Held) (*BulkResult, error) {
+// recursion never re-acquires (which would self-deadlock). fks is the FK
+// snapshot the footprint was computed from — every level enforces this
+// snapshot, never a re-read of the live list, so the cascade graph cannot
+// outgrow the locks.
+func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOptions, depth int, held *cc.Held, fks []ForeignKey) (*BulkResult, error) {
 	if tbl.db.crashed.Load() {
 		return nil, errCrashed
 	}
@@ -333,7 +347,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 
 	// Referential integrity first — "as early as possible and before
 	// deleting records from the table and the indices" (paper §2.1).
-	cascaded, err := tbl.db.enforceForeignKeys(tbl, field, values, opts, depth, held)
+	cascaded, err := tbl.db.enforceForeignKeys(tbl, field, values, opts, depth, held, fks)
 	if err != nil {
 		return nil, err
 	}
@@ -359,11 +373,17 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	coreOpts.Trace = tr
 	res.Trace = tr
 
-	// §3.1 concurrency protocol: this level's exclusive lock is already in
-	// held; release it at this level's end (a cascade child goes back
-	// online as soon as its own sub-delete is durable, as before), or
-	// earlier via OnCriticalDone. ReleaseTable is idempotent.
-	unlock := func() { held.ReleaseTable(tbl.t.Name) }
+	// §3.1 concurrency protocol: the root level's exclusive lock is released
+	// at this level's end, or earlier via OnCriticalDone; ReleaseTable is
+	// idempotent. Cascade children (depth > 0) keep their locks until the
+	// statement's ReleaseAll: a diamond FK graph can cascade into the same
+	// child from two branches, and an early release after the first visit
+	// would let another statement lock the child while our second visit
+	// still mutates it.
+	unlock := func() {}
+	if depth == 0 {
+		unlock = func() { held.ReleaseTable(tbl.t.Name) }
+	}
 	defer unlock()
 
 	// A previous statement's early release means its non-critical index
