@@ -33,12 +33,24 @@ type catalogIndex struct {
 	Device    int    `json:"device,omitempty"`
 }
 
+// catalogPartition persists a partitioned heap's routing declaration.
+type catalogPartition struct {
+	Field  int     `json:"field"`
+	Hash   int     `json:"hash,omitempty"`
+	Bounds []int64 `json:"bounds,omitempty"`
+}
+
 type catalogTable struct {
 	Name      string         `json:"name"`
 	NumFields int            `json:"numFields"`
 	Size      int            `json:"size"`
 	HeapFile  uint32         `json:"heapFile"`
 	Indexes   []catalogIndex `json:"indexes"`
+	// Partitioned heaps: the spec, the per-partition files (HeapFiles[0]
+	// == HeapFile) and their device placements.
+	Partition   *catalogPartition `json:"partition,omitempty"`
+	HeapFiles   []uint32          `json:"heapFiles,omitempty"`
+	HeapDevices []int             `json:"heapDevices,omitempty"`
 }
 
 type catalogFK struct {
@@ -70,7 +82,7 @@ func (db *DB) saveCatalog() error {
 	db.catMu.Lock()
 	defer db.catMu.Unlock()
 	db.mu.Lock()
-	root := catalogRoot{TxSeq: db.txSeq.Load(), Devices: db.opts.Devices, IxSeq: db.ixSeq}
+	root := catalogRoot{TxSeq: db.txSeq.Load(), Devices: db.opts.Devices}
 	if db.log != nil {
 		root.HasWAL = true
 		root.WALFile = uint32(db.log.FileID())
@@ -81,6 +93,16 @@ func (db *DB) saveCatalog() error {
 			NumFields: tbl.t.Schema.NumFields,
 			Size:      tbl.t.Schema.Size,
 			HeapFile:  uint32(tbl.t.Heap.ID()),
+		}
+		if ph, ok := tbl.t.Heap.(*heap.Partitioned); ok {
+			spec := ph.Spec()
+			ct.Partition = &catalogPartition{
+				Field: spec.Field, Hash: spec.HashParts, Bounds: spec.RangeBounds,
+			}
+			for _, p := range ph.Parts() {
+				ct.HeapFiles = append(ct.HeapFiles, uint32(p.ID()))
+				ct.HeapDevices = append(ct.HeapDevices, db.disk.DeviceOf(p.ID()))
+			}
 		}
 		for _, ix := range tbl.t.Idx {
 			ct.Indexes = append(ct.Indexes, catalogIndex{
@@ -172,6 +194,13 @@ type RecoveryReport struct {
 	RolledForward int64
 	// StructuresSkipped were already durable before the crash (summed).
 	StructuresSkipped int
+	// MovesReplayed counts rebalancer migrations re-applied from the WAL
+	// (placements redone in log order, whether or not move-done was
+	// logged — the catalog snapshot can predate a completed move).
+	MovesReplayed int
+	// MovesCompleted counts migrations the crash interrupted mid-copy,
+	// now finished and acknowledged with a move-done record.
+	MovesCompleted int
 }
 
 // Recover reopens a database from its disk after a crash: it reloads the
@@ -195,7 +224,6 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		pool:    buffer.New(disk, opts.BufferBytes),
 		tables:  make(map[string]*Table),
 		catalog: 0,
-		ixSeq:   root.IxSeq,
 		opts:    opts,
 		obs:     opts.Observer,
 	}
@@ -209,9 +237,35 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		db.pool.SetReadAhead(opts.ReadAhead)
 	}
 	for _, ct := range root.Tables {
-		h, err := heap.Open(db.pool, sim.FileID(ct.HeapFile))
-		if err != nil {
-			return nil, nil, fmt.Errorf("bulkdel: reopening table %s: %w", ct.Name, err)
+		var h heap.Store
+		if ct.Partition != nil && len(ct.HeapFiles) > 0 {
+			ids := make([]sim.FileID, len(ct.HeapFiles))
+			for i, f := range ct.HeapFiles {
+				ids[i] = sim.FileID(f)
+			}
+			spec := heap.PartitionSpec{
+				Field: ct.Partition.Field, HashParts: ct.Partition.Hash,
+				RangeBounds: ct.Partition.Bounds,
+			}
+			ph, err := heap.OpenPartitioned(db.pool,
+				ids, record.Schema{NumFields: ct.NumFields, Size: ct.Size}, spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bulkdel: reopening table %s: %w", ct.Name, err)
+			}
+			for i, d := range ct.HeapDevices {
+				if i < len(ids) && d > 0 {
+					if err := disk.PlaceFile(ids[i], d); err != nil {
+						return nil, nil, fmt.Errorf("bulkdel: placing partition %d of %s: %w", i, ct.Name, err)
+					}
+				}
+			}
+			h = ph
+		} else {
+			hf, err := heap.Open(db.pool, sim.FileID(ct.HeapFile))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bulkdel: reopening table %s: %w", ct.Name, err)
+			}
+			h = hf
 		}
 		t := table.ReattachForRecovery(db.pool, ct.Name,
 			record.Schema{NumFields: ct.NumFields, Size: ct.Size}, h)
@@ -260,6 +314,41 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		return nil, nil, err
 	}
 	db.log = log
+	// Replay rebalancer moves in log order, after the catalog's placements
+	// were re-applied above: a crash between a move's move-done record and
+	// the next catalog save leaves the catalog pointing at the old device,
+	// so the log — not the catalog — has the placement's last word. Redoing
+	// a finished move is a placement no-op; an unfinished one is completed
+	// here (the copy is idempotent: page content never changes, only the
+	// arm it lives on) and acknowledged so the next recovery skips it.
+	for _, mv := range wal.AnalyzeMoves(recs) {
+		if int(mv.To) >= disk.NumDevices() {
+			continue // array layout shrank out from under the log record
+		}
+		if err := disk.PlaceFile(sim.FileID(mv.File), int(mv.To)); err != nil {
+			continue // file since dropped; nothing to place
+		}
+		report.MovesReplayed++
+		if !mv.Done {
+			// The placement redo above IS the copy in the simulator (a
+			// file's pages live on exactly one arm); acknowledge it so
+			// the next recovery does not redo the work.
+			if _, err := log.Append(wal.TMoveDone, mv.TxID, mv.File, mv.To, nil); err != nil {
+				return nil, nil, err
+			}
+			report.MovesCompleted++
+		}
+	}
+	if report.MovesCompleted > 0 {
+		if err := log.Flush(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if report.MovesReplayed > 0 {
+		if err := db.saveCatalog(); err != nil {
+			return nil, nil, err
+		}
+	}
 	// Concurrent statements interleave records in the shared log, so a
 	// crash can leave several bulk deletes unfinished; roll each forward
 	// in TBulkStart order (§3.2 — the roll-forwards are independent: each

@@ -11,13 +11,16 @@
 //
 // Experiments: fig1, exp1 (fig7), exp2 (fig8), exp3 (table1), exp4 (fig9),
 // exp5 (fig10), plans (fig3/4/5), reorg (fig6 ablation), methods (sort vs
-// hash ablation), parallel (DAG scheduler on a multi-device array), all.
+// hash ablation), parallel (DAG scheduler on a multi-device array),
+// heapscale (partitioned heap across the array), all.
 //
 // -devices/-parallel run any experiment on a simulated disk array with
-// parallel index passes; the parallel experiment sweeps the array width
-// itself. -check-parallel turns the parallel experiment into a smoke test:
-// the run fails unless the scheduled makespan is never worse than the
-// serial time.
+// parallel index passes; the parallel and heapscale experiments sweep the
+// array width themselves. -check-parallel turns the parallel experiment
+// into a smoke test: the run fails unless the scheduled makespan is never
+// worse than the serial time. -check-heapscale does the same for the
+// heapscale experiment, requiring the partitioned heap pass at 4 devices
+// to beat the single-spindle run by at least 2.5x.
 //
 // At the paper's full scale (-rows 1000000) a complete -exp all run builds
 // dozens of 512 MB databases and takes a while of real time; the simulated
@@ -37,12 +40,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, exp1..exp5, plans, reorg, methods, update, parallel, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, exp1..exp5, plans, reorg, methods, update, parallel, heapscale, all")
 		rows     = flag.Int("rows", bench.FullScaleRows, "table size (paper: 1000000)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		devices  = flag.Int("devices", 0, "run on a simulated disk array this wide (0 = single spindle)")
 		parallel = flag.Int("parallel", 0, "cap the bulk deletes' index-pass workers (needs -devices)")
 		check    = flag.Bool("check-parallel", false, "fail unless the parallel experiment's makespan is never worse than serial (CI smoke)")
+		checkHS  = flag.Bool("check-heapscale", false, "fail unless the heapscale experiment shows a 2.5x speedup at 4 devices (CI smoke)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		jsonDir  = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory (\".\" for cwd)")
 		started  = time.Now()
@@ -72,6 +76,7 @@ func main() {
 		{"methods", r.MethodAblation},
 		{"update", r.UpdateAblation},
 		{"parallel", r.ParallelScaling},
+		{"heapscale", r.HeapScaling},
 	}
 
 	want := strings.ToLower(*exp)
@@ -100,6 +105,12 @@ func main() {
 			}
 			fmt.Println("parallel check passed: makespan never worse than serial")
 		}
+		if *checkHS && rr.name == "heapscale" {
+			if err := verifyHeapScale(e); err != nil {
+				fatal(err)
+			}
+			fmt.Println("heapscale check passed: >= 2.5x speedup at 4 devices")
+		}
 		if *jsonDir != "" {
 			path, err := writeJSON(*jsonDir, e)
 			if err != nil {
@@ -114,6 +125,9 @@ func main() {
 	}
 	if *check && want != "parallel" && want != "all" {
 		fatal(fmt.Errorf("-check-parallel needs the parallel experiment (-exp parallel)"))
+	}
+	if *checkHS && want != "heapscale" && want != "all" {
+		fatal(fmt.Errorf("-check-heapscale needs the heapscale experiment (-exp heapscale)"))
 	}
 	fmt.Printf("done in %s of real time\n", time.Since(started).Round(time.Second))
 }
@@ -134,6 +148,35 @@ func verifyParallel(e bench.Experiment) error {
 			return fmt.Errorf("parallel makespan %v worse than serial %v at %s devices",
 				par[i].Result.Makespan, ser[i].Result.Makespan, ser[i].X)
 		}
+	}
+	return nil
+}
+
+// verifyHeapScale is the CI smoke assertion for the partitioned-heap
+// experiment: splitting the heap across a 4-device array must cut the
+// scheduled makespan of the heap-dominated delete to at most 1/2.5 of the
+// single-spindle serial run.
+func verifyHeapScale(e bench.Experiment) error {
+	pts := map[string]map[string]bench.Point{}
+	for _, s := range e.Series {
+		m := map[string]bench.Point{}
+		for _, p := range s.Points {
+			m[p.X] = p
+		}
+		pts[s.Label] = m
+	}
+	base, ok := pts["serial"]["1"]
+	if !ok {
+		return fmt.Errorf("heapscale experiment lacks the serial single-spindle point")
+	}
+	par, ok := pts["parallel"]["4"]
+	if !ok {
+		return fmt.Errorf("heapscale experiment lacks the parallel 4-device point")
+	}
+	speedup := float64(base.Result.Makespan) / float64(par.Result.Makespan)
+	if speedup < 2.5 {
+		return fmt.Errorf("heapscale speedup at 4 devices is %.2fx (serial %v, parallel %v), want >= 2.5x",
+			speedup, base.Result.Makespan, par.Result.Makespan)
 	}
 	return nil
 }

@@ -11,8 +11,12 @@
 //	bulkdel -f demo.bd -metrics-json    # emit every bulk delete's metrics as JSON
 //	bulkdel -f demo.bd -faults crash@40 # crash at the first delete's 40th page I/O
 //	bulkdel -f demo.bd -devices 4 -parallel 4
-//	                                    # 4-spindle disk array, indexes placed
-//	                                    # round-robin, independent ⋈̸ passes overlap
+//	                                    # 4-spindle disk array, indexes and heap
+//	                                    # partitions placed by the device policy,
+//	                                    # independent ⋈̸ passes overlap
+//	bulkdel -f demo.bd -devices 4 -layout
+//	                                    # afterwards, print the per-device file
+//	                                    # layout (also: the `layout` command)
 //
 // Commands (type `help` in the shell):
 //
@@ -26,7 +30,7 @@
 //	lookup <table> <field> <value>
 //	count <table> | check <table> | explain <table> <field> [method]
 //	estimate <table> <field> <victims>
-//	clock | stats | metrics | flush | crash | recover | help | quit
+//	clock | stats | metrics | layout | flush | crash | recover | help | quit
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bulkdel"
 	"bulkdel/internal/sim"
@@ -63,6 +68,8 @@ func main() {
 		"simulated disk array width: indexes are placed round-robin on devices 1..N\n(device 0 holds the catalog, WAL, heap, and scratch files; 0 = single spindle)")
 	parallel := flag.Int("parallel", 0,
 		"worker cap for every bulk delete's remaining-index passes (0/1 = serial; needs -devices)")
+	layout := flag.Bool("layout", false,
+		"print the per-device file layout (device, files, pages, busy-time share) when the session ends")
 	flag.Parse()
 
 	if *parallel > 1 && *devices <= 1 {
@@ -99,6 +106,11 @@ func main() {
 		sh.faultPlan = plan
 	}
 	defer sh.out.Flush()
+	if *layout {
+		// Registered after the Flush defer so it runs first (LIFO):
+		// print the final layout, then the earlier defer flushes it.
+		defer sh.printLayout()
+	}
 
 	interactive := *script == "" && isTTY()
 	scanner := bufio.NewScanner(in)
@@ -189,6 +201,10 @@ func (s *shell) exec(line string) error {
 		}
 		s.out.Write(j)
 		fmt.Fprintln(s.out)
+		s.printLayout()
+		return nil
+	case "layout":
+		s.printLayout()
 		return nil
 	case "flush":
 		return s.db.Flush()
@@ -234,8 +250,31 @@ func (s *shell) help() {
   count <table> | check <table>
   explain <table> <field> [sort|hash|partition]
   estimate <table> <field> <victims>
-  clock | stats | metrics | flush | crash | recover | quit
+  clock | stats | metrics | layout | flush | crash | recover | quit
 `)
+}
+
+// printLayout renders the per-device file layout table: which files and
+// pages each device holds, and what share of the array's accumulated
+// busy time it accounts for.
+func (s *shell) printLayout() {
+	rows := s.db.Layout()
+	var total time.Duration
+	for _, r := range rows {
+		total += r.Busy
+	}
+	fmt.Fprintf(s.out, "%-8s %6s %8s %14s %6s\n", "device", "files", "pages", "busy", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.Busy) / float64(total)
+		}
+		name := fmt.Sprintf("%d", r.Device)
+		if r.Device == 0 {
+			name = "0 (sys)"
+		}
+		fmt.Fprintf(s.out, "%-8s %6d %8d %14v %5.1f%%\n", name, r.Files, r.Pages, r.Busy, share)
+	}
 }
 
 func (s *shell) table(args []string) (*bulkdel.Table, error) {

@@ -11,6 +11,7 @@
 //	crashtest -at 37 -v               # reproduce a single ordinal
 //	crashtest -from 10 -to 60 -stride 5
 //	crashtest -tear 100 -tear-wal     # additionally tear crashing WAL writes
+//	crashtest -rebalance              # crash an online device rebalancing
 //	crashtest -metrics-json           # dump the accumulated fault counters
 //
 // The sweep is deterministic: the same flags visit the same I/Os and
@@ -43,9 +44,11 @@ func main() {
 	checkpointRows := flag.Int("checkpoint-rows", 0, "deletions between WAL checkpoints (default 8)")
 	memory := flag.Int("memory", 0, "sort/hash budget in bytes (default 512)")
 	buffer := flag.Int("buffer", 0, "buffer-pool budget in bytes (default 24 pages)")
-	devices := flag.Int("devices", 0, "simulated disk array width (indexes placed round-robin; 0 = single spindle)")
+	devices := flag.Int("devices", 0, "simulated disk array width (data files placed by the device policy; 0 = single spindle)")
 	parallel := flag.Int("parallel", 0, "worker cap for the remaining-index passes (makes the crash point nondeterministic; invariants still checked)")
 	concurrent := flag.Bool("concurrent", false, "two-table scenario: crash a concurrent two-statement batch (invariants only, no digest)")
+	rebalance := flag.Bool("rebalance", false, "rebalance scenario: crash an online device rebalancing instead of a bulk delete")
+	verifyDigest := flag.Bool("verify-digest", true, "re-run deterministic sweeps and require identical digests")
 	verbose := flag.Bool("v", false, "print every ordinal's outcome")
 	metricsJSON := flag.Bool("metrics-json", false, "print the accumulated metrics registry as JSON")
 	flag.Parse()
@@ -89,6 +92,10 @@ func main() {
 			failed += runConcurrent(r.name, cfg, *at, *verbose)
 			continue
 		}
+		if *rebalance {
+			failed += runRebalance(cfg, *at, *verbose, *verifyDigest)
+			break // the rebalance scenario has no join method to vary
+		}
 		if *at > 0 {
 			res, err := crashtest.RunOrdinal(cfg, *at)
 			if err != nil {
@@ -118,6 +125,20 @@ func main() {
 		fmt.Printf("%-9s %d I/Os, swept %d ordinals, %d failed, digest %s\n",
 			r.name+":", sw.TotalIOs, sw.Ran, sw.Failed, sw.Digest())
 		failed += sw.Failed
+		// A deterministic configuration (serial workers or a single
+		// device) must reproduce its digest exactly on a second sweep.
+		if *verifyDigest && cfg.Deterministic() {
+			sw2, err := crashtest.Sweep(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crashtest:", err)
+				os.Exit(2)
+			}
+			if sw2.Digest() != sw.Digest() {
+				fmt.Fprintf(os.Stderr, "crashtest: %s sweep is nondeterministic: digest %s then %s\n",
+					r.name, sw.Digest(), sw2.Digest())
+				failed++
+			}
+		}
 	}
 
 	if *metricsJSON {
@@ -133,6 +154,62 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crashtest: %d ordinal(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runRebalance sweeps (or, with at > 0, reproduces one ordinal of) the
+// online-rebalancing crash scenario and returns the number of failures.
+func runRebalance(cfg crashtest.Config, at int, verbose, verifyDigest bool) int {
+	if at > 0 {
+		res, err := crashtest.RunRebalanceOrdinal(cfg, at)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crashtest:", err)
+			os.Exit(2)
+		}
+		printRebalanceOrdinal(res)
+		if res.Err != "" {
+			return 1
+		}
+		return 0
+	}
+	sw, err := crashtest.RebalanceSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(2)
+	}
+	if verbose {
+		for _, res := range sw.Ordinals {
+			printRebalanceOrdinal(res)
+		}
+	} else {
+		for _, res := range sw.Failures() {
+			printRebalanceOrdinal(res)
+		}
+	}
+	fmt.Printf("rebalance: %d I/Os, swept %d ordinals, %d failed, digest %s\n",
+		sw.TotalIOs, sw.Ran, sw.Failed, sw.Digest())
+	failed := sw.Failed
+	if verifyDigest { // the rebalancer is single-threaded: always deterministic
+		sw2, err := crashtest.RebalanceSweep(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crashtest:", err)
+			os.Exit(2)
+		}
+		if sw2.Digest() != sw.Digest() {
+			fmt.Fprintf(os.Stderr, "crashtest: rebalance sweep is nondeterministic: digest %s then %s\n",
+				sw.Digest(), sw2.Digest())
+			failed++
+		}
+	}
+	return failed
+}
+
+func printRebalanceOrdinal(r crashtest.RebalanceOrdinalResult) {
+	status := "ok"
+	if r.Err != "" {
+		status = "FAIL " + r.Err
+	}
+	fmt.Printf("rebalance: io=%-4d crash=%-5v replayed=%-2d completed=%-2d survivors=%-3d clock=%dus %s\n",
+		r.Ordinal, r.CrashFired, r.MovesReplayed, r.MovesCompleted, r.Survivors, r.ClockUS, status)
 }
 
 // runConcurrent sweeps (or, with at > 0, reproduces one ordinal of) the

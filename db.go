@@ -113,12 +113,12 @@ type DB struct {
 	log     *wal.Log
 	catalog sim.FileID
 
-	// mu guards the catalog maps (tables, fks, ixSeq). It is a leaf lock:
+	// mu guards the catalog maps (tables, fks) and the mutable device
+	// count (opts.Devices, grown by GrowDevices). It is a leaf lock:
 	// never held while acquiring a table lock or running a statement.
 	mu     sync.Mutex
 	tables map[string]*Table
 	fks    []ForeignKey
-	ixSeq  int // round-robin cursor for index device placement
 	// catMu serializes whole catalog saves — snapshot AND file-0 rewrite —
 	// so concurrent DDLs can neither interleave page writes nor durably
 	// write an older snapshot after a newer one. Acquired before mu.

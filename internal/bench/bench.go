@@ -23,6 +23,7 @@ import (
 	"bulkdel/internal/btree"
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/core"
+	"bulkdel/internal/heap"
 	"bulkdel/internal/obs"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/table"
@@ -101,6 +102,10 @@ type Config struct {
 	// deletes (0/1 = serial; effective degree clamps to the devices the
 	// index trees occupy).
 	Parallel int
+	// HeapParts > 1 hash-partitions the heap on field 0 into that many
+	// files, placed round-robin on devices 1..Devices, so the heap ⋈̸
+	// pass of a parallel bulk delete runs one pass per partition.
+	HeapParts int
 	// Clustered loads the table sorted by field 0 (Experiment 5).
 	Clustered bool
 	// Reorganize enables §2.3 leaf reorganization in bulk deletes.
@@ -232,6 +237,18 @@ func Run(cfg Config, ap Approach) (Result, error) {
 		for k, ix := range tbl.Idx {
 			if err := pool.Relocate(ix.Tree.ID(), 1+k%cfg.Devices); err != nil {
 				return Result{}, err
+			}
+		}
+	}
+	if cfg.HeapParts > 1 {
+		if err := tbl.Repartition(heap.PartitionSpec{Field: 0, HashParts: cfg.HeapParts}); err != nil {
+			return Result{}, err
+		}
+		if cfg.Devices > 1 {
+			for i, p := range tbl.Heap.Parts() {
+				if err := pool.Relocate(p.ID(), 1+i%cfg.Devices); err != nil {
+					return Result{}, err
+				}
 			}
 		}
 	}

@@ -284,6 +284,56 @@ func (r *Runner) ParallelScaling() (Experiment, error) {
 	return e, nil
 }
 
+// HeapScaling measures the partitioned-heap ⋈̸ pass on the multi-device
+// array: a heap-dominated DELETE — one slim access index, 10% victims over
+// the paper's 512-byte tuples — with the heap hash-partitioned into as
+// many files as the array has data devices. The serial curve runs the
+// per-partition passes one after another; the parallel curve schedules
+// them as independent DAG nodes, one per device. At one device/one
+// partition the two coincide; the heap pass then scales with the array,
+// because unlike the secondary-index fan-out it needs no extra index
+// structures — the base table itself is the parallel work.
+func (r *Runner) HeapScaling() (Experiment, error) {
+	devices := []int{1, 2, 4, 8}
+	xs := []string{"1", "2", "4", "8"}
+	mk := func(parallel bool) []Config {
+		var cfgs []Config
+		for _, d := range devices {
+			c := Config{
+				Rows: r.rows(), Fraction: 0.10, MemoryMB: 16, NumIndexes: 1,
+				Seed: r.seed(), Devices: d,
+			}
+			if d > 1 {
+				c.HeapParts = d
+			}
+			if parallel {
+				c.Parallel = d
+			}
+			cfgs = append(cfgs, c)
+		}
+		return cfgs
+	}
+	e := Experiment{
+		ID:     "heapscale",
+		Title:  "Partitioned heap ⋈̸ pass over a multi-device array, 10% deletes, heap-dominated",
+		XLabel: "devices (= heap partitions)",
+	}
+	for _, row := range []struct {
+		label    string
+		parallel bool
+	}{
+		{"serial", false},
+		{"parallel", true},
+	} {
+		s, err := r.runSeries(row.label, BulkSortMerge, mk(row.parallel), xs)
+		if err != nil {
+			return e, err
+		}
+		e.Series = append(e.Series, s)
+	}
+	return e, nil
+}
+
 // PlanGallery renders the paper's Figures 3, 4 and 5 as explain output of
 // the three physical plans over the example table R(A, B, C) with indexes
 // I_A, I_B, I_C.

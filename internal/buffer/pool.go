@@ -530,19 +530,19 @@ func (p *Pool) InvalidateAll() {
 	}
 }
 
-// Relocate places a file on a device, first migrating any frames the file
-// already has resident in another shard: dirty pages are written back and
-// the frames discarded, so the file's next access faults into the correct
-// shard. Callers place files between statements (no pins outstanding).
+// Relocate places a file on a device, first flushing every dirty frame the
+// file has resident in ANY shard — including the target shard: the move has
+// to leave the on-disk image complete, or the rebalancer's copy pass (and a
+// crash right after the move) would see stale pages. Frames in other shards
+// are additionally discarded, so the file's next access faults into the
+// correct shard. Callers place files between statements (no pins
+// outstanding).
 func (p *Pool) Relocate(file sim.FileID, dev int) error {
 	target := p.shardFor(dev)
 	for _, s := range p.allShards() {
-		if s == target {
-			continue
-		}
 		s.mu.Lock()
 		err := s.flushFileLocked(p.disk, file)
-		if err == nil {
+		if err == nil && s != target {
 			s.discardFile(file, "Relocate")
 		}
 		s.mu.Unlock()

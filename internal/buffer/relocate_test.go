@@ -1,0 +1,79 @@
+package buffer
+
+import (
+	"testing"
+
+	"bulkdel/internal/sim"
+)
+
+// Relocate must flush a file's dirty frames — in every shard, including the
+// destination device's own — before the file changes device. A discarded
+// dirty frame would silently lose the write: the page would be re-read from
+// the stale on-disk image after the move.
+func TestRelocateFlushesDirtyFrames(t *testing.T) {
+	d := testDisk()
+	d.ConfigureDevices(3)
+	f := mkFile(t, d, 4)
+	p := New(d, 8*sim.PageSize)
+
+	fr, err := p.Get(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Data()[0] = 0xAB
+	p.Unpin(fr, true)
+
+	if err := p.Relocate(f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DeviceOf(f); got != 2 {
+		t.Fatalf("file on device %d, want 2", got)
+	}
+	buf := make([]byte, sim.PageSize)
+	if err := d.ReadPage(f, 2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Fatalf("dirty write lost across Relocate: page holds %#x", buf[0])
+	}
+}
+
+// Same-device Relocate (the degenerate move the rebalancer can emit when a
+// placement is re-applied): the dirty frame lands in the shard that is also
+// the destination, which must be flushed but not discarded.
+func TestRelocateSameDeviceKeepsData(t *testing.T) {
+	d := testDisk()
+	d.ConfigureDevices(3)
+	f := mkFile(t, d, 4)
+	if err := d.PlaceFile(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := New(d, 8*sim.PageSize)
+
+	fr, err := p.Get(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Data()[0] = 0xCD
+	p.Unpin(fr, true)
+
+	if err := p.Relocate(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, sim.PageSize)
+	if err := d.ReadPage(f, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xCD {
+		t.Fatalf("dirty write lost on same-device Relocate: page holds %#x", buf[0])
+	}
+	// The pool still serves the page correctly afterwards.
+	fr2, err := p.Get(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Data()[0] != 0xCD {
+		t.Fatalf("pool frame holds %#x after Relocate", fr2.Data()[0])
+	}
+	p.Unpin(fr2, false)
+}

@@ -8,6 +8,7 @@ import (
 	"bulkdel/internal/keyenc"
 	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
+	"bulkdel/internal/sched"
 	"bulkdel/internal/sim"
 	"bulkdel/internal/wal"
 	"bulkdel/internal/xsort"
@@ -145,12 +146,15 @@ func finishTiming(stats *Stats, disk *sim.Disk) {
 		stats.Workers = 1
 	}
 	stats.Makespan = stats.Elapsed
-	if sc := stats.Schedule; sc != nil {
+	for _, sc := range []*sched.Schedule{stats.HeapSchedule, stats.Schedule} {
+		if sc == nil {
+			continue
+		}
 		var sum time.Duration
 		for _, it := range sc.Items {
 			sum += it.Duration
 		}
-		stats.Makespan = stats.Elapsed - sum + sc.Makespan
+		stats.Makespan = stats.Makespan - sum + sc.Makespan
 	}
 }
 
@@ -469,7 +473,29 @@ func (e *execCtx) run(field int, values []int64, method Method,
 
 	// ---- Phase 2b: delete from the heap.
 	sorters := make(map[sim.FileID]*xsort.Sorter) // unlogged sort/merge
-	if !e.skip(e.tgt.Heap.ID()) {
+	// A partitioned heap runs one pass per victim partition (possibly as a
+	// sched DAG) instead of the single merge below. The hash method keeps
+	// its one-scan-probes-all shape, and an unlogged run that must extract
+	// keys inline stays serial too: its sorters and key files are shared
+	// across the whole stream.
+	partedHeap := len(e.tgt.Heap.Parts()) > 1 && method != Hash && (logged || len(rest) == 0)
+	if partedHeap {
+		src := ridIter
+		if logged {
+			it, ierr := ridFile.iterator(0)
+			if ierr != nil {
+				return phaseErr("heap-pass", e.tgt.Name, ierr)
+			}
+			src = it
+		}
+		heapWorkers := 1
+		if o.Parallel > 1 && rs == nil {
+			heapWorkers = o.Parallel
+		}
+		if err := e.partitionedHeapPass(src, method, rs, heapWorkers); err != nil {
+			return err
+		}
+	} else if !e.skip(e.tgt.Heap.ID()) {
 		err := func() error {
 			sp := e.span("heap-pass", fmt.Sprintf("⋈̸[%s] %s (by RID)", method, e.tgt.Name))
 			e.cur = sp

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 
 	"bulkdel/internal/btree"
+	"bulkdel/internal/heap"
 	"bulkdel/internal/keyenc"
 	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
@@ -393,7 +395,7 @@ func mergeDeleteIndexByFullKey(e *execCtx, ix *IndexRef, rows rowIter, startKey 
 func heapPassSortedRIDs(e *execCtx, rids rowIter, del bool,
 	extract func(rid record.RID, rec []byte) error) (int64, error) {
 
-	ed, err := e.tgt.Heap.EditPages()
+	ed, err := e.tgt.Heap.Edit()
 	if err != nil {
 		return 0, err
 	}
@@ -414,6 +416,14 @@ func heapPassSortedRIDs(e *execCtx, rids rowIter, del bool,
 		if rid.Page != curPage {
 			s, err := ed.Seek(rid.Page)
 			if err != nil {
+				if e.opts.IgnoreMissing && errors.Is(err, heap.ErrPageRange) {
+					// The page was released (a resumed run re-walking a
+					// truncated partition): the victim is already gone.
+					if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
+						return deleted, err
+					}
+					continue
+				}
 				return deleted, err
 			}
 			curPage = rid.Page
@@ -460,36 +470,47 @@ type pageView struct {
 }
 
 // heapDeleteByRIDProbe scans every heap page once, probing each live record
-// against the in-memory RID set — the hash plan's ⋈̸ with R (Figure 4).
+// against the in-memory RID set — the hash plan's ⋈̸ with R (Figure 4). The
+// scan is partition-major (partition 0 of a single-file heap is the whole
+// file), probing the tagged form of each position since that is what the
+// indexes — and therefore the RID set — carry.
 func heapDeleteByRIDProbe(e *execCtx, ridSet map[record.RID]struct{}) (int64, error) {
-	ed, err := e.tgt.Heap.EditPages()
-	if err != nil {
-		return 0, err
-	}
-	defer ed.Close()
 	var deleted int64
 	flush := func() error { return e.tgt.Heap.Flush() }
-	numPages := sim.PageNo(ed.NumDataPages())
-	for pg := sim.PageNo(1); pg <= numPages; pg++ {
-		sp, err := ed.Seek(pg)
+	for pi, part := range e.tgt.Heap.Parts() {
+		err := func() error {
+			ed, err := part.EditPages()
+			if err != nil {
+				return err
+			}
+			defer ed.Close()
+			numPages := sim.PageNo(ed.NumDataPages())
+			for pg := sim.PageNo(1); pg <= numPages; pg++ {
+				sp, err := ed.Seek(pg)
+				if err != nil {
+					return err
+				}
+				for slot := 0; slot < sp.NumSlots(); slot++ {
+					if !sp.InUse(slot) {
+						continue
+					}
+					e.disk().ChargeRecords(1) // hash probe
+					if _, hit := ridSet[record.RID{Page: heap.TagPage(pi, pg), Slot: uint16(slot)}]; !hit {
+						continue
+					}
+					if err := ed.DeleteSlot(slot); err != nil {
+						return err
+					}
+					deleted++
+					if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}()
 		if err != nil {
 			return deleted, err
-		}
-		for slot := 0; slot < sp.NumSlots(); slot++ {
-			if !sp.InUse(slot) {
-				continue
-			}
-			e.disk().ChargeRecords(1) // hash probe
-			if _, hit := ridSet[record.RID{Page: pg, Slot: uint16(slot)}]; !hit {
-				continue
-			}
-			if err := ed.DeleteSlot(slot); err != nil {
-				return deleted, err
-			}
-			deleted++
-			if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
-				return deleted, err
-			}
 		}
 	}
 	return deleted, nil

@@ -1,0 +1,297 @@
+// Partitioned heap pass: when the target table's heap is split into
+// partitions, phase 2b's single skip-sequential merge becomes one merge per
+// partition. The statement's sorted RID list is partition-tagged (the
+// partition ordinal lives in the high page bits, so RID order is
+// partition-major), which makes the split a single sequential pass; each
+// per-partition list then drives an independent ⋈̸ against its own heap
+// file. The passes touch disjoint files, so on a multi-device array they
+// form the same kind of fan-out DAG as the phase-3 index passes and run
+// under internal/sched with device exclusivity.
+//
+// Two properties fall out of the per-partition structure:
+//
+//   - WAL progress is tracked per partition file (TStructStart /
+//     TCheckpoint / TStructDone each carry the partition's file ID), so a
+//     crash resumes exactly the partitions still open and skips finished
+//     ones. Partition 0 shares the table's heap ID, keeping recovery's
+//     "which statement owns this heap" match unchanged.
+//   - A range-partitioned delete whose victim list covers a whole
+//     partition skips the merge entirely and truncates the partition's
+//     file — the metadata-only fast path a whole-partition drop deserves.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/heap"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sched"
+	"bulkdel/internal/sim"
+)
+
+// splitRIDsByPart routes the sorted, partition-tagged RID stream into one
+// row file per partition holding raw (untagged) RIDs — the page numbers a
+// partition's own editor understands. When the passes will run in
+// parallel, each list is staged on its partition's device so a pass never
+// touches another pass's arm. Partitions with no victims get no file.
+func (e *execCtx) splitRIDsByPart(src rowIter, par bool) ([]*rowFile, []int64, error) {
+	disk := e.disk()
+	parts := e.tgt.Heap.Parts()
+	files := make([]*rowFile, len(parts))
+	counts := make([]int64, len(parts))
+	var raw [record.RIDSize]byte
+	for {
+		row, ok, err := src()
+		if err != nil {
+			return files, counts, err
+		}
+		if !ok {
+			break
+		}
+		rid := record.GetRID(row)
+		pi, page := heap.SplitPage(rid.Page)
+		if pi >= len(parts) {
+			return files, counts, fmt.Errorf("core: RID %s names partition %d of %d", rid, pi, len(parts))
+		}
+		if files[pi] == nil {
+			dev := -1
+			if par {
+				dev = disk.DeviceOf(parts[pi].ID())
+			}
+			rf, err := newRowFileOn(disk, record.RIDSize, dev)
+			if err != nil {
+				return files, counts, err
+			}
+			files[pi] = rf
+		}
+		record.PutRID(raw[:], record.RID{Page: page, Slot: rid.Slot})
+		if err := files[pi].append(raw[:]); err != nil {
+			return files, counts, err
+		}
+		counts[pi]++
+	}
+	for _, rf := range files {
+		if rf != nil {
+			if err := rf.seal(); err != nil {
+				return files, counts, err
+			}
+		}
+	}
+	return files, counts, nil
+}
+
+// partitionedHeapPassPart is the body of one partition's pass, running on a
+// child context whose target heap is the partition file (so checkpoints and
+// page edits address the partition directly). When the victim list covers
+// the whole partition the data pages are dropped by truncation instead of
+// being merged record by record; count > 0 guards the empty partition, and
+// from > 0 (a mid-partition checkpoint) forces the merge so resumed work
+// replays exactly what the first attempt was doing.
+func partitionedHeapPassPart(ce *execCtx, part *heap.File, rids *rowFile,
+	count, from int64) (int64, error) {
+
+	if err := ce.structStart(part.ID(), 0); err != nil {
+		return 0, err
+	}
+	var del int64
+	if from == 0 && count > 0 && count == part.Count() {
+		if err := part.Truncate(); err != nil {
+			return 0, err
+		}
+		del = count
+	} else {
+		it, err := rids.iterator(from)
+		if err != nil {
+			return 0, err
+		}
+		ce.applied = from // keep checkpoint progress absolute
+		del, err = heapPassSortedRIDs(ce, it, true, nil)
+		if err != nil {
+			return del, err
+		}
+	}
+	if err := ce.structDone(part.ID(), part.Flush); err != nil {
+		return del, err
+	}
+	return del, nil
+}
+
+// partitionedHeapPass executes phase 2b over a partitioned heap: split the
+// RID stream, then run one pass per victim partition — serially, or as a
+// sched DAG when maxWorkers and the device spread allow. rs carries
+// recovery positions (recovery replays serially, so rs != nil implies
+// maxWorkers == 1).
+func (e *execCtx) partitionedHeapPass(src rowIter, method Method,
+	rs *resumeState, maxWorkers int) error {
+
+	disk := e.disk()
+	pool := e.tgt.Pool
+	stats := e.stats
+	parts := e.tgt.Heap.Parts()
+
+	sp := e.span("heap-split", fmt.Sprintf("route sorted RID list into %d partition lists", len(parts)))
+	e.cur = sp
+	files, counts, err := e.splitRIDsByPart(src, maxWorkers > 1)
+	sp.Finish()
+	e.cur = nil
+	if err != nil {
+		return phaseErr("heap-split", e.tgt.Name, err)
+	}
+
+	type job struct {
+		pi    int
+		part  *heap.File
+		rids  *rowFile
+		count int64
+	}
+	var jobs []job
+	for pi, part := range parts {
+		if files[pi] == nil || e.skip(part.ID()) {
+			continue
+		}
+		jobs = append(jobs, job{pi: pi, part: part, rids: files[pi], count: counts[pi]})
+	}
+
+	// Clamp like chooseParallelRest: no wider than the jobs or the distinct
+	// devices their files live on.
+	workers := maxWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	devs := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		devs[disk.DeviceOf(j.part.ID())] = true
+	}
+	if workers > len(devs) {
+		workers = len(devs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	if workers == 1 {
+		for _, j := range jobs {
+			j := j
+			err := func() error {
+				sp := e.span("heap-pass", fmt.Sprintf("⋈̸[%s] %s (by RID)", method, PartName(e.tgt.Name, j.pi)))
+				e.cur = sp
+				t0 := disk.Clock()
+				tgt := *e.tgt
+				tgt.Heap = j.part
+				ce := &execCtx{tgt: &tgt, opts: e.opts, stats: stats, trace: e.trace,
+					cur: sp, parWorkers: 1, scratchDev: e.scratchDev}
+				ce.crash = e.crash // keep crash-injection counting statement-wide
+				del, perr := partitionedHeapPassPart(ce, j.part, j.rids, j.count,
+					resumeFrom(rs, j.part.ID()))
+				e.crash = ce.crash
+				if perr != nil {
+					return perr
+				}
+				sp.Finish()
+				e.cur = nil
+				stats.Deleted += del
+				ss := StructStats{Name: PartName(e.tgt.Name, j.pi), File: j.part.ID(),
+					Deleted: del, Elapsed: disk.Clock() - t0}
+				ss.fillIO(sp)
+				stats.PerStructure = append(stats.PerStructure, ss)
+				return nil
+			}()
+			if err != nil {
+				return phaseErr("heap-pass", PartName(e.tgt.Name, j.pi), err)
+			}
+		}
+		return dropPartFiles(files)
+	}
+
+	// Parallel: one sched node per victim partition, mirroring the phase-3
+	// fan-out. Engine callbacks fired from concurrent structDones are
+	// serialized behind one mutex.
+	var cbMu sync.Mutex
+	type nodeRes struct {
+		del     int64
+		elapsed time.Duration
+		d0, d1  sim.Stats
+		h0, h1  buffer.Stats
+	}
+	results := make([]nodeRes, len(jobs))
+	nodes := make([]sched.Node, len(jobs))
+	for i, j := range jobs {
+		i, j := i, j
+		dev := disk.DeviceOf(j.part.ID())
+		tgt := *e.tgt
+		tgt.Heap = j.part
+		ce := &execCtx{tgt: &tgt, opts: e.opts, stats: stats,
+			parWorkers: workers, scratchDev: dev}
+		if cb := e.opts.OnStructureDone; cb != nil {
+			ce.opts.OnStructureDone = func(f sim.FileID) {
+				cbMu.Lock()
+				defer cbMu.Unlock()
+				cb(f)
+			}
+		}
+		nodes[i] = sched.Node{
+			Label:  PartName(e.tgt.Name, j.pi),
+			Device: dev,
+			Run: func() error {
+				r := &results[i]
+				r.d0, r.h0 = disk.DeviceStats(dev), pool.ShardStats(dev)
+				b0 := disk.DeviceBusy(dev)
+				del, err := partitionedHeapPassPart(ce, j.part, j.rids, j.count, 0)
+				r.del = del
+				r.d1, r.h1 = disk.DeviceStats(dev), pool.ShardStats(dev)
+				r.elapsed = disk.DeviceBusy(dev) - b0
+				return err
+			},
+		}
+	}
+
+	sc, err := sched.ExecutePool(e.opts.Sched, disk, workers, nodes)
+	if err != nil {
+		return phaseErr("heap-pass", "parallel section", err)
+	}
+	stats.HeapSchedule = sc
+	if workers > stats.Workers {
+		stats.Workers = workers
+	}
+	for i, j := range jobs {
+		r := results[i]
+		stats.Deleted += r.del
+		ss := StructStats{
+			Name:    PartName(e.tgt.Name, j.pi),
+			File:    j.part.ID(),
+			Deleted: r.del,
+			Elapsed: r.elapsed,
+			Reads:   r.d1.Reads - r.d0.Reads,
+			Writes:  r.d1.Writes - r.d0.Writes,
+			Seeks:   r.d1.RandomOps - r.d0.RandomOps,
+			Hits:    r.h1.Hits - r.h0.Hits,
+			Misses:  r.h1.Misses - r.h0.Misses,
+		}
+		stats.PerStructure = append(stats.PerStructure, ss)
+		it := sc.Items[i]
+		psp := e.span("heap-pass", fmt.Sprintf("⋈̸[%s] %s (by RID)", method, PartName(e.tgt.Name, j.pi)))
+		psp.Set("worker", fmt.Sprintf("%d", it.Worker))
+		psp.Set("device", fmt.Sprintf("%d", it.Device))
+		psp.Set("start", it.Start.String())
+		psp.Set("finish", it.Finish.String())
+		psp.Finish()
+	}
+	return dropPartFiles(files)
+}
+
+// dropPartFiles releases the per-partition RID lists (nil entries are
+// partitions that had no victims).
+func dropPartFiles(files []*rowFile) error {
+	for _, rf := range files {
+		if rf == nil {
+			continue
+		}
+		if err := rf.drop(); err != nil {
+			return phaseErr("cleanup", "partition RID lists", err)
+		}
+	}
+	return nil
+}

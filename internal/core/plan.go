@@ -76,13 +76,26 @@ type IndexRef struct {
 	Gate      *cc.Gate
 }
 
-// Target is core's view of the table a bulk delete operates on.
+// Target is core's view of the table a bulk delete operates on. Heap is
+// the table's storage — a single heap file or a partitioned store whose
+// partitions the heap ⋈̸ pass processes as independent DAG nodes.
 type Target struct {
 	Name    string
-	Heap    *heap.File
+	Heap    heap.Store
 	Schema  record.Schema
 	Indexes []IndexRef
 	Pool    *buffer.Pool
+}
+
+// HeapFiles returns the file IDs of the heap's partitions in ordinal order
+// (a single-file heap yields just its own ID).
+func (t *Target) HeapFiles() []sim.FileID {
+	parts := t.Heap.Parts()
+	ids := make([]sim.FileID, len(parts))
+	for i, p := range parts {
+		ids[i] = p.ID()
+	}
+	return ids
 }
 
 // Options tunes one bulk delete execution.
@@ -209,6 +222,9 @@ type Stats struct {
 	// Schedule is the deterministic virtual schedule of the parallel
 	// index-pass section (nil when the statement ran serially).
 	Schedule *sched.Schedule
+	// HeapSchedule is the schedule of the parallel per-partition heap-pass
+	// section (nil for single-file heaps or serial heap passes).
+	HeapSchedule *sched.Schedule
 	// Workers is the degree of parallelism actually used (1 when serial).
 	Workers int
 	// ParallelRequested is the worker cap the statement asked for
@@ -305,19 +321,15 @@ func BuildPlan(tgt *Target, field int, method Method, mem int, parts int) *PlanN
 		hashRID := &PlanNode{Op: "hash build", Detail: "RID list → main-memory hash table", Children: []*PlanNode{ridSource}}
 		hashRef := &PlanNode{Op: "⤷ shared", Detail: "the RID hash table built above"}
 		root.Children = append(root.Children,
-			&PlanNode{Op: bdel(tgt.Name, "hash-probe scan", "RID"), Children: []*PlanNode{hashRID}})
+			heapDeleteNodes(tgt, "hash-probe scan", "", "the RID hash table built above", hashRID)...)
 		for _, ix := range rest {
 			root.Children = append(root.Children,
 				&PlanNode{Op: bdel(ix.Name, "hash-probe scan", "RID"), Children: []*PlanNode{hashRef}})
 		}
 	case HashPartition:
 		sortRID := &PlanNode{Op: "sort", Detail: "RIDs by physical position", Children: []*PlanNode{ridSource}}
-		heapDel := &PlanNode{
-			Op:       bdel(tgt.Name, "merge", "RID"),
-			Detail:   "→ π_{key,RID} per remaining index",
-			Children: []*PlanNode{sortRID},
-		}
-		root.Children = append(root.Children, heapDel)
+		root.Children = append(root.Children,
+			heapDeleteNodes(tgt, "merge", "→ π_{key,RID} per remaining index", "the sorted RID list above", sortRID)...)
 		for _, ix := range rest {
 			part := &PlanNode{
 				Op:       "range partition",
@@ -332,12 +344,8 @@ func BuildPlan(tgt *Target, field int, method Method, mem int, parts int) *PlanN
 		}
 	default: // SortMerge
 		sortRID := &PlanNode{Op: "sort", Detail: "RIDs by physical position", Children: []*PlanNode{ridSource}}
-		heapDel := &PlanNode{
-			Op:       bdel(tgt.Name, "merge", "RID"),
-			Detail:   "→ π_{key,RID} per remaining index",
-			Children: []*PlanNode{sortRID},
-		}
-		root.Children = append(root.Children, heapDel)
+		root.Children = append(root.Children,
+			heapDeleteNodes(tgt, "merge", "→ π_{key,RID} per remaining index", "the sorted RID list above", sortRID)...)
 		for _, ix := range rest {
 			sortI := &PlanNode{
 				Op:       "sort",
@@ -351,6 +359,41 @@ func BuildPlan(tgt *Target, field int, method Method, mem int, parts int) *PlanN
 		}
 	}
 	return root
+}
+
+// heapDeleteNodes renders the heap ⋈̸ pass: one operator for a single-file
+// heap, one operator per partition for a partitioned store — each partition
+// is an independent DAG node the scheduler can place on its own device.
+// PartName names partition i's operator and matches its StructStats.Name.
+func heapDeleteNodes(tgt *Target, method, detail, sharedDetail string, child *PlanNode) []*PlanNode {
+	var parts []*heap.File
+	if tgt.Heap != nil {
+		parts = tgt.Heap.Parts()
+	}
+	if len(parts) <= 1 {
+		n := &PlanNode{Op: bdel(tgt.Name, method, "RID"), Detail: detail}
+		if child != nil {
+			n.Children = []*PlanNode{child}
+		}
+		return []*PlanNode{n}
+	}
+	out := make([]*PlanNode, len(parts))
+	for i := range parts {
+		n := &PlanNode{Op: bdel(PartName(tgt.Name, i), method, "RID"), Detail: detail}
+		if i == 0 && child != nil {
+			n.Children = []*PlanNode{child}
+		} else if i > 0 {
+			n.Children = []*PlanNode{{Op: "⤷ shared", Detail: sharedDetail}}
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// PartName is the display name of one heap partition, used consistently by
+// the plan tree, per-structure stats, and schedule labels.
+func PartName(table string, part int) string {
+	return fmt.Sprintf("%s[p%d]", table, part)
 }
 
 func fmtBytes(n int) string {

@@ -122,7 +122,22 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 		}
 		return nil
 	}
-	heapDone := st.Done[uint64(tgt.Heap.ID())]
+	// A partitioned sort/merge heap pass logs per-partition progress, so
+	// "heap done" means every partition file is done and "heap started"
+	// means any partition was logged at all. Partitions without victims
+	// never log, so heapDone can read conservatively false after a late
+	// crash — safe, since it only widens the idempotent re-passes below.
+	heapDone, heapStarted := true, false
+	for _, f := range tgt.HeapFiles() {
+		if st.Done[uint64(f)] {
+			heapStarted = true
+		} else {
+			heapDone = false
+		}
+		if _, ok := st.ProgressOf(uint64(f)); ok {
+			heapStarted = true
+		}
+	}
 	if access != nil {
 		if err := checkOrRebuild(access, heapDone); err != nil {
 			return nil, err
@@ -152,8 +167,6 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 	method := SortMerge
 	if len(rs.keyFiles) != len(rest) {
 		rs.keyFiles = nil
-		_, heapActive := rs.st.ProgressOf(uint64(tgt.Heap.ID()))
-		heapStarted := heapDone || heapActive
 		if heapStarted && rs.ridFile != nil {
 			// The destructive passes began without materialized key
 			// lists, so the interrupted statement ran the hash method:

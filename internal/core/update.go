@@ -113,7 +113,7 @@ func ExecuteUpdate(tgt *Target, predField int, values []int64, setField int,
 		newSorters[ix.Tree.ID()] = ns
 	}
 
-	ed, err := tgt.Heap.EditPages()
+	ed, err := tgt.Heap.Edit()
 	if err != nil {
 		return nil, err
 	}

@@ -111,6 +111,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Deterministic reports whether the sweep's digest is reproducible: true
+// unless the statement runs parallel workers on a real multi-device array.
+// With workers == 1 the statement is sequential by construction; with a
+// single device the parallel degree is clamped back to 1, so goroutine
+// scheduling never reorders the I/O stream in either case.
+func (c Config) Deterministic() bool {
+	c = c.withDefaults()
+	return c.Parallel <= 1 || c.Devices <= 1
+}
+
 // OrdinalResult reports one crash-and-recover cycle.
 type OrdinalResult struct {
 	// Ordinal is the I/O (1-based, counted from statement start) at which

@@ -1,0 +1,243 @@
+package crashtest
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"bulkdel"
+	"bulkdel/internal/sim"
+)
+
+// The rebalance sweep crashes an online rebalancing run at every I/O
+// ordinal instead of a bulk delete: a partitioned table plus its indexes
+// live on a 2-data-device array, the array grows, and Rebalance migrates
+// files onto the new arms under the WAL move protocol. A crash can land
+// before a move's start record, mid-copy, between the copy and its done
+// record, or between the done record and the catalog save — recovery must
+// land every file intact on exactly one device in all of them.
+
+// buildRebalanceDB constructs the rebalance scenario: a hash-partitioned
+// table with indexes on a 2-data-device array, durable, already grown to 4
+// data devices so the next Rebalance has real work.
+func buildRebalanceDB(cfg Config) (*bulkdel.DB, *bulkdel.Table, error) {
+	db, err := bulkdel.Open(bulkdel.Options{
+		BufferBytes: cfg.BufferBytes,
+		Devices:     2,
+		Observer:    cfg.Observer,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := db.CreateTablePartitioned("R", 3, 64,
+		bulkdel.PartitionSpec{Field: 0, HashParts: 4})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		if _, err := tbl.Insert(int64(i), int64(3*i), int64(i%7)); err != nil {
+			return nil, nil, err
+		}
+	}
+	defs := []bulkdel.IndexOptions{
+		{Name: "IA", Field: 0, Unique: true},
+		{Name: "IB", Field: 1},
+		{Name: "IC", Field: 2},
+	}
+	for _, ix := range defs[:cfg.Indexes] {
+		if err := tbl.CreateIndex(ix); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		return nil, nil, err
+	}
+	if err := db.GrowDevices(4); err != nil {
+		return nil, nil, err
+	}
+	return db, tbl, nil
+}
+
+// RebalanceOrdinalResult reports one crash-and-recover cycle of the
+// rebalance sweep.
+type RebalanceOrdinalResult struct {
+	// Ordinal is the I/O (1-based, counted from Rebalance start) at which
+	// the crash was injected.
+	Ordinal int
+	// CrashFired reports whether the rebalance reached the ordinal.
+	CrashFired bool
+	// MovesReplayed and MovesCompleted echo the recovery report.
+	MovesReplayed, MovesCompleted int
+	// Survivors is the row count after recovery (must equal Rows — a
+	// rebalance never changes data).
+	Survivors int64
+	// ClockUS is the simulated clock after recovery, in microseconds.
+	ClockUS int64
+	// Err describes an invariant violation ("" = the ordinal passed).
+	Err string
+}
+
+// RebalanceSweepResult aggregates a rebalance sweep.
+type RebalanceSweepResult struct {
+	TotalIOs    int
+	Ran, Failed int
+	Ordinals    []RebalanceOrdinalResult
+}
+
+// Failures returns the results whose invariants failed.
+func (s *RebalanceSweepResult) Failures() []RebalanceOrdinalResult {
+	var out []RebalanceOrdinalResult
+	for _, r := range s.Ordinals {
+		if r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Digest fingerprints the sweep — the rebalancer is single-threaded, so
+// two sweeps of the same Config must produce identical digests.
+func (s *RebalanceSweepResult) Digest() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "total=%d\n", s.TotalIOs)
+	for _, r := range s.Ordinals {
+		fmt.Fprintf(h, "%d:%v:%d:%d:%d:%d:%s\n",
+			r.Ordinal, r.CrashFired, r.MovesReplayed, r.MovesCompleted, r.Survivors, r.ClockUS, r.Err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CountRebalanceIOs runs the scenario once without faults and returns the
+// number of page I/Os the rebalance performs, validating the fault-free
+// run: it must move files and leave the table consistent.
+func CountRebalanceIOs(cfg Config) (int, error) {
+	cfg = cfg.withDefaults()
+	db, tbl, err := buildRebalanceDB(cfg)
+	if err != nil {
+		return 0, err
+	}
+	before := db.Disk().IOCount()
+	res, err := db.Rebalance()
+	if err != nil {
+		return 0, fmt.Errorf("crashtest: fault-free rebalance failed: %w", err)
+	}
+	if len(res.Moves) == 0 {
+		return 0, fmt.Errorf("crashtest: fault-free rebalance moved nothing")
+	}
+	if err := tbl.Check(); err != nil {
+		return 0, fmt.Errorf("crashtest: fault-free rebalance broke the table: %w", err)
+	}
+	return int(db.Disk().IOCount() - before), nil
+}
+
+// RunRebalanceOrdinal executes one crash-and-recover cycle: fresh
+// scenario, crash at the kth rebalance I/O, recovery, invariant checks.
+func RunRebalanceOrdinal(cfg Config, k int) (RebalanceOrdinalResult, error) {
+	cfg = cfg.withDefaults()
+	res := RebalanceOrdinalResult{Ordinal: k}
+	db, _, err := buildRebalanceDB(cfg)
+	if err != nil {
+		return res, err
+	}
+	db.Disk().SetFaultPlan(sim.NewFaultPlan().CrashAtIO(uint64(k)))
+	_, rerr := db.Rebalance()
+	switch {
+	case rerr == nil:
+		res.CrashFired = false
+	case sim.IsCrash(rerr):
+		res.CrashFired = true
+	default:
+		res.Err = fmt.Sprintf("unexpected non-crash error: %v", rerr)
+		return res, nil
+	}
+
+	disk := db.SimulateCrash()
+	disk.SetFaultPlan(nil)
+	rdb, rep, err := bulkdel.Recover(disk, bulkdel.Options{
+		BufferBytes: cfg.BufferBytes,
+		Observer:    cfg.Observer,
+	})
+	if err != nil {
+		res.Err = fmt.Sprintf("recovery failed: %v", err)
+		return res, nil
+	}
+	res.MovesReplayed = rep.MovesReplayed
+	res.MovesCompleted = rep.MovesCompleted
+	res.Err = verifyRebalancedState(rdb, cfg, &res)
+	res.ClockUS = disk.Clock().Microseconds()
+	return res, nil
+}
+
+// verifyRebalancedState checks the recovered database: a rebalance must
+// never lose or duplicate a row, break a heap↔index invariant, or leave a
+// file in limbo — and the engine must still be fully operational (a
+// follow-up rebalance and a bulk delete both succeed).
+func verifyRebalancedState(rdb *bulkdel.DB, cfg Config, res *RebalanceOrdinalResult) string {
+	tbl := rdb.Table("R")
+	if tbl == nil {
+		return "table R missing after recovery"
+	}
+	if tbl.Partitions() != 4 {
+		return fmt.Sprintf("table has %d partitions after recovery, want 4", tbl.Partitions())
+	}
+	if err := tbl.Check(); err != nil {
+		return fmt.Sprintf("consistency check: %v", err)
+	}
+	var total int64
+	if err := tbl.Scan(func(_ bulkdel.RID, _ []int64) error { total++; return nil }); err != nil {
+		return fmt.Sprintf("scanning recovered heap: %v", err)
+	}
+	res.Survivors = total
+	if total != int64(cfg.Rows) {
+		return fmt.Sprintf("%d rows survive the rebalance crash, want %d", total, cfg.Rows)
+	}
+	// The array must be fully usable: finishing the interrupted
+	// rebalancing and then deleting through the moved files both work.
+	if _, err := rdb.Rebalance(); err != nil {
+		return fmt.Sprintf("rebalance after recovery: %v", err)
+	}
+	victims := make([]int64, 0, cfg.Rows/4)
+	for i := 0; i < cfg.Rows; i += 4 {
+		victims = append(victims, int64(i))
+	}
+	dres, err := tbl.BulkDelete(0, victims, bulkdel.BulkOptions{Memory: cfg.Memory})
+	if err != nil {
+		return fmt.Sprintf("bulk delete after recovery: %v", err)
+	}
+	if dres.Deleted != int64(len(victims)) {
+		return fmt.Sprintf("bulk delete after recovery removed %d of %d", dres.Deleted, len(victims))
+	}
+	if err := tbl.Check(); err != nil {
+		return fmt.Sprintf("consistency after post-recovery delete: %v", err)
+	}
+	return ""
+}
+
+// RebalanceSweep crashes the rebalance at every I/O ordinal in the
+// configured range and checks recovery each time.
+func RebalanceSweep(cfg Config) (*RebalanceSweepResult, error) {
+	cfg = cfg.withDefaults()
+	total, err := CountRebalanceIOs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	from, to := cfg.From, cfg.To
+	if from <= 0 {
+		from = 1
+	}
+	if to <= 0 || to > total {
+		to = total
+	}
+	sw := &RebalanceSweepResult{TotalIOs: total}
+	for k := from; k <= to; k += cfg.Stride {
+		r, err := RunRebalanceOrdinal(cfg, k)
+		if err != nil {
+			return sw, err
+		}
+		sw.Ran++
+		if r.Err != "" {
+			sw.Failed++
+		}
+		sw.Ordinals = append(sw.Ordinals, r)
+	}
+	return sw, nil
+}

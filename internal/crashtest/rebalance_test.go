@@ -1,0 +1,71 @@
+package crashtest
+
+import (
+	"testing"
+)
+
+func TestRebalanceSweepEveryOrdinal(t *testing.T) {
+	sw, err := RebalanceSweep(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Ran != sw.TotalIOs {
+		t.Fatalf("swept %d ordinals, rebalance performs %d I/Os", sw.Ran, sw.TotalIOs)
+	}
+	for _, f := range sw.Failures() {
+		t.Errorf("ordinal %d: %s", f.Ordinal, f.Err)
+	}
+	// Every swept ordinal is within the rebalance, so each must crash, and
+	// the sweep must cross both regimes: crashes recovered with no move
+	// visible in the log, and crashes whose moves recovery replayed.
+	var fired, none, replayed bool
+	for _, r := range sw.Ordinals {
+		if r.CrashFired {
+			fired = true
+		}
+		if r.MovesReplayed == 0 {
+			none = true
+		} else {
+			replayed = true
+		}
+	}
+	if !fired {
+		t.Fatal("no ordinal crashed")
+	}
+	if !none || !replayed {
+		t.Fatalf("sweep did not cross the move-start durability boundary (none=%v replayed=%v)", none, replayed)
+	}
+}
+
+func TestRebalanceSweepDeterministic(t *testing.T) {
+	cfg := Config{Stride: 5}
+	a, err := RebalanceSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RebalanceSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same config, different rebalance sweeps:\n  %s\n  %s", a.Digest(), b.Digest())
+	}
+}
+
+func TestConfigDeterministic(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{}, true},                         // serial, single spindle
+		{Config{Parallel: 4}, true},              // workers clamp to one device
+		{Config{Devices: 4}, true},               // multi-device but serial
+		{Config{Devices: 4, Parallel: 4}, false}, // true parallelism: goroutines race
+		{Config{Devices: 1, Parallel: 8}, true},  // single device clamps again
+	}
+	for i, c := range cases {
+		if got := c.cfg.Deterministic(); got != c.want {
+			t.Errorf("case %d: Deterministic() = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -309,7 +309,7 @@ func (f *File) EditPages() (*PageEditor, error) {
 // pinned until the next Seek or Close.
 func (e *PageEditor) Seek(p sim.PageNo) (page.Slotted, error) {
 	if p < 1 || p >= e.n {
-		return page.Slotted{}, fmt.Errorf("heap: edit of page %d outside data pages [1,%d)", p, e.n)
+		return page.Slotted{}, fmt.Errorf("heap: edit of page %d outside data pages [1,%d): %w", p, e.n, ErrPageRange)
 	}
 	if e.fr != nil {
 		if e.fr.Page() == p {

@@ -1,0 +1,164 @@
+// Package place decides where files live on the simulated disk array.
+//
+// It replaces ad-hoc round-robin assignment with a policy that looks at the
+// array's actual state: every decision scores the candidate devices by the
+// pages already allocated to them, so growth lands on the emptiest arm and
+// the array stays balanced as tables and indexes are created over time. The
+// same scoring, run in reverse, yields a rebalancing plan: when
+// ConfigureDevices grows the array the planner proposes the file moves that
+// level the load onto the new arms.
+//
+// The policy is stateless — every input is a snapshot the caller takes from
+// sim.Disk (Placements, NumDevices) — which keeps it trivially testable and
+// keeps the catalog the single source of truth for where files ended up.
+//
+// Device 0 is the system device (WAL, scratch row files, spill) and is
+// never a candidate for data placement on a multi-device array.
+package place
+
+import (
+	"sort"
+
+	"bulkdel/internal/sim"
+)
+
+// DeviceLoad is one device's aggregate allocation.
+type DeviceLoad struct {
+	Device int
+	Pages  sim.PageNo
+	Files  int
+}
+
+// Loads aggregates the placements into per-device loads for all nDev
+// devices (devices with no files appear with zero load).
+func Loads(nDev int, ps []sim.Placement) []DeviceLoad {
+	if nDev < 1 {
+		nDev = 1
+	}
+	loads := make([]DeviceLoad, nDev)
+	for i := range loads {
+		loads[i].Device = i
+	}
+	for _, p := range ps {
+		if p.Device < 0 || p.Device >= nDev {
+			continue
+		}
+		loads[p.Device].Pages += p.Pages
+		loads[p.Device].Files++
+	}
+	return loads
+}
+
+// Pick chooses the device a new data file should be created on: the
+// least-loaded data device (1..n-1; device 0 only when the array has a
+// single device), preferring devices not in avoid. avoid expresses
+// per-table affinity — the devices the table's other structures already
+// occupy — so a table's heap and indexes spread across arms and a delete's
+// per-structure passes do not contend. When every candidate is avoided the
+// constraint is dropped rather than failing: balance beats affinity.
+func Pick(loads []DeviceLoad, avoid map[int]bool) int {
+	best := pick(loads, avoid)
+	if best < 0 {
+		best = pick(loads, nil)
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+func pick(loads []DeviceLoad, avoid map[int]bool) int {
+	best := -1
+	for _, l := range loads {
+		if l.Device == 0 && len(loads) > 1 {
+			continue // system device
+		}
+		if avoid[l.Device] {
+			continue
+		}
+		if best < 0 || l.Pages < loads[best].Pages {
+			best = l.Device
+		}
+	}
+	return best
+}
+
+// Move is one planned file migration.
+type Move struct {
+	File     sim.FileID
+	From, To int
+	Pages    sim.PageNo
+}
+
+// PlanRebalance proposes the moves that level the data devices' loads. ps
+// must contain only movable files (the caller filters out the WAL and any
+// file it wants pinned); nDev is the device count after growth. The plan is
+// a deterministic greedy: repeatedly take the largest file on the fullest
+// device that fits into the gap to the emptiest device, until no move
+// improves the imbalance. Each file moves at most once.
+func PlanRebalance(nDev int, ps []sim.Placement) []Move {
+	if nDev <= 2 {
+		return nil // zero or one data device: nothing to balance onto
+	}
+	loads := Loads(nDev, ps)
+	byDev := make(map[int][]sim.Placement)
+	for _, p := range ps {
+		if p.Device == 0 && nDev > 1 {
+			continue // system-device files (WAL, scratch) stay put
+		}
+		byDev[p.Device] = append(byDev[p.Device], p)
+	}
+	// Largest first, file ID tie-break, so the plan is deterministic.
+	for d := range byDev {
+		fs := byDev[d]
+		sort.Slice(fs, func(i, j int) bool {
+			if fs[i].Pages != fs[j].Pages {
+				return fs[i].Pages > fs[j].Pages
+			}
+			return fs[i].File < fs[j].File
+		})
+	}
+	data := loads[1:]
+	var plan []Move
+	for {
+		over, under := data[0], data[0]
+		for _, l := range data[1:] {
+			if l.Pages > over.Pages || (l.Pages == over.Pages && l.Device < over.Device) {
+				over = l
+			}
+			if l.Pages < under.Pages || (l.Pages == under.Pages && l.Device < under.Device) {
+				under = l
+			}
+		}
+		gap := over.Pages - under.Pages
+		if gap <= 1 {
+			break
+		}
+		// The largest file whose move strictly shrinks the pair's gap:
+		// |gap − 2·pages| < gap ⇔ 0 < pages < gap.
+		moved := false
+		for i, f := range byDev[over.Device] {
+			if f.Pages == 0 || f.Pages >= gap {
+				continue
+			}
+			plan = append(plan, Move{File: f.File, From: over.Device, To: under.Device, Pages: f.Pages})
+			byDev[over.Device] = append(byDev[over.Device][:i:i], byDev[over.Device][i+1:]...)
+			for j := range data {
+				switch data[j].Device {
+				case over.Device:
+					data[j].Pages -= f.Pages
+					data[j].Files--
+				case under.Device:
+					data[j].Pages += f.Pages
+					data[j].Files++
+				}
+			}
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	return plan
+}

@@ -1,0 +1,130 @@
+package place
+
+import (
+	"testing"
+
+	"bulkdel/internal/sim"
+)
+
+func pl(file int, dev int, pages int) sim.Placement {
+	return sim.Placement{File: sim.FileID(file), Device: dev, Pages: sim.PageNo(pages)}
+}
+
+func TestLoadsAggregates(t *testing.T) {
+	ls := Loads(3, []sim.Placement{pl(1, 0, 4), pl(2, 1, 10), pl(3, 1, 2), pl(4, 2, 1)})
+	if ls[0].Pages != 4 || ls[0].Files != 1 {
+		t.Errorf("device 0: %+v", ls[0])
+	}
+	if ls[1].Pages != 12 || ls[1].Files != 2 {
+		t.Errorf("device 1: %+v", ls[1])
+	}
+	if ls[2].Pages != 1 || ls[2].Files != 1 {
+		t.Errorf("device 2: %+v", ls[2])
+	}
+}
+
+func TestPickPrefersEmptiestDataDevice(t *testing.T) {
+	ls := Loads(4, []sim.Placement{pl(1, 1, 10), pl(2, 2, 3), pl(3, 3, 7)})
+	if got := Pick(ls, nil); got != 2 {
+		t.Errorf("Pick = %d, want 2", got)
+	}
+}
+
+func TestPickNeverPicksSystemDevice(t *testing.T) {
+	// Device 0 is empty but reserved; the least-loaded data device wins.
+	ls := Loads(3, []sim.Placement{pl(1, 1, 5), pl(2, 2, 9)})
+	if got := Pick(ls, nil); got != 1 {
+		t.Errorf("Pick = %d, want 1", got)
+	}
+	// Single-device array: 0 is all there is.
+	if got := Pick(Loads(1, nil), nil); got != 0 {
+		t.Errorf("Pick(single) = %d, want 0", got)
+	}
+}
+
+func TestPickHonoursAffinityUntilExhausted(t *testing.T) {
+	ls := Loads(3, []sim.Placement{pl(1, 1, 1), pl(2, 2, 5)})
+	if got := Pick(ls, map[int]bool{1: true}); got != 2 {
+		t.Errorf("Pick(avoid 1) = %d, want 2", got)
+	}
+	// Every data device avoided: balance beats affinity.
+	if got := Pick(ls, map[int]bool{1: true, 2: true}); got != 1 {
+		t.Errorf("Pick(avoid all) = %d, want 1", got)
+	}
+}
+
+func TestPickTieBreaksLowestDevice(t *testing.T) {
+	ls := Loads(4, nil)
+	if got := Pick(ls, nil); got != 1 {
+		t.Errorf("Pick = %d, want 1", got)
+	}
+}
+
+func TestPlanRebalanceLevelsOntoNewDevices(t *testing.T) {
+	// Everything on device 1; devices 2 and 3 just grew into the array.
+	ps := []sim.Placement{pl(10, 1, 40), pl(11, 1, 40), pl(12, 1, 40)}
+	plan := PlanRebalance(4, ps)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %+v, want 2 moves", plan)
+	}
+	dest := map[int]sim.PageNo{1: 120}
+	for _, m := range plan {
+		if m.From != 1 {
+			t.Errorf("move %+v from unexpected device", m)
+		}
+		dest[m.From] -= m.Pages
+		dest[m.To] += m.Pages
+	}
+	for d := 1; d <= 3; d++ {
+		if dest[d] != 40 {
+			t.Errorf("device %d ends with %d pages, want 40", d, dest[d])
+		}
+	}
+}
+
+func TestPlanRebalanceMovesEachFileOnce(t *testing.T) {
+	ps := []sim.Placement{
+		pl(10, 1, 30), pl(11, 1, 20), pl(12, 1, 10),
+		pl(13, 2, 5),
+	}
+	plan := PlanRebalance(3, ps)
+	seen := map[sim.FileID]int{}
+	for _, m := range plan {
+		seen[m.File]++
+	}
+	for f, n := range seen {
+		if n > 1 {
+			t.Errorf("file %d moved %d times", f, n)
+		}
+	}
+}
+
+func TestPlanRebalanceLeavesBalancedArrayAlone(t *testing.T) {
+	ps := []sim.Placement{pl(10, 1, 20), pl(11, 2, 20), pl(12, 3, 20)}
+	if plan := PlanRebalance(4, ps); len(plan) != 0 {
+		t.Errorf("plan = %+v, want none", plan)
+	}
+}
+
+func TestPlanRebalanceIgnoresSystemDeviceFiles(t *testing.T) {
+	ps := []sim.Placement{pl(1, 0, 100), pl(10, 1, 10)}
+	for _, m := range PlanRebalance(3, ps) {
+		if m.File == 1 {
+			t.Errorf("planned to move system-device file: %+v", m)
+		}
+	}
+}
+
+func TestPlanRebalanceDeterministic(t *testing.T) {
+	ps := []sim.Placement{pl(10, 1, 17), pl(11, 1, 23), pl(12, 1, 9), pl(13, 2, 4)}
+	a := PlanRebalance(4, ps)
+	b := PlanRebalance(4, ps)
+	if len(a) != len(b) {
+		t.Fatalf("plans differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("move %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -108,4 +109,29 @@ func (d *Disk) DeviceStats(dev int) Stats {
 		return Stats{}
 	}
 	return d.devs[dev].stats
+}
+
+// Placement describes one live file's location and size — the unit of the
+// placement policy's and the layout CLI's view of the array.
+type Placement struct {
+	File   FileID
+	Device int
+	Pages  PageNo
+}
+
+// Placements returns every live (non-dropped) file's placement, sorted by
+// file ID. Placement decisions and rebalance planning score devices from
+// this snapshot.
+func (d *Disk) Placements() []Placement {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Placement, 0, len(d.files))
+	for id, f := range d.files {
+		if f.dropped {
+			continue
+		}
+		out = append(out, Placement{File: id, Device: d.fileDev[id], Pages: PageNo(len(f.pages))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
 }

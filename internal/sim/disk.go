@@ -198,6 +198,23 @@ func (d *Disk) DropFile(id FileID) error {
 	return nil
 }
 
+// TruncateFile releases every page of the file past the first keep pages.
+// Like DropFile, deallocation is a metadata operation: it costs no simulated
+// time. Range-partitioned bulk deletes use it to drop a whole partition's
+// data pages without scanning them.
+func (d *Disk) TruncateFile(id FileID, keep PageNo) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := d.fileLocked(id)
+	if err != nil {
+		return err
+	}
+	if int(keep) < len(f.pages) {
+		f.pages = f.pages[:keep]
+	}
+	return nil
+}
+
 func (d *Disk) fileLocked(id FileID) (*file, error) {
 	f, ok := d.files[id]
 	if !ok || f.dropped {

@@ -60,12 +60,15 @@ func (ix *Index) EncodeKey(v int64) []byte {
 	return keyenc.Int64Key(v, ix.Def.KeyLen)
 }
 
-// Table is a base table with its indexes.
+// Table is a base table with its indexes. Heap is the storage behind the
+// table: a single heap file, or a partitioned heap split on the table's
+// delete key (heap.Partitioned) whose partitions can live on different
+// devices.
 type Table struct {
 	Name   string
 	Schema record.Schema
-	Heap   *heap.File
-	Idx []*Index
+	Heap   heap.Store
+	Idx    []*Index
 	// Lock is the §3 coarse table lock. Create and ReattachForRecovery
 	// give every table a private lock; a DB replaces it with the shared
 	// instance from its cc.Manager so ordered multi-table acquisition and
@@ -100,12 +103,33 @@ func Create(pool *buffer.Pool, name string, schema record.Schema) (*Table, error
 	}, nil
 }
 
+// CreatePartitioned makes an empty table whose heap is partitioned by spec.
+// Partition device placement is the caller's concern (see internal/place).
+func CreatePartitioned(pool *buffer.Pool, name string, schema record.Schema, spec heap.PartitionSpec) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := heap.CreatePartitioned(pool, schema, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Name:        name,
+		Schema:      schema,
+		Heap:        h,
+		Lock:        &cc.TableLock{},
+		Undeletable: cc.NewUndeletableSet(),
+		SortBudget:  DefaultSortBudget,
+		pool:        pool,
+	}, nil
+}
+
 // Pool returns the table's buffer pool.
 func (t *Table) Pool() *buffer.Pool { return t.pool }
 
-// ReattachForRecovery rebuilds a Table around an already-opened heap file
+// ReattachForRecovery rebuilds a Table around an already-opened heap store
 // during crash recovery; the caller attaches the reopened indexes to Idx.
-func ReattachForRecovery(pool *buffer.Pool, name string, schema record.Schema, h *heap.File) *Table {
+func ReattachForRecovery(pool *buffer.Pool, name string, schema record.Schema, h heap.Store) *Table {
 	return &Table{
 		Name:        name,
 		Schema:      schema,
@@ -327,6 +351,52 @@ func (t *Table) DropIndex(name string) error {
 		}
 	}
 	return fmt.Errorf("table %s: no index %q", t.Name, name)
+}
+
+// Repartition rebuilds the table's heap under a new partition spec — or
+// back to a single file when spec is empty. Every RID changes, so each
+// index is reset and rebuilt from the new heap (file IDs and device
+// placements survive). The caller holds the table's exclusive lock and
+// re-saves the catalog afterwards.
+func (t *Table) Repartition(spec heap.PartitionSpec) error {
+	var ns heap.Store
+	if spec.NumParts() > 0 {
+		ph, err := heap.CreatePartitioned(t.pool, t.Schema, spec)
+		if err != nil {
+			return err
+		}
+		ns = ph
+	} else {
+		f, err := heap.Create(t.pool, t.Schema.Size)
+		if err != nil {
+			return err
+		}
+		ns = f
+	}
+	err := t.Heap.Scan(func(_ record.RID, rec []byte) error {
+		_, err := ns.Insert(rec)
+		return err
+	})
+	if err != nil {
+		_ = ns.Drop()
+		return err
+	}
+	old := t.Heap
+	t.Heap = ns
+	for _, ix := range t.Idx {
+		if err := ix.Tree.ResetEmpty(); err != nil {
+			return err
+		}
+		if t.Heap.Count() > 0 {
+			if err := t.buildIndex(ix); err != nil {
+				return err
+			}
+		}
+	}
+	if err := old.Drop(); err != nil {
+		return err
+	}
+	return t.Flush()
 }
 
 // Flush persists the heap and every index.

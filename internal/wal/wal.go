@@ -69,6 +69,13 @@ const (
 	TMaterialized
 	// TNote is a free-form marker used by tests and tools.
 	TNote
+	// TMoveStart marks the start of a file migration by the rebalancer:
+	// A = file being moved, B = destination device. The source copy stays
+	// intact (and the catalog keeps naming it) until TMoveDone is logged,
+	// so a crash between the two recovers by redoing the move.
+	TMoveStart
+	// TMoveDone marks the migration of A as complete on device B.
+	TMoveDone
 )
 
 func (t Type) String() string {
@@ -93,6 +100,10 @@ func (t Type) String() string {
 		return "materialized"
 	case TNote:
 		return "note"
+	case TMoveStart:
+		return "move-start"
+	case TMoveDone:
+		return "move-done"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -274,7 +285,7 @@ func Open(disk *sim.Disk, file sim.FileID) (*Log, []Record, error) {
 			break
 		}
 		t := Type(stream[off])
-		if t == 0 || t > TNote {
+		if t == 0 || t > TMoveDone {
 			break // end of valid records (zero fill or torn tail)
 		}
 		gen := binary.LittleEndian.Uint32(stream[off+1:])
@@ -440,6 +451,37 @@ func AnalyzeBulks(recs []Record) []BulkState {
 	out := make([]BulkState, 0, len(order))
 	for _, tx := range order {
 		out = append(out, *byTx[tx])
+	}
+	return out
+}
+
+// Move is one file migration distilled from the log: file A headed to
+// device To, with Done reporting whether TMoveDone made it out.
+type Move struct {
+	TxID uint64
+	File uint64
+	To   uint64
+	Done bool
+}
+
+// AnalyzeMoves scans recovered records and returns every file migration in
+// the log, in TMoveStart order. Recovery redoes the unfinished ones: the
+// move protocol flushes the file before TMoveStart and never frees the
+// source until TMoveDone, so redoing a move is idempotent.
+func AnalyzeMoves(recs []Record) []Move {
+	var out []Move
+	for _, r := range recs {
+		switch r.Type {
+		case TMoveStart:
+			out = append(out, Move{TxID: r.TxID, File: r.A, To: r.B})
+		case TMoveDone:
+			for i := len(out) - 1; i >= 0; i-- {
+				if out[i].File == r.A && !out[i].Done {
+					out[i].Done = true
+					break
+				}
+			}
+		}
 	}
 	return out
 }

@@ -76,10 +76,10 @@ func (s StressSpec) withDefaults() StressSpec {
 
 // StressStats summarizes a completed run.
 type StressStats struct {
-	BulkDeletes int64
-	RowsDeleted int64
+	BulkDeletes  int64
+	RowsDeleted  int64
 	RowsInserted int64
-	Lookups     int64
+	Lookups      int64
 	// Makespan and SerialEquivalent are the batch's device-level timing
 	// from DB.RunConcurrent (see bulkdel.ConcurrentResult).
 	Makespan         time.Duration

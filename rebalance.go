@@ -1,0 +1,330 @@
+package bulkdel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bulkdel/internal/cc"
+	"bulkdel/internal/heap"
+	"bulkdel/internal/place"
+	"bulkdel/internal/record"
+	"bulkdel/internal/sim"
+	"bulkdel/internal/table"
+	"bulkdel/internal/wal"
+)
+
+// PartitionSpec declares how a table's heap is split (see internal/heap):
+// hash partitioning on the delete key, or key-range partitioning with
+// explicit bounds. Key-range partitioning lets a bulk delete that covers a
+// whole partition drop it by truncation instead of a merge pass.
+type PartitionSpec = heap.PartitionSpec
+
+// CreateTablePartitioned adds a table whose heap is split into
+// spec.NumParts() partition files routed by spec's partition key. On a
+// multi-device array each partition is placed by the device policy, so the
+// per-partition passes of a bulk delete can overlap on separate spindles.
+func (db *DB) CreateTablePartitioned(name string, numFields, recordSize int, spec PartitionSpec) (*Table, error) {
+	if db.crashed.Load() {
+		return nil, errCrashed
+	}
+	schema := record.Schema{NumFields: numFields, Size: recordSize}
+	if err := spec.Validate(schema); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if _, ok := db.tables[name]; ok {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("bulkdel: table %q already exists", name)
+	}
+	t, err := table.CreatePartitioned(db.pool, name, schema, spec)
+	if err != nil {
+		db.mu.Unlock()
+		return nil, err
+	}
+	t.Lock = db.cc.Lock(name)
+	tbl := &Table{db: db, t: t}
+	db.tables[name] = tbl
+	db.mu.Unlock()
+	if err := tbl.placeHeapPartitions(); err != nil {
+		return nil, err
+	}
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Partitions reports how many heap partitions the table has (1 = a plain
+// single-file heap).
+func (tbl *Table) Partitions() int { return len(tbl.t.Heap.Parts()) }
+
+// PartitionSpec returns the table's partitioning declaration (zero value
+// for a single-file heap).
+func (tbl *Table) PartitionSpec() PartitionSpec {
+	if ph, ok := tbl.t.Heap.(*heap.Partitioned); ok {
+		return ph.Spec()
+	}
+	return PartitionSpec{}
+}
+
+// AlterPartitioning rewrites the table's heap under the new spec (a zero
+// spec converts back to a single file): every record is re-routed into the
+// new partition layout and every index is rebuilt in place — file IDs and
+// device placements survive, so the catalog's index entries stay valid. The
+// statement takes the table's exclusive lock; it is not WAL-protected (like
+// the other DDL, a crash mid-rewrite loses the statement, not the log).
+func (tbl *Table) AlterPartitioning(spec PartitionSpec) error {
+	if tbl.db.crashed.Load() {
+		return errCrashed
+	}
+	if spec.NumParts() > 0 {
+		if err := spec.Validate(tbl.t.Schema); err != nil {
+			return err
+		}
+	}
+	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.releaseStatement(held)
+	tbl.waitIndexesOnline()
+	if err := tbl.t.Repartition(spec); err != nil {
+		return err
+	}
+	if err := tbl.placeHeapPartitions(); err != nil {
+		return err
+	}
+	tbl.db.obs.Registry().Counter("repartitions_run").Add(1)
+	return tbl.db.saveCatalog()
+}
+
+// placeHeapPartitions spreads a partitioned heap's files across the data
+// devices via the placement policy. Single-file heaps stay on the system
+// device (their sequential pass shares it with the WAL, as before).
+func (tbl *Table) placeHeapPartitions() error {
+	parts := tbl.t.Heap.Parts()
+	if len(parts) <= 1 || tbl.db.numDataDevices() <= 1 {
+		return nil
+	}
+	avoid := make(map[int]bool)
+	for _, ix := range tbl.t.Idx {
+		avoid[tbl.db.disk.DeviceOf(ix.Tree.ID())] = true
+	}
+	for _, p := range parts {
+		dev := tbl.db.pickDevice(avoid)
+		if err := tbl.db.pool.Relocate(p.ID(), dev); err != nil {
+			return err
+		}
+		avoid[dev] = true
+	}
+	return nil
+}
+
+// deviceAffinity is the set of devices the table's structures already
+// occupy — the placement policy avoids them so a statement's per-structure
+// passes land on separate arms.
+func (tbl *Table) deviceAffinity() map[int]bool {
+	avoid := make(map[int]bool)
+	for _, p := range tbl.t.Heap.Parts() {
+		avoid[tbl.db.disk.DeviceOf(p.ID())] = true
+	}
+	for _, ix := range tbl.t.Idx {
+		avoid[tbl.db.disk.DeviceOf(ix.Tree.ID())] = true
+	}
+	return avoid
+}
+
+// pickDevice scores the array's current allocation and returns the device
+// a new data file should land on.
+func (db *DB) pickDevice(avoid map[int]bool) int {
+	return place.Pick(place.Loads(db.disk.NumDevices(), db.disk.Placements()), avoid)
+}
+
+// numDataDevices returns the configured data-device count (Options.Devices,
+// possibly grown by GrowDevices), read under the catalog lock.
+func (db *DB) numDataDevices() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.opts.Devices
+}
+
+// GrowDevices extends the disk array to `devices` data devices (plus the
+// system device). Existing files stay where they are — run Rebalance to
+// migrate load onto the new arms. Shrinking is not supported.
+func (db *DB) GrowDevices(devices int) error {
+	if db.crashed.Load() {
+		return errCrashed
+	}
+	db.mu.Lock()
+	if devices < db.opts.Devices {
+		db.mu.Unlock()
+		return fmt.Errorf("bulkdel: cannot shrink the array from %d to %d devices", db.opts.Devices, devices)
+	}
+	db.opts.Devices = devices
+	db.mu.Unlock()
+	if devices > 1 {
+		db.disk.ConfigureDevices(devices + 1)
+	}
+	return db.saveCatalog()
+}
+
+// MoveReport is one completed file migration.
+type MoveReport struct {
+	File     sim.FileID
+	From, To int
+	Pages    int64
+}
+
+// RebalanceResult reports a Rebalance run.
+type RebalanceResult struct {
+	// Moves actually executed, in plan order.
+	Moves []MoveReport
+	// PagesMoved is the total migrated volume.
+	PagesMoved int64
+	// Elapsed is the simulated time the migrations cost (reading every
+	// page on the source arm and writing it on the destination).
+	Elapsed time.Duration
+}
+
+// Rebalance levels the data devices' allocation by migrating heap
+// partitions and index trees onto emptier arms — typically after
+// GrowDevices added spindles. It takes every table's exclusive lock (a
+// migration must not race a statement using the file), and with the WAL
+// enabled each move is bracketed by move-start/move-done records: a crash
+// mid-migration is recovered by redoing the move, so the file is always
+// intact on exactly one device.
+func (db *DB) Rebalance() (*RebalanceResult, error) {
+	if db.crashed.Load() {
+		return nil, errCrashed
+	}
+	db.mu.Lock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	db.mu.Unlock()
+	sort.Strings(names)
+	claims := make([]cc.Claim, len(names))
+	for i, n := range names {
+		claims[i] = cc.Claim{Table: n, Mode: cc.Exclusive}
+	}
+	held := db.acquireStatement(claims)
+	defer db.releaseStatement(held)
+	db.mu.Lock()
+	owned := make(map[sim.FileID]bool)
+	for _, tbl := range db.tables {
+		tbl.waitIndexesOnline()
+		for _, p := range tbl.t.Heap.Parts() {
+			owned[p.ID()] = true
+		}
+		for _, ix := range tbl.t.Idx {
+			owned[ix.Tree.ID()] = true
+		}
+	}
+	db.mu.Unlock()
+
+	var ps []sim.Placement
+	for _, p := range db.disk.Placements() {
+		if owned[p.File] {
+			ps = append(ps, p)
+		}
+	}
+	plan := place.PlanRebalance(db.disk.NumDevices(), ps)
+	res := &RebalanceResult{}
+	start := db.disk.Clock()
+	for _, m := range plan {
+		if err := db.migrateFile(m.File, m.To); err != nil {
+			return res, err
+		}
+		res.Moves = append(res.Moves, MoveReport{File: m.File, From: m.From, To: m.To, Pages: int64(m.Pages)})
+		res.PagesMoved += int64(m.Pages)
+	}
+	res.Elapsed = db.disk.Clock() - start
+	reg := db.obs.Registry()
+	reg.Counter("rebalance_runs").Add(1)
+	reg.Counter("rebalance_moves").Add(int64(len(res.Moves)))
+	reg.Counter("rebalance_pages_moved").Add(res.PagesMoved)
+	if len(res.Moves) > 0 {
+		if err := db.saveCatalog(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// migrateFile moves one file to dev under the move protocol: log
+// move-start, complete the on-disk image (flush dirty frames), physically
+// copy the pages — read them on the source arm, retarget the file, write
+// them back on the destination — then log move-done. Redoing the whole
+// sequence after a crash is idempotent: the pages' content never changes,
+// only the arm they live on.
+func (db *DB) migrateFile(id sim.FileID, dev int) error {
+	var tx uint64
+	if db.log != nil {
+		tx = db.nextTx()
+		if _, err := db.log.Append(wal.TMoveStart, tx, uint64(id), uint64(dev), nil); err != nil {
+			return err
+		}
+		if err := db.log.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := db.pool.FlushFile(id); err != nil {
+		return err
+	}
+	n, err := db.disk.NumPages(id)
+	if err != nil {
+		return err
+	}
+	var bufs [][]byte
+	if n > 0 {
+		bufs = make([][]byte, n)
+		for i := range bufs {
+			bufs[i] = make([]byte, sim.PageSize)
+		}
+		if err := db.disk.ReadRun(id, 0, bufs); err != nil {
+			return err
+		}
+	}
+	if err := db.pool.Relocate(id, dev); err != nil {
+		return err
+	}
+	if err := db.disk.WriteRun(id, 0, bufs); err != nil {
+		return err
+	}
+	if db.log != nil {
+		if _, err := db.log.Append(wal.TMoveDone, tx, uint64(id), uint64(dev), nil); err != nil {
+			return err
+		}
+		if err := db.log.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeviceLayout is one device's row in DB.Layout.
+type DeviceLayout struct {
+	// Device index (0 is the system device).
+	Device int
+	// Files currently placed on the device.
+	Files int
+	// Pages allocated to those files.
+	Pages int64
+	// Busy is the device's accumulated busy time.
+	Busy time.Duration
+}
+
+// Layout reports the per-device file layout of the array: how many files
+// and pages each device holds and how much simulated time it has been busy.
+func (db *DB) Layout() []DeviceLayout {
+	n := db.disk.NumDevices()
+	out := make([]DeviceLayout, n)
+	for i := range out {
+		out[i].Device = i
+		out[i].Busy = db.disk.DeviceBusy(i)
+	}
+	for _, p := range db.disk.Placements() {
+		out[p.Device].Files++
+		out[p.Device].Pages += int64(p.Pages)
+	}
+	return out
+}

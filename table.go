@@ -56,8 +56,10 @@ func (tbl *Table) Count() int64 { return tbl.t.Heap.Count() }
 
 // CreateIndex builds an index over the current contents (scan + external
 // sort + bottom-up bulk load). On a multi-device array (Options.Devices)
-// the new tree is placed round-robin on devices 1..Devices, so independent
-// ⋈̸ passes of a parallel bulk delete can overlap on separate spindles.
+// the new tree is placed by the device policy (internal/place): the
+// least-loaded data device the table does not already occupy, so
+// independent ⋈̸ passes of a parallel bulk delete can overlap on separate
+// spindles.
 func (tbl *Table) CreateIndex(opts IndexOptions) error {
 	if tbl.db.crashed.Load() {
 		return errCrashed
@@ -69,11 +71,8 @@ func (tbl *Table) CreateIndex(opts IndexOptions) error {
 	if err != nil {
 		return err
 	}
-	if d := tbl.db.opts.Devices; d > 1 {
-		tbl.db.mu.Lock()
-		dev := 1 + tbl.db.ixSeq%d
-		tbl.db.ixSeq++
-		tbl.db.mu.Unlock()
+	if tbl.db.numDataDevices() > 1 {
+		dev := tbl.db.pickDevice(tbl.deviceAffinity())
 		if err := tbl.db.pool.Relocate(ix.Tree.ID(), dev); err != nil {
 			return err
 		}
