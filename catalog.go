@@ -314,6 +314,7 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		return nil, nil, err
 	}
 	db.log = log
+	db.wireWAL()
 	// Replay rebalancer moves in log order, after the catalog's placements
 	// were re-applied above: a crash between a move's move-done record and
 	// the next catalog save leaves the catalog pointing at the old device,

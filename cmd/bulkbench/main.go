@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"bulkdel/internal/bench"
+	"bulkdel/internal/obs"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 		checkHS  = flag.Bool("check-heapscale", false, "fail unless the heapscale experiment shows a 2.5x speedup at 4 devices (CI smoke)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		jsonDir  = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory (\".\" for cwd)")
+		traceDir = flag.String("trace", "", "also write each experiment's statement span trees as a Chrome trace_event\nfile (BENCH_<id>_trace.json, open in chrome://tracing) into this directory")
 		started  = time.Now()
 	)
 	flag.Parse()
@@ -113,6 +115,13 @@ func main() {
 		}
 		if *jsonDir != "" {
 			path, err := writeJSON(*jsonDir, e)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", rr.name, err))
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *traceDir != "" {
+			path, err := writeTrace(*traceDir, e)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", rr.name, err))
 			}
@@ -190,6 +199,32 @@ func writeJSON(dir string, e bench.Experiment) (string, error) {
 		return "", err
 	}
 	path := filepath.Join(dir, "BENCH_"+stem+".json")
+	return path, os.WriteFile(path, append(j, '\n'), 0o644)
+}
+
+// writeTrace encodes every run's statement span tree as one Chrome
+// trace_event file: one thread per (series, point) run, so the whole
+// experiment renders side by side in chrome://tracing.
+func writeTrace(dir string, e bench.Experiment) (string, error) {
+	stem := strings.Fields(e.ID)[0]
+	var ct obs.ChromeTrace
+	ct.SetProcessName(1, "bulkbench "+e.ID)
+	tid := 0
+	for _, s := range e.Series {
+		for _, p := range s.Points {
+			if p.Result.Trace == nil {
+				continue
+			}
+			tid++
+			ct.SetThreadName(1, tid, fmt.Sprintf("%s %s=%s", s.Label, e.XLabel, p.X))
+			ct.AddSpanTree(1, tid, p.Result.Trace)
+		}
+	}
+	j, err := ct.JSON()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+stem+"_trace.json")
 	return path, os.WriteFile(path, append(j, '\n'), 0o644)
 }
 

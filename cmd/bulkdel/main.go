@@ -30,7 +30,7 @@
 //	lookup <table> <field> <value>
 //	count <table> | check <table> | explain <table> <field> [method]
 //	estimate <table> <field> <victims>
-//	clock | stats | metrics | layout | flush | crash | recover | help | quit
+//	clock | stats | metrics | layout | inspect | flush | crash | recover | help | quit
 package main
 
 import (
@@ -52,8 +52,38 @@ type shell struct {
 	out            *bufio.Writer
 	explainAnalyze bool
 	metricsJSON    bool
+	progress       bool           // live Inspect view while a bulk delete runs
 	parallel       int            // worker cap for every bulk delete
 	faultPlan      *sim.FaultPlan // armed for the next delete statement
+}
+
+// watchProgress prints the live engine view (in-flight statements with
+// phase and progress counters, the lock graph, the WAL queue) to stderr
+// every 100ms until the returned stop function is called. A no-op unless
+// -progress was given.
+func (s *shell) watchProgress() (stop func()) {
+	if !s.progress {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprint(os.Stderr, "---\n"+s.db.Inspect().String())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 func main() {
@@ -70,6 +100,8 @@ func main() {
 		"worker cap for every bulk delete's remaining-index passes (0/1 = serial; needs -devices)")
 	layout := flag.Bool("layout", false,
 		"print the per-device file layout (device, files, pages, busy-time share) when the session ends")
+	progress := flag.Bool("progress", false,
+		"while a bulk delete runs, print the live engine view (phase, pages, lock graph) to stderr\n(also: the `inspect` command for a one-shot snapshot)")
 	flag.Parse()
 
 	if *parallel > 1 && *devices <= 1 {
@@ -96,7 +128,7 @@ func main() {
 	}
 	sh := &shell{db: db, out: bufio.NewWriter(os.Stdout),
 		explainAnalyze: *explainAnalyze, metricsJSON: *metricsJSON,
-		parallel: *parallel}
+		progress: *progress, parallel: *parallel}
 	if *faults != "" {
 		plan, err := sim.ParseFaultSpec(*faults)
 		if err != nil {
@@ -206,6 +238,9 @@ func (s *shell) exec(line string) error {
 	case "layout":
 		s.printLayout()
 		return nil
+	case "inspect":
+		fmt.Fprint(s.out, s.db.Inspect().String())
+		return nil
 	case "flush":
 		return s.db.Flush()
 	case "crash":
@@ -250,7 +285,7 @@ func (s *shell) help() {
   count <table> | check <table>
   explain <table> <field> [sort|hash|partition]
   estimate <table> <field> <victims>
-  clock | stats | metrics | layout | flush | crash | recover | quit
+  clock | stats | metrics | layout | inspect | flush | crash | recover | quit
 `)
 }
 
@@ -496,7 +531,9 @@ func (s *shell) delete(args []string) error {
 		if err != nil {
 			return err
 		}
+		stop := s.watchProgress()
 		res, err := tbl.BulkDelete(field, values, bulkdel.BulkOptions{Method: m, Parallel: s.parallel})
+		stop()
 		if err != nil {
 			return err
 		}

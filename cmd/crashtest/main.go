@@ -51,6 +51,7 @@ func main() {
 	verifyDigest := flag.Bool("verify-digest", true, "re-run deterministic sweeps and require identical digests")
 	verbose := flag.Bool("v", false, "print every ordinal's outcome")
 	metricsJSON := flag.Bool("metrics-json", false, "print the accumulated metrics registry as JSON")
+	eventsPath := flag.String("events", "", "write the statement event log (all scenarios, JSONL) to this file")
 	flag.Parse()
 
 	methods := map[string]bulkdel.Method{
@@ -149,6 +150,20 @@ func main() {
 		}
 		os.Stdout.Write(j)
 		fmt.Println()
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err == nil {
+			err = observer.Events().WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crashtest:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("events: wrote %s\n", *eventsPath)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "crashtest: %d ordinal(s) failed\n", failed)

@@ -10,6 +10,10 @@
 //	stress                                  # defaults: 4 tables, 4 workers
 //	stress -seed 3 -devices 4 -budget 4 -parallel 3 -concurrent
 //	stress -workers 8 -ops 200 -rows 1000
+//	stress -top                             # live in-flight/lock view
+//	stress -bench-json BENCH_stress.json    # latency percentiles + waits
+//	stress -trace trace.json                # open in chrome://tracing
+//	stress -events events.jsonl             # statement event log
 //
 // The generator is deterministic in (seed, worker): a failing seed replays
 // the same operation streams, so CI failures reproduce locally with the
@@ -17,12 +21,52 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"bulkdel"
 	"bulkdel/internal/workload"
 )
+
+// benchJSON is the stable wire form of a stress run for BENCH_stress.json:
+// counts, batch timing (simulated makespan vs serial-equivalent and real
+// wall time), per-statement latency percentiles, and the lock-wait share
+// of the workers' combined wall time.
+type benchJSON struct {
+	Tables             int     `json:"tables"`
+	Rows               int     `json:"rows"`
+	Workers            int     `json:"workers"`
+	Ops                int     `json:"ops"`
+	Seed               int64   `json:"seed"`
+	Devices            int     `json:"devices"`
+	Parallel           int     `json:"parallel"`
+	Budget             int     `json:"budget"`
+	Concurrent         bool    `json:"concurrent"`
+	BulkDeletes        int64   `json:"bulk_deletes"`
+	RowsDeleted        int64   `json:"rows_deleted"`
+	RowsInserted       int64   `json:"rows_inserted"`
+	Lookups            int64   `json:"lookups"`
+	MakespanUS         int64   `json:"makespan_us"`
+	SerialEquivalentUS int64   `json:"serial_equivalent_us"`
+	WallUS             int64   `json:"wall_us"`
+	StatementP50US     int64   `json:"statement_p50_us"`
+	StatementP95US     int64   `json:"statement_p95_us"`
+	StatementP99US     int64   `json:"statement_p99_us"`
+	LockWaits          int64   `json:"lock_waits"`
+	LockWaitUS         int64   `json:"lock_wait_us"`
+	LockWaitShare      float64 `json:"lock_wait_share"`
+}
+
+func writeFile(path string, data []byte) {
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stress: wrote %s\n", path)
+}
 
 func main() {
 	tables := flag.Int("tables", 0, "independent tables (default 4)")
@@ -35,6 +79,11 @@ func main() {
 	budget := flag.Int("budget", 0, "DB-wide admission budget shared by all statements (0 = unbounded)")
 	concurrent := flag.Bool("concurrent", false, "run bulk deletes under the §3.1 protocol (early lock release)")
 	noWAL := flag.Bool("no-wal", false, "disable write-ahead logging")
+	top := flag.Bool("top", false, "print a live in-flight/lock-graph view while the run executes")
+	topEvery := flag.Duration("top-interval", 200*time.Millisecond, "refresh interval for -top")
+	benchPath := flag.String("bench-json", "", "write run summary (percentiles, lock-wait share) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event file (open in chrome://tracing)")
+	eventsPath := flag.String("events", "", "write the statement event log as JSONL to this file")
 	flag.Parse()
 
 	spec := workload.StressSpec{
@@ -42,12 +91,92 @@ func main() {
 		Devices: *devices, Parallel: *parallel, Budget: *budget,
 		Seed: *seed, Concurrent: *concurrent, DisableWAL: *noWAL,
 	}
+
+	// OnOpen hands us the DB before the workers start, for the live view
+	// and the post-run event-log exports.
+	var db *bulkdel.DB
+	done := make(chan struct{})
+	spec.OnOpen = func(d *bulkdel.DB) {
+		db = d
+		if *top {
+			go func() {
+				tick := time.NewTicker(*topEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-done:
+						return
+					case <-tick.C:
+						fmt.Fprint(os.Stderr, "---\n"+d.Inspect().String())
+					}
+				}
+			}()
+		}
+	}
+
 	stats, err := workload.Stress(spec)
+	close(done)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stress:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("stress: ok  bulk-deletes=%d rows-deleted=%d rows-inserted=%d lookups=%d lock-waits=%d\n",
 		stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups, stats.LockWaits)
-	fmt.Printf("stress: makespan=%v serial-equivalent=%v\n", stats.Makespan, stats.SerialEquivalent)
+	fmt.Printf("stress: makespan=%v serial-equivalent=%v wall=%v\n",
+		stats.Makespan, stats.SerialEquivalent, stats.WallTime)
+	fmt.Printf("stress: statement latency p50=%v p95=%v p99=%v lock-wait=%v\n",
+		stats.P50, stats.P95, stats.P99, time.Duration(stats.LockWaitUS)*time.Microsecond)
+
+	if *benchPath != "" {
+		sp := spec.Resolved()
+		out := benchJSON{
+			Tables: sp.Tables, Rows: sp.Rows, Workers: sp.Workers, Ops: sp.Ops,
+			Seed: sp.Seed, Devices: sp.Devices, Parallel: sp.Parallel,
+			Budget: sp.Budget, Concurrent: sp.Concurrent,
+			BulkDeletes:        stats.BulkDeletes,
+			RowsDeleted:        stats.RowsDeleted,
+			RowsInserted:       stats.RowsInserted,
+			Lookups:            stats.Lookups,
+			MakespanUS:         stats.Makespan.Microseconds(),
+			SerialEquivalentUS: stats.SerialEquivalent.Microseconds(),
+			WallUS:             stats.WallTime.Microseconds(),
+			StatementP50US:     stats.P50.Microseconds(),
+			StatementP95US:     stats.P95.Microseconds(),
+			StatementP99US:     stats.P99.Microseconds(),
+			LockWaits:          stats.LockWaits,
+			LockWaitUS:         stats.LockWaitUS,
+		}
+		// Share of the workers' combined wall time spent blocked on locks.
+		if denom := out.WallUS * int64(sp.Workers); denom > 0 {
+			out.LockWaitShare = float64(out.LockWaitUS) / float64(denom)
+		}
+		j, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		writeFile(*benchPath, j)
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err == nil {
+			err = db.Observer().Events().WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stress: wrote %s\n", *eventsPath)
+	}
+	if *tracePath != "" {
+		j, err := db.Observer().Events().ChromeTraceJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		writeFile(*tracePath, j)
+	}
 }

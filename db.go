@@ -22,6 +22,7 @@ package bulkdel
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,6 +172,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	if !opts.DisableWAL {
 		db.log = wal.Create(disk)
+		db.wireWAL()
 	}
 	if err := db.saveCatalog(); err != nil {
 		return nil, err
@@ -183,30 +185,77 @@ func Open(opts Options) (*DB, error) {
 func (db *DB) initConcurrency() {
 	db.cc = cc.NewManager()
 	reg := db.obs.Registry()
+	// Event-log timestamps come off the simulated disk clock, so event
+	// streams from identical runs are byte-identical.
+	db.obs.Events().SetNow(db.disk.Clock)
 	db.cc.OnWait = func(table string, waited time.Duration) {
 		reg.Counter(obs.MetricLockWaits).Add(1)
 		if us := waited.Microseconds(); us > 0 {
 			reg.Counter(obs.MetricLockWaitUS).Add(us)
 		}
+		reg.Histogram(obs.HistTableWaitPrefix + table).Observe(waited)
+	}
+	// OnLock routes every grant to the owning statement's event stream,
+	// carrying the blocking holder's identity and the real wait time.
+	db.cc.OnLock = func(ev cc.LockEvent) {
+		stmt := db.obs.Events().Get(ev.Owner)
+		if stmt == nil {
+			return
+		}
+		detail := fmt.Sprintf("%s %s", ev.Mode, ev.Table)
+		if ev.Blocked && ev.Holder != 0 {
+			detail += fmt.Sprintf(" (blocked by stmt %d)", ev.Holder)
+		} else if ev.Blocked {
+			detail += " (blocked)"
+		}
+		stmt.EventWait(obs.EvLock, detail, ev.Waited)
 	}
 	db.sched = sched.NewPool(db.opts.Parallel)
 }
 
-// acquireStatement takes a statement's full lock footprint in the global
-// deterministic order and maintains the active-statement gauges.
-func (db *DB) acquireStatement(claims []cc.Claim) *cc.Held {
-	held := db.cc.AcquireOrdered(claims)
+// wireWAL connects the log's appender-queue hooks to the observer's
+// counters and histograms. Called once from Open/Recover right after the
+// log is created or replayed, before any statement can append.
+func (db *DB) wireWAL() {
+	if db.log == nil {
+		return
+	}
+	reg := db.obs.Registry()
+	db.log.OnAppend = func(bytes, queued int, waited time.Duration) {
+		reg.Counter(obs.MetricWALAppends).Add(1)
+		if us := waited.Microseconds(); us > 0 {
+			reg.Counter(obs.MetricWALAppendWaitUS).Add(us)
+		}
+		reg.Histogram(obs.HistWALAppendWait).Observe(waited)
+		reg.Gauge(obs.MetricWALQueueDepth).Set(int64(queued))
+		reg.Gauge(obs.MetricWALQueuePeak).SetMax(int64(queued))
+	}
+	db.log.OnFlush = func(bytes, pages int) {
+		reg.Counter(obs.MetricWALFlushes).Add(1)
+		reg.Counter(obs.MetricWALFlushPages).Add(int64(pages))
+		reg.Counter(obs.MetricWALFlushBytes).Add(int64(bytes))
+		reg.Gauge(obs.MetricWALQueueDepth).Set(0)
+	}
+}
+
+// beginStatement registers a statement with the event log, takes its full
+// lock footprint in the global deterministic order attributed to the
+// statement's ID, and maintains the active-statement gauges.
+func (db *DB) beginStatement(kind, table string, claims []cc.Claim) (*obs.Stmt, *cc.Held) {
+	stmt := db.obs.Events().Begin(kind, table)
+	held := db.cc.AcquireOrderedAs(stmt.ID(), claims)
 	reg := db.obs.Registry()
 	n := db.active.Add(1)
 	reg.Gauge(obs.MetricStatementsActive).Set(n)
 	reg.Gauge(obs.MetricStatementsPeak).SetMax(n)
-	return held
+	return stmt, held
 }
 
-// releaseStatement releases whatever the statement still holds and drops
-// the active gauge.
-func (db *DB) releaseStatement(held *cc.Held) {
+// endStatement releases whatever the statement still holds, closes its
+// event stream, and drops the active gauge.
+func (db *DB) endStatement(stmt *obs.Stmt, held *cc.Held) {
 	held.ReleaseAll()
+	stmt.End()
 	db.obs.Registry().Gauge(obs.MetricStatementsActive).Set(db.active.Add(-1))
 }
 
@@ -349,6 +398,64 @@ func (db *DB) ResetPoolStats() { db.pool.ResetStats() }
 // Observer returns the engine-wide metrics collector: aggregated counters,
 // latency histograms, and the most recent statement traces.
 func (db *DB) Observer() *obs.Observer { return db.obs }
+
+// InspectReport is a point-in-time picture of the engine's concurrent
+// state: every in-flight statement with its phase and progress counters,
+// the lock manager's holds/waits graph, and the WAL appender queue.
+type InspectReport struct {
+	// Clock is the simulated time at the snapshot.
+	Clock time.Duration
+	// Statements lists the statements currently in flight, ID-ordered.
+	Statements []obs.StmtStatus
+	// WaitGraph is the lock manager's snapshot: who holds, who waits.
+	WaitGraph cc.WaitGraph
+	// WAL reports the appender-queue counters; nil when logging is off.
+	WAL *wal.QueueStats
+}
+
+// String renders the report as the `stress -top` / `bulkdel inspect` view.
+func (r *InspectReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clock=%v  in-flight=%d\n", r.Clock, len(r.Statements))
+	for _, s := range r.Statements {
+		phase := s.Phase
+		if phase == "" {
+			phase = "-"
+		}
+		fmt.Fprintf(&b, "  stmt %d %s %s  phase=%s pages=%d rows=%d events=%d\n",
+			s.ID, s.Kind, s.Table, phase, s.Pages, s.Rows, s.Events)
+	}
+	if g := r.WaitGraph.String(); g != "" {
+		b.WriteString("locks:\n")
+		for _, line := range strings.Split(strings.TrimRight(g, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	if r.WAL != nil {
+		fmt.Fprintf(&b, "wal: appends=%d queued=%s peak=%s flushes=%d flushed=%s\n",
+			r.WAL.Appends, obs.FmtBytes(uint64(r.WAL.Queued)),
+			obs.FmtBytes(uint64(r.WAL.QueuePeak)), r.WAL.Flushes,
+			obs.FmtBytes(r.WAL.FlushBytes))
+	}
+	return b.String()
+}
+
+// Inspect snapshots the engine's live concurrent state without blocking
+// any statement: in-flight statements (phase, pages scanned, victims
+// deleted), the lock wait graph, and the WAL appender queue. Safe to call
+// from any goroutine while statements run.
+func (db *DB) Inspect() *InspectReport {
+	r := &InspectReport{
+		Clock:      db.disk.Clock(),
+		Statements: db.obs.Events().InFlight(),
+		WaitGraph:  db.cc.WaitGraph(),
+	}
+	if db.log != nil {
+		qs := db.log.QueueStats()
+		r.WAL = &qs
+	}
+	return r
+}
 
 // obsSource describes where this DB's counters live, for snapshotting.
 func (db *DB) obsSource() obs.Source {

@@ -1,0 +1,177 @@
+// Golden-file tests for the statement event log and its exports: a fixed
+// serial scenario on the simulated clock must produce byte-identical JSONL
+// and Chrome trace_event output on every run. Regenerate the goldens with
+//
+//	go test -run TestEventExportGolden -update
+//
+// after an intentional change to the event schema or the scenario.
+package bulkdel_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bulkdel"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden event-export files")
+
+// goldenScenario runs the fixed workload: one table, three indexes, a
+// concurrent-protocol bulk delete and a traditional delete, all serial and
+// uncontended — so every event timestamp comes off the deterministic
+// simulated clock and every wait field is zero.
+func goldenScenario(t *testing.T) *bulkdel.DB {
+	t.Helper()
+	db, err := bulkdel.Open(bulkdel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("orders", 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range []bulkdel.IndexOptions{
+		{Name: "id", Field: 0, Unique: true},
+		{Name: "date", Field: 1},
+		{Name: "cust", Field: 2},
+	} {
+		if err := tbl.CreateIndex(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 200; i++ {
+		if _, err := tbl.Insert(i, 20260100+i%30, i%11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	victims := make([]int64, 0, 60)
+	for i := int64(20); i < 80; i++ {
+		victims = append(victims, i)
+	}
+	res, err := tbl.BulkDelete(0, victims, bulkdel.BulkOptions{
+		Method: bulkdel.SortMerge, Concurrent: true, CheckpointRows: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != int64(len(victims)) {
+		t.Fatalf("deleted %d of %d victims", res.Deleted, len(victims))
+	}
+	if _, err := tbl.DeleteTraditional(0, []int64{100, 101, 102}, true); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestEventExportGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run with -update after intentional changes)\ngot %d bytes, want %d",
+			name, len(got), len(want))
+	}
+}
+
+func TestEventExportGolden(t *testing.T) {
+	db := goldenScenario(t)
+	events := db.Observer().Events()
+
+	var jsonl bytes.Buffer
+	if err := events.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.jsonl.golden", jsonl.Bytes())
+
+	trace, err := events.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json.golden", trace)
+
+	// Run the scenario again from scratch: the exports must be identical
+	// even without goldens on disk — the determinism claim itself.
+	db2 := goldenScenario(t)
+	var jsonl2 bytes.Buffer
+	if err := db2.Observer().Events().WriteJSONL(&jsonl2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonl.Bytes(), jsonl2.Bytes()) {
+		t.Error("two identical runs produced different JSONL event streams")
+	}
+}
+
+// TestEventLogCoversLifecycle spot-checks the semantic content of the
+// golden scenario's stream: the §3.1 protocol steps must all be there, in
+// protocol order, attributed to the right statement.
+func TestEventLogCoversLifecycle(t *testing.T) {
+	db := goldenScenario(t)
+	stmts := db.Observer().Events().Statements()
+	if len(stmts) != 2 {
+		t.Fatalf("event log kept %d statements, want 2", len(stmts))
+	}
+
+	bulk := stmts[0].Status()
+	if bulk.Kind != "bulk-delete" || bulk.Table != "orders" {
+		t.Fatalf("first statement is %s on %s, want bulk-delete on orders", bulk.Kind, bulk.Table)
+	}
+	if bulk.Pages == 0 || bulk.Rows != 60 {
+		t.Fatalf("progress counters: pages=%d rows=%d, want pages>0 rows=60", bulk.Pages, bulk.Rows)
+	}
+
+	var sawLock, sawOffline, sawEarly, sawOnline, sawCommit, sawEnd bool
+	var earlyAt, onlineAt int
+	for i, ev := range stmts[0].Events() {
+		switch ev.Kind {
+		case "lock":
+			sawLock = true
+		case "gate-offline":
+			sawOffline = true
+		case "early-release":
+			sawEarly, earlyAt = true, i
+		case "gate-online":
+			if !sawOnline {
+				sawOnline, onlineAt = true, i
+			} else {
+				onlineAt = i
+			}
+		case "commit":
+			sawCommit = true
+		case "end":
+			sawEnd = true
+		}
+	}
+	if !sawLock || !sawOffline || !sawEarly || !sawOnline || !sawCommit || !sawEnd {
+		t.Fatalf("missing protocol events: lock=%v offline=%v early=%v online=%v commit=%v end=%v",
+			sawLock, sawOffline, sawEarly, sawOnline, sawCommit, sawEnd)
+	}
+	// §3.1: the early release happens before the last non-critical index
+	// comes back online.
+	if earlyAt > onlineAt {
+		t.Fatalf("early release (event %d) after the last gate-online (event %d)", earlyAt, onlineAt)
+	}
+
+	trad := stmts[1].Status()
+	if trad.Kind != "delete-traditional" {
+		t.Fatalf("second statement is %s, want delete-traditional", trad.Kind)
+	}
+}

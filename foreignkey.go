@@ -5,6 +5,7 @@ import (
 
 	"bulkdel/internal/cc"
 	"bulkdel/internal/core"
+	"bulkdel/internal/obs"
 )
 
 // The paper folds referential-integrity checking into the same vertical
@@ -105,7 +106,7 @@ func (db *DB) ForeignKeys() []ForeignKey {
 // the snapshot that footprint was computed from: enforcing the live list
 // instead would let an AddForeignKey landing mid-statement cascade into a
 // child whose lock was never acquired.
-func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts BulkOptions, depth int, held *cc.Held, fks []ForeignKey) (int64, error) {
+func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts BulkOptions, depth int, stmt *obs.Stmt, held *cc.Held, fks []ForeignKey) (int64, error) {
 	if depth > 16 {
 		return 0, fmt.Errorf("bulkdel: foreign-key cascade deeper than 16 levels (cycle?)")
 	}
@@ -192,7 +193,7 @@ func (db *DB) enforceForeignKeys(tbl *Table, field int, values []int64, opts Bul
 		if mode, ok := held.Holds(fk.Child.Name()); !ok || mode != cc.Exclusive {
 			return cascaded, fmt.Errorf("bulkdel: internal: cascade into %s without its exclusive lock", fk.Child.Name())
 		}
-		res, err := fk.Child.bulkDeleteWithDepth(fk.ChildField, keys, opts, depth+1, held, fks)
+		res, err := fk.Child.bulkDeleteWithDepth(fk.ChildField, keys, opts, depth+1, stmt, held, fks)
 		if err != nil {
 			return cascaded, fmt.Errorf("bulkdel: cascading into %s: %w", fk.Child.Name(), err)
 		}

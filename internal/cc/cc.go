@@ -71,6 +71,19 @@ type TableLock struct {
 	readers  int
 	writer   bool
 	writersW int // writers currently waiting; gives writers preference
+
+	// Introspection state: who holds and who waits, by statement ID
+	// (owner 0 = anonymous — the table's DML read paths, which don't run
+	// under a statement). Maintained under mu; snapshot via info().
+	writerOwner  uint64
+	readerOwners map[uint64]int
+	waiters      []LockWaiter
+}
+
+// LockWaiter is one blocked acquisition, in arrival order.
+type LockWaiter struct {
+	Owner uint64
+	Mode  Mode
 }
 
 // init must be called with mu held.
@@ -80,23 +93,47 @@ func (l *TableLock) init() {
 	}
 }
 
-// LockExclusive blocks until the exclusive (bulk-delete) lock is held.
-func (l *TableLock) LockExclusive() { l.lockExclusive() }
+// addWaiter/removeWaiter maintain the arrival-ordered waiter queue; both
+// must be called with mu held.
+func (l *TableLock) addWaiter(owner uint64, mode Mode) {
+	l.waiters = append(l.waiters, LockWaiter{Owner: owner, Mode: mode})
+}
 
-// lockExclusive reports whether the caller had to block.
-func (l *TableLock) lockExclusive() bool {
+func (l *TableLock) removeWaiter(owner uint64, mode Mode) {
+	for i := range l.waiters {
+		if l.waiters[i].Owner == owner && l.waiters[i].Mode == mode {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// LockExclusive blocks until the exclusive (bulk-delete) lock is held.
+func (l *TableLock) LockExclusive() { l.lockExclusiveAs(0) }
+
+// lockExclusiveAs acquires the exclusive lock for a statement, reporting
+// whether the caller had to block and, if it did, the exclusive holder
+// observed when the wait began (0 = anonymous holder or readers).
+func (l *TableLock) lockExclusiveAs(owner uint64) (blocked bool, holder uint64) {
 	l.mu.Lock()
 	l.init()
-	blocked := false
 	l.writersW++
 	for l.writer || l.readers > 0 {
-		blocked = true
+		if !blocked {
+			blocked = true
+			holder = l.writerOwner
+			l.addWaiter(owner, Exclusive)
+		}
 		l.cond.Wait()
+	}
+	if blocked {
+		l.removeWaiter(owner, Exclusive)
 	}
 	l.writersW--
 	l.writer = true
+	l.writerOwner = owner
 	l.mu.Unlock()
-	return blocked
+	return blocked, holder
 }
 
 // LockExclusiveTimeout acquires the exclusive lock, giving up after d. It
@@ -108,10 +145,16 @@ func (l *TableLock) LockExclusiveTimeout(d time.Duration) bool {
 	l.mu.Lock()
 	l.init()
 	l.writersW++
+	waiting := false
 	for l.writer || l.readers > 0 {
+		if !waiting {
+			waiting = true
+			l.addWaiter(0, Exclusive)
+		}
 		rem := time.Until(deadline)
 		if rem <= 0 {
 			l.writersW--
+			l.removeWaiter(0, Exclusive)
 			// A reader may be waiting only on us; let it go.
 			l.cond.Broadcast()
 			l.mu.Unlock()
@@ -126,43 +169,68 @@ func (l *TableLock) LockExclusiveTimeout(d time.Duration) bool {
 		l.cond.Wait()
 		t.Stop()
 	}
+	if waiting {
+		l.removeWaiter(0, Exclusive)
+	}
 	l.writersW--
 	l.writer = true
+	l.writerOwner = 0
 	l.mu.Unlock()
 	return true
 }
 
 // UnlockExclusive releases the exclusive lock.
-func (l *TableLock) UnlockExclusive() {
+func (l *TableLock) UnlockExclusive() { l.unlockExclusiveAs() }
+
+func (l *TableLock) unlockExclusiveAs() {
 	l.mu.Lock()
 	l.init()
 	l.writer = false
+	l.writerOwner = 0
 	l.cond.Broadcast()
 	l.mu.Unlock()
 }
 
 // LockShared blocks until a shared (reader/updater) lock is held.
-func (l *TableLock) LockShared() { l.lockShared() }
+func (l *TableLock) LockShared() { l.lockSharedAs(0) }
 
-// lockShared reports whether the caller had to block.
-func (l *TableLock) lockShared() bool {
+// lockSharedAs acquires a shared lock for a statement, reporting whether
+// the caller had to block and the exclusive holder observed at that point.
+func (l *TableLock) lockSharedAs(owner uint64) (blocked bool, holder uint64) {
 	l.mu.Lock()
 	l.init()
-	blocked := false
 	for l.writer || l.writersW > 0 {
-		blocked = true
+		if !blocked {
+			blocked = true
+			holder = l.writerOwner
+			l.addWaiter(owner, Shared)
+		}
 		l.cond.Wait()
 	}
+	if blocked {
+		l.removeWaiter(owner, Shared)
+	}
 	l.readers++
+	if l.readerOwners == nil {
+		l.readerOwners = make(map[uint64]int)
+	}
+	l.readerOwners[owner]++
 	l.mu.Unlock()
-	return blocked
+	return blocked, holder
 }
 
 // UnlockShared releases a shared lock.
-func (l *TableLock) UnlockShared() {
+func (l *TableLock) UnlockShared() { l.unlockSharedAs(0) }
+
+func (l *TableLock) unlockSharedAs(owner uint64) {
 	l.mu.Lock()
 	l.init()
 	l.readers--
+	if n := l.readerOwners[owner]; n <= 1 {
+		delete(l.readerOwners, owner)
+	} else {
+		l.readerOwners[owner] = n - 1
+	}
 	l.cond.Broadcast()
 	l.mu.Unlock()
 }
@@ -176,6 +244,7 @@ func (l *TableLock) TryLockExclusive() bool {
 		return false
 	}
 	l.writer = true
+	l.writerOwner = 0
 	l.mu.Unlock()
 	return true
 }

@@ -52,6 +52,21 @@ type Manager struct {
 	// statement spent waiting. Set it once at DB open, before statements
 	// run; it is read without synchronization afterwards.
 	OnWait func(table string, waited time.Duration)
+
+	// OnLock, when set, is invoked after every managed acquisition —
+	// blocked or not — with the full event (owner, mode, wait, observed
+	// holder). Same discipline as OnWait: set once at open.
+	OnLock func(LockEvent)
+}
+
+// LockEvent describes one managed lock acquisition for the OnLock hook.
+type LockEvent struct {
+	Table   string
+	Owner   uint64 // acquiring statement ID (0 = anonymous)
+	Mode    Mode
+	Blocked bool
+	Waited  time.Duration // real blocked time; zero unless Blocked
+	Holder  uint64        // exclusive holder observed when the wait began
 }
 
 // NewManager returns an empty manager.
@@ -94,8 +109,25 @@ type heldLock struct {
 // and safe for concurrent use (the §3.1 early release fires from the
 // statement executor while the statement's defer still owns ReleaseAll).
 type Held struct {
-	mu    sync.Mutex
-	locks []heldLock
+	mu        sync.Mutex
+	owner     uint64
+	waitTotal time.Duration
+	locks     []heldLock
+}
+
+// Owner returns the statement ID the footprint was acquired for.
+func (h *Held) Owner() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.owner
+}
+
+// WaitTotal returns the real time the acquisition spent blocked, summed
+// over the footprint's locks.
+func (h *Held) WaitTotal() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.waitTotal
 }
 
 // AcquireOrdered deduplicates the claims (Exclusive wins over Shared for
@@ -103,6 +135,12 @@ type Held struct {
 // that order, blocking as needed. The deterministic order is the deadlock
 // freedom argument: all statements acquire along the same global sequence.
 func (m *Manager) AcquireOrdered(claims []Claim) *Held {
+	return m.AcquireOrderedAs(0, claims)
+}
+
+// AcquireOrderedAs is AcquireOrdered attributed to a statement ID, so
+// lock-state snapshots and lock events name their holders and waiters.
+func (m *Manager) AcquireOrderedAs(owner uint64, claims []Claim) *Held {
 	modes := make(map[string]Mode, len(claims))
 	for _, c := range claims {
 		if cur, ok := modes[c.Table]; !ok || c.Mode > cur {
@@ -115,19 +153,29 @@ func (m *Manager) AcquireOrdered(claims []Claim) *Held {
 	}
 	sort.Strings(names)
 
-	h := &Held{locks: make([]heldLock, 0, len(names))}
+	h := &Held{owner: owner, locks: make([]heldLock, 0, len(names))}
 	for _, n := range names {
 		l := m.Lock(n)
 		mode := modes[n]
 		start := time.Now()
 		var blocked bool
+		var holder uint64
 		if mode == Exclusive {
-			blocked = l.lockExclusive()
+			blocked, holder = l.lockExclusiveAs(owner)
 		} else {
-			blocked = l.lockShared()
+			blocked, holder = l.lockSharedAs(owner)
 		}
-		if blocked && m.OnWait != nil {
-			m.OnWait(n, time.Since(start))
+		var waited time.Duration
+		if blocked {
+			waited = time.Since(start)
+			h.waitTotal += waited
+			if m.OnWait != nil {
+				m.OnWait(n, waited)
+			}
+		}
+		if m.OnLock != nil {
+			m.OnLock(LockEvent{Table: n, Owner: owner, Mode: mode,
+				Blocked: blocked, Waited: waited, Holder: holder})
 		}
 		h.locks = append(h.locks, heldLock{table: n, mode: mode, lock: l})
 	}
@@ -145,9 +193,9 @@ func (h *Held) ReleaseTable(table string) {
 		if h.locks[i].table == table && !h.locks[i].released {
 			h.locks[i].released = true
 			if h.locks[i].mode == Exclusive {
-				h.locks[i].lock.UnlockExclusive()
+				h.locks[i].lock.unlockExclusiveAs()
 			} else {
-				h.locks[i].lock.UnlockShared()
+				h.locks[i].lock.unlockSharedAs(h.owner)
 			}
 		}
 	}
@@ -163,9 +211,9 @@ func (h *Held) ReleaseAll() {
 		}
 		h.locks[i].released = true
 		if h.locks[i].mode == Exclusive {
-			h.locks[i].lock.UnlockExclusive()
+			h.locks[i].lock.unlockExclusiveAs()
 		} else {
-			h.locks[i].lock.UnlockShared()
+			h.locks[i].lock.unlockSharedAs(h.owner)
 		}
 	}
 }

@@ -90,6 +90,7 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 				uint64(tgt.Heap.ID()), uint64(victimFile.file), payload[:]); err != nil {
 				return err
 			}
+			o.Stmt.Event(obs.EvWAL, fmt.Sprintf("bulk-start rows=%d field=%d", victimFile.rows, field))
 			if err := o.Log.Flush(); err != nil {
 				return err
 			}
@@ -117,6 +118,7 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 			if err := o.Log.Flush(); err != nil {
 				return err
 			}
+			o.Stmt.Event(obs.EvCommit, "bulk-end + commit durable")
 			sp.Finish()
 			return nil
 		}()

@@ -49,6 +49,9 @@ func (e *execCtx) disk() *sim.Disk { return e.tgt.Pool.Disk() }
 // span opens a phase span under the trace root (nil when untraced; every
 // obs.Span method is nil-safe, so call sites need no guards).
 func (e *execCtx) span(name, detail string) *obs.Span {
+	// A phase span is also the statement's live-progress phase (nil-safe
+	// when the statement runs outside the DB's event log).
+	e.opts.Stmt.SetPhase(name)
 	if e.trace == nil {
 		return nil
 	}
@@ -124,6 +127,7 @@ func (e *execCtx) structStart(file sim.FileID, kind uint64) error {
 	if _, err := e.opts.Log.Append(wal.TStructStart, e.opts.TxID, uint64(file), kind, nil); err != nil {
 		return err
 	}
+	e.opts.Stmt.Event(obs.EvWAL, fmt.Sprintf("struct-start file=%d", file))
 	return e.opts.Log.Flush()
 }
 
@@ -150,6 +154,7 @@ func (e *execCtx) noteApplied(file sim.FileID, flush func() error) error {
 	if _, err := e.opts.Log.Append(wal.TCheckpoint, e.opts.TxID, uint64(file), uint64(e.applied), nil); err != nil {
 		return err
 	}
+	e.opts.Stmt.Event(obs.EvWAL, fmt.Sprintf("checkpoint file=%d applied=%d", file, e.applied))
 	return e.opts.Log.Flush()
 }
 
@@ -163,6 +168,7 @@ func (e *execCtx) structDone(file sim.FileID, flush func() error) error {
 		if _, err := e.opts.Log.Append(wal.TStructDone, e.opts.TxID, uint64(file), 0, nil); err != nil {
 			return err
 		}
+		e.opts.Stmt.Event(obs.EvWAL, fmt.Sprintf("struct-done file=%d", file))
 		if err := e.opts.Log.Flush(); err != nil {
 			return err
 		}
@@ -237,6 +243,7 @@ func mergeDeleteIndexByKey(e *execCtx, ix *IndexRef, victims rowIter, del bool,
 		if !more {
 			break
 		}
+		e.opts.Stmt.AddPages(1)
 		n, err := cur.Count()
 		if err != nil {
 			return deleted, err
@@ -336,6 +343,7 @@ func mergeDeleteIndexByFullKey(e *execCtx, ix *IndexRef, rows rowIter, startKey 
 		if !more {
 			break
 		}
+		e.opts.Stmt.AddPages(1)
 		n, err := cur.Count()
 		if err != nil {
 			return deleted, err
@@ -428,6 +436,7 @@ func heapPassSortedRIDs(e *execCtx, rids rowIter, del bool,
 			}
 			curPage = rid.Page
 			sp = pageView{s: s}
+			e.opts.Stmt.AddPages(1)
 		}
 		if !sp.s.InUse(int(rid.Slot)) {
 			if e.opts.IgnoreMissing {
@@ -452,6 +461,7 @@ func heapPassSortedRIDs(e *execCtx, rids rowIter, del bool,
 				return deleted, err
 			}
 			deleted++
+			e.opts.Stmt.AddRows(1)
 		}
 		if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
 			return deleted, err
@@ -490,6 +500,7 @@ func heapDeleteByRIDProbe(e *execCtx, ridSet map[record.RID]struct{}) (int64, er
 				if err != nil {
 					return err
 				}
+				e.opts.Stmt.AddPages(1)
 				for slot := 0; slot < sp.NumSlots(); slot++ {
 					if !sp.InUse(slot) {
 						continue
@@ -502,6 +513,7 @@ func heapDeleteByRIDProbe(e *execCtx, ridSet map[record.RID]struct{}) (int64, er
 						return err
 					}
 					deleted++
+					e.opts.Stmt.AddRows(1)
 					if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
 						return err
 					}
@@ -536,6 +548,7 @@ func indexDeleteByRIDProbe(e *execCtx, ix *IndexRef, ridSet map[record.RID]struc
 		if !more {
 			break
 		}
+		e.opts.Stmt.AddPages(1)
 		n, err := cur.Count()
 		if err != nil {
 			return deleted, err
@@ -658,6 +671,7 @@ func indexDeletePartitioned(e *execCtx, ix *IndexRef, rows *rowFile) (int64, int
 			if !more {
 				break
 			}
+			e.opts.Stmt.AddPages(1)
 			n, err := cur.Count()
 			if err != nil {
 				cur.Close()

@@ -27,6 +27,7 @@ import (
 
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/heap"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sched"
 	"bulkdel/internal/sim"
@@ -236,6 +237,7 @@ func (e *execCtx) partitionedHeapPass(src rowIter, method Method,
 			Label:  PartName(e.tgt.Name, j.pi),
 			Device: dev,
 			Run: func() error {
+				e.opts.Stmt.EventDev(obs.EvNodeStart, PartName(e.tgt.Name, j.pi), dev)
 				r := &results[i]
 				r.d0, r.h0 = disk.DeviceStats(dev), pool.ShardStats(dev)
 				b0 := disk.DeviceBusy(dev)
@@ -243,6 +245,7 @@ func (e *execCtx) partitionedHeapPass(src rowIter, method Method,
 				r.del = del
 				r.d1, r.h1 = disk.DeviceStats(dev), pool.ShardStats(dev)
 				r.elapsed = disk.DeviceBusy(dev) - b0
+				e.opts.Stmt.EventDev(obs.EvNodeFinish, PartName(e.tgt.Name, j.pi), dev)
 				return err
 			},
 		}
@@ -253,6 +256,7 @@ func (e *execCtx) partitionedHeapPass(src rowIter, method Method,
 		return phaseErr("heap-pass", "parallel section", err)
 	}
 	stats.HeapSchedule = sc
+	stats.AdmissionWait += sc.AdmissionWait
 	if workers > stats.Workers {
 		stats.Workers = workers
 	}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"bulkdel/internal/buffer"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sched"
 	"bulkdel/internal/sim"
@@ -196,6 +197,7 @@ func (e *execCtx) runIndexPassesParallel(rest []*IndexRef, method Method, worker
 			Label:  ix.Name,
 			Device: dev,
 			Run: func() error {
+				e.opts.Stmt.EventDev(obs.EvNodeStart, ix.Name, dev)
 				r := &results[i]
 				r.d0, r.h0 = disk.DeviceStats(dev), pool.ShardStats(dev)
 				b0 := disk.DeviceBusy(dev)
@@ -203,6 +205,7 @@ func (e *execCtx) runIndexPassesParallel(rest []*IndexRef, method Method, worker
 				r.del, r.parts = del, parts
 				r.d1, r.h1 = disk.DeviceStats(dev), pool.ShardStats(dev)
 				r.elapsed = disk.DeviceBusy(dev) - b0
+				e.opts.Stmt.EventDev(obs.EvNodeFinish, ix.Name, dev)
 				if err != nil {
 					return err
 				}
@@ -218,6 +221,7 @@ func (e *execCtx) runIndexPassesParallel(rest []*IndexRef, method Method, worker
 	}
 	stats.Schedule = sc
 	stats.Workers = workers
+	stats.AdmissionWait += sc.AdmissionWait
 
 	// Per-node attribution, appended in plan order: I/O counters are the
 	// node's device-stat deltas (exact — the node had the arm to itself),

@@ -152,6 +152,13 @@ type Options struct {
 	// root (the caller finishes the trace). When nil, Execute creates and
 	// finishes its own trace; either way Stats.Trace carries it.
 	Trace *obs.Trace
+	// Stmt, when set, is the statement's handle into the DB's lifecycle
+	// event log: the executor publishes phase transitions, per-page and
+	// per-row progress counters, WAL lifecycle records, and DAG node
+	// start/finish events through it. Nil (the zero value) is fully
+	// supported — every Stmt method is nil-safe — so direct core callers
+	// and recovery pay nothing.
+	Stmt *obs.Stmt
 
 	// failAfterApplied injects a crash (errInjectedCrash) after that many
 	// noteApplied calls across the whole run — recovery tests only.
@@ -240,6 +247,13 @@ type Stats struct {
 	// section's summed device time plus its scheduled makespan. For a
 	// serial run Makespan == Elapsed.
 	Makespan time.Duration
+	// LockWait is the real (wall-clock) time the statement spent blocked
+	// acquiring its table-lock footprint; AdmissionWait is the real time
+	// its DAG nodes spent blocked on the DB-wide admission pool. Both are
+	// zero for uncontended runs and nondeterministic under contention —
+	// they are reported (EXPLAIN ANALYZE, MetricsJSON) only when nonzero.
+	LockWait      time.Duration
+	AdmissionWait time.Duration
 }
 
 // PlanNode is one operator of the logical plan, used for explain output in

@@ -19,3 +19,33 @@ const (
 	// MetricConcurrentBatches counts DB.RunConcurrent invocations.
 	MetricConcurrentBatches = "cc_concurrent_batches"
 )
+
+// Canonical metric names for the WAL appender queue — the measurement
+// substrate for group commit. Append wait is *real* mutex-block time (the
+// appender serializes concurrent statements), so like the lock-wait
+// counters it is not deterministic; byte/page counters are.
+const (
+	// MetricWALAppends counts records accepted by the appender.
+	MetricWALAppends = "wal_appends"
+	// MetricWALAppendWaitUS accumulates real time spent blocked on the
+	// appender mutex, in microseconds.
+	MetricWALAppendWaitUS = "wal_append_wait_us"
+	// MetricWALFlushes counts Flush calls that wrote pages.
+	MetricWALFlushes = "wal_flushes"
+	// MetricWALFlushPages counts whole log pages written by flushes.
+	MetricWALFlushPages = "wal_flush_pages"
+	// MetricWALFlushBytes accumulates record bytes made durable.
+	MetricWALFlushBytes = "wal_flush_bytes"
+	// MetricWALQueueDepth gauges the bytes buffered but not yet flushed.
+	MetricWALQueueDepth = "wal_queue_depth"
+	// MetricWALQueuePeak gauges the high-water mark of the append queue.
+	MetricWALQueuePeak = "wal_queue_peak"
+)
+
+// HistWALAppendWait is the registry histogram of per-append real blocked
+// time on the appender mutex (append latency distribution).
+const HistWALAppendWait = "wal_append_wait"
+
+// HistTableWaitPrefix prefixes the per-table lock wait-time histograms fed
+// by the lock manager's OnWait hook ("cc_table_wait:" + table).
+const HistTableWaitPrefix = "cc_table_wait:"

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not zero")
+	}
+
+	// A single observation: every quantile is it.
+	h.Observe(100 * time.Microsecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 100*time.Microsecond {
+			t.Fatalf("single-sample q=%g = %v, want 100µs", q, got)
+		}
+	}
+
+	// 1..100µs uniformly: percentiles must land in the right power-of-two
+	// bucket (interpolated, so exactness is not required — but p50 must be
+	// far below p99 and both inside [min, max]).
+	h2 := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h2.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50, p95, p99 := h2.Quantile(0.50), h2.Quantile(0.95), h2.Quantile(0.99)
+	if p50 < 1*time.Microsecond || p50 > 100*time.Microsecond {
+		t.Fatalf("p50 %v outside [1µs, 100µs]", p50)
+	}
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p50 > 64*time.Microsecond {
+		t.Fatalf("p50 %v implausibly high for uniform 1..100µs", p50)
+	}
+	if p99 < 64*time.Microsecond {
+		t.Fatalf("p99 %v implausibly low for uniform 1..100µs", p99)
+	}
+	if h2.Quantile(0) != 1*time.Microsecond || h2.Quantile(1) != 100*time.Microsecond {
+		t.Fatalf("q=0/q=1 not clamped to min/max: %v, %v", h2.Quantile(0), h2.Quantile(1))
+	}
+
+	// Snapshot carries the percentiles.
+	s := h2.snapshot("h")
+	if s.P50US != p50.Microseconds() || s.P95US != p95.Microseconds() || s.P99US != p99.Microseconds() {
+		t.Fatalf("snapshot percentiles %d/%d/%d disagree with Quantile %v/%v/%v",
+			s.P50US, s.P95US, s.P99US, p50, p95, p99)
+	}
+}
+
+// simClock is a deterministic test clock.
+type simClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *simClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func (c *simClock) read() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func TestEventLogLifecycle(t *testing.T) {
+	log := NewEventLog()
+	clk := &simClock{}
+	log.SetNow(clk.read)
+
+	s := log.Begin("bulk-delete", "orders")
+	if s.ID() != 1 {
+		t.Fatalf("first statement ID = %d, want 1", s.ID())
+	}
+	clk.advance(5 * time.Millisecond)
+	s.SetPhase("victims")
+	s.AddPages(3)
+	s.AddRows(2)
+	clk.advance(5 * time.Millisecond)
+	s.EventWait(EvLock, "exclusive orders", 7*time.Millisecond)
+	s.EventDev(EvNodeStart, "IB", 2)
+
+	// In flight: visible with live phase and counters.
+	inf := log.InFlight()
+	if len(inf) != 1 {
+		t.Fatalf("in-flight count = %d, want 1", len(inf))
+	}
+	st := inf[0]
+	if st.Phase != "victims" || st.Pages != 3 || st.Rows != 2 || st.EndUS != -1 {
+		t.Fatalf("in-flight status wrong: %+v", st)
+	}
+
+	s.End()
+	if n := len(log.InFlight()); n != 0 {
+		t.Fatalf("in-flight count after End = %d, want 0", n)
+	}
+
+	evs := s.Events()
+	kinds := make([]EventKind, len(evs))
+	for i, e := range evs {
+		kinds[i] = e.Kind
+	}
+	want := []EventKind{EvBegin, EvPhase, EvLock, EvNodeStart, EvEnd}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d events %v, want %v", len(kinds), kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	// Chronological and seq-ordered; timestamps from the injected clock.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %+v after %+v", evs[i], evs[i-1])
+		}
+	}
+	if evs[0].AtUS != 0 || evs[1].AtUS != 5000 || evs[2].AtUS != 10000 {
+		t.Fatalf("timestamps not from injected clock: %d, %d, %d", evs[0].AtUS, evs[1].AtUS, evs[2].AtUS)
+	}
+	if evs[2].WaitUS != 7000 {
+		t.Fatalf("lock wait = %dµs, want 7000", evs[2].WaitUS)
+	}
+	if evs[3].Device != 2 {
+		t.Fatalf("node-start device = %d, want 2", evs[3].Device)
+	}
+}
+
+func TestNilStmtSafety(t *testing.T) {
+	var s *Stmt
+	s.Event(EvWAL, "x")
+	s.EventDev(EvNodeStart, "x", 1)
+	s.EventWait(EvLock, "x", time.Second)
+	s.SetPhase("p")
+	s.AddPages(1)
+	s.AddRows(1)
+	s.End()
+	if s.ID() != 0 || len(s.Events()) != 0 {
+		t.Fatal("nil statement not inert")
+	}
+	st := s.Status()
+	if st.ID != 0 || st.EndUS != -1 {
+		t.Fatalf("nil status wrong: %+v", st)
+	}
+	var log *EventLog
+	if log.Begin("k", "t") != nil {
+		t.Fatal("nil log Begin not nil")
+	}
+}
+
+func TestEventLogJSONLAndChromeTrace(t *testing.T) {
+	log := NewEventLog()
+	clk := &simClock{}
+	log.SetNow(clk.read)
+
+	a := log.Begin("bulk-delete", "T0")
+	a.SetPhase("victims")
+	clk.advance(time.Millisecond)
+	b := log.Begin("bulk-update", "T1")
+	a.SetPhase("heap-pass")
+	a.EventDev(EvNodeStart, "IB", 1)
+	clk.advance(time.Millisecond)
+	a.EventDev(EvNodeFinish, "IB", 1)
+	a.End()
+	b.End()
+
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var lastSeq uint64
+	for _, ln := range lines {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		seq := uint64(e["seq"].(float64))
+		if seq <= lastSeq {
+			t.Fatalf("JSONL out of seq order at %q", ln)
+		}
+		lastSeq = seq
+	}
+
+	j, err := log.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(j, &tr); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	var stmtSpans, asyncB, asyncE int
+	for _, ev := range tr.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			stmtSpans++
+		case "b":
+			asyncB++
+		case "e":
+			asyncE++
+		}
+	}
+	// Two statement spans plus two phase spans; one async node pair.
+	if stmtSpans < 3 {
+		t.Fatalf("chrome trace has %d complete spans, want >= 3 (2 statements + phases)", stmtSpans)
+	}
+	if asyncB != 1 || asyncE != 1 {
+		t.Fatalf("chrome trace has %d/%d async begin/end events, want 1/1", asyncB, asyncE)
+	}
+
+	// Determinism: rebuilding the same history must produce identical bytes.
+	log2 := NewEventLog()
+	clk2 := &simClock{}
+	log2.SetNow(clk2.read)
+	a2 := log2.Begin("bulk-delete", "T0")
+	a2.SetPhase("victims")
+	clk2.advance(time.Millisecond)
+	b2 := log2.Begin("bulk-update", "T1")
+	a2.SetPhase("heap-pass")
+	a2.EventDev(EvNodeStart, "IB", 1)
+	clk2.advance(time.Millisecond)
+	a2.EventDev(EvNodeFinish, "IB", 1)
+	a2.End()
+	b2.End()
+	j2, err := log2.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j, j2) {
+		t.Fatal("identical event histories produced different Chrome traces")
+	}
+}
+
+func TestEventLogDoneRing(t *testing.T) {
+	log := NewEventLog()
+	for i := 0; i < maxKeptStatements+10; i++ {
+		log.Begin("k", "t").End()
+	}
+	done := log.Statements()
+	if len(done) != maxKeptStatements {
+		t.Fatalf("done ring holds %d statements, want %d", len(done), maxKeptStatements)
+	}
+	// The ring keeps the newest.
+	if done[len(done)-1].ID() != uint64(maxKeptStatements+10) {
+		t.Fatalf("newest kept ID = %d, want %d", done[len(done)-1].ID(), maxKeptStatements+10)
+	}
+}

@@ -13,16 +13,25 @@ const maxKeptTraces = 16
 type Observer struct {
 	mu     sync.Mutex
 	reg    *Registry
+	events *EventLog
 	traces []*Trace
 }
 
-// NewObserver returns an observer with an empty registry.
+// NewObserver returns an observer with an empty registry and event log.
 func NewObserver() *Observer {
-	return &Observer{reg: NewRegistry()}
+	return &Observer{reg: NewRegistry(), events: NewEventLog()}
 }
 
 // Registry returns the observer's metrics registry.
 func (o *Observer) Registry() *Registry { return o.reg }
+
+// Events returns the observer's statement event log (nil-safe).
+func (o *Observer) Events() *EventLog {
+	if o == nil {
+		return nil
+	}
+	return o.events
+}
 
 // OnTrace records a completed trace: it is kept in a bounded ring (newest
 // last) and its root-span I/O is folded into the registry's aggregate

@@ -140,6 +140,59 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[i]++
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded
+// durations by linear interpolation inside the power-of-two bucket
+// holding the target rank, clamped to the recorded [min, max]. An empty
+// histogram reports zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i == histBuckets-1 {
+				return h.max // open-ended bucket: max is the best bound
+			}
+			// Bucket i holds durations in [2^(i-1), 2^i) µs; bucket 0 is
+			// the sub-microsecond bucket [0, 1).
+			lo, hi := int64(0), int64(1)
+			if i > 0 {
+				lo = int64(1) << (i - 1)
+				hi = int64(1) << i
+			}
+			frac := (rank - cum) / float64(c)
+			d := time.Duration((float64(lo) + frac*float64(hi-lo)) * float64(time.Microsecond))
+			if d < h.min {
+				d = h.min
+			}
+			if d > h.max {
+				d = h.max
+			}
+			return d
+		}
+		cum = next
+	}
+	return h.max
+}
+
 // HistogramSnapshot is the JSON-stable view of one histogram.
 type HistogramSnapshot struct {
 	Name    string        `json:"name"`
@@ -147,6 +200,9 @@ type HistogramSnapshot struct {
 	SumUS   int64         `json:"sum_us"`
 	MinUS   int64         `json:"min_us"`
 	MaxUS   int64         `json:"max_us"`
+	P50US   int64         `json:"p50_us"`
+	P95US   int64         `json:"p95_us"`
+	P99US   int64         `json:"p99_us"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
@@ -166,6 +222,9 @@ func (h *Histogram) snapshot(name string) HistogramSnapshot {
 		SumUS: h.sum.Microseconds(),
 		MinUS: h.min.Microseconds(),
 		MaxUS: h.max.Microseconds(),
+		P50US: h.quantileLocked(0.50).Microseconds(),
+		P95US: h.quantileLocked(0.95).Microseconds(),
+		P99US: h.quantileLocked(0.99).Microseconds(),
 	}
 	for i, c := range h.buckets {
 		if c == 0 {

@@ -6,7 +6,10 @@
 // busy-time measurement that makes the reported schedule deterministic.
 package sched
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Pool is the DB-wide admission gate: a global worker-slot semaphore plus
 // one mutex per device. A node must hold a statement-local slot, a pool
@@ -36,16 +39,23 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return cap(p.sem) }
 
 // acquire takes one admission slot, abandoning the wait if abort closes.
-// It reports whether the slot was taken.
-func (p *Pool) acquire(abort <-chan struct{}) bool {
+// It reports whether the slot was taken and how long the caller blocked
+// for it (real time; zero when a slot was free).
+func (p *Pool) acquire(abort <-chan struct{}) (ok bool, waited time.Duration) {
 	if p == nil || p.sem == nil {
-		return true
+		return true, 0
 	}
 	select {
 	case p.sem <- struct{}{}:
-		return true
+		return true, 0
+	default:
+	}
+	t0 := time.Now()
+	select {
+	case p.sem <- struct{}{}:
+		return true, time.Since(t0)
 	case <-abort:
-		return false
+		return false, time.Since(t0)
 	}
 }
 

@@ -69,6 +69,11 @@ type Schedule struct {
 	Items    []Item // in plan (node) order
 	Makespan time.Duration
 	Critical []int // node indexes of one start-to-finish critical chain
+	// AdmissionWait is the total *real* time this section's nodes spent
+	// blocked on the DB-wide admission pool — contention from concurrent
+	// statements, so zero for an uncontended run and nondeterministic
+	// otherwise. It is measured, not part of the virtual schedule.
+	AdmissionWait time.Duration
 }
 
 // validate checks the topological-order restriction on deps.
@@ -126,14 +131,15 @@ func ExecutePool(pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedu
 	}
 
 	var (
-		sem     = make(chan struct{}, workers)
-		done    = make([]chan struct{}, n)
-		errs    = make([]error, n)
-		durs    = make([]time.Duration, n)
-		abort   = make(chan struct{})
-		abortMu sync.Mutex
-		closed  bool
-		wg      sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		done     = make([]chan struct{}, n)
+		errs     = make([]error, n)
+		durs     = make([]time.Duration, n)
+		admWaits = make([]time.Duration, n)
+		abort    = make(chan struct{})
+		abortMu  sync.Mutex
+		closed   bool
+		wg       sync.WaitGroup
 	)
 	for i := range done {
 		done[i] = make(chan struct{})
@@ -174,9 +180,13 @@ func ExecutePool(pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedu
 						skip = true
 					}
 				}
-				if !skip && pool != nil && !pool.acquire(abort) {
-					<-sem
-					skip = true
+				if !skip && pool != nil {
+					ok, waited := pool.acquire(abort)
+					admWaits[i] = waited
+					if !ok {
+						<-sem
+						skip = true
+					}
 				}
 				if skip {
 					close(done[i])
@@ -210,7 +220,11 @@ func ExecutePool(pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedu
 			return nil, err
 		}
 	}
-	return Plan(workers, nodes, durs), nil
+	sc := Plan(workers, nodes, durs)
+	for _, w := range admWaits {
+		sc.AdmissionWait += w
+	}
+	return sc, nil
 }
 
 // Plan computes the deterministic virtual schedule: the nodes, in plan

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"bulkdel/internal/sim"
 )
@@ -161,6 +162,57 @@ type Log struct {
 	off     uint64 // stream offset of buf[0]
 	flushed uint64 // bytes durably on disk
 	pages   sim.PageNo
+
+	// Appender-queue counters, maintained under mu (see QueueStats).
+	appends      uint64
+	appendBytes  uint64
+	flushes      uint64
+	flushPages   uint64
+	flushBytes   uint64
+	queuePeak    int
+	appendWaitNS int64 // real time blocked on the appender mutex
+
+	// OnAppend/OnFlush, when set, observe the appender queue: OnAppend
+	// fires after every accepted record with the record size, the queued
+	// (unflushed) bytes after the append, and the *real* time the caller
+	// spent blocked on the appender mutex; OnFlush fires after every flush
+	// that wrote pages. Set them once right after Create/Open, before
+	// statements run; they are read without synchronization afterwards and
+	// invoked outside the appender mutex.
+	OnAppend func(bytes, queued int, waited time.Duration)
+	OnFlush  func(bytes, pages int)
+}
+
+// QueueStats is a snapshot of the appender-queue counters: cumulative
+// appends/flushes, bytes and pages moved, the current and peak unflushed
+// queue depth in bytes, and total real time spent blocked on the appender
+// mutex. The wait figure is wall-clock (the appender serializes concurrent
+// statements), so it is the one nondeterministic field.
+type QueueStats struct {
+	Appends      uint64
+	AppendBytes  uint64
+	Flushes      uint64
+	FlushPages   uint64
+	FlushBytes   uint64
+	Queued       int
+	QueuePeak    int
+	AppendWaitNS int64
+}
+
+// QueueStats returns the appender-queue counters.
+func (l *Log) QueueStats() QueueStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return QueueStats{
+		Appends:      l.appends,
+		AppendBytes:  l.appendBytes,
+		Flushes:      l.flushes,
+		FlushPages:   l.flushPages,
+		FlushBytes:   l.flushBytes,
+		Queued:       len(l.buf),
+		QueuePeak:    l.queuePeak,
+		AppendWaitNS: l.appendWaitNS,
+	}
 }
 
 // Create makes a fresh, empty log on its own file.
@@ -180,8 +232,9 @@ func (l *Log) Append(t Type, txID, a, b uint64, payload []byte) (LSN, error) {
 	if len(payload) > 0xFFFF {
 		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit", len(payload))
 	}
+	t0 := time.Now()
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	waited := time.Since(t0)
 	lsn := LSN(l.off + uint64(len(l.buf)))
 	var hdr [recHeaderSize]byte
 	hdr[0] = byte(t)
@@ -193,15 +246,39 @@ func (l *Log) Append(t Type, txID, a, b uint64, payload []byte) (LSN, error) {
 	binary.LittleEndian.PutUint32(hdr[crcOff:], recCRC(hdr[:], payload))
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
+	rec := recHeaderSize + len(payload)
+	queued := len(l.buf)
+	l.appends++
+	l.appendBytes += uint64(rec)
+	l.appendWaitNS += waited.Nanoseconds()
+	if queued > l.queuePeak {
+		l.queuePeak = queued
+	}
+	hook := l.OnAppend
+	l.mu.Unlock()
+	if hook != nil {
+		hook(rec, queued, waited)
+	}
 	return lsn, nil
 }
 
 // Flush forces every appended record to disk.
 func (l *Log) Flush() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	flushed, pages, err := l.flushLocked()
+	hook := l.OnFlush
+	l.mu.Unlock()
+	if err == nil && pages > 0 && hook != nil {
+		hook(flushed, pages)
+	}
+	return err
+}
+
+// flushLocked does the write with mu held, returning the record bytes made
+// durable and the pages written.
+func (l *Log) flushLocked() (flushedBytes, pagesWritten int, err error) {
 	if len(l.buf) == 0 {
-		return nil
+		return 0, 0, nil
 	}
 	// Write out whole pages covering the buffered stream tail. The first
 	// buffered byte may sit mid-page: that page is rewritten.
@@ -210,7 +287,7 @@ func (l *Log) Flush() error {
 	endPage := sim.PageNo((endOff + sim.PageSize - 1) / sim.PageSize)
 	for l.pages < endPage {
 		if _, err := l.disk.Allocate(l.file); err != nil {
-			return err
+			return 0, 0, err
 		}
 		l.pages++
 	}
@@ -222,7 +299,7 @@ func (l *Log) Flush() error {
 	first := make([]byte, sim.PageSize)
 	if inPageOff > 0 {
 		if err := l.disk.ReadPage(l.file, startPage, first); err != nil {
-			return err
+			return 0, 0, err
 		}
 		// Zero everything past the flushed prefix so the rewritten page
 		// never carries stale bytes of an earlier flush image beyond the
@@ -247,12 +324,17 @@ func (l *Log) Flush() error {
 		pages = append(pages, pg)
 	}
 	if err := l.disk.WriteRun(l.file, startPage, pages); err != nil {
-		return err
+		return 0, 0, err
 	}
+	flushedBytes = len(l.buf)
+	pagesWritten = len(pages)
 	l.off = endOff
 	l.buf = l.buf[:0]
 	l.flushed = endOff
-	return nil
+	l.flushes++
+	l.flushPages += uint64(pagesWritten)
+	l.flushBytes += uint64(flushedBytes)
+	return flushedBytes, pagesWritten, nil
 }
 
 // FlushedLSN returns the first LSN not yet guaranteed durable.

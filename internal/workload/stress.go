@@ -53,6 +53,10 @@ type StressSpec struct {
 	Concurrent bool
 	// DisableWAL turns logging off (the WAL path is the default).
 	DisableWAL bool
+	// OnOpen, when set, receives the DB right after it is opened and
+	// loaded — before the workers start — so callers can watch the run
+	// live (DB.Inspect) or export its event log afterwards.
+	OnOpen func(*bulkdel.DB)
 }
 
 func (s StressSpec) withDefaults() StressSpec {
@@ -74,6 +78,10 @@ func (s StressSpec) withDefaults() StressSpec {
 	return s
 }
 
+// Resolved returns the spec with defaults applied — the values a run with
+// this spec actually uses, for reporting.
+func (s StressSpec) Resolved() StressSpec { return s.withDefaults() }
+
 // StressStats summarizes a completed run.
 type StressStats struct {
 	BulkDeletes  int64
@@ -87,6 +95,15 @@ type StressStats struct {
 	// LockWaits is the number of blocked lock acquisitions observed by the
 	// manager (real contention happened).
 	LockWaits int64
+	// LockWaitUS is the total real time statements spent blocked on table
+	// locks, in microseconds (wall-clock, nondeterministic).
+	LockWaitUS int64
+	// WallTime is the real (wall-clock) duration of the concurrent batch,
+	// as opposed to the simulated Makespan.
+	WallTime time.Duration
+	// P50, P95, P99 are per-statement simulated-latency percentiles from
+	// the observer's statement_elapsed histogram.
+	P50, P95, P99 time.Duration
 }
 
 // stressModel is one table's oracle state.
@@ -171,6 +188,9 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if spec.OnOpen != nil {
+		spec.OnOpen(db)
 	}
 
 	tables := make([]*bulkdel.Table, spec.Tables)
@@ -298,13 +318,21 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	for w := range stmts {
 		stmts[w] = worker(w)
 	}
+	t0 := time.Now()
 	cres, err := db.RunConcurrent(stmts...)
+	stats.WallTime = time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
 	stats.Makespan = cres.Makespan
 	stats.SerialEquivalent = cres.SerialEquivalent
-	stats.LockWaits = db.Observer().Registry().Counter(obs.MetricLockWaits).Value()
+	reg := db.Observer().Registry()
+	stats.LockWaits = reg.Counter(obs.MetricLockWaits).Value()
+	stats.LockWaitUS = reg.Counter(obs.MetricLockWaitUS).Value()
+	elapsed := reg.Histogram("statement_elapsed")
+	stats.P50 = elapsed.Quantile(0.50)
+	stats.P95 = elapsed.Quantile(0.95)
+	stats.P99 = elapsed.Quantile(0.99)
 
 	// Final sweep: heap↔index consistency and an exact model match.
 	for ti, tbl := range tables {

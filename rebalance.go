@@ -83,8 +83,9 @@ func (tbl *Table) AlterPartitioning(spec PartitionSpec) error {
 			return err
 		}
 	}
-	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
-	defer tbl.db.releaseStatement(held)
+	stmt, held := tbl.db.beginStatement("alter-partitioning", tbl.t.Name,
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
 	if err := tbl.t.Repartition(spec); err != nil {
 		return err
@@ -206,8 +207,8 @@ func (db *DB) Rebalance() (*RebalanceResult, error) {
 	for i, n := range names {
 		claims[i] = cc.Claim{Table: n, Mode: cc.Exclusive}
 	}
-	held := db.acquireStatement(claims)
-	defer db.releaseStatement(held)
+	stmt, held := db.beginStatement("rebalance", "*", claims)
+	defer db.endStatement(stmt, held)
 	db.mu.Lock()
 	owned := make(map[sim.FileID]bool)
 	for _, tbl := range db.tables {

@@ -324,9 +324,9 @@ func (tbl *Table) BulkDelete(field int, values []int64, opts BulkOptions) (*Bulk
 		return nil, errCrashed
 	}
 	claims, fks := tbl.db.deleteFootprint(tbl)
-	held := tbl.db.acquireStatement(claims)
-	defer tbl.db.releaseStatement(held)
-	return tbl.bulkDeleteWithDepth(field, values, opts, 0, held, fks)
+	stmt, held := tbl.db.beginStatement("bulk-delete", tbl.t.Name, claims)
+	defer tbl.db.endStatement(stmt, held)
+	return tbl.bulkDeleteWithDepth(field, values, opts, 0, stmt, held, fks)
 }
 
 // bulkDeleteWithDepth runs one level of the (possibly cascading) delete.
@@ -335,7 +335,7 @@ func (tbl *Table) BulkDelete(field int, values []int64, opts BulkOptions) (*Bulk
 // snapshot the footprint was computed from — every level enforces this
 // snapshot, never a re-read of the live list, so the cascade graph cannot
 // outgrow the locks.
-func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOptions, depth int, held *cc.Held, fks []ForeignKey) (*BulkResult, error) {
+func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOptions, depth int, stmt *obs.Stmt, held *cc.Held, fks []ForeignKey) (*BulkResult, error) {
 	if tbl.db.crashed.Load() {
 		return nil, errCrashed
 	}
@@ -346,7 +346,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 
 	// Referential integrity first — "as early as possible and before
 	// deleting records from the table and the indices" (paper §2.1).
-	cascaded, err := tbl.db.enforceForeignKeys(tbl, field, values, opts, depth, held, fks)
+	cascaded, err := tbl.db.enforceForeignKeys(tbl, field, values, opts, depth, stmt, held, fks)
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +359,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		CheckpointRows: opts.CheckpointRows,
 		Parallel:       opts.Parallel,
 		Sched:          tbl.db.sched,
+		Stmt:           stmt,
 	}
 	if tbl.db.log != nil {
 		coreOpts.Log = tbl.db.log
@@ -406,6 +407,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		reopened := make(map[sim.FileID]bool, len(tbl.t.Idx))
 		for _, ix := range tbl.t.Idx {
 			ix.Gate.TakeOffline()
+			stmt.Event(obs.EvGateOffline, ix.Def.Name)
 			byFile[ix.Tree.ID()] = ix
 		}
 		coreOpts.Undeletable = tbl.t.Undeletable
@@ -420,6 +422,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 			// Apply the side-file: drain in batches while appends
 			// continue, then quiesce for the final batch and bring
 			// the index online (§3.1.1).
+			before := res.SideFileOps
 			sf := ix.Gate.SideFile()
 			for sf.Len() > 64 {
 				for _, op := range sf.Drain(64) {
@@ -432,10 +435,15 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 				_ = tbl.applySideOp(ix, op)
 			}
 			ix.Gate.BringOnline()
+			stmt.Event(obs.EvGateOnline,
+				fmt.Sprintf("%s side-ops=%d", ix.Def.Name, res.SideFileOps-before))
 		}
 		coreOpts.OnCriticalDone = func() {
 			// Table and unique indexes durable: release the lock so
 			// readers and updaters may proceed (§3.1).
+			if depth == 0 {
+				stmt.Event(obs.EvEarlyRelease, tbl.t.Name)
+			}
 			unlock()
 		}
 		defer func() {
@@ -451,6 +459,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 						_ = tbl.applySideOp(ix, op)
 					}
 					ix.Gate.BringOnline()
+					stmt.Event(obs.EvGateOnline, ix.Def.Name+" (cleanup)")
 				}
 			}
 		}()
@@ -461,6 +470,11 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	tbl.db.obs.OnTrace(tr)
 	if err != nil {
 		return nil, fmt.Errorf("bulkdel: bulk delete on %s: %w", tbl.t.Name, err)
+	}
+	if depth == 0 {
+		// The statement's footprint was acquired once, before depth 0 ran;
+		// report the real blocking time on the root's stats only.
+		st.LockWait = held.WaitTotal()
 	}
 	res.Deleted = st.Deleted
 	res.Method = st.Method
@@ -533,12 +547,14 @@ func (tbl *Table) BulkUpdate(predField int, values []int64, setField int,
 	if opts.Memory <= 0 {
 		opts.Memory = table.DefaultSortBudget
 	}
-	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
-	defer tbl.db.releaseStatement(held)
+	stmt, held := tbl.db.beginStatement("bulk-update", tbl.t.Name,
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
 	st, err := core.ExecuteUpdate(tbl.target(), predField, values, setField, transform, core.Options{
 		Memory:     opts.Memory,
 		Reorganize: opts.Reorganize,
+		Stmt:       stmt,
 	})
 	if err != nil {
 		return nil, err
@@ -557,8 +573,9 @@ func (tbl *Table) DeleteTraditional(field int, values []int64, sortValues bool) 
 	if tbl.db.crashed.Load() {
 		return 0, errCrashed
 	}
-	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
-	defer tbl.db.releaseStatement(held)
+	stmt, held := tbl.db.beginStatement("delete-traditional", tbl.t.Name,
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
 	return tbl.t.TraditionalDelete(field, values, sortValues)
 }
@@ -570,8 +587,9 @@ func (tbl *Table) DeleteDropCreate(field int, values []int64) (int64, error) {
 	if tbl.db.crashed.Load() {
 		return 0, errCrashed
 	}
-	held := tbl.db.acquireStatement([]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
-	defer tbl.db.releaseStatement(held)
+	stmt, held := tbl.db.beginStatement("delete-drop-create", tbl.t.Name,
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
 	n, err := tbl.t.DropCreateDelete(field, values, true)
 	if err != nil {
