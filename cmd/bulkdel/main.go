@@ -35,6 +35,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +55,7 @@ type shell struct {
 	metricsJSON    bool
 	progress       bool           // live Inspect view while a bulk delete runs
 	parallel       int            // worker cap for every bulk delete
+	timeout        time.Duration  // statement deadline for every bulk delete
 	faultPlan      *sim.FaultPlan // armed for the next delete statement
 }
 
@@ -98,6 +100,8 @@ func main() {
 		"simulated disk array width: indexes are placed round-robin on devices 1..N\n(device 0 holds the catalog, WAL, heap, and scratch files; 0 = single spindle)")
 	parallel := flag.Int("parallel", 0,
 		"worker cap for every bulk delete's remaining-index passes (0/1 = serial; needs -devices)")
+	timeout := flag.Duration("timeout", 0,
+		"real-time deadline for every bulk delete statement (e.g. 50ms); an expired\nstatement aborts to a consistent state via the online recovery replay (0 = none)")
 	layout := flag.Bool("layout", false,
 		"print the per-device file layout (device, files, pages, busy-time share) when the session ends")
 	progress := flag.Bool("progress", false,
@@ -128,7 +132,7 @@ func main() {
 	}
 	sh := &shell{db: db, out: bufio.NewWriter(os.Stdout),
 		explainAnalyze: *explainAnalyze, metricsJSON: *metricsJSON,
-		progress: *progress, parallel: *parallel}
+		progress: *progress, parallel: *parallel, timeout: *timeout}
 	if *faults != "" {
 		plan, err := sim.ParseFaultSpec(*faults)
 		if err != nil {
@@ -532,9 +536,15 @@ func (s *shell) delete(args []string) error {
 			return err
 		}
 		stop := s.watchProgress()
-		res, err := tbl.BulkDelete(field, values, bulkdel.BulkOptions{Method: m, Parallel: s.parallel})
+		res, err := tbl.BulkDelete(field, values, bulkdel.BulkOptions{
+			Method: m, Parallel: s.parallel, Timeout: s.timeout})
 		stop()
 		if err != nil {
+			if errors.Is(err, bulkdel.ErrCancelled) {
+				fmt.Fprintf(s.out, "bulk delete cancelled (deadline %v): aborted to a consistent state "+
+					"via online roll-forward; run `check` to confirm\n", s.timeout)
+				return nil
+			}
 			return err
 		}
 		if res.Workers > 1 {

@@ -12,6 +12,7 @@
 //	crashtest -from 10 -to 60 -stride 5
 //	crashtest -tear 100 -tear-wal     # additionally tear crashing WAL writes
 //	crashtest -rebalance              # crash an online device rebalancing
+//	crashtest -cancel                 # cancel (not crash) at every ordinal
 //	crashtest -metrics-json           # dump the accumulated fault counters
 //
 // The sweep is deterministic: the same flags visit the same I/Os and
@@ -48,6 +49,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker cap for the remaining-index passes (makes the crash point nondeterministic; invariants still checked)")
 	concurrent := flag.Bool("concurrent", false, "two-table scenario: crash a concurrent two-statement batch (invariants only, no digest)")
 	rebalance := flag.Bool("rebalance", false, "rebalance scenario: crash an online device rebalancing instead of a bulk delete")
+	cancelMode := flag.Bool("cancel", false, "cancel scenario: cooperatively cancel at every ordinal and compare the online abort against crash+recover")
 	verifyDigest := flag.Bool("verify-digest", true, "re-run deterministic sweeps and require identical digests")
 	verbose := flag.Bool("v", false, "print every ordinal's outcome")
 	metricsJSON := flag.Bool("metrics-json", false, "print the accumulated metrics registry as JSON")
@@ -96,6 +98,10 @@ func main() {
 		if *rebalance {
 			failed += runRebalance(cfg, *at, *verbose, *verifyDigest)
 			break // the rebalance scenario has no join method to vary
+		}
+		if *cancelMode {
+			failed += runCancel(r.name, cfg, *verbose)
+			continue
 		}
 		if *at > 0 {
 			res, err := crashtest.RunOrdinal(cfg, *at)
@@ -225,6 +231,40 @@ func printRebalanceOrdinal(r crashtest.RebalanceOrdinalResult) {
 	}
 	fmt.Printf("rebalance: io=%-4d crash=%-5v replayed=%-2d completed=%-2d survivors=%-3d clock=%dus %s\n",
 		r.Ordinal, r.CrashFired, r.MovesReplayed, r.MovesCompleted, r.Survivors, r.ClockUS, status)
+}
+
+// runCancel sweeps the cooperative-cancellation scenario: at every ordinal
+// the statement is cancelled (not crashed) at the kth I/O, aborted to
+// consistency by the online recovery replay, and the resulting structures
+// are digest-compared against both the completed delete and a real
+// crash+recover at the same ordinal. Returns the number of failed ordinals.
+func runCancel(method string, cfg crashtest.Config, verbose bool) int {
+	sw, err := crashtest.CancelSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(2)
+	}
+	if verbose {
+		for _, res := range sw.Ordinals {
+			printCancelOrdinal(method, res)
+		}
+	} else {
+		for _, res := range sw.Failures() {
+			printCancelOrdinal(method, res)
+		}
+	}
+	fmt.Printf("%-9s cancel sweep: %d I/Os, swept %d ordinals, %d cancelled, %d failed, reference %s\n",
+		method+":", sw.TotalIOs, sw.Ran, sw.Cancelled, sw.Failed, sw.Reference)
+	return sw.Failed
+}
+
+func printCancelOrdinal(method string, r crashtest.CancelOrdinalResult) {
+	status := "ok"
+	if r.Err != "" {
+		status = "FAIL " + r.Err
+	}
+	fmt.Printf("%-9s io=%-4d cancelled=%-5v crash-comparable=%-5v survivors=%-3d digest=%s %s\n",
+		method+":", r.Ordinal, r.CancelFired, r.CrashComparable, r.Survivors, r.Digest, status)
 }
 
 // runConcurrent sweeps (or, with at > 0, reproduces one ordinal of) the

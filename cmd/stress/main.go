@@ -10,10 +10,16 @@
 //	stress                                  # defaults: 4 tables, 4 workers
 //	stress -seed 3 -devices 4 -budget 4 -parallel 3 -concurrent
 //	stress -workers 8 -ops 200 -rows 1000
+//	stress -chaos-cancel 20 -chaos-deadline 20 -chaos-lockwait 25
 //	stress -top                             # live in-flight/lock view
 //	stress -bench-json BENCH_stress.json    # latency percentiles + waits
 //	stress -trace trace.json                # open in chrome://tracing
 //	stress -events events.jsonl             # statement event log
+//
+// SIGINT/SIGTERM interrupt the run gracefully: the workers finish their
+// in-flight statement and drain, the final model verification still runs,
+// and the report (including -bench-json/-trace/-events exports) is still
+// produced. A second signal kills the process.
 //
 // The generator is deterministic in (seed, worker): a failing seed replays
 // the same operation streams, so CI failures reproduce locally with the
@@ -21,10 +27,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bulkdel"
@@ -58,6 +67,13 @@ type benchJSON struct {
 	LockWaits          int64   `json:"lock_waits"`
 	LockWaitUS         int64   `json:"lock_wait_us"`
 	LockWaitShare      float64 `json:"lock_wait_share"`
+	Cancelled          int64   `json:"cancelled,omitempty"`
+	FullAborts         int64   `json:"full_aborts,omitempty"`
+	ZeroAborts         int64   `json:"zero_aborts,omitempty"`
+	LockTimeouts       int64   `json:"lock_timeouts,omitempty"`
+	Shed               int64   `json:"shed,omitempty"`
+	Retries            int64   `json:"retries,omitempty"`
+	Interrupted        bool    `json:"interrupted,omitempty"`
 }
 
 func writeFile(path string, data []byte) {
@@ -79,6 +95,10 @@ func main() {
 	budget := flag.Int("budget", 0, "DB-wide admission budget shared by all statements (0 = unbounded)")
 	concurrent := flag.Bool("concurrent", false, "run bulk deletes under the §3.1 protocol (early lock release)")
 	noWAL := flag.Bool("no-wal", false, "disable write-ahead logging")
+	chaosCancel := flag.Int("chaos-cancel", 0, "percent of bulk deletes issued with an already-cancelled context")
+	chaosDeadline := flag.Int("chaos-deadline", 0, "percent of bulk deletes issued with a tiny random deadline")
+	chaosLockWait := flag.Int("chaos-lockwait", 0, "percent of bulk deletes issued with a tiny random lock-wait budget")
+	admissionQueue := flag.Int("admission-queue", 0, "admission wait-queue cap; overflowing parallel statements are shed and retried (0 = unbounded)")
 	top := flag.Bool("top", false, "print a live in-flight/lock-graph view while the run executes")
 	topEvery := flag.Duration("top-interval", 200*time.Millisecond, "refresh interval for -top")
 	benchPath := flag.String("bench-json", "", "write run summary (percentiles, lock-wait share) to this file")
@@ -90,7 +110,24 @@ func main() {
 		Tables: *tables, Rows: *rows, Workers: *workers, Ops: *ops,
 		Devices: *devices, Parallel: *parallel, Budget: *budget,
 		Seed: *seed, Concurrent: *concurrent, DisableWAL: *noWAL,
+		CancelPct: *chaosCancel, DeadlinePct: *chaosDeadline,
+		LockWaitPct: *chaosLockWait, AdmissionQueue: *admissionQueue,
 	}
+
+	// SIGINT/SIGTERM cancel the run context: the workers drain, the final
+	// verification and the report still happen. A second signal is fatal.
+	ctx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	spec.Ctx = ctx
+	sigC := make(chan os.Signal, 2)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigC
+		fmt.Fprintf(os.Stderr, "stress: %v: draining (signal again to kill)\n", s)
+		cancelRun()
+		<-sigC
+		os.Exit(130)
+	}()
 
 	// OnOpen hands us the DB before the workers start, for the live view
 	// and the post-run event-log exports.
@@ -120,8 +157,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stress:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("stress: ok  bulk-deletes=%d rows-deleted=%d rows-inserted=%d lookups=%d lock-waits=%d\n",
-		stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups, stats.LockWaits)
+	status := "ok"
+	if stats.Interrupted {
+		status = "interrupted (drained + verified)"
+	}
+	fmt.Printf("stress: %s  bulk-deletes=%d rows-deleted=%d rows-inserted=%d lookups=%d lock-waits=%d\n",
+		status, stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups, stats.LockWaits)
+	if stats.Cancelled+stats.LockTimeouts+stats.Shed > 0 {
+		fmt.Printf("stress: chaos cancelled=%d full-aborts=%d zero-aborts=%d lock-timeouts=%d shed=%d retries=%d\n",
+			stats.Cancelled, stats.FullAborts, stats.ZeroAborts, stats.LockTimeouts, stats.Shed, stats.Retries)
+	}
 	fmt.Printf("stress: makespan=%v serial-equivalent=%v wall=%v\n",
 		stats.Makespan, stats.SerialEquivalent, stats.WallTime)
 	fmt.Printf("stress: statement latency p50=%v p95=%v p99=%v lock-wait=%v\n",
@@ -145,6 +190,13 @@ func main() {
 			StatementP99US:     stats.P99.Microseconds(),
 			LockWaits:          stats.LockWaits,
 			LockWaitUS:         stats.LockWaitUS,
+			Cancelled:          stats.Cancelled,
+			FullAborts:         stats.FullAborts,
+			ZeroAborts:         stats.ZeroAborts,
+			LockTimeouts:       stats.LockTimeouts,
+			Shed:               stats.Shed,
+			Retries:            stats.Retries,
+			Interrupted:        stats.Interrupted,
 		}
 		// Share of the workers' combined wall time spent blocked on locks.
 		if denom := out.WallUS * int64(sp.Workers); denom > 0 {

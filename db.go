@@ -21,6 +21,8 @@
 package bulkdel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -59,6 +61,26 @@ const (
 // RID identifies a record by physical position (page, slot).
 type RID = record.RID
 
+// Statement-lifecycle sentinels. Match with errors.Is — statements wrap
+// them with context.
+var (
+	// ErrCancelled reports that a statement observed its context done at a
+	// recoverable boundary and stopped. With the WAL enabled the engine then
+	// runs abort-to-consistency: the §3.2 roll-forward is replayed online,
+	// in process, so the structures end in the exact state a crash at that
+	// boundary followed by Recover would have produced (the delete, being
+	// roll-forward-only, still completes).
+	ErrCancelled = core.ErrCancelled
+	// ErrOverloaded reports that the admission overload guard shed the
+	// statement before it acquired any lock or wrote any log record
+	// (Options.AdmissionQueue). Always safe to retry.
+	ErrOverloaded = sched.ErrOverloaded
+	// ErrLockTimeout reports that the statement's lock footprint could not
+	// be acquired within BulkOptions.LockWait; nothing was modified and
+	// every partially acquired lock was released. Always safe to retry.
+	ErrLockTimeout = cc.ErrLockTimeout
+)
+
 // Trace is a statement's span tree on the simulated clock (see
 // internal/obs); BulkResult.Trace carries one per bulk delete.
 type Trace = obs.Trace
@@ -95,6 +117,13 @@ type Options struct {
 	// admission unbounded (each statement is still capped by its own
 	// BulkOptions.Parallel).
 	Parallel int
+	// AdmissionQueue bounds how many parallel statements may queue for the
+	// shared worker pool at once: when every Parallel worker slot is busy
+	// and AdmissionQueue acquirers are already blocked, a new statement that
+	// wants pool workers is shed immediately with ErrOverloaded instead of
+	// joining the line. 0 (default) leaves queueing unbounded. Only
+	// meaningful with Parallel > 0.
+	AdmissionQueue int
 	// Observer receives every statement's trace and aggregates engine-wide
 	// metrics (nil = the DB creates its own; see DB.Observer).
 	Observer *obs.Observer
@@ -211,6 +240,10 @@ func (db *DB) initConcurrency() {
 		stmt.EventWait(obs.EvLock, detail, ev.Waited)
 	}
 	db.sched = sched.NewPool(db.opts.Parallel)
+	db.sched.SetQueueCap(db.opts.AdmissionQueue)
+	db.sched.SetOnShed(func() {
+		reg.Counter(obs.MetricAdmissionShed).Add(1)
+	})
 }
 
 // wireWAL connects the log's appender-queue hooks to the observer's
@@ -249,6 +282,25 @@ func (db *DB) beginStatement(kind, table string, claims []cc.Claim) (*obs.Stmt, 
 	reg.Gauge(obs.MetricStatementsActive).Set(n)
 	reg.Gauge(obs.MetricStatementsPeak).SetMax(n)
 	return stmt, held
+}
+
+// beginStatementTimeout is beginStatement under a lock-wait deadline
+// (lockWait <= 0 waits forever). On timeout the statement's event stream is
+// closed, nothing is held, and a wrapped ErrLockTimeout is returned — the
+// caller has no cleanup to do and may simply retry.
+func (db *DB) beginStatementTimeout(kind, table string, claims []cc.Claim, lockWait time.Duration) (*obs.Stmt, *cc.Held, error) {
+	stmt := db.obs.Events().Begin(kind, table)
+	held, err := db.cc.AcquireOrderedTimeoutAs(stmt.ID(), claims, lockWait)
+	if err != nil {
+		stmt.Event(obs.EvCancel, "lock wait timeout")
+		stmt.End()
+		return nil, nil, err
+	}
+	reg := db.obs.Registry()
+	n := db.active.Add(1)
+	reg.Gauge(obs.MetricStatementsActive).Set(n)
+	reg.Gauge(obs.MetricStatementsPeak).SetMax(n)
+	return stmt, held, nil
 }
 
 // endStatement releases whatever the statement still holds, closes its
@@ -326,6 +378,30 @@ func (r *ConcurrentResult) Overlap() time.Duration {
 	return r.SerialEquivalent - r.Makespan
 }
 
+// RetryPolicy governs how RunConcurrentCtx handles retryable statement
+// failures — admission sheds (ErrOverloaded) and lock-wait timeouts
+// (ErrLockTimeout), both of which fail before the statement modifies
+// anything, so re-running the closure is always safe.
+type RetryPolicy struct {
+	// MaxRetries is the per-statement retry budget (0 disables retrying —
+	// and with it the batch's retry event stream, keeping non-retrying
+	// batches byte-identical to the pre-policy engine).
+	MaxRetries int
+	// Backoff is the base delay before the first retry, doubled each
+	// further attempt (default 1ms). Real time: the simulated clock only
+	// advances on I/O, so backing off costs nothing on the virtual clock.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 100ms).
+	MaxBackoff time.Duration
+	// Seed derives each retry's deterministic jitter: the delay for
+	// (statement index, attempt) is a pure function of Seed, so a re-run
+	// of the same batch backs off identically.
+	Seed int64
+	// Retryable overrides the retryable-error predicate (nil = the
+	// ErrOverloaded / ErrLockTimeout default).
+	Retryable func(error) bool
+}
+
 // RunConcurrent executes the statements in concurrent goroutines and
 // reports the batch's device-level timing. Statements on different tables
 // proceed in parallel (each locks only its own footprint); statements on
@@ -337,9 +413,53 @@ func (r *ConcurrentResult) Overlap() time.Duration {
 // include the other statements' charges (the simulated clock is global);
 // the honest batch-level numbers are the ones reported here.
 func (db *DB) RunConcurrent(stmts ...func() error) (*ConcurrentResult, error) {
+	return db.RunConcurrentCtx(context.Background(), RetryPolicy{}, stmts...)
+}
+
+// RunConcurrentCtx is RunConcurrent under an external context and a retry
+// policy. Retryable failures (shed or lock-timeout statements — nothing ran,
+// nothing to undo) are re-run after exponential backoff with deterministic
+// jitter, up to policy.MaxRetries per statement; each re-admission bumps
+// cc_retries and emits an EvRetry event on the batch's statement stream.
+//
+// Victim selection: ordered lock acquisition keeps the wait graph acyclic,
+// so the statement whose lock wait timed out (or that was shed) IS the
+// victim — it backs off while the blocking holder finishes. The wait graph
+// still informs the policy: while it shows blocked tables, the backoff is
+// extended by one extra doubling, since retrying into a still-contended
+// footprint would only time out again.
+//
+// ctx cancels only the retry loop (no retry starts after ctx is done); to
+// cancel the statements themselves mid-run, thread the same ctx into each
+// closure's BulkOptions.Ctx.
+func (db *DB) RunConcurrentCtx(ctx context.Context, policy RetryPolicy, stmts ...func() error) (*ConcurrentResult, error) {
 	if db.crashed.Load() {
 		return nil, errCrashed
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var batch *obs.Stmt
+	if policy.MaxRetries > 0 {
+		batch = db.obs.Events().Begin("concurrent-batch", "*")
+		defer batch.End()
+	}
+	retryable := policy.Retryable
+	if retryable == nil {
+		retryable = func(err error) bool {
+			return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrLockTimeout)
+		}
+	}
+	base := policy.Backoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxBackoff := policy.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 100 * time.Millisecond
+	}
+	reg := db.obs.Registry()
+
 	ndev := db.disk.NumDevices()
 	before := make([]time.Duration, ndev)
 	for d := range before {
@@ -351,7 +471,35 @@ func (db *DB) RunConcurrent(stmts ...func() error) (*ConcurrentResult, error) {
 		wg.Add(1)
 		go func(i int, fn func() error) {
 			defer wg.Done()
-			errs[i] = fn()
+			for attempt := 0; ; attempt++ {
+				err := fn()
+				if err == nil || attempt >= policy.MaxRetries ||
+					!retryable(err) || ctx.Err() != nil {
+					errs[i] = err
+					return
+				}
+				steps := attempt
+				blocked := len(db.cc.WaitGraph().Blocked())
+				if blocked > 0 {
+					steps++
+				}
+				delay := base << steps
+				if delay > maxBackoff {
+					delay = maxBackoff
+				}
+				delay = delay/2 + time.Duration(jitter64(uint64(policy.Seed),
+					uint64(i), uint64(attempt))%uint64(delay/2+1))
+				reg.Counter(obs.MetricRetries).Add(1)
+				batch.Event(obs.EvRetry, fmt.Sprintf(
+					"stmt[%d] attempt=%d backoff=%v blocked-tables=%d: %v",
+					i, attempt+1, delay, blocked, err))
+				select {
+				case <-ctx.Done():
+					errs[i] = err
+					return
+				case <-time.After(delay):
+				}
+			}
 		}(i, fn)
 	}
 	wg.Wait()
@@ -371,7 +519,55 @@ func (db *DB) RunConcurrent(stmts ...func() error) (*ConcurrentResult, error) {
 			return res, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
+}
+
+// jitter64 is a splitmix64-style hash of (seed, statement index, attempt):
+// a pure function, so a re-run of the same batch with the same policy seed
+// reproduces every backoff delay exactly.
+func jitter64(seed, stmt, attempt uint64) uint64 {
+	z := seed ^ stmt*0x9e3779b97f4a7c15 ^ attempt*0xbf58476d1ce4e5b9
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rollForwardOnline is abort-to-consistency's engine half: it reuses the
+// §3.2 crash-recovery machinery in process, without a restart. The caller
+// (a cancelled bulk delete) still holds the statement's locks and gates, so
+// the replay owns the structures exactly as Recover would after a crash. It
+// re-reads the durable log prefix — flushing first, so the statement's last
+// appended boundary record counts — distills this transaction's BulkState,
+// and finishes the delete by the same roll-forward Recover runs. A cancel
+// that fired before TBulkStart became durable leaves no BulkState, and the
+// abort is zero-effect: also exactly what crash+recover would produce.
+func (db *DB) rollForwardOnline(tbl *Table, txID uint64, field int) (int64, error) {
+	recs, err := db.log.DurableRecords()
+	if err != nil {
+		return 0, err
+	}
+	for _, bs := range wal.AnalyzeBulks(recs) {
+		if bs.TxID != txID {
+			continue
+		}
+		if bs.Finished {
+			return 0, nil
+		}
+		st, err := core.Resume(tbl.target(), bs, db.log, recs, field,
+			core.Options{Undeletable: tbl.t.Undeletable})
+		if err != nil {
+			return 0, err
+		}
+		if st.Trace != nil {
+			db.obs.OnTrace(st.Trace)
+		}
+		return st.Deleted, nil
+	}
+	return 0, nil
 }
 
 // Disk exposes the simulated disk (for cost-model inspection and tests).

@@ -78,12 +78,16 @@ type TableLock struct {
 	writerOwner  uint64
 	readerOwners map[uint64]int
 	waiters      []LockWaiter
+	waiterSeq    uint64
 }
 
 // LockWaiter is one blocked acquisition, in arrival order.
 type LockWaiter struct {
 	Owner uint64
 	Mode  Mode
+	// tok identifies this queue entry uniquely so a departing waiter
+	// (timeout) removes exactly its own entry, never a same-owner twin's.
+	tok uint64
 }
 
 // init must be called with mu held.
@@ -94,14 +98,19 @@ func (l *TableLock) init() {
 }
 
 // addWaiter/removeWaiter maintain the arrival-ordered waiter queue; both
-// must be called with mu held.
-func (l *TableLock) addWaiter(owner uint64, mode Mode) {
-	l.waiters = append(l.waiters, LockWaiter{Owner: owner, Mode: mode})
+// must be called with mu held. addWaiter returns a token naming the new
+// entry; removeWaiter takes that token back out, by identity rather than
+// by (owner, mode) — two anonymous exclusive waiters are indistinguishable
+// by value, and a timed-out one must not take its twin's entry with it.
+func (l *TableLock) addWaiter(owner uint64, mode Mode) uint64 {
+	l.waiterSeq++
+	l.waiters = append(l.waiters, LockWaiter{Owner: owner, Mode: mode, tok: l.waiterSeq})
+	return l.waiterSeq
 }
 
-func (l *TableLock) removeWaiter(owner uint64, mode Mode) {
+func (l *TableLock) removeWaiter(tok uint64) {
 	for i := range l.waiters {
-		if l.waiters[i].Owner == owner && l.waiters[i].Mode == mode {
+		if l.waiters[i].tok == tok {
 			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
 			return
 		}
@@ -118,16 +127,17 @@ func (l *TableLock) lockExclusiveAs(owner uint64) (blocked bool, holder uint64) 
 	l.mu.Lock()
 	l.init()
 	l.writersW++
+	var tok uint64
 	for l.writer || l.readers > 0 {
 		if !blocked {
 			blocked = true
 			holder = l.writerOwner
-			l.addWaiter(owner, Exclusive)
+			tok = l.addWaiter(owner, Exclusive)
 		}
 		l.cond.Wait()
 	}
 	if blocked {
-		l.removeWaiter(owner, Exclusive)
+		l.removeWaiter(tok)
 	}
 	l.writersW--
 	l.writer = true
@@ -141,24 +151,37 @@ func (l *TableLock) lockExclusiveAs(owner uint64) (blocked bool, holder uint64) 
 // untouched; it is the caller's deadlock insurance, not its ordering rule
 // (Manager.AcquireOrdered prevents deadlocks by construction).
 func (l *TableLock) LockExclusiveTimeout(d time.Duration) bool {
+	ok, _, _, _ := l.lockExclusiveTimeoutAs(0, d)
+	return ok
+}
+
+// lockExclusiveTimeoutAs is the owner-attributed timeout acquisition. It
+// reports whether the lock was acquired, whether the caller blocked, the
+// real time it spent blocked (nonzero on both the granted and the timed-out
+// path — a timed-out waiter's partial wait is still contention), and the
+// exclusive holder observed when the wait began.
+func (l *TableLock) lockExclusiveTimeoutAs(owner uint64, d time.Duration) (ok, blocked bool, waited time.Duration, holder uint64) {
 	deadline := time.Now().Add(d)
+	var start time.Time
 	l.mu.Lock()
 	l.init()
 	l.writersW++
-	waiting := false
+	var tok uint64
 	for l.writer || l.readers > 0 {
-		if !waiting {
-			waiting = true
-			l.addWaiter(0, Exclusive)
+		if !blocked {
+			blocked = true
+			holder = l.writerOwner
+			start = time.Now()
+			tok = l.addWaiter(owner, Exclusive)
 		}
 		rem := time.Until(deadline)
 		if rem <= 0 {
 			l.writersW--
-			l.removeWaiter(0, Exclusive)
+			l.removeWaiter(tok)
 			// A reader may be waiting only on us; let it go.
 			l.cond.Broadcast()
 			l.mu.Unlock()
-			return false
+			return false, true, time.Since(start), holder
 		}
 		// cond.Wait has no deadline; a timer broadcast bounds the wait.
 		t := time.AfterFunc(rem, func() {
@@ -169,14 +192,59 @@ func (l *TableLock) LockExclusiveTimeout(d time.Duration) bool {
 		l.cond.Wait()
 		t.Stop()
 	}
-	if waiting {
-		l.removeWaiter(0, Exclusive)
+	if blocked {
+		l.removeWaiter(tok)
+		waited = time.Since(start)
 	}
 	l.writersW--
 	l.writer = true
-	l.writerOwner = 0
+	l.writerOwner = owner
 	l.mu.Unlock()
-	return true
+	return true, blocked, waited, holder
+}
+
+// lockSharedTimeoutAs is lockSharedAs with a deadline, mirroring
+// lockExclusiveTimeoutAs: a timed-out waiter removes exactly its own queue
+// entry (by token) and reports its partial wait as real contention.
+func (l *TableLock) lockSharedTimeoutAs(owner uint64, d time.Duration) (ok, blocked bool, waited time.Duration, holder uint64) {
+	deadline := time.Now().Add(d)
+	var start time.Time
+	l.mu.Lock()
+	l.init()
+	var tok uint64
+	for l.writer || l.writersW > 0 {
+		if !blocked {
+			blocked = true
+			holder = l.writerOwner
+			start = time.Now()
+			tok = l.addWaiter(owner, Shared)
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			l.removeWaiter(tok)
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return false, true, time.Since(start), holder
+		}
+		t := time.AfterFunc(rem, func() {
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		})
+		l.cond.Wait()
+		t.Stop()
+	}
+	if blocked {
+		l.removeWaiter(tok)
+		waited = time.Since(start)
+	}
+	l.readers++
+	if l.readerOwners == nil {
+		l.readerOwners = make(map[uint64]int)
+	}
+	l.readerOwners[owner]++
+	l.mu.Unlock()
+	return true, blocked, waited, holder
 }
 
 // UnlockExclusive releases the exclusive lock.
@@ -199,16 +267,17 @@ func (l *TableLock) LockShared() { l.lockSharedAs(0) }
 func (l *TableLock) lockSharedAs(owner uint64) (blocked bool, holder uint64) {
 	l.mu.Lock()
 	l.init()
+	var tok uint64
 	for l.writer || l.writersW > 0 {
 		if !blocked {
 			blocked = true
 			holder = l.writerOwner
-			l.addWaiter(owner, Shared)
+			tok = l.addWaiter(owner, Shared)
 		}
 		l.cond.Wait()
 	}
 	if blocked {
-		l.removeWaiter(owner, Shared)
+		l.removeWaiter(tok)
 	}
 	l.readers++
 	if l.readerOwners == nil {

@@ -128,6 +128,18 @@ func (m *Manager) WaitGraph() WaitGraph {
 	return g
 }
 
+// Idle reports whether no lock in the graph is held, waited on, or
+// reserved by writer preference — the state a database must be in after
+// every statement (including cancelled and aborted ones) has finished.
+func (g WaitGraph) Idle() bool {
+	for _, t := range g.Tables {
+		if t.Exclusive || t.Readers > 0 || t.WritersWaiting > 0 || len(t.Waiters) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Blocked returns only the tables with a nonempty waiter queue.
 func (g WaitGraph) Blocked() []TableLockInfo {
 	var out []TableLockInfo
@@ -165,8 +177,24 @@ func (m *Manager) DumpBlocked() string {
 // manager: on timeout it returns false plus the blocked-statement dump, so
 // a watchdog can report who holds what instead of a bare hang.
 func (m *Manager) AcquireExclusiveTimeout(table string, d time.Duration) (bool, string) {
+	return m.AcquireExclusiveTimeoutAs(0, table, d)
+}
+
+// AcquireExclusiveTimeoutAs is AcquireExclusiveTimeout attributed to a
+// statement ID. Blocked time is reported through OnWait/OnLock exactly
+// once per acquisition — including the partial wait of a timed-out
+// attempt, which is real contention even though no lock was granted.
+func (m *Manager) AcquireExclusiveTimeoutAs(owner uint64, table string, d time.Duration) (bool, string) {
 	l := m.Lock(table)
-	if l.LockExclusiveTimeout(d) {
+	ok, blocked, waited, holder := l.lockExclusiveTimeoutAs(owner, d)
+	if blocked && m.OnWait != nil {
+		m.OnWait(table, waited)
+	}
+	if ok {
+		if m.OnLock != nil {
+			m.OnLock(LockEvent{Table: table, Owner: owner, Mode: Exclusive,
+				Blocked: blocked, Waited: waited, Holder: holder})
+		}
 		return true, ""
 	}
 	// The timed-out waiter already left the queue, so lead with the

@@ -12,10 +12,19 @@
 package cc
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrLockTimeout is returned (wrapped) by AcquireOrderedTimeoutAs when the
+// footprint could not be acquired within its deadline. The failing statement
+// is the protocol's timeout victim: ordered acquisition keeps the wait graph
+// acyclic, so backing off the timed-out statement (and retrying it later)
+// always lets the blocking holder finish.
+var ErrLockTimeout = errors.New("cc: lock wait timeout")
 
 // Mode is the strength of a table-lock claim.
 type Mode int
@@ -180,6 +189,66 @@ func (m *Manager) AcquireOrderedAs(owner uint64, claims []Claim) *Held {
 		h.locks = append(h.locks, heldLock{table: n, mode: mode, lock: l})
 	}
 	return h
+}
+
+// AcquireOrderedTimeoutAs is AcquireOrderedAs under a whole-footprint
+// deadline: the claims are deduplicated, sorted, and acquired in the global
+// order, but no more than d of real time is spent blocked in total. On
+// expiry every lock already acquired is released and a wrapped
+// ErrLockTimeout is returned; the timed-out partial wait is still reported
+// through OnWait (it was real contention), while OnLock fires only for
+// granted locks. d <= 0 means no deadline (plain AcquireOrderedAs).
+func (m *Manager) AcquireOrderedTimeoutAs(owner uint64, claims []Claim, d time.Duration) (*Held, error) {
+	if d <= 0 {
+		return m.AcquireOrderedAs(owner, claims), nil
+	}
+	deadline := time.Now().Add(d)
+	modes := make(map[string]Mode, len(claims))
+	for _, c := range claims {
+		if cur, ok := modes[c.Table]; !ok || c.Mode > cur {
+			modes[c.Table] = c.Mode
+		}
+	}
+	names := make([]string, 0, len(modes))
+	for n := range modes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	h := &Held{owner: owner, locks: make([]heldLock, 0, len(names))}
+	for _, n := range names {
+		l := m.Lock(n)
+		mode := modes[n]
+		rem := time.Until(deadline)
+		if rem < 0 {
+			rem = 0
+		}
+		var ok, blocked bool
+		var waited time.Duration
+		var holder uint64
+		if mode == Exclusive {
+			ok, blocked, waited, holder = l.lockExclusiveTimeoutAs(owner, rem)
+		} else {
+			ok, blocked, waited, holder = l.lockSharedTimeoutAs(owner, rem)
+		}
+		if blocked {
+			h.waitTotal += waited
+			if m.OnWait != nil {
+				m.OnWait(n, waited)
+			}
+		}
+		if !ok {
+			h.ReleaseAll()
+			return nil, fmt.Errorf("%w: table %s after %v (holder stmt %d)",
+				ErrLockTimeout, n, waited.Round(time.Microsecond), holder)
+		}
+		if m.OnLock != nil {
+			m.OnLock(LockEvent{Table: n, Owner: owner, Mode: mode,
+				Blocked: blocked, Waited: waited, Holder: holder})
+		}
+		h.locks = append(h.locks, heldLock{table: n, mode: mode, lock: l})
+	}
+	return h, nil
 }
 
 // ReleaseTable releases the named table's lock if this set still holds it.

@@ -34,6 +34,13 @@ func Execute(tgt *Target, field int, values []int64, opts Options) (*Stats, erro
 	stats := &Stats{Method: method, Victims: len(values), Estimates: ests}
 	e.stats = stats
 
+	// Cancel checkpoint before any work: stopping here is free (nothing
+	// was touched), so it is the one boundary that is recoverable even
+	// without a WAL. All later checkpoints require a log.
+	if err := e.cancelPoint(); err != nil {
+		return nil, phaseErr("admit", tgt.Name, err)
+	}
+
 	// Tracing: every execution carries a span tree; an externally supplied
 	// trace is appended to (and finished by) its owner.
 	tr := o.Trace

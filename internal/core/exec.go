@@ -80,6 +80,46 @@ func traceSource(tgt *Target, log *wal.Log) obs.Source {
 // tests can interrupt a run at a precise point.
 var errInjectedCrash = fmt.Errorf("core: injected crash")
 
+// ErrCancelled reports that the run observed its context's cancellation at
+// a recoverable boundary and stopped. The WAL (when logging) holds every
+// record needed to roll the statement forward with Resume; the structures
+// are in exactly the state a crash at the same point would leave durable,
+// plus idempotent-to-reapply in-memory progress past the last checkpoint.
+var ErrCancelled = errors.New("core: statement cancelled")
+
+// checkCancel is the executor's cancel checkpoint. It is called at every
+// noteApplied (page-I/O granularity), structure boundary, and phase
+// transition; a logged run stops anywhere, an unlogged run only before its
+// first destructive pass (enforced by the caller checking cancelPoint at
+// the one boundary that is recoverable without a log).
+func (e *execCtx) checkCancel() error {
+	ctx := e.opts.Ctx
+	if ctx == nil || e.opts.Log == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// cancelPoint checks the context regardless of logging — for boundaries
+// where stopping is safe even without a WAL (nothing modified yet).
+func (e *execCtx) cancelPoint() error {
+	ctx := e.opts.Ctx
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
+	default:
+		return nil
+	}
+}
+
 // phaseErr attaches the executing phase and the structure being worked on
 // to an error crossing a phase boundary, so BulkDelete's caller learns
 // where an I/O fault landed. The cause stays reachable via errors.Is /
@@ -124,6 +164,9 @@ func (e *execCtx) structStart(file sim.FileID, kind uint64) error {
 	if e.opts.Log == nil {
 		return nil
 	}
+	if err := e.checkCancel(); err != nil {
+		return err
+	}
 	if _, err := e.opts.Log.Append(wal.TStructStart, e.opts.TxID, uint64(file), kind, nil); err != nil {
 		return err
 	}
@@ -138,6 +181,9 @@ func (e *execCtx) structStart(file sim.FileID, kind uint64) error {
 func (e *execCtx) noteApplied(file sim.FileID, flush func() error) error {
 	e.applied++
 	if err := e.maybeCrashApplied(); err != nil {
+		return err
+	}
+	if err := e.checkCancel(); err != nil {
 		return err
 	}
 	if e.opts.Log == nil {
@@ -176,7 +222,10 @@ func (e *execCtx) structDone(file sim.FileID, flush func() error) error {
 	if e.opts.OnStructureDone != nil {
 		e.opts.OnStructureDone(file)
 	}
-	return e.maybeCrashStruct()
+	if err := e.maybeCrashStruct(); err != nil {
+		return err
+	}
+	return e.checkCancel()
 }
 
 // skip reports whether recovery already finished this structure.

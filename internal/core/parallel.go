@@ -23,6 +23,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -215,8 +217,20 @@ func (e *execCtx) runIndexPassesParallel(rest []*IndexRef, method Method, worker
 		}
 	}
 
-	sc, err := sched.ExecutePool(e.opts.Sched, disk, workers, nodes)
+	// DAG-node boundaries are cancel checkpoints: a done context stops
+	// further nodes from dispatching, while nodes already running stop at
+	// their own checkpoint boundaries (the child contexts carry e.opts.Ctx).
+	ctx := e.opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc, err := sched.ExecutePoolCtx(ctx, e.opts.Sched, disk, workers, nodes)
 	if err != nil {
+		if ctx.Err() != nil && !errors.Is(err, ErrCancelled) {
+			// The scheduler reports a bare ctx error for nodes it never
+			// started; normalize to the executor's cancel sentinel.
+			err = fmt.Errorf("%w: %v", ErrCancelled, err)
+		}
 		return phaseErr("index-pass", "parallel section", err)
 	}
 	stats.Schedule = sc

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -100,6 +101,16 @@ func (t *Target) HeapFiles() []sim.FileID {
 
 // Options tunes one bulk delete execution.
 type Options struct {
+	// Ctx, when set, makes the run cooperatively cancellable: the executor
+	// polls it at recoverable boundaries — checkpoint/page-I/O points in
+	// the pass loops, structure starts/completions, and phase transitions —
+	// and stops with ErrCancelled when it is done. The stop point is always
+	// WAL-consistent, so the caller can roll the statement forward with
+	// Resume (abort-to-consistency). Without a Log the only recoverable
+	// boundary is "before any structure was modified": a cancellation
+	// observed later is ignored and the run completes. Nil disables
+	// cancellation entirely. Recovery (Resume) never takes the cancel path.
+	Ctx context.Context
 	// Method selects the strategy; Auto picks by estimated cost.
 	Method Method
 	// Memory is the working-memory budget in bytes for sorts and hash

@@ -38,6 +38,7 @@ func Resume(tgt *Target, st wal.BulkState, log *wal.Log, recs []wal.Record, fiel
 		return &Stats{}, nil
 	}
 	o := opts.withDefaults()
+	o.Ctx = nil // the roll-forward itself must never take the cancel path
 	o.Log = log
 	o.TxID = st.TxID
 	o.IgnoreMissing = true

@@ -22,6 +22,8 @@
 package crashtest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -142,6 +144,11 @@ type OrdinalResult struct {
 	ClockUS int64
 	// Err describes an invariant violation ("" = the ordinal passed).
 	Err string
+
+	// digest is the recovered table's logical structure digest, consumed by
+	// the -cancel sweep's cross-check. Unexported: it is only populated when
+	// the ordinal's invariants all held.
+	digest string
 }
 
 // SweepResult aggregates a sweep.
@@ -306,6 +313,13 @@ func RunOrdinal(cfg Config, k int) (OrdinalResult, error) {
 	res.RolledForward = rep.RolledForward
 	res.Err = verifyState(rdb, cfg, victims, rep.BulkInProgress, &res)
 	res.ClockUS = disk.Clock().Microseconds()
+	if res.Err == "" {
+		if rtbl := rdb.Table("R"); rtbl != nil {
+			if d, derr := StructureDigest(rtbl); derr == nil {
+				res.digest = d
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -356,6 +370,222 @@ func verifyState(rdb *bulkdel.DB, cfg Config, victims []int64, rolledForward boo
 		return fmt.Sprintf("cached row count %d, scanned %d", tbl.Count(), total)
 	}
 	return ""
+}
+
+// StructureDigest fingerprints a table's logical content: every record in
+// physical order with its RID. Two databases whose tables both pass Check
+// and share a digest hold identical logical structures — Check pins each
+// index to an exact ⟨key,RID⟩ match with the heap, so heap equality carries
+// the indexes with it. (Physical tree shape is deliberately excluded:
+// crash recovery may rebuild a damaged index from the heap, which changes
+// its page layout but never its entry set.)
+func StructureDigest(tbl *bulkdel.Table) (string, error) {
+	h := fnv.New64a()
+	err := tbl.Scan(func(rid bulkdel.RID, fields []int64) error {
+		fmt.Fprintf(h, "%d:%d:%v\n", rid.Page, rid.Slot, fields)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// CancelOrdinalResult reports one cancel-and-replay cycle of the -cancel
+// sweep.
+type CancelOrdinalResult struct {
+	// Ordinal is the statement I/O after which cancellation was requested.
+	Ordinal int
+	// CancelFired reports whether the statement actually observed the
+	// cancellation (false when it completed before reaching a cancel
+	// checkpoint — a race near the statement's end, legitimate both ways).
+	CancelFired bool
+	// Survivors is the row count after the statement (and, on the cancel
+	// path, after the online abort-to-consistency replay).
+	Survivors int64
+	// Digest is the logical structure digest after the statement.
+	Digest string
+	// CrashComparable reports whether the crash+recover run at the same
+	// ordinal found the bulk delete in the WAL and rolled it forward. When
+	// it did, its digest must equal ours. When it did not — the crash
+	// predates the statement's first durable record, a boundary the online
+	// cancel path can never stop at (its first checkpoint sits after the
+	// bulk-start record, and the abort flushes the log before analyzing
+	// it) — the crash run's zero-effect state is compared against the
+	// pre-delete digest instead.
+	CrashComparable bool
+	// Err describes an invariant violation ("" = the ordinal passed).
+	Err string
+}
+
+// CancelSweepResult aggregates a -cancel sweep.
+type CancelSweepResult struct {
+	// TotalIOs the fault-free statement performs; ordinals range 1..TotalIOs.
+	TotalIOs int
+	// Reference is the completed-delete digest every cancelled (or
+	// completed) run must reproduce.
+	Reference string
+	// Ran, Failed, Cancelled count the swept ordinals.
+	Ran, Failed, Cancelled int
+	// Ordinals holds every per-ordinal result, in sweep order.
+	Ordinals []CancelOrdinalResult
+}
+
+// Failures returns the results whose invariants failed.
+func (s *CancelSweepResult) Failures() []CancelOrdinalResult {
+	var out []CancelOrdinalResult
+	for _, r := range s.Ordinals {
+		if r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RunCancelOrdinal executes one cancel-and-replay cycle: fresh scenario,
+// cooperative cancellation requested as soon as the statement's kth page
+// I/O has happened, online abort-to-consistency, invariant checks — no
+// crash, no restart, same process. refDigest is the completed-delete
+// digest the structures must end at (roll-forward recovery finishes the
+// delete, so a cancelled statement and a completed one converge on the
+// same state); preDigest is the untouched-table digest used to check the
+// crash run's zero-effect ordinals.
+func RunCancelOrdinal(cfg Config, k int, refDigest, preDigest string) (CancelOrdinalResult, error) {
+	cfg = cfg.withDefaults()
+	res := CancelOrdinalResult{Ordinal: k}
+	db, tbl, victims, err := buildDB(cfg)
+	if err != nil {
+		return res, err
+	}
+
+	// Arm the cancel trigger: a fault-plan hook requests cooperative
+	// cancellation synchronously at the kth statement I/O — the exact
+	// boundary RunOrdinal's CrashAtIO pins its power failure to. The
+	// statement then stops at its next cancel checkpoint; every checkpoint
+	// is recoverable and every recovery rolls forward to the same final
+	// state, so the structure digest below is deterministic.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	db.Disk().SetFaultPlan(sim.NewFaultPlan().CallAtIO(uint64(k), cancel))
+	opts := bulkOpts(cfg)
+	opts.Ctx = ctx
+	_, derr := tbl.BulkDelete(0, victims, opts)
+	db.Disk().SetFaultPlan(nil)
+
+	switch {
+	case derr == nil:
+		res.CancelFired = false
+	case errors.Is(derr, bulkdel.ErrCancelled):
+		res.CancelFired = true
+	default:
+		res.Err = fmt.Sprintf("unexpected non-cancel error: %v", derr)
+		return res, nil
+	}
+
+	// The statement is over (cancelled + replayed, or completed): no locks,
+	// gates, or statements may linger.
+	if insp := db.Inspect(); len(insp.Statements) != 0 || !insp.WaitGraph.Idle() {
+		res.Err = fmt.Sprintf("leaked concurrent state after cancel:\n%s", insp.String())
+		return res, nil
+	}
+	if err := tbl.Check(); err != nil {
+		res.Err = fmt.Sprintf("consistency check: %v", err)
+		return res, nil
+	}
+	res.Survivors = tbl.Count()
+	res.Digest, err = StructureDigest(tbl)
+	if err != nil {
+		res.Err = fmt.Sprintf("digesting structures: %v", err)
+		return res, nil
+	}
+	if res.Digest != refDigest {
+		res.Err = fmt.Sprintf("structure digest %s != completed-delete reference %s", res.Digest, refDigest)
+		return res, nil
+	}
+
+	// Crash+recover at the same ordinal must land on the same structures
+	// whenever its boundary is one the cancel path can also stop at (the
+	// bulk delete made it into the WAL); its early zero-effect ordinals
+	// must match the pre-delete state instead.
+	crash, err := RunOrdinal(cfg, k)
+	if err != nil {
+		return res, err
+	}
+	if crash.Err != "" {
+		res.Err = fmt.Sprintf("crash+recover reference run failed: %s", crash.Err)
+		return res, nil
+	}
+	res.CrashComparable = crash.BulkInWAL
+	want := refDigest
+	if !crash.BulkInWAL {
+		want = preDigest
+	}
+	if crash.digest != want {
+		res.Err = fmt.Sprintf("crash+recover digest %s at ordinal %d, want %s (bulkInWAL=%v)",
+			crash.digest, k, want, crash.BulkInWAL)
+	}
+	return res, nil
+}
+
+// CancelSweep runs RunCancelOrdinal for every ordinal in the configured
+// range, checking that cancellation at (after) every statement I/O leaves
+// structures digest-identical to what a crash at the equivalent boundary
+// plus recovery produces. The returned error reports harness failures only.
+func CancelSweep(cfg Config) (*CancelSweepResult, error) {
+	cfg = cfg.withDefaults()
+
+	// Pre-delete digest: the untouched table every zero-effect abort (and
+	// early crash) must preserve.
+	db, tbl, victims, err := buildDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	preDigest, err := StructureDigest(tbl)
+	if err != nil {
+		return nil, err
+	}
+	// Completed-delete reference digest, measured on the same run that
+	// counts the sweep's ordinal range.
+	before := db.Disk().IOCount()
+	res, err := tbl.BulkDelete(0, victims, bulkOpts(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: fault-free run failed: %w", err)
+	}
+	if res.Deleted != int64(len(victims)) {
+		return nil, fmt.Errorf("crashtest: fault-free run deleted %d of %d victims", res.Deleted, len(victims))
+	}
+	if err := tbl.Check(); err != nil {
+		return nil, fmt.Errorf("crashtest: fault-free run left the table inconsistent: %w", err)
+	}
+	total := int(db.Disk().IOCount() - before)
+	refDigest, err := StructureDigest(tbl)
+	if err != nil {
+		return nil, err
+	}
+
+	from, to := cfg.From, cfg.To
+	if from <= 0 {
+		from = 1
+	}
+	if to <= 0 || to > total {
+		to = total
+	}
+	sw := &CancelSweepResult{TotalIOs: total, Reference: refDigest}
+	for k := from; k <= to; k += cfg.Stride {
+		r, err := RunCancelOrdinal(cfg, k, refDigest, preDigest)
+		if err != nil {
+			return sw, err
+		}
+		sw.Ran++
+		if r.Err != "" {
+			sw.Failed++
+		}
+		if r.CancelFired {
+			sw.Cancelled++
+		}
+		sw.Ordinals = append(sw.Ordinals, r)
+	}
+	return sw, nil
 }
 
 // Sweep counts the statement's I/Os and runs RunOrdinal for every ordinal

@@ -18,6 +18,18 @@ const (
 	MetricStatementsPeak = "cc_statements_peak"
 	// MetricConcurrentBatches counts DB.RunConcurrent invocations.
 	MetricConcurrentBatches = "cc_concurrent_batches"
+	// MetricAborts counts statements cancelled mid-flight and brought to
+	// consistency via the online roll-forward replay.
+	MetricAborts = "cc_aborts"
+	// MetricRetries counts statement re-executions performed by the
+	// RunConcurrent retry policy after a timeout/deadlock abort.
+	MetricRetries = "cc_retries"
+	// MetricDeadlineExceeded counts statements that hit their deadline (a
+	// subset of the aborts counted by MetricAborts).
+	MetricDeadlineExceeded = "cc_deadline_exceeded"
+	// MetricAdmissionShed counts statements rejected by the admission
+	// pool's overload guard instead of being queued.
+	MetricAdmissionShed = "adm_shed"
 )
 
 // Canonical metric names for the WAL appender queue — the measurement

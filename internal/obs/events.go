@@ -40,6 +40,13 @@ const (
 	EvWAL          EventKind = "wal"           // WAL lifecycle record appended
 	EvCommit       EventKind = "commit"        // commit record flushed
 	EvEnd          EventKind = "end"           // release-all, statement finished
+
+	// Cancellation lifecycle (emitted only by cancelled/retried/shed
+	// statements, so existing streams are unchanged).
+	EvCancel EventKind = "cancel" // cancellation observed at a recoverable boundary
+	EvAbort  EventKind = "abort"  // abort-to-consistency replay finished
+	EvRetry  EventKind = "retry"  // statement re-admitted by the retry policy
+	EvShed   EventKind = "shed"   // admission overload guard rejected the statement
 )
 
 // Event is one entry of a statement's lifecycle stream. Seq is a global

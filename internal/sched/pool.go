@@ -7,9 +7,19 @@
 package sched
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ErrOverloaded is the sentinel for the pool's overload guard: a statement
+// that would need pool workers is shed at admission — before it takes any
+// lock or writes any log record — when the waiter queue is at its cap.
+// Load shedding beats unbounded waiting: a shed statement fails fast with
+// a retryable error while the queue depth (and therefore every queued
+// statement's latency) stays bounded.
+var ErrOverloaded = errors.New("sched: admission pool overloaded")
 
 // Pool is the DB-wide admission gate: a global worker-slot semaphore plus
 // one mutex per device. A node must hold a statement-local slot, a pool
@@ -21,6 +31,13 @@ type Pool struct {
 
 	mu  sync.Mutex
 	dev map[int]*sync.Mutex
+
+	// Overload guard: when queueCap > 0 and `waiting` acquirers are
+	// already blocked on the semaphore, further acquisitions shed with
+	// ErrOverloaded instead of joining the queue.
+	queueCap int
+	waiting  atomic.Int64
+	onShed   func()
 }
 
 // NewPool returns a pool admitting at most `workers` concurrently running
@@ -38,6 +55,46 @@ func NewPool(workers int) *Pool {
 // Workers returns the admission budget (0 = unbounded).
 func (p *Pool) Workers() int { return cap(p.sem) }
 
+// SetQueueCap bounds the number of acquirers allowed to block on the pool
+// at once; past it, Admit sheds new parallel statements. n <= 0 restores
+// unbounded queueing (the default). Set at DB open, before statements run.
+func (p *Pool) SetQueueCap(n int) { p.queueCap = n }
+
+// SetOnShed installs a hook invoked once per shed acquisition (metrics).
+// Same discipline as the cc.Manager hooks: set once at open.
+func (p *Pool) SetOnShed(fn func()) { p.onShed = fn }
+
+// Waiting returns the number of acquirers currently blocked on the pool.
+func (p *Pool) Waiting() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.waiting.Load())
+}
+
+// Admit is the overload guard's admission decision, taken once per parallel
+// statement before it acquires anything. It returns false — after firing the
+// shed hook — when no worker slot is free AND queueCap acquirers are already
+// blocked on the pool: admitting the statement then could only deepen the
+// queue. Shedding happens here, at the statement boundary, never mid-run: a
+// node of an already-admitted statement always queues (acquire below), so a
+// statement that started its destructive passes is never failed by load.
+func (p *Pool) Admit() bool {
+	if p == nil || p.sem == nil || p.queueCap <= 0 {
+		return true
+	}
+	if len(p.sem) < cap(p.sem) {
+		return true
+	}
+	if int(p.waiting.Load()) < p.queueCap {
+		return true
+	}
+	if p.onShed != nil {
+		p.onShed()
+	}
+	return false
+}
+
 // acquire takes one admission slot, abandoning the wait if abort closes.
 // It reports whether the slot was taken and how long the caller blocked
 // for it (real time; zero when a slot was free).
@@ -50,6 +107,8 @@ func (p *Pool) acquire(abort <-chan struct{}) (ok bool, waited time.Duration) {
 		return true, 0
 	default:
 	}
+	p.waiting.Add(1)
+	defer p.waiting.Add(-1)
 	t0 := time.Now()
 	select {
 	case p.sem <- struct{}{}:

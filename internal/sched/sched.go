@@ -28,6 +28,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -108,6 +109,19 @@ func Execute(disk *sim.Disk, workers int, nodes []Node) (*Schedule, error) {
 // mutex. A node holding all three never waits on anything but its own
 // I/O, so the layered acquisition cannot deadlock.
 func ExecutePool(pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedule, error) {
+	return ExecutePoolCtx(context.Background(), pool, disk, workers, nodes)
+}
+
+// ExecutePoolCtx is ExecutePool under an external cancellation signal: a
+// DAG-node boundary is a cancel checkpoint, so when ctx is done no further
+// node starts (nodes already running finish — their Run closures observe
+// the same ctx at their own page-I/O checkpoints) and the section returns
+// ctx.Err(). A node's own error still wins over the cancellation, since it
+// is what forced the abort in the first place.
+func ExecutePoolCtx(ctx context.Context, pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(nodes); err != nil {
 		return nil, err
 	}
@@ -151,6 +165,20 @@ func ExecutePool(pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedu
 			close(abort)
 		}
 		abortMu.Unlock()
+	}
+
+	// Feed external cancellation into the internal abort channel; the
+	// watcher exits with the section.
+	sectionDone := make(chan struct{})
+	defer close(sectionDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				abortAll()
+			case <-sectionDone:
+			}
+		}()
 	}
 
 	for _, dev := range devOrder {
@@ -219,6 +247,9 @@ func ExecutePool(pool *Pool, disk *sim.Disk, workers int, nodes []Node) (*Schedu
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sc := Plan(workers, nodes, durs)
 	for _, w := range admWaits {

@@ -75,6 +75,10 @@ type FaultPlan struct {
 	tornOnly  bool
 	crashed   bool // the crash has tripped; refuse everything
 
+	hookAt uint64 // I/O ordinal that fires the hook; 0 = never
+	hook   func() // one-shot callback; see CallAtIO
+	hooked bool   // the hook has fired
+
 	// Counter values at installation time; set by SetFaultPlan.
 	ioBase    uint64
 	readBase  uint64
@@ -116,6 +120,20 @@ func (p *FaultPlan) FailWriteAt(n uint64, cause error) *FaultPlan {
 // it fail with ErrCrashed.
 func (p *FaultPlan) CrashAtIO(k uint64) *FaultPlan {
 	p.crashAt = k
+	return p
+}
+
+// CallAtIO invokes fn exactly once, synchronously, at the kth page I/O
+// after installation (1-based, reads and writes counted together). Unlike
+// CrashAtIO the I/O itself proceeds normally — the hook observes the
+// ordinal, it does not fault it. This is how a harness turns a wall-clock
+// race into a deterministic schedule: requesting a statement's cooperative
+// cancellation from the hook pins the request to an exact I/O boundary,
+// where CrashAtIO at the same ordinal pins the power failure. fn runs with
+// the disk mutex held and must not call back into the disk.
+func (p *FaultPlan) CallAtIO(k uint64, fn func()) *FaultPlan {
+	p.hookAt = k
+	p.hook = fn
 	return p
 }
 
@@ -236,6 +254,10 @@ func (d *Disk) faultLocked(op string, id FileID, p PageNo, data, dst []byte) err
 		return nil
 	}
 	relSeq := d.ioSeq - pl.ioBase
+	if pl.hookAt != 0 && relSeq >= pl.hookAt && !pl.hooked {
+		pl.hooked = true
+		pl.hook()
+	}
 	if pl.crashed {
 		// The machine is down: refuse without counting a fresh fault.
 		return &FaultError{Op: op, File: id, Page: p, Seq: relSeq, Err: ErrCrashed}

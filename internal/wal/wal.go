@@ -344,24 +344,23 @@ func (l *Log) FlushedLSN() LSN {
 	return LSN(l.flushed)
 }
 
-// Open attaches to an existing log file and returns every durable record —
-// the recovery scan. The returned Log appends after the recovered tail.
-func Open(disk *sim.Disk, file sim.FileID) (*Log, []Record, error) {
-	n, err := disk.NumPages(file)
-	if err != nil {
-		return nil, nil, err
-	}
+// readStream reads every page of a log file into one byte stream.
+func readStream(disk *sim.Disk, file sim.FileID, n sim.PageNo) ([]byte, error) {
 	stream := make([]byte, 0, int(n)*sim.PageSize)
 	buf := make([]byte, sim.PageSize)
 	for p := sim.PageNo(0); p < n; p++ {
 		if err := disk.ReadPage(file, p, buf); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		stream = append(stream, buf...)
 	}
-	var recs []Record
-	off := uint64(0)
-	maxGen := uint32(0)
+	return stream, nil
+}
+
+// parseStream walks a log byte stream and returns the valid record prefix,
+// the offset of the first byte past it, and the highest generation seen —
+// the shared scan of Open (recovery) and DurableRecords (online abort).
+func parseStream(stream []byte) (recs []Record, off uint64, maxGen uint32) {
 	for {
 		if int(off)+recHeaderSize > len(stream) {
 			break
@@ -402,11 +401,46 @@ func Open(disk *sim.Disk, file sim.FileID) (*Log, []Record, error) {
 		maxGen = gen
 		off += recHeaderSize + uint64(plen)
 	}
+	return recs, off, maxGen
+}
+
+// Open attaches to an existing log file and returns every durable record —
+// the recovery scan. The returned Log appends after the recovered tail.
+func Open(disk *sim.Disk, file sim.FileID) (*Log, []Record, error) {
+	n, err := disk.NumPages(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	stream, err := readStream(disk, file, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, off, maxGen := parseStream(stream)
 	// The new incarnation writes a strictly larger generation, so records
 	// it appends over a torn tail can never be confused with what the old
 	// incarnation left behind.
 	l := &Log{disk: disk, file: file, gen: maxGen + 1, off: off, flushed: off, pages: n}
 	return l, recs, nil
+}
+
+// DurableRecords flushes buffered appends and re-reads the log's own file,
+// returning every durable record — the recovery scan run online, for the
+// abort-to-consistency replay of a cancelled statement. Unlike Open it
+// neither mints a new Log nor bumps the generation: the caller keeps
+// appending to this one, and replay records continue the same stream.
+func (l *Log) DurableRecords() ([]Record, error) {
+	if err := l.Flush(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	disk, file, n := l.disk, l.file, l.pages
+	l.mu.Unlock()
+	stream, err := readStream(disk, file, n)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, _ := parseStream(stream)
+	return recs, nil
 }
 
 // BulkState summarizes the recovery-relevant state of one interrupted bulk

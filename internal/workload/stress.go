@@ -18,6 +18,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -57,6 +59,37 @@ type StressSpec struct {
 	// loaded — before the workers start — so callers can watch the run
 	// live (DB.Inspect) or export its event log afterwards.
 	OnOpen func(*bulkdel.DB)
+
+	// Ctx, when set, lets the caller interrupt the run: once it is
+	// cancelled the workers finish their in-flight operation, stop issuing
+	// new ones, and the run drains into the normal final verification
+	// (Stats.Interrupted reports the early stop). Nil means run to
+	// completion.
+	Ctx context.Context
+
+	// CancelPct is the percentage of bulk deletes issued with an
+	// already-cancelled statement context. The engine must abort each one
+	// to a consistent boundary: either zero effect (cancel observed at
+	// admission) or the full delete (the online recovery replay finished
+	// it) — the worker detects which by probing the victims and retries
+	// the zero-effect case, so the shadow model stays exact either way.
+	CancelPct int
+	// DeadlinePct is the percentage of bulk deletes issued with a tiny
+	// random statement deadline (microseconds), so cancellation fires
+	// mid-statement at a wall-clock-dependent checkpoint rather than at
+	// admission. Same abort contract and model handling as CancelPct.
+	DeadlinePct int
+	// LockWaitPct is the percentage of bulk deletes issued with a tiny
+	// random lock-wait budget. A statement that trips it fails with
+	// ErrLockTimeout before any work; the worker retries it (dropping the
+	// budget after repeated timeouts), modelling the timeout-victim retry
+	// policy.
+	LockWaitPct int
+	// AdmissionQueue caps the admission-pool wait queue (Options.
+	// AdmissionQueue): parallel statements beyond Budget+AdmissionQueue
+	// are shed with ErrOverloaded, which the worker retries like a lock
+	// timeout.
+	AdmissionQueue int
 }
 
 func (s StressSpec) withDefaults() StressSpec {
@@ -104,6 +137,18 @@ type StressStats struct {
 	// P50, P95, P99 are per-statement simulated-latency percentiles from
 	// the observer's statement_elapsed histogram.
 	P50, P95, P99 time.Duration
+
+	// Cancelled counts bulk deletes that observed a cancellation or
+	// deadline; FullAborts of them were completed by the online recovery
+	// replay (full effect), ZeroAborts stopped before any work.
+	Cancelled, FullAborts, ZeroAborts int64
+	// LockTimeouts and Shed count statements refused by the lock-wait
+	// budget and the admission overload guard; Retries counts the worker
+	// re-issues that followed any refused or zero-effect statement.
+	LockTimeouts, Shed, Retries int64
+	// Interrupted reports that the spec's Ctx was cancelled and the run
+	// drained early (the final verification still ran).
+	Interrupted bool
 }
 
 // stressModel is one table's oracle state.
@@ -182,9 +227,10 @@ var stressMethods = []bulkdel.Method{bulkdel.Auto, bulkdel.SortMerge, bulkdel.Ha
 func Stress(spec StressSpec) (*StressStats, error) {
 	spec = spec.withDefaults()
 	db, err := bulkdel.Open(bulkdel.Options{
-		Devices:    spec.Devices,
-		Parallel:   spec.Budget,
-		DisableWAL: spec.DisableWAL,
+		Devices:        spec.Devices,
+		Parallel:       spec.Budget,
+		DisableWAL:     spec.DisableWAL,
+		AdmissionQueue: spec.AdmissionQueue,
 	})
 	if err != nil {
 		return nil, err
@@ -228,10 +274,18 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	stats := &StressStats{}
 	var statsMu sync.Mutex
 
+	runCtx := spec.Ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+
 	worker := func(w int) func() error {
 		return func() error {
 			rng := rand.New(rand.NewSource(spec.Seed + int64(w)*1_000_003))
 			for op := 0; op < spec.Ops; op++ {
+				if runCtx.Err() != nil {
+					return nil // interrupted: drain, the final sweep still runs
+				}
 				ti := rng.Intn(spec.Tables)
 				tbl, model := tables[ti], models[ti]
 				fail := func(err error) error {
@@ -290,24 +344,105 @@ func Stress(spec StressSpec) (*StressStats, error) {
 					if len(victims) == 0 {
 						continue
 					}
-					res, err := tbl.BulkDelete(0, victims, bulkdel.BulkOptions{
+					opts := bulkdel.BulkOptions{
 						Method:         stressMethods[rng.Intn(len(stressMethods))],
 						Concurrent:     spec.Concurrent,
 						Parallel:       spec.Parallel,
 						CheckpointRows: 16,
-					})
-					if err != nil {
-						return fail(fmt.Errorf("bulk delete of %d victims: %w", len(victims), err))
 					}
-					// Victim invariant: every claimed key was live and in
-					// the table exactly once — nothing more, nothing less.
-					if res.Deleted != int64(len(victims)) {
-						return fail(fmt.Errorf("bulk delete: %d victims, %d deleted", len(victims), res.Deleted))
+					// Chaos: cancellation (an already-dead context, so the
+					// statement aborts at admission), a tiny wall-clock
+					// deadline (so it aborts at a mid-statement checkpoint),
+					// and a tiny lock-wait budget (so it may be refused as a
+					// timeout victim). The victims stay claimed throughout:
+					// a cancelled delete either completed via the online
+					// replay or had zero effect, and the retry loop below
+					// converges the zero-effect and refused cases, so the
+					// model's claim is correct no matter which path fires.
+					if spec.CancelPct > 0 && rng.Intn(100) < spec.CancelPct {
+						ctx, cancel := context.WithCancel(context.Background())
+						cancel()
+						opts.Ctx = ctx
+					} else if spec.DeadlinePct > 0 && rng.Intn(100) < spec.DeadlinePct {
+						opts.Timeout = time.Duration(1+rng.Intn(500)) * time.Microsecond
 					}
-					statsMu.Lock()
-					stats.BulkDeletes++
-					stats.RowsDeleted += res.Deleted
-					statsMu.Unlock()
+					if spec.LockWaitPct > 0 && rng.Intn(100) < spec.LockWaitPct {
+						opts.LockWait = time.Duration(1+rng.Intn(200)) * time.Microsecond
+					}
+					for attempt := 0; ; attempt++ {
+						res, err := tbl.BulkDelete(0, victims, opts)
+						if err == nil {
+							// Victim invariant: every claimed key was live and
+							// in the table exactly once.
+							if res.Deleted != int64(len(victims)) {
+								return fail(fmt.Errorf("bulk delete: %d victims, %d deleted", len(victims), res.Deleted))
+							}
+							statsMu.Lock()
+							stats.BulkDeletes++
+							stats.RowsDeleted += res.Deleted
+							if attempt > 0 {
+								stats.Retries++
+							}
+							statsMu.Unlock()
+							break
+						}
+						switch {
+						case errors.Is(err, bulkdel.ErrCancelled):
+							// Abort-to-consistency contract: all victims gone
+							// (the replay finished the delete) or all intact
+							// (cancelled at admission) — never a torn set.
+							// Nobody else touches claimed keys, so the probe
+							// is stable under concurrency.
+							gone := 0
+							for _, v := range victims {
+								rows, lerr := tbl.Lookup(0, v)
+								if lerr != nil {
+									return fail(fmt.Errorf("probing victim %d after cancel: %w", v, lerr))
+								}
+								if len(rows) == 0 {
+									gone++
+								}
+							}
+							statsMu.Lock()
+							stats.Cancelled++
+							statsMu.Unlock()
+							switch gone {
+							case len(victims): // full effect: the delete is done
+								statsMu.Lock()
+								stats.FullAborts++
+								stats.BulkDeletes++
+								stats.RowsDeleted += int64(len(victims))
+								statsMu.Unlock()
+							case 0: // zero effect: re-issue without the chaos
+								statsMu.Lock()
+								stats.ZeroAborts++
+								statsMu.Unlock()
+								opts.Ctx, opts.Timeout = nil, 0
+								continue
+							default:
+								return fail(fmt.Errorf("cancelled delete tore its victim set: %d of %d gone", gone, len(victims)))
+							}
+						case errors.Is(err, bulkdel.ErrLockTimeout), errors.Is(err, bulkdel.ErrOverloaded):
+							// Refused before any work: this statement is the
+							// timeout/overload victim, and retrying it is
+							// always safe. Drop the budget after repeated
+							// refusals so the loop terminates.
+							statsMu.Lock()
+							if errors.Is(err, bulkdel.ErrLockTimeout) {
+								stats.LockTimeouts++
+							} else {
+								stats.Shed++
+							}
+							statsMu.Unlock()
+							if attempt >= 2 {
+								opts.LockWait = 0
+							}
+							continue
+						default:
+							return fail(fmt.Errorf("bulk delete of %d victims: %w", len(victims), err))
+						}
+						break
+					}
 				}
 			}
 			return nil
@@ -319,10 +454,15 @@ func Stress(spec StressSpec) (*StressStats, error) {
 		stmts[w] = worker(w)
 	}
 	t0 := time.Now()
-	cres, err := db.RunConcurrent(stmts...)
+	cres, err := db.RunConcurrentCtx(runCtx, bulkdel.RetryPolicy{MaxRetries: 2, Seed: spec.Seed}, stmts...)
 	stats.WallTime = time.Since(t0)
 	if err != nil {
-		return nil, err
+		// An interrupted run is not a failure: the workers drained on the
+		// cancelled context and the final verification below still decides.
+		if !errors.Is(err, context.Canceled) || runCtx.Err() == nil {
+			return nil, err
+		}
+		stats.Interrupted = true
 	}
 	stats.Makespan = cres.Makespan
 	stats.SerialEquivalent = cres.SerialEquivalent
@@ -333,6 +473,13 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	stats.P50 = elapsed.Quantile(0.50)
 	stats.P95 = elapsed.Quantile(0.95)
 	stats.P99 = elapsed.Quantile(0.99)
+
+	// Leak check: after every statement has finished — including the
+	// cancelled, timed-out, and shed ones — nothing may linger: no
+	// in-flight statements, no held or waited-on lock, no admission slot.
+	if insp := db.Inspect(); len(insp.Statements) != 0 || !insp.WaitGraph.Idle() {
+		return stats, fmt.Errorf("seed %d: leaked concurrent state after stress:\n%s", spec.Seed, insp.String())
+	}
 
 	// Final sweep: heap↔index consistency and an exact model match.
 	for ti, tbl := range tables {

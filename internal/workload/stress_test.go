@@ -1,6 +1,10 @@
 package workload
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
 
 // TestStress is the -race target for the DB-level lock manager: workers
 // hammer independent tables with bulk deletes, lookups, and inserts, and
@@ -31,6 +35,60 @@ func TestStress(t *testing.T) {
 				stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups,
 				stats.LockWaits, stats.Makespan, stats.SerialEquivalent)
 		})
+	}
+}
+
+// TestStressChaos turns on every disruption knob at once: random
+// cancellations, tiny statement deadlines, tiny lock-wait budgets, and a
+// capped admission queue. The run must still end with an exact model match
+// and no leaked statements, locks, or admission slots — cancelled deletes
+// abort to consistency (zero or full effect, never torn) and refused ones
+// are retried.
+func TestStressChaos(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec StressSpec
+	}{
+		{"serial", StressSpec{Seed: 11, CancelPct: 25, DeadlinePct: 25, LockWaitPct: 30}},
+		{"concurrent-array", StressSpec{Seed: 12, Devices: 4, Parallel: 3, Budget: 2,
+			AdmissionQueue: 1, Concurrent: true, CancelPct: 20, DeadlinePct: 20, LockWaitPct: 25}},
+		{"no-wal", StressSpec{Seed: 13, DisableWAL: true, CancelPct: 25, DeadlinePct: 25}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			stats, err := Stress(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.BulkDeletes == 0 {
+				t.Fatalf("degenerate run: %+v", stats)
+			}
+			t.Logf("deletes=%d cancelled=%d full-aborts=%d zero-aborts=%d lock-timeouts=%d shed=%d retries=%d",
+				stats.BulkDeletes, stats.Cancelled, stats.FullAborts, stats.ZeroAborts,
+				stats.LockTimeouts, stats.Shed, stats.Retries)
+			if tc.spec.CancelPct > 0 && stats.Cancelled == 0 {
+				t.Error("chaos never cancelled a statement")
+			}
+		})
+	}
+}
+
+// TestStressInterrupt cancels the run context mid-flight: the workers must
+// drain instead of erroring out, the final verification must still run, and
+// the stats must report the interruption.
+func TestStressInterrupt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	stats, err := Stress(StressSpec{Seed: 14, Workers: 4, Ops: 10_000, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Interrupted {
+		t.Fatal("run was cancelled mid-flight but Interrupted is false")
 	}
 }
 

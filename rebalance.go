@@ -1,12 +1,14 @@
 package bulkdel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"bulkdel/internal/cc"
 	"bulkdel/internal/heap"
+	"bulkdel/internal/obs"
 	"bulkdel/internal/place"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
@@ -193,8 +195,21 @@ type RebalanceResult struct {
 // mid-migration is recovered by redoing the move, so the file is always
 // intact on exactly one device.
 func (db *DB) Rebalance() (*RebalanceResult, error) {
+	return db.RebalanceCtx(context.Background())
+}
+
+// RebalanceCtx is Rebalance under a cancellation context. Move boundaries
+// are the recoverable checkpoints: each migration is bracketed by WAL
+// move-start/move-done records and is complete in itself, so a done context
+// stops the run between moves — completed migrations stay (and are saved to
+// the catalog), pending ones are simply not started — and the call returns
+// ErrCancelled wrapping the context's error alongside the partial result.
+func (db *DB) RebalanceCtx(ctx context.Context) (*RebalanceResult, error) {
 	if db.crashed.Load() {
 		return nil, errCrashed
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	db.mu.Lock()
 	names := make([]string, 0, len(db.tables))
@@ -231,7 +246,17 @@ func (db *DB) Rebalance() (*RebalanceResult, error) {
 	plan := place.PlanRebalance(db.disk.NumDevices(), ps)
 	res := &RebalanceResult{}
 	start := db.disk.Clock()
+	var cancelErr error
 	for _, m := range plan {
+		select {
+		case <-ctx.Done():
+			stmt.Event(obs.EvCancel, fmt.Sprintf("rebalance stopped after %d/%d moves", len(res.Moves), len(plan)))
+			cancelErr = fmt.Errorf("bulkdel: rebalance: %w: %v", ErrCancelled, ctx.Err())
+		default:
+		}
+		if cancelErr != nil {
+			break
+		}
 		if err := db.migrateFile(m.File, m.To); err != nil {
 			return res, err
 		}
@@ -244,11 +269,14 @@ func (db *DB) Rebalance() (*RebalanceResult, error) {
 	reg.Counter("rebalance_moves").Add(int64(len(res.Moves)))
 	reg.Counter("rebalance_pages_moved").Add(res.PagesMoved)
 	if len(res.Moves) > 0 {
+		// Completed moves are durable in the WAL either way; the catalog
+		// save makes them visible without a log replay — on the cancel path
+		// too, so a cancelled rebalance leaves no catalog drift.
 		if err := db.saveCatalog(); err != nil {
 			return res, err
 		}
 	}
-	return res, nil
+	return res, cancelErr
 }
 
 // migrateFile moves one file to dev under the move protocol: log

@@ -1,6 +1,8 @@
 package bulkdel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -237,6 +239,30 @@ type BulkOptions struct {
 	// number of distinct devices those indexes live on, so it only helps
 	// on a multi-device array (Options.Devices).
 	Parallel int
+	// Ctx, when set, makes the statement cooperatively cancellable: the
+	// executor polls it at recoverable boundaries (page-I/O checkpoints in
+	// the pass loops, structure starts/completions, DAG-node dispatch) and
+	// stops with ErrCancelled when it is done. With the WAL enabled the
+	// engine then runs abort-to-consistency — the §3.2 roll-forward is
+	// replayed online, while the statement still holds its locks and gates,
+	// so the structures end in the exact state a crash at that boundary
+	// followed by Recover would produce. Because recovery is roll-forward-
+	// only, that state is "the delete completed": a cancel can only stop a
+	// statement before its first durable record (zero effect) or after it
+	// (full effect, reached via replay) — never half-way. Without a WAL the
+	// only recoverable boundary is before any structure was modified, so
+	// cancellation is ignored once work begins. Cascades inherit the
+	// context.
+	Ctx context.Context
+	// Timeout, when > 0, is the statement's real-time deadline: shorthand
+	// for wrapping Ctx (or Background) in context.WithTimeout for this
+	// statement. Expiry surfaces as ErrCancelled wrapping
+	// context.DeadlineExceeded and bumps cc_deadline_exceeded.
+	Timeout time.Duration
+	// LockWait, when > 0, bounds the real time spent acquiring the
+	// statement's lock footprint. Expiry fails fast with ErrLockTimeout
+	// before anything ran — always safe to retry (see DB.RunConcurrentCtx).
+	LockWait time.Duration
 }
 
 // BulkResult reports a bulk delete.
@@ -323,8 +349,31 @@ func (tbl *Table) BulkDelete(field int, values []int64, opts BulkOptions) (*Bulk
 	if tbl.db.crashed.Load() {
 		return nil, errCrashed
 	}
+	// Overload guard: a statement that wants pool workers is shed here, at
+	// admission — before any lock is taken or log record written — when the
+	// pool's waiter queue is at its cap, so a shed statement is always safe
+	// to retry.
+	if opts.Parallel > 1 && !tbl.db.sched.Admit() {
+		stmt := tbl.db.obs.Events().Begin("bulk-delete", tbl.t.Name)
+		stmt.Event(obs.EvShed, "admission queue full")
+		stmt.End()
+		return nil, fmt.Errorf("bulkdel: bulk delete on %s: %w", tbl.t.Name, ErrOverloaded)
+	}
+	if opts.Timeout > 0 {
+		parent := opts.Ctx
+		if parent == nil {
+			parent = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(parent, opts.Timeout)
+		defer cancel()
+		opts.Ctx = ctx
+		opts.Timeout = 0
+	}
 	claims, fks := tbl.db.deleteFootprint(tbl)
-	stmt, held := tbl.db.beginStatement("bulk-delete", tbl.t.Name, claims)
+	stmt, held, err := tbl.db.beginStatementTimeout("bulk-delete", tbl.t.Name, claims, opts.LockWait)
+	if err != nil {
+		return nil, fmt.Errorf("bulkdel: bulk delete on %s: %w", tbl.t.Name, err)
+	}
 	defer tbl.db.endStatement(stmt, held)
 	return tbl.bulkDeleteWithDepth(field, values, opts, 0, stmt, held, fks)
 }
@@ -353,6 +402,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	res.Cascaded = cascaded
 
 	coreOpts := core.Options{
+		Ctx:            opts.Ctx,
 		Method:         opts.Method,
 		Memory:         opts.Memory,
 		Reorganize:     opts.Reorganize,
@@ -469,6 +519,18 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	tr.Finish()
 	tbl.db.obs.OnTrace(tr)
 	if err != nil {
+		if errors.Is(err, core.ErrCancelled) {
+			// Abort-to-consistency runs HERE, inside the statement: the
+			// deferred gate cleanup and lock release have not fired yet, so
+			// the replay owns the structures exactly as crash recovery
+			// would. After it returns, the deferred cleanup drains the
+			// side-files and reopens the gates on the now-final trees —
+			// the same epilogue as the success path.
+			if aerr := tbl.abortToConsistency(stmt, opts.Ctx, coreOpts.TxID, field); aerr != nil {
+				return nil, fmt.Errorf("bulkdel: bulk delete on %s: abort-to-consistency failed: %v (statement error: %w)",
+					tbl.t.Name, aerr, err)
+			}
+		}
 		return nil, fmt.Errorf("bulkdel: bulk delete on %s: %w", tbl.t.Name, err)
 	}
 	if depth == 0 {
@@ -488,6 +550,35 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	res.PlanText = st.PlanText
 	res.stats = st
 	return res, nil
+}
+
+// abortToConsistency handles a statement that stopped with ErrCancelled:
+// it records the cancellation (cc_aborts, plus cc_deadline_exceeded when
+// the context died of its deadline), then brings the structures to the
+// exact state a crash at the same boundary followed by Recover would
+// produce, by replaying the §3.2 roll-forward online (DB.rollForwardOnline).
+// Must be called while the statement still holds its locks and gates.
+func (tbl *Table) abortToConsistency(stmt *obs.Stmt, ctx context.Context, txID uint64, field int) error {
+	reg := tbl.db.obs.Registry()
+	reg.Counter(obs.MetricAborts).Add(1)
+	detail := "cancelled"
+	if ctx != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		reg.Counter(obs.MetricDeadlineExceeded).Add(1)
+		detail = "deadline exceeded"
+	}
+	stmt.Event(obs.EvCancel, detail)
+	if tbl.db.log == nil {
+		// No WAL: the executor only honors cancellation before any
+		// structure was modified, so there is nothing to roll forward.
+		stmt.Event(obs.EvAbort, "no wal: zero-effect abort")
+		return nil
+	}
+	deleted, err := tbl.db.rollForwardOnline(tbl, txID, field)
+	if err != nil {
+		return err
+	}
+	stmt.Event(obs.EvAbort, fmt.Sprintf("online roll-forward complete, rows=%d", deleted))
+	return nil
 }
 
 // waitIndexesOnline blocks until no index of the table is offline. Every
