@@ -11,6 +11,7 @@
 //	stress -seed 3 -devices 4 -budget 4 -parallel 3 -concurrent
 //	stress -workers 8 -ops 200 -rows 1000
 //	stress -chaos-cancel 20 -chaos-deadline 20 -chaos-lockwait 25
+//	stress -sql 30                          # 30% of ops via the SQL wire front door
 //	stress -top                             # live in-flight/lock view
 //	stress -bench-json BENCH_stress.json    # latency percentiles + waits
 //	stress -trace trace.json                # open in chrome://tracing
@@ -73,6 +74,7 @@ type benchJSON struct {
 	LockTimeouts       int64   `json:"lock_timeouts,omitempty"`
 	Shed               int64   `json:"shed,omitempty"`
 	Retries            int64   `json:"retries,omitempty"`
+	SQLStmts           int64   `json:"sql_stmts,omitempty"`
 	Interrupted        bool    `json:"interrupted,omitempty"`
 }
 
@@ -99,6 +101,7 @@ func main() {
 	chaosDeadline := flag.Int("chaos-deadline", 0, "percent of bulk deletes issued with a tiny random deadline")
 	chaosLockWait := flag.Int("chaos-lockwait", 0, "percent of bulk deletes issued with a tiny random lock-wait budget")
 	admissionQueue := flag.Int("admission-queue", 0, "admission wait-queue cap; overflowing parallel statements are shed and retried (0 = unbounded)")
+	sqlPct := flag.Int("sql", 0, "percent of operations routed through the SQL wire front door (each worker dials its own session)")
 	top := flag.Bool("top", false, "print a live in-flight/lock-graph view while the run executes")
 	topEvery := flag.Duration("top-interval", 200*time.Millisecond, "refresh interval for -top")
 	benchPath := flag.String("bench-json", "", "write run summary (percentiles, lock-wait share) to this file")
@@ -112,6 +115,7 @@ func main() {
 		Seed: *seed, Concurrent: *concurrent, DisableWAL: *noWAL,
 		CancelPct: *chaosCancel, DeadlinePct: *chaosDeadline,
 		LockWaitPct: *chaosLockWait, AdmissionQueue: *admissionQueue,
+		SQLPct: *sqlPct,
 	}
 
 	// SIGINT/SIGTERM cancel the run context: the workers drain, the final
@@ -163,6 +167,9 @@ func main() {
 	}
 	fmt.Printf("stress: %s  bulk-deletes=%d rows-deleted=%d rows-inserted=%d lookups=%d lock-waits=%d\n",
 		status, stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups, stats.LockWaits)
+	if stats.SQLStmts > 0 {
+		fmt.Printf("stress: sql statements=%d (via wire front door)\n", stats.SQLStmts)
+	}
 	if stats.Cancelled+stats.LockTimeouts+stats.Shed > 0 {
 		fmt.Printf("stress: chaos cancelled=%d full-aborts=%d zero-aborts=%d lock-timeouts=%d shed=%d retries=%d\n",
 			stats.Cancelled, stats.FullAborts, stats.ZeroAborts, stats.LockTimeouts, stats.Shed, stats.Retries)
@@ -195,6 +202,7 @@ func main() {
 			ZeroAborts:         stats.ZeroAborts,
 			LockTimeouts:       stats.LockTimeouts,
 			Shed:               stats.Shed,
+			SQLStmts:           stats.SQLStmts,
 			Retries:            stats.Retries,
 			Interrupted:        stats.Interrupted,
 		}

@@ -1,0 +1,63 @@
+package btree
+
+import (
+	"testing"
+
+	"bulkdel/internal/record"
+)
+
+// TestTornLeafInsertWindow demonstrates the raw-tree read window behind the
+// ROADMAP "transient duplicate under extreme churn" issue: a leaf insert
+// shifts entries right (insertAt) and only then writes the new entry
+// (setLeafEntry), so between the two steps the displaced entry is present
+// at two positions and a Search on its key returns it twice.
+//
+// The test is skipped on purpose: Tree is documented as not safe for
+// concurrent use, and the fix lives one layer up — table.Index.Latch
+// serializes online tree mutations against index reads (regression test:
+// TestLookupInsertInterleaving at the repo root). This repro stays as the
+// executable record of what the window actually is, and would start
+// failing (and should then be deleted) if the tree ever became internally
+// latched.
+func TestTornLeafInsertWindow(t *testing.T) {
+	t.Skip("documents the torn-leaf window; fixed one layer up by table.Index.Latch")
+
+	p := testPool(64)
+	tr, err := Create(p, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 32; i += 2 {
+		if err := tr.Insert(intKey(i), ridFor(int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mid-insert of key 9, the displaced successor (key 10) is visible
+	// at both its old and shifted positions.
+	var midRIDs []record.RID
+	tr.TestHookMidInsert = func() {
+		rids, err := tr.Search(intKey(10))
+		if err != nil {
+			t.Errorf("mid-insert search: %v", err)
+		}
+		midRIDs = rids
+	}
+	defer func() { tr.TestHookMidInsert = nil }()
+	if err := tr.Insert(intKey(9), ridFor(9)); err != nil {
+		t.Fatal(err)
+	}
+	if len(midRIDs) != 2 {
+		t.Fatalf("mid-insert search saw %d entries for key 10, the torn window expects 2", len(midRIDs))
+	}
+
+	// After the insert completes the duplicate is gone.
+	rids, err := tr.Search(intKey(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 1 {
+		t.Fatalf("post-insert search: %d entries for key 10", len(rids))
+	}
+	mustCheck(t, tr)
+}

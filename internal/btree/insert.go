@@ -48,6 +48,9 @@ func (t *Tree) Insert(key []byte, rid record.RID) error {
 
 	if n.count() < n.capacity() {
 		n.insertAt(pos)
+		if t.TestHookMidInsert != nil {
+			t.TestHookMidInsert()
+		}
 		n.setLeafEntry(pos, fk)
 		t.pool.Unpin(fr, true)
 		t.count++
@@ -90,10 +93,16 @@ func (t *Tree) Insert(key []byte, rid record.RID) error {
 	// Insert the entry into the correct half.
 	if pos <= mid {
 		n.insertAt(pos)
+		if t.TestHookMidInsert != nil {
+			t.TestHookMidInsert()
+		}
 		n.setLeafEntry(pos, fk)
 	} else {
 		p := pos - mid
 		nn.insertAt(p)
+		if t.TestHookMidInsert != nil {
+			t.TestHookMidInsert()
+		}
 		nn.setLeafEntry(p, fk)
 	}
 	sep := make([]byte, t.keyLen+record.RIDSize)

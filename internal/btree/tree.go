@@ -78,6 +78,14 @@ type Tree struct {
 	height   int // number of levels; 1 = root is a leaf
 	count    int64
 	freeHead sim.PageNo
+
+	// TestHookMidInsert, when non-nil, runs between a leaf's entry shift
+	// (insertAt) and the write of the new entry (setLeafEntry). In that
+	// window the displaced entry transiently appears at two positions, so
+	// an unsynchronized concurrent reader can observe a duplicate. Tests
+	// use the hook to park an insert inside the window deterministically;
+	// production code never sets it.
+	TestHookMidInsert func()
 }
 
 // Create makes a new, empty tree with fixed-width keys of keyLen bytes.

@@ -1,0 +1,123 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bulkdel"
+	"bulkdel/internal/crashtest"
+	"bulkdel/internal/sim"
+)
+
+// TestSessionTimeoutAbortMatchesCrashRecover is the PR acceptance check
+// for session-level cancellation: a DELETE issued through a session with
+// `SET timeout` aborts with ErrCancelled mid-statement, and the resulting
+// database state is bit-identical (by the PR-7 logical structure digest)
+// to crashing at that point and running recovery — i.e. the online
+// abort-to-consistency path left exactly the state WAL replay produces.
+//
+// Determinism: the statement's real-time deadline is made to expire at a
+// known simulated page I/O via the fault plan's CallAtIO hook (the hook
+// sleeps past the deadline), so the cancel checkpoint that observes the
+// expiry is fixed regardless of host speed.
+func TestSessionTimeoutAbortMatchesCrashRecover(t *testing.T) {
+	f := newFrontend(t, bulkdel.Options{})
+	s := f.NewSession(context.Background())
+	defer s.Close()
+
+	mustExec(t, s, "CREATE TABLE R (id, v)")
+	mustExec(t, s, "CREATE UNIQUE INDEX pk ON R (id)")
+	mustExec(t, s, "CREATE INDEX iv ON R (v)")
+	for i := int64(0); i < 400; i += 8 {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO R VALUES (%d, %d), (%d, %d), (%d, %d), (%d, %d), (%d, %d), (%d, %d), (%d, %d), (%d, %d)",
+			i, 3*i, i+1, 3*i+3, i+2, 3*i+6, i+3, 3*i+9, i+4, 3*i+12, i+5, 3*i+15, i+6, 3*i+18, i+7, 3*i+21))
+	}
+	if err := f.DB().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Frequent WAL checkpoints give the statement many recoverable
+	// boundaries; the deadline expires while the hook sleeps at I/O 40.
+	mustExec(t, s, "SET checkpoint_rows = 16")
+	mustExec(t, s, "SET timeout = 30ms")
+	f.DB().Disk().SetFaultPlan(sim.NewFaultPlan().CallAtIO(40, func() {
+		time.Sleep(80 * time.Millisecond)
+	}))
+	_, err := s.Exec("DELETE FROM R WHERE id BETWEEN 0 AND 299")
+	f.DB().Disk().SetFaultPlan(nil)
+	if !errors.Is(err, bulkdel.ErrCancelled) {
+		t.Fatalf("timed-out DELETE returned %v, want ErrCancelled", err)
+	}
+
+	// All-or-nothing: a cancelled bulk delete either never reached its
+	// first durable record (zero effect) or rolled forward to completion.
+	tbl := f.DB().Table("R")
+	if err := tbl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	n := tbl.Count()
+	if n != 400 && n != 100 {
+		t.Fatalf("cancelled DELETE left %d rows, want 400 (zero effect) or 100 (full effect)", n)
+	}
+	t.Logf("regime: %d rows", n)
+	d1, err := crashtest.StructureDigest(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No leaked locks or in-flight statements after the abort.
+	rep := f.DB().Inspect()
+	if len(rep.Statements) != 0 {
+		t.Fatalf("leaked in-flight statements: %+v", rep.Statements)
+	}
+
+	// Crash + recover must land on the identical logical state.
+	disk := f.DB().SimulateCrash()
+	db2, _, err := bulkdel.Recover(disk, bulkdel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2 := db2.Table("R")
+	if err := tbl2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := crashtest.StructureDigest(tbl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("abort-to-consistency state differs from crash+recover:\n cancel:  %s\n recover: %s", d1, d2)
+	}
+}
+
+// TestSessionTimeoutExpiredUpFront pins the zero-effect regime: an
+// already-expired deadline cancels the DELETE before any structure is
+// touched.
+func TestSessionTimeoutExpiredUpFront(t *testing.T) {
+	f := newFrontend(t, bulkdel.Options{})
+	s := f.NewSession(context.Background())
+	defer s.Close()
+	mustExec(t, s, "CREATE TABLE R (id, v)")
+	mustExec(t, s, "CREATE UNIQUE INDEX pk ON R (id)")
+	for i := int64(0); i < 64; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO R VALUES (%d, %d)", i, 3*i))
+	}
+	mustExec(t, s, "SET timeout = 1ns")
+	_, err := s.Exec("DELETE FROM R WHERE id BETWEEN 0 AND 63")
+	if !errors.Is(err, bulkdel.ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+	if n := f.DB().Table("R").Count(); n != 64 {
+		t.Fatalf("pre-expired deadline deleted rows: %d left", n)
+	}
+	// The knob is per-statement, not sticky damage: clearing it restores
+	// normal execution.
+	mustExec(t, s, "SET timeout = 0")
+	res := mustExec(t, s, "DELETE FROM R WHERE id BETWEEN 0 AND 31")
+	if res.Affected != 32 {
+		t.Fatalf("post-clear DELETE affected=%d", res.Affected)
+	}
+}

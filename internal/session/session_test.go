@@ -1,0 +1,248 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bulkdel"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func newFrontend(t *testing.T, opts bulkdel.Options) *Frontend {
+	t.Helper()
+	db, err := bulkdel.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFrontend(db)
+}
+
+func mustExec(t *testing.T, s *Session, src string) *Result {
+	t.Helper()
+	res, err := s.Exec(src)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	return res
+}
+
+func TestSQLEndToEnd(t *testing.T) {
+	f := newFrontend(t, bulkdel.Options{})
+	s := f.NewSession(context.Background())
+	defer s.Close()
+
+	mustExec(t, s, "CREATE TABLE users (id, balance, region) PARTITION BY RANGE (id) BOUNDS (1000, 2000)")
+	mustExec(t, s, "CREATE UNIQUE INDEX users_pk ON users (id)")
+	mustExec(t, s, "CREATE INDEX users_region ON users (region)")
+	mustExec(t, s, "CREATE TABLE orders (oid, user_id)")
+	mustExec(t, s, "CREATE UNIQUE INDEX orders_pk ON orders (oid)")
+	mustExec(t, s, "CREATE INDEX orders_user ON orders (user_id)")
+	mustExec(t, s, "ALTER TABLE orders ADD FOREIGN KEY (user_id) REFERENCES users (id) ON DELETE CASCADE")
+
+	// 3 range partitions × 30 users; two orders per user in partition 1.
+	for i := int64(0); i < 30; i++ {
+		for _, base := range []int64{0, 1000, 2000} {
+			id := base + i
+			mustExec(t, s, sqlf("INSERT INTO users VALUES (%d, %d, %d)", id, 10*id, id%5))
+		}
+	}
+	var n int64
+	for i := int64(0); i < 30; i++ {
+		id := 1000 + i
+		mustExec(t, s, sqlf("INSERT INTO orders VALUES (%d, %d), (%d, %d)", n, id, n+1, id))
+		n += 2
+	}
+
+	// Point lookup through the unique index.
+	res := mustExec(t, s, "SELECT * FROM users WHERE id = 1005")
+	if len(res.Rows) != 1 || res.Rows[0][1] != 10050 {
+		t.Fatalf("point select: %+v", res.Rows)
+	}
+	// Projection + non-unique index + limit.
+	res = mustExec(t, s, "SELECT id, balance FROM users WHERE region = 3 LIMIT 4")
+	if len(res.Rows) != 4 || len(res.Columns) != 2 || res.Columns[0] != "id" {
+		t.Fatalf("projected select: cols=%v rows=%d", res.Columns, len(res.Rows))
+	}
+	// Range predicate via the index.
+	res = mustExec(t, s, "SELECT COUNT(*) FROM users WHERE id BETWEEN 1000 AND 1009")
+	if res.Rows[0][0] != 10 {
+		t.Fatalf("range count: %+v", res.Rows)
+	}
+	// Unindexed column falls back to a scan.
+	res = mustExec(t, s, "SELECT COUNT(*) FROM users WHERE balance >= 20000")
+	if res.Rows[0][0] != 30 {
+		t.Fatalf("scan count: %+v", res.Rows)
+	}
+	res = mustExec(t, s, "SELECT COUNT(*) FROM users")
+	if res.Rows[0][0] != 90 {
+		t.Fatalf("full count: %+v", res.Rows)
+	}
+
+	// Equality DELETE lowers to the bulk planner and cascades.
+	res = mustExec(t, s, "DELETE FROM users WHERE id IN (1000, 1001)")
+	if res.Affected != 2 {
+		t.Fatalf("eq delete affected=%d", res.Affected)
+	}
+	if got := mustExec(t, s, "SELECT COUNT(*) FROM orders"); got.Rows[0][0] != 56 {
+		t.Fatalf("cascade left %d orders, want 56", got.Rows[0][0])
+	}
+
+	// Covering-range DELETE: the rest of partition 1 (ids 1002..1029 are
+	// all that remain in [1000, 2000)) — the executor may take the
+	// whole-partition truncate fast path; the observable contract is the
+	// row counts.
+	res = mustExec(t, s, "DELETE FROM users WHERE id >= 1000 AND id < 2000")
+	if res.Affected != 28 {
+		t.Fatalf("range delete affected=%d", res.Affected)
+	}
+	if got := mustExec(t, s, "SELECT COUNT(*) FROM users"); got.Rows[0][0] != 60 {
+		t.Fatalf("post-delete users=%d", got.Rows[0][0])
+	}
+	if got := mustExec(t, s, "SELECT COUNT(*) FROM orders"); got.Rows[0][0] != 0 {
+		t.Fatalf("post-delete orders=%d", got.Rows[0][0])
+	}
+
+	// EXPLAIN ANALYZE DELETE renders the executed ⋈̸ plan with actuals.
+	res = mustExec(t, s, "DELETE FROM users WHERE region = 4") // no index victims? region indexed
+	if res.Affected == 0 {
+		t.Fatalf("region delete removed nothing")
+	}
+	res = mustExec(t, s, "EXPLAIN ANALYZE DELETE FROM users WHERE id IN (1, 2, 3)")
+	if !strings.Contains(res.Text, "actual:") || !strings.Contains(res.Text, "⋈̸") {
+		t.Fatalf("explain analyze text:\n%s", res.Text)
+	}
+
+	// Knobs round-trip.
+	mustExec(t, s, "SET timeout = 2s")
+	mustExec(t, s, "SET parallel = 2")
+	mustExec(t, s, "SET method = hash")
+	if got := mustExec(t, s, "SHOW timeout").Text; got != "2s" {
+		t.Fatalf("SHOW timeout = %q", got)
+	}
+	if got := mustExec(t, s, "SHOW method").Text; got != "hash" {
+		t.Fatalf("SHOW method = %q", got)
+	}
+	if !strings.Contains(mustExec(t, s, "SHOW TABLES").Text, "users (id, balance, region)") {
+		t.Fatalf("SHOW TABLES: %q", mustExec(t, s, "SHOW TABLES").Text)
+	}
+
+	// DELETE without WHERE empties the table (through the planner).
+	mustExec(t, s, "SET method = auto")
+	res = mustExec(t, s, "DELETE FROM orders")
+	if got := mustExec(t, s, "SELECT COUNT(*) FROM orders"); got.Rows[0][0] != 0 {
+		t.Fatalf("delete-all left %d orders", got.Rows[0][0])
+	}
+
+	// Engine-level invariants and no leaked statements/locks.
+	for _, name := range f.DB().TableNames() {
+		if err := f.DB().Table(name).Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.DB().Inspect()
+	if len(rep.Statements) != 0 {
+		t.Fatalf("leaked in-flight statements: %+v", rep.Statements)
+	}
+
+	// Errors keep their shape.
+	if _, err := s.Exec("SELECT * FROM nosuch"); err == nil {
+		t.Fatal("select from missing table succeeded")
+	}
+	if _, err := s.Exec("SELECT * FROM users WHERE id = 1 AND region = 2"); err == nil {
+		t.Fatal("multi-column predicate succeeded")
+	}
+	if _, err := s.Exec("INSERT INTO users VALUES (1, 2, 3, 4)"); err == nil {
+		t.Fatal("over-wide insert succeeded")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := &Result{Columns: []string{"id", "balance"}, Rows: [][]int64{{1, 100}, {2, -20000}}}
+	got := r.Format()
+	want := " id | balance \n----+---------\n 1  | 100     \n 2  | -20000  \n(2 rows)\n"
+	if got != want {
+		t.Errorf("Format:\n%q\nwant:\n%q", got, want)
+	}
+	if got := (&Result{Affected: 1}).Format(); got != "OK, 1 row affected\n" {
+		t.Errorf("affected format: %q", got)
+	}
+}
+
+// TestExplainGolden pins the SQL EXPLAIN rendering — both the SELECT plans
+// built here and the DELETE plans from the core planner — to a golden
+// file, all through the same core.PlanNode renderer.
+func TestExplainGolden(t *testing.T) {
+	f := newFrontend(t, bulkdel.Options{})
+	s := f.NewSession(context.Background())
+	defer s.Close()
+	mustExec(t, s, "CREATE TABLE R (a, b, c)")
+	mustExec(t, s, "CREATE UNIQUE INDEX IA ON R (a)")
+	mustExec(t, s, "CREATE INDEX IB ON R (b)")
+	for i := int64(0); i < 50; i++ {
+		mustExec(t, s, sqlf("INSERT INTO R VALUES (%d, %d, %d)", i, 3*i, i%7))
+	}
+
+	stmts := []string{
+		"EXPLAIN SELECT * FROM R WHERE a = 7",
+		"EXPLAIN SELECT a, b FROM R WHERE b >= 10 AND b < 40",
+		"EXPLAIN SELECT COUNT(*) FROM R WHERE c = 3",
+		"EXPLAIN SELECT * FROM R LIMIT 5",
+		"EXPLAIN SELECT * FROM R WHERE a IN (1, 2, 3) LIMIT 2",
+		"EXPLAIN DELETE FROM R WHERE a IN (1, 2, 3)",
+		"EXPLAIN DELETE FROM R WHERE b BETWEEN 0 AND 30",
+	}
+	var b strings.Builder
+	for _, src := range stmts {
+		res := mustExec(t, s, src)
+		b.WriteString("-- " + src + "\n" + res.Text)
+		if !strings.HasSuffix(res.Text, "\n") {
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "explain.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("explain output drifted from %s (run with -update to accept):\n%s", golden, got)
+	}
+
+	// EXPLAIN ANALYZE carries measured actuals (timing is nondeterministic,
+	// so it stays out of the golden file).
+	res := mustExec(t, s, "EXPLAIN ANALYZE SELECT * FROM R WHERE a = 7")
+	if !strings.Contains(res.Text, "actual:") {
+		t.Fatalf("explain analyze select:\n%s", res.Text)
+	}
+}
+
+func TestSessionClosePreventsExec(t *testing.T) {
+	f := newFrontend(t, bulkdel.Options{})
+	s := f.NewSession(context.Background())
+	mustExec(t, s, "CREATE TABLE R (a)")
+	s.Close()
+	_, err := s.Exec("INSERT INTO R VALUES (1)")
+	if !errors.Is(err, bulkdel.ErrCancelled) {
+		t.Fatalf("exec on closed session: %v", err)
+	}
+}
+
+func sqlf(format string, args ...any) string { return fmt.Sprintf(format, args...) }

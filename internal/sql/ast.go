@@ -1,0 +1,242 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is any parsed statement. Deparse renders a canonical textual form:
+// parsing the deparsed text yields an equal AST (the fuzz fixpoint), though
+// it need not be byte-identical to the original source (keywords are
+// upper-cased, BETWEEN normalizes to >=/<=, whitespace is canonical).
+type Stmt interface {
+	Deparse() string
+}
+
+// Cond is one comparison in a WHERE conjunction. Op is one of
+// = < <= > >= IN; Vals is used only for IN, Val otherwise.
+type Cond struct {
+	Col  string
+	Op   string
+	Val  int64
+	Vals []int64
+}
+
+func (c Cond) deparse() string {
+	if c.Op == "IN" {
+		return fmt.Sprintf("%s IN (%s)", c.Col, joinInt64(c.Vals))
+	}
+	return fmt.Sprintf("%s %s %d", c.Col, c.Op, c.Val)
+}
+
+// Where is a conjunction of conditions (possibly over several columns; the
+// binder restricts which shapes are executable).
+type Where struct {
+	Conds []Cond
+}
+
+func (w *Where) deparse() string {
+	parts := make([]string, len(w.Conds))
+	for i, c := range w.Conds {
+		parts[i] = c.deparse()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// PartitionBy is the optional PARTITION BY clause of CREATE TABLE.
+type PartitionBy struct {
+	// Hash is true for PARTITION BY HASH, false for PARTITION BY RANGE.
+	Hash bool
+	Col  string
+	// Parts is the partition count (HASH only).
+	Parts int64
+	// Bounds are the strictly increasing range split points (RANGE only).
+	Bounds []int64
+}
+
+// CreateTable: CREATE TABLE name (col, ...) [RECORD SIZE n] [PARTITION BY ...].
+type CreateTable struct {
+	Name       string
+	Cols       []string
+	RecordSize int64 // 0 = engine default
+	Partition  *PartitionBy
+}
+
+func (s *CreateTable) Deparse() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (%s)", s.Name, strings.Join(s.Cols, ", "))
+	if s.RecordSize > 0 {
+		fmt.Fprintf(&b, " RECORD SIZE %d", s.RecordSize)
+	}
+	if p := s.Partition; p != nil {
+		if p.Hash {
+			fmt.Fprintf(&b, " PARTITION BY HASH (%s) PARTITIONS %d", p.Col, p.Parts)
+		} else {
+			fmt.Fprintf(&b, " PARTITION BY RANGE (%s) BOUNDS (%s)", p.Col, joinInt64(p.Bounds))
+		}
+	}
+	return b.String()
+}
+
+// CreateIndex: CREATE [UNIQUE] INDEX name ON table (col) [KEYLEN n] [PRIORITY n] [CLUSTERED].
+type CreateIndex struct {
+	Name      string
+	Table     string
+	Col       string
+	Unique    bool
+	KeyLen    int64 // 0 = engine default
+	Priority  int64
+	Clustered bool
+}
+
+func (s *CreateIndex) Deparse() string {
+	var b strings.Builder
+	b.WriteString("CREATE ")
+	if s.Unique {
+		b.WriteString("UNIQUE ")
+	}
+	fmt.Fprintf(&b, "INDEX %s ON %s (%s)", s.Name, s.Table, s.Col)
+	if s.KeyLen > 0 {
+		fmt.Fprintf(&b, " KEYLEN %d", s.KeyLen)
+	}
+	if s.Priority != 0 {
+		fmt.Fprintf(&b, " PRIORITY %d", s.Priority)
+	}
+	if s.Clustered {
+		b.WriteString(" CLUSTERED")
+	}
+	return b.String()
+}
+
+// AddForeignKey: ALTER TABLE child ADD FOREIGN KEY (col) REFERENCES parent (col)
+// [ON DELETE CASCADE|RESTRICT].
+type AddForeignKey struct {
+	Child     string
+	ChildCol  string
+	Parent    string
+	ParentCol string
+	// Cascade selects ON DELETE CASCADE; false is RESTRICT (the default).
+	Cascade bool
+}
+
+func (s *AddForeignKey) Deparse() string {
+	action := "RESTRICT"
+	if s.Cascade {
+		action = "CASCADE"
+	}
+	return fmt.Sprintf("ALTER TABLE %s ADD FOREIGN KEY (%s) REFERENCES %s (%s) ON DELETE %s",
+		s.Child, s.ChildCol, s.Parent, s.ParentCol, action)
+}
+
+// Insert: INSERT INTO t VALUES (1, 2), (3, 4).
+type Insert struct {
+	Table string
+	Rows  [][]int64
+}
+
+func (s *Insert) Deparse() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", s.Table)
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%s)", joinInt64(row))
+	}
+	return b.String()
+}
+
+// Select: SELECT */COUNT(*)/cols FROM t [WHERE ...] [LIMIT n].
+type Select struct {
+	Table string
+	// Star / Count / Cols are mutually exclusive projections.
+	Star  bool
+	Count bool
+	Cols  []string
+	Where *Where
+	// Limit caps the result rows; <0 means no LIMIT clause.
+	Limit int64
+}
+
+func (s *Select) Deparse() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case s.Count:
+		b.WriteString("COUNT(*)")
+	case s.Star:
+		b.WriteString("*")
+	default:
+		b.WriteString(strings.Join(s.Cols, ", "))
+	}
+	fmt.Fprintf(&b, " FROM %s", s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.deparse())
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// Delete: DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where *Where
+}
+
+func (s *Delete) Deparse() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.deparse()
+	}
+	return out
+}
+
+// Explain: EXPLAIN [ANALYZE] <select|delete>.
+type Explain struct {
+	Analyze bool
+	Stmt    Stmt
+}
+
+func (s *Explain) Deparse() string {
+	kw := "EXPLAIN "
+	if s.Analyze {
+		kw = "EXPLAIN ANALYZE "
+	}
+	return kw + s.Stmt.Deparse()
+}
+
+// Set: SET knob = value. Value keeps the literal's token kind so session
+// knobs can distinguish numbers, durations, and words (e.g. `SET method =
+// sort`, `SET timeout = 50ms`, `SET parallel = 4`).
+type Set struct {
+	Name string
+	// Value is the literal text; ValueKind is Number, Duration, String, or
+	// Ident (bare words like on/off/sort).
+	Value     string
+	ValueKind Kind
+}
+
+func (s *Set) Deparse() string {
+	v := s.Value
+	if s.ValueKind == String {
+		v = "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	}
+	return fmt.Sprintf("SET %s = %s", s.Name, v)
+}
+
+// Show: SHOW TABLES or SHOW <knob>.
+type Show struct {
+	What string
+}
+
+func (s *Show) Deparse() string { return "SHOW " + s.What }
+
+func joinInt64(vs []int64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}

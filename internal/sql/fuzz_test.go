@@ -1,0 +1,66 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzTokenize asserts the tokenizer never panics and that accepted token
+// streams are well-formed (EOF-terminated, positions monotone and in
+// range).
+func FuzzTokenize(f *testing.F) {
+	for _, s := range validStatements {
+		f.Add(s)
+	}
+	f.Add("")
+	f.Add("'")
+	f.Add("''")
+	f.Add("--")
+	f.Add("-")
+	f.Add("!")
+	f.Add("1.")
+	f.Add("50msx9")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Fatalf("token stream not EOF-terminated: %+v", toks)
+		}
+		prev := -1
+		for _, tk := range toks {
+			if tk.Pos < 0 || tk.Pos > len(src) || tk.Pos < prev {
+				t.Fatalf("bad position %d in %+v (src len %d)", tk.Pos, tk, len(src))
+			}
+			prev = tk.Pos
+		}
+	})
+}
+
+// FuzzParse asserts the parser never panics, and that anything it accepts
+// deparses to a canonical form that reparses to an equal AST (the
+// parse→deparse→parse fixpoint).
+func FuzzParse(f *testing.F) {
+	for _, s := range validStatements {
+		f.Add(s)
+	}
+	f.Add("SELECT COUNT( * ) FROM t WHERE a BETWEEN -1 AND 1")
+	f.Add("EXPLAIN ANALYZE SELECT * FROM t LIMIT 0")
+	f.Add("SET s = 'a''b'")
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		dep := stmt.Deparse()
+		again, err := Parse(dep)
+		if err != nil {
+			t.Fatalf("deparse of %q does not reparse: %q: %v", src, dep, err)
+		}
+		if !reflect.DeepEqual(stmt, again) {
+			t.Fatalf("fixpoint broken: %q → %q\nfirst:  %#v\nsecond: %#v", src, dep, stmt, again)
+		}
+	})
+}

@@ -1,0 +1,603 @@
+package sql
+
+import (
+	"strings"
+)
+
+// Parse tokenizes and parses one statement. A single trailing ';' is
+// allowed; anything after it is an error (the wire and REPL layers split
+// multi-statement input before calling Parse).
+func Parse(src string) (Stmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == Punct && p.peek().Text == ";" {
+		p.next()
+	}
+	if t := p.peek(); t.Kind != EOF {
+		return nil, errAt(t.Pos, "unexpected %q after statement", t.Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+// kw reports whether t is the (case-insensitive) keyword w.
+func kw(t Token, w string) bool { return t.Kind == Ident && strings.EqualFold(t.Text, w) }
+
+// acceptKw consumes the next token if it is the keyword w.
+func (p *parser) acceptKw(w string) bool {
+	if kw(p.peek(), w) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(w string) error {
+	if !p.acceptKw(w) {
+		t := p.peek()
+		return errAt(t.Pos, "expected %s, found %q", strings.ToUpper(w), t.Text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.Kind == Punct && t.Text == s {
+		p.next()
+		return nil
+	}
+	return errAt(t.Pos, "expected %q, found %q", s, t.Text)
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.Kind == Punct && t.Text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t := p.peek()
+	if t.Kind != Ident {
+		return "", errAt(t.Pos, "expected %s, found %q", what, t.Text)
+	}
+	p.next()
+	return t.Text, nil
+}
+
+func (p *parser) number(what string) (int64, error) {
+	t := p.peek()
+	if t.Kind != Number {
+		return 0, errAt(t.Pos, "expected %s, found %q", what, t.Text)
+	}
+	p.next()
+	return t.Num, nil
+}
+
+// numberList parses n [, n ...] up to (but not consuming) a closing paren.
+func (p *parser) numberList() ([]int64, error) {
+	var vals []int64
+	for {
+		n, err := p.number("number")
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, n)
+		if !p.acceptPunct(",") {
+			return vals, nil
+		}
+	}
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case kw(t, "CREATE"):
+		return p.create()
+	case kw(t, "ALTER"):
+		return p.alter()
+	case kw(t, "INSERT"):
+		return p.insert()
+	case kw(t, "SELECT"):
+		return p.selectStmt()
+	case kw(t, "DELETE"):
+		return p.deleteStmt()
+	case kw(t, "EXPLAIN"):
+		return p.explain()
+	case kw(t, "SET"):
+		return p.set()
+	case kw(t, "SHOW"):
+		return p.show()
+	}
+	return nil, errAt(t.Pos, "expected a statement, found %q", t.Text)
+}
+
+func (p *parser) create() (Stmt, error) {
+	p.next() // CREATE
+	switch {
+	case p.acceptKw("TABLE"):
+		return p.createTable()
+	case p.acceptKw("UNIQUE"):
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.createIndex(true)
+	case p.acceptKw("INDEX"):
+		return p.createIndex(false)
+	}
+	t := p.peek()
+	return nil, errAt(t.Pos, "expected TABLE or [UNIQUE] INDEX, found %q", t.Text)
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		// Optional type word (INT, BIGINT, …) — accepted and ignored;
+		// every attribute is a fixed-width int64.
+		if t := p.peek(); t.Kind == Ident && isTypeWord(t.Text) {
+			p.next()
+		}
+		cols = append(cols, col)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	s := &CreateTable{Name: name, Cols: cols}
+	if p.acceptKw("RECORD") {
+		if err := p.expectKw("SIZE"); err != nil {
+			return nil, err
+		}
+		if s.RecordSize, err = p.number("record size"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("PARTITION") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		pb := &PartitionBy{}
+		switch {
+		case p.acceptKw("HASH"):
+			pb.Hash = true
+		case p.acceptKw("RANGE"):
+		default:
+			t := p.peek()
+			return nil, errAt(t.Pos, "expected HASH or RANGE, found %q", t.Text)
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if pb.Col, err = p.ident("partition column"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if pb.Hash {
+			if err := p.expectKw("PARTITIONS"); err != nil {
+				return nil, err
+			}
+			if pb.Parts, err = p.number("partition count"); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := p.expectKw("BOUNDS"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if pb.Bounds, err = p.numberList(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		s.Partition = pb
+	}
+	return s, nil
+}
+
+func (p *parser) createIndex(unique bool) (Stmt, error) {
+	s := &CreateIndex{Unique: unique}
+	var err error
+	if s.Name, err = p.ident("index name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	if s.Table, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if s.Col, err = p.ident("column name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKw("KEYLEN"):
+			if s.KeyLen, err = p.number("key length"); err != nil {
+				return nil, err
+			}
+		case p.acceptKw("PRIORITY"):
+			if s.Priority, err = p.number("priority"); err != nil {
+				return nil, err
+			}
+		case p.acceptKw("CLUSTERED"):
+			s.Clustered = true
+		default:
+			return s, nil
+		}
+	}
+}
+
+func (p *parser) alter() (Stmt, error) {
+	p.next() // ALTER
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	s := &AddForeignKey{}
+	var err error
+	if s.Child, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectKw("ADD"); err != nil {
+		return nil, err
+	}
+	if err = p.expectKw("FOREIGN"); err != nil {
+		return nil, err
+	}
+	if err = p.expectKw("KEY"); err != nil {
+		return nil, err
+	}
+	if err = p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if s.ChildCol, err = p.ident("column name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err = p.expectKw("REFERENCES"); err != nil {
+		return nil, err
+	}
+	if s.Parent, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if s.ParentCol, err = p.ident("column name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("ON") {
+		if err = p.expectKw("DELETE"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.acceptKw("CASCADE"):
+			s.Cascade = true
+		case p.acceptKw("RESTRICT"):
+		default:
+			t := p.peek()
+			return nil, errAt(t.Pos, "expected CASCADE or RESTRICT, found %q", t.Text)
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) insert() (Stmt, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	s := &Insert{}
+	var err error
+	if s.Table, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if err = p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err = p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		row, err := p.numberList()
+		if err != nil {
+			return nil, err
+		}
+		if err = p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+		if !p.acceptPunct(",") {
+			return s, nil
+		}
+	}
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	p.next() // SELECT
+	s := &Select{Limit: -1}
+	switch {
+	case p.acceptPunct("*"):
+		s.Star = true
+	case kw(p.peek(), "COUNT"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		s.Count = true
+	default:
+		for {
+			col, err := p.ident("column name")
+			if err != nil {
+				return nil, err
+			}
+			s.Cols = append(s.Cols, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	var err error
+	if s.Table, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if s.Where, err = p.optionalWhere(); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("LIMIT") {
+		pos := p.peek().Pos
+		if s.Limit, err = p.number("limit"); err != nil {
+			return nil, err
+		}
+		// Negative means "no limit" internally (the deparser omits it), so
+		// it must not be expressible in source text.
+		if s.Limit < 0 {
+			return nil, errAt(pos, "LIMIT must be non-negative")
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) deleteStmt() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	s := &Delete{}
+	var err error
+	if s.Table, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if s.Where, err = p.optionalWhere(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) optionalWhere() (*Where, error) {
+	if !p.acceptKw("WHERE") {
+		return nil, nil
+	}
+	w := &Where{}
+	for {
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		w.Conds = append(w.Conds, c...)
+		if !p.acceptKw("AND") {
+			return w, nil
+		}
+	}
+}
+
+// cond parses one comparison. BETWEEN lo AND hi normalizes to the two
+// conditions col >= lo, col <= hi (so its AND never confuses the
+// conjunction loop: we return a slice).
+func (p *parser) cond() ([]Cond, error) {
+	col, err := p.ident("column name")
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.Kind == Punct && (t.Text == "=" || t.Text == "<" || t.Text == "<=" || t.Text == ">" || t.Text == ">="):
+		p.next()
+		v, err := p.number("value")
+		if err != nil {
+			return nil, err
+		}
+		return []Cond{{Col: col, Op: t.Text, Val: v}}, nil
+	case kw(t, "IN"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		vals, err := p.numberList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return []Cond{{Col: col, Op: "IN", Vals: vals}}, nil
+	case kw(t, "BETWEEN"):
+		p.next()
+		lo, err := p.number("lower bound")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.number("upper bound")
+		if err != nil {
+			return nil, err
+		}
+		return []Cond{{Col: col, Op: ">=", Val: lo}, {Col: col, Op: "<=", Val: hi}}, nil
+	}
+	return nil, errAt(t.Pos, "expected =, <, <=, >, >=, IN, or BETWEEN, found %q", t.Text)
+}
+
+func (p *parser) explain() (Stmt, error) {
+	p.next() // EXPLAIN
+	s := &Explain{Analyze: p.acceptKw("ANALYZE")}
+	t := p.peek()
+	var err error
+	switch {
+	case kw(t, "SELECT"):
+		s.Stmt, err = p.selectStmt()
+	case kw(t, "DELETE"):
+		s.Stmt, err = p.deleteStmt()
+	default:
+		return nil, errAt(t.Pos, "EXPLAIN supports SELECT and DELETE, found %q", t.Text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) set() (Stmt, error) {
+	p.next() // SET
+	name, err := p.ident("setting name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	switch t.Kind {
+	case Number, Duration, String, Ident:
+		return &Set{Name: name, Value: t.Text, ValueKind: t.Kind}, nil
+	}
+	return nil, errAt(t.Pos, "expected a value, found %q", t.Text)
+}
+
+func (p *parser) show() (Stmt, error) {
+	p.next() // SHOW
+	what, err := p.ident("TABLES or setting name")
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(what, "TABLES") {
+		what = "TABLES"
+	}
+	return &Show{What: what}, nil
+}
+
+// isTypeWord reports whether w is an accepted-and-ignored column type.
+func isTypeWord(w string) bool {
+	switch strings.ToUpper(w) {
+	case "INT", "INTEGER", "BIGINT", "INT64":
+		return true
+	}
+	return false
+}
+
+// SplitStatements splits src on top-level semicolons (outside string
+// literals and comments), dropping pieces that hold no tokens (blank or
+// comment-only). It never fails: bad syntax inside a piece is reported by
+// Parse.
+func SplitStatements(src string) []string {
+	var out []string
+	emit := func(piece string) {
+		piece = strings.TrimSpace(piece)
+		if piece == "" {
+			return
+		}
+		// Comment-only pieces tokenize to just EOF; keep anything that
+		// fails to tokenize so Parse can report the error.
+		if toks, err := Tokenize(piece); err == nil && len(toks) == 1 {
+			return
+		}
+		out = append(out, piece)
+	}
+	start := 0
+	inStr := false
+	inComment := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case inStr:
+			if c == '\'' {
+				inStr = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			inComment = true
+		case c == ';':
+			emit(src[start:i])
+			start = i + 1
+		}
+	}
+	emit(src[start:])
+	return out
+}

@@ -1,0 +1,191 @@
+// Package sql is the statement frontend of the engine: a tokenizer, a
+// recursive-descent parser producing a deparseable AST, and a binder/
+// executor (exec.go) that lowers statements onto the public bulkdel API.
+//
+// The dialect is deliberately small — exactly the statements a multi-tenant
+// bulk-delete workload needs:
+//
+//	CREATE TABLE t (a, b, c) [RECORD SIZE n]
+//	    [PARTITION BY HASH (a) PARTITIONS 4
+//	     | PARTITION BY RANGE (a) BOUNDS (1000, 2000)]
+//	CREATE [UNIQUE] INDEX ix ON t (a) [KEYLEN n] [PRIORITY n] [CLUSTERED]
+//	ALTER TABLE c ADD FOREIGN KEY (a) REFERENCES p (b) [ON DELETE CASCADE|RESTRICT]
+//	INSERT INTO t VALUES (1, 2, 3), (4, 5, 6)
+//	SELECT * | COUNT(*) | a, b FROM t [WHERE pred] [LIMIT n]
+//	DELETE FROM t [WHERE pred]
+//	EXPLAIN [ANALYZE] <select|delete>
+//	SET knob = value         -- timeout, lock_wait, parallel, method, …
+//	SHOW TABLES | SHOW knob
+//
+// where pred is a conjunction of single-column comparisons (=, IN,
+// <, <=, >, >=, BETWEEN). Every value is an int64 — the storage engine
+// stores fixed-width integer attributes, so the frontend does too.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+const (
+	// EOF terminates every token stream.
+	EOF Kind = iota
+	// Ident is a bare identifier or keyword (case-insensitive match).
+	Ident
+	// Number is an int64 literal (optionally signed).
+	Number
+	// Duration is a Go duration literal such as 50ms or 1.5s.
+	Duration
+	// String is a single-quoted literal ('' escapes a quote).
+	String
+	// Punct is one of ( ) , ; * = < > <= >= != .
+	Punct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Number:
+		return "number"
+	case Duration:
+		return "duration"
+	case String:
+		return "string"
+	case Punct:
+		return "punctuation"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical element with its source position (byte offset).
+type Token struct {
+	Kind Kind
+	// Text is the raw token text (identifiers keep their original case;
+	// strings are unquoted and unescaped).
+	Text string
+	// Num is the parsed value of a Number token.
+	Num int64
+	// Pos is the byte offset of the token's first character.
+	Pos int
+}
+
+// Error is a tokenize/parse error carrying the byte offset it occurred at.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: at offset %d: %s", e.Pos, e.Msg) }
+
+func errAt(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Tokenize splits src into tokens, ending with an EOF token. Comments
+// (`-- to end of line`) and whitespace separate tokens and are dropped.
+func Tokenize(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errAt(start, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: String, Text: b.String(), Pos: start})
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			op := string(c)
+			i++
+			if i < len(src) && src[i] == '=' {
+				op += "="
+				i++
+			} else if c == '!' {
+				return nil, errAt(start, "unexpected %q (did you mean !=?)", string(c))
+			}
+			toks = append(toks, Token{Kind: Punct, Text: op, Pos: start})
+		case strings.IndexByte("(),;*=", c) >= 0:
+			toks = append(toks, Token{Kind: Punct, Text: string(c), Pos: i})
+			i++
+		case c == '-' || c >= '0' && c <= '9':
+			start := i
+			if c == '-' {
+				i++
+				if i >= len(src) || src[i] < '0' || src[i] > '9' {
+					return nil, errAt(start, "unexpected '-'")
+				}
+			}
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			// A trailing unit (50ms, 2s, 1h30m…) makes it a duration.
+			unitStart := i
+			for i < len(src) && (isLetterByte(src[i]) || src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			text := src[start:i]
+			if unitStart != i {
+				toks = append(toks, Token{Kind: Duration, Text: text, Pos: start})
+				break
+			}
+			if strings.Contains(text, ".") {
+				return nil, errAt(start, "non-integer number %q", text)
+			}
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, errAt(start, "bad number %q", text)
+			}
+			toks = append(toks, Token{Kind: Number, Text: text, Num: n, Pos: start})
+		case isLetterByte(c):
+			start := i
+			for i < len(src) && (isLetterByte(src[i]) || src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			toks = append(toks, Token{Kind: Ident, Text: src[start:i], Pos: start})
+		default:
+			return nil, errAt(i, "unexpected character %q", string(rune(c)))
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Pos: len(src)})
+	return toks, nil
+}
+
+// isLetterByte reports whether c can start or continue an identifier.
+// Identifiers are ASCII letters, digits and underscore; multi-byte UTF-8
+// is rejected by the tokenizer's default case.
+func isLetterByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) && c < 0x80
+}

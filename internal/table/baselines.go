@@ -115,7 +115,9 @@ func (t *Table) Contains(field int, v int64) (bool, error) {
 		}
 		return found, nil
 	}
+	ix.Latch.RLock()
 	rids, err := ix.Tree.Search(ix.EncodeKey(v))
+	ix.Latch.RUnlock()
 	if err != nil {
 		return false, err
 	}
@@ -137,7 +139,11 @@ func (t *Table) Lookup(field int, v int64) ([][]int64, error) {
 	if ix.Gate != nil {
 		ix.Gate.WaitOnline()
 	}
+	// The latch closes the torn-leaf window against concurrent online
+	// updaters (see Index.Latch).
+	ix.Latch.RLock()
 	rids, err := ix.Tree.Search(ix.EncodeKey(v))
+	ix.Latch.RUnlock()
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ package table
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bulkdel/internal/btree"
 	"bulkdel/internal/buffer"
@@ -53,6 +54,16 @@ type Index struct {
 	Def  IndexDef
 	Tree *btree.Tree
 	Gate *cc.Gate
+	// Latch serializes online tree mutations against point/range reads
+	// that run under a shared table lock. A B-link leaf insert shifts
+	// entries before writing the new one, so an unlatched reader scanning
+	// the same leaf can transiently see the displaced entry twice — a
+	// duplicate row from a unique-index lookup (the ROADMAP churn issue).
+	// Updaters (applyOpToTree) take it exclusively; index readers take it
+	// shared. Bulk-delete passes never take it: they mutate trees only
+	// while the gate protocol (offline gates + the exclusive table lock)
+	// excludes gate-respecting readers.
+	Latch sync.RWMutex
 }
 
 // EncodeKey encodes an attribute value for this index's key width.
@@ -233,6 +244,8 @@ func (t *Table) applyIndexOp(ix *Index, op cc.Op, direct bool) error {
 }
 
 func (t *Table) applyOpToTree(ix *Index, op cc.Op) error {
+	ix.Latch.Lock()
+	defer ix.Latch.Unlock()
 	if op.Kind == cc.OpInsert {
 		return ix.Tree.Insert(op.Key, op.RID)
 	}
@@ -417,7 +430,10 @@ func (t *Table) Flush() error {
 // the integration-test oracle after bulk deletes.
 func (t *Table) CheckConsistency() error {
 	for _, ix := range t.Idx {
-		if err := ix.Tree.CheckInvariants(); err != nil {
+		ix.Latch.RLock()
+		err := ix.Tree.CheckInvariants()
+		ix.Latch.RUnlock()
+		if err != nil {
 			return fmt.Errorf("table %s index %s: %w", t.Name, ix.Def.Name, err)
 		}
 		if ix.Tree.Count() != t.Heap.Count() {
@@ -449,6 +465,7 @@ func (t *Table) CheckConsistency() error {
 			return want[a].rid.Less(want[b].rid)
 		})
 		j := 0
+		ix.Latch.RLock()
 		err := ix.Tree.ScanAll(func(k []byte, rid record.RID) error {
 			if j >= len(want) {
 				return fmt.Errorf("index %s has extra entry %d/%s", ix.Def.Name, keyenc.Int64(k), rid)
@@ -460,6 +477,7 @@ func (t *Table) CheckConsistency() error {
 			j++
 			return nil
 		})
+		ix.Latch.RUnlock()
 		if err != nil {
 			return fmt.Errorf("table %s: %w", t.Name, err)
 		}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"bulkdel/internal/session"
+)
+
+// Server accepts TCP connections and runs one session per connection.
+// Statements from different connections contend inside the engine exactly
+// like concurrent Go-API statements: per-table lock footprints, the DB-wide
+// admission pool, and the cancellation machinery.
+type Server struct {
+	frontend *session.Frontend
+
+	// base is the parent context of every connection's session; cancelling
+	// it (force shutdown) aborts all in-flight statements.
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a session frontend.
+func NewServer(f *session.Frontend) *Server {
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{frontend: f, base: base, cancel: cancel, conns: make(map[net.Conn]struct{})}
+}
+
+// Frontend returns the wrapped frontend (the stress harness reuses it).
+func (s *Server) Frontend() *session.Frontend { return s.frontend }
+
+// Serve accepts connections until the listener is closed (by Shutdown).
+// It always returns a non-nil error; after Shutdown it returns
+// net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs the per-connection statement loop. The connection owns
+// one session. A dedicated reader goroutine watches the socket, so a
+// client disconnect is noticed even while a statement executes — it
+// cancels the session context and the in-flight statement aborts to
+// consistency at its next recoverable boundary.
+func (s *Server) serveConn(conn net.Conn) {
+	sess := s.frontend.NewSession(s.base)
+	done := make(chan struct{})
+	defer func() {
+		close(done)
+		sess.Close()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	reqC := make(chan Request)
+	go func() {
+		for {
+			var req Request
+			if err := readFrame(conn, &req); err != nil {
+				// Client went away (or sent garbage): abort whatever is
+				// in flight and stop the statement loop.
+				sess.Close()
+				close(reqC)
+				return
+			}
+			select {
+			case reqC <- req:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case req, ok := <-reqC:
+			if !ok {
+				return
+			}
+			res, err := sess.Exec(req.SQL)
+			if werr := writeFrame(conn, responseFor(res, err)); werr != nil {
+				return
+			}
+		case <-s.base.Done():
+			// Force shutdown: the deferred conn.Close unblocks the reader.
+			return
+		}
+	}
+}
+
+// Addr returns the listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting, then waits for every connection to finish its
+// in-flight statement and disconnect. If ctx expires first, all session
+// contexts are cancelled (statements abort to consistency at their next
+// recoverable boundary), connections close, and Shutdown keeps waiting
+// for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // force: abort in-flight statements
+		<-done
+	}
+	s.cancel()
+	return err
+}
+
+// ErrServerClosed reports whether err is the listener-closed error Serve
+// returns after Shutdown.
+func ErrServerClosed(err error) bool { return errors.Is(err, net.ErrClosed) }

@@ -22,12 +22,16 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"bulkdel"
 	"bulkdel/internal/obs"
+	"bulkdel/internal/session"
+	"bulkdel/internal/wire"
 )
 
 // StressSpec configures one stress run.
@@ -90,6 +94,17 @@ type StressSpec struct {
 	// are shed with ErrOverloaded, which the worker retries like a lock
 	// timeout.
 	AdmissionQueue int
+
+	// SQLPct routes this percentage of operations through the SQL front
+	// door instead of the Go API: the run starts an in-process wire server
+	// on a loopback port, every worker dials its own connection (one SQL
+	// session each), and the routed inserts/lookups/deletes are validated
+	// against the same shadow model — so the tokenizer→parser→binder→
+	// executor lowering is checked for exactness, not just for not
+	// crashing. Chaos options (CancelPct, DeadlinePct, LockWaitPct) stay
+	// on the Go-API path: a delete the chaos draw selects runs through the
+	// Go API even when the SQL draw also fired.
+	SQLPct int
 }
 
 func (s StressSpec) withDefaults() StressSpec {
@@ -149,6 +164,9 @@ type StressStats struct {
 	// Interrupted reports that the spec's Ctx was cancelled and the run
 	// drained early (the final verification still ran).
 	Interrupted bool
+	// SQLStmts counts the statements executed through the SQL front door
+	// (SQLPct > 0): every routed INSERT, SELECT, and DELETE.
+	SQLStmts int64
 }
 
 // stressModel is one table's oracle state.
@@ -271,6 +289,29 @@ func Stress(spec StressSpec) (*StressStats, error) {
 		return nil, err
 	}
 
+	// SQL front door: one in-process wire server over the same DB; each
+	// worker owns one connection (= one SQL session). Tables created via
+	// the Go API have no declared column names, so SQL statements address
+	// fields positionally as c0, c1, c2.
+	var sqlSrv *wire.Server
+	var sqlAddr string
+	if spec.SQLPct > 0 {
+		sqlSrv = wire.NewServer(session.NewFrontend(db))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("sql listener: %w", err)
+		}
+		sqlAddr = ln.Addr().String()
+		go sqlSrv.Serve(ln)
+		defer func() {
+			// Idempotent backstop for error returns; the success path has
+			// already drained gracefully by the time this runs.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			sqlSrv.Shutdown(ctx)
+		}()
+	}
+
 	stats := &StressStats{}
 	var statsMu sync.Mutex
 
@@ -282,6 +323,33 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	worker := func(w int) func() error {
 		return func() error {
 			rng := rand.New(rand.NewSource(spec.Seed + int64(w)*1_000_003))
+			var sqlc *wire.Client
+			if sqlSrv != nil {
+				var err error
+				sqlc, err = wire.Dial(sqlAddr)
+				if err != nil {
+					return fmt.Errorf("worker %d: dial sql: %w", w, err)
+				}
+				defer sqlc.Close()
+				setup := []string{"SET checkpoint_rows = 16"}
+				if spec.Parallel > 0 {
+					setup = append(setup, fmt.Sprintf("SET parallel = %d", spec.Parallel))
+				}
+				if spec.Concurrent {
+					setup = append(setup, "SET concurrent = on")
+				}
+				for _, s := range setup {
+					if _, err := sqlc.Exec(s); err != nil {
+						return fmt.Errorf("worker %d: %q: %w", w, s, err)
+					}
+				}
+			}
+			sqlExec := func(src string) (*session.Result, error) {
+				statsMu.Lock()
+				stats.SQLStmts++
+				statsMu.Unlock()
+				return sqlc.Exec(src)
+			}
 			for op := 0; op < spec.Ops; op++ {
 				if runCtx.Err() != nil {
 					return nil // interrupted: drain, the final sweep still runs
@@ -295,12 +363,33 @@ func Stress(spec StressSpec) (*StressStats, error) {
 				switch r := rng.Intn(100); {
 				case r < 45: // insert a small batch
 					n := 1 + rng.Intn(4)
-					for i := 0; i < n; i++ {
-						id := model.reserve()
-						if _, err := tbl.Insert(stressRow(id)...); err != nil {
-							return fail(fmt.Errorf("insert %d: %w", id, err))
+					if sqlc != nil && rng.Intn(100) < spec.SQLPct {
+						ids := make([]int64, 0, n)
+						vals := make([]string, 0, n)
+						for i := 0; i < n; i++ {
+							id := model.reserve()
+							row := stressRow(id)
+							ids = append(ids, id)
+							vals = append(vals, fmt.Sprintf("(%d, %d, %d)", row[0], row[1], row[2]))
 						}
-						model.commit(id)
+						res, err := sqlExec(fmt.Sprintf("INSERT INTO T%d VALUES %s", ti, strings.Join(vals, ", ")))
+						if err != nil {
+							return fail(fmt.Errorf("sql insert: %w", err))
+						}
+						if res.Affected != int64(n) {
+							return fail(fmt.Errorf("sql insert affected=%d, want %d", res.Affected, n))
+						}
+						for _, id := range ids {
+							model.commit(id)
+						}
+					} else {
+						for i := 0; i < n; i++ {
+							id := model.reserve()
+							if _, err := tbl.Insert(stressRow(id)...); err != nil {
+								return fail(fmt.Errorf("insert %d: %w", id, err))
+							}
+							model.commit(id)
+						}
 					}
 					statsMu.Lock()
 					stats.RowsInserted += int64(n)
@@ -310,7 +399,18 @@ func Stress(spec StressSpec) (*StressStats, error) {
 					if !ok {
 						continue
 					}
-					rows, err := tbl.Lookup(0, id)
+					var rows [][]int64
+					var err error
+					useSQL := sqlc != nil && rng.Intn(100) < spec.SQLPct
+					if useSQL {
+						var res *session.Result
+						res, err = sqlExec(fmt.Sprintf("SELECT * FROM T%d WHERE c0 = %d", ti, id))
+						if res != nil {
+							rows = res.Rows
+						}
+					} else {
+						rows, err = tbl.Lookup(0, id)
+					}
 					if err != nil {
 						return fail(fmt.Errorf("lookup %d: %w", id, err))
 					}
@@ -326,7 +426,16 @@ func Stress(spec StressSpec) (*StressStats, error) {
 					// concurrent delete's §3.1 early release this tree may
 					// still be offline mid-pass, so the read path must wait
 					// on its gate (field 1 holds 3*id, injective in id).
-					rows, err = tbl.Lookup(1, 3*id)
+					if useSQL {
+						var res *session.Result
+						res, err = sqlExec(fmt.Sprintf("SELECT * FROM T%d WHERE c1 = %d", ti, 3*id))
+						rows = nil
+						if res != nil {
+							rows = res.Rows
+						}
+					} else {
+						rows, err = tbl.Lookup(1, 3*id)
+					}
 					if err != nil {
 						return fail(fmt.Errorf("secondary lookup %d: %w", 3*id, err))
 					}
@@ -359,15 +468,57 @@ func Stress(spec StressSpec) (*StressStats, error) {
 					// replay or had zero effect, and the retry loop below
 					// converges the zero-effect and refused cases, so the
 					// model's claim is correct no matter which path fires.
+					chaos := false
 					if spec.CancelPct > 0 && rng.Intn(100) < spec.CancelPct {
 						ctx, cancel := context.WithCancel(context.Background())
 						cancel()
 						opts.Ctx = ctx
+						chaos = true
 					} else if spec.DeadlinePct > 0 && rng.Intn(100) < spec.DeadlinePct {
 						opts.Timeout = time.Duration(1+rng.Intn(500)) * time.Microsecond
+						chaos = true
 					}
 					if spec.LockWaitPct > 0 && rng.Intn(100) < spec.LockWaitPct {
 						opts.LockWait = time.Duration(1+rng.Intn(200)) * time.Microsecond
+						chaos = true
+					}
+					// SQL routing: only chaos-free deletes go through the
+					// front door (chaos stays on the Go API, where the abort
+					// probe and budget-drop logic live).
+					if !chaos && sqlc != nil && rng.Intn(100) < spec.SQLPct {
+						in := make([]string, len(victims))
+						for i, v := range victims {
+							in[i] = fmt.Sprintf("%d", v)
+						}
+						stmt := fmt.Sprintf("DELETE FROM T%d WHERE c0 IN (%s)", ti, strings.Join(in, ", "))
+						for attempt := 0; ; attempt++ {
+							res, err := sqlExec(stmt)
+							if err == nil {
+								if res.Affected != int64(len(victims)) {
+									return fail(fmt.Errorf("sql delete: %d victims, %d affected", len(victims), res.Affected))
+								}
+								statsMu.Lock()
+								stats.BulkDeletes++
+								stats.RowsDeleted += res.Affected
+								if attempt > 0 {
+									stats.Retries++
+								}
+								statsMu.Unlock()
+								break
+							}
+							if errors.Is(err, bulkdel.ErrLockTimeout) || errors.Is(err, bulkdel.ErrOverloaded) {
+								statsMu.Lock()
+								if errors.Is(err, bulkdel.ErrLockTimeout) {
+									stats.LockTimeouts++
+								} else {
+									stats.Shed++
+								}
+								statsMu.Unlock()
+								continue
+							}
+							return fail(fmt.Errorf("sql delete of %d victims: %w", len(victims), err))
+						}
+						continue
 					}
 					for attempt := 0; ; attempt++ {
 						res, err := tbl.BulkDelete(0, victims, opts)
@@ -473,6 +624,17 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	stats.P50 = elapsed.Quantile(0.50)
 	stats.P95 = elapsed.Quantile(0.95)
 	stats.P99 = elapsed.Quantile(0.99)
+
+	// The workers have closed their SQL connections; the wire server must
+	// drain gracefully (no session stuck mid-statement).
+	if sqlSrv != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		derr := sqlSrv.Shutdown(sctx)
+		scancel()
+		if derr != nil {
+			return stats, fmt.Errorf("seed %d: sql server did not drain: %w", spec.Seed, derr)
+		}
+	}
 
 	// Leak check: after every statement has finished — including the
 	// cancelled, timed-out, and shed ones — nothing may linger: no

@@ -74,6 +74,38 @@ func TestStressChaos(t *testing.T) {
 	}
 }
 
+// TestStressSQL routes a fraction of the workload through the SQL wire
+// front door: the same shadow model validates the lowered statements, so
+// a SQL INSERT/SELECT/DELETE that binds to the wrong field, drops a
+// victim, or miscounts its result set fails the run exactly like a broken
+// Go-API call would.
+func TestStressSQL(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec StressSpec
+	}{
+		{"serial", StressSpec{Seed: 21, SQLPct: 40, Workers: 6, Ops: 60}},
+		{"concurrent-array", StressSpec{Seed: 22, SQLPct: 30, Devices: 4, Parallel: 3,
+			Budget: 4, Concurrent: true, Workers: 6, Ops: 60}},
+		{"sql-with-chaos-elsewhere", StressSpec{Seed: 23, SQLPct: 35, CancelPct: 20,
+			DeadlinePct: 20, Workers: 6, Ops: 60}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			stats, err := Stress(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.SQLStmts == 0 {
+				t.Fatalf("no statements went through the SQL front door: %+v", stats)
+			}
+			t.Logf("sql-stmts=%d deletes=%d inserted=%d lookups=%d",
+				stats.SQLStmts, stats.BulkDeletes, stats.RowsInserted, stats.Lookups)
+		})
+	}
+}
+
 // TestStressInterrupt cancels the run context mid-flight: the workers must
 // drain instead of erroring out, the final verification must still run, and
 // the stats must report the interruption.

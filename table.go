@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -158,6 +159,12 @@ func (tbl *Table) Get(rid RID) ([]int64, error) {
 	return tbl.t.Get(rid)
 }
 
+// HasIndexOnField reports whether some index covers the field, i.e.
+// whether Lookup/LookupRIDs on it can use an access path.
+func (tbl *Table) HasIndexOnField(field int) bool {
+	return tbl.t.IndexOnField(field) != nil
+}
+
 // Lookup returns all rows whose field equals v, via an index on the field.
 func (tbl *Table) Lookup(field int, v int64) ([][]int64, error) {
 	tbl.t.Lock.LockShared()
@@ -175,9 +182,65 @@ func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
 		return nil, fmt.Errorf("bulkdel: table %s has no index on field %d", tbl.t.Name, field)
 	}
 	// Wait out a previous statement's still-offline index pass (§3.1 early
-	// release) before traversing the tree; see Table.Lookup.
+	// release) before traversing the tree; see Table.Lookup. The latch
+	// closes the torn-leaf window against concurrent online updaters.
 	ix.Gate.WaitOnline()
+	ix.Latch.RLock()
+	defer ix.Latch.RUnlock()
 	return ix.Tree.Search(ix.EncodeKey(v))
+}
+
+// LookupRange returns all rows with lo <= field value <= hi (both bounds
+// inclusive), via an index on the field when one exists, else a heap scan.
+// Index results arrive in key order; scan results in physical order.
+func (tbl *Table) LookupRange(field int, lo, hi int64) ([][]int64, error) {
+	tbl.t.Lock.LockShared()
+	defer tbl.t.Lock.UnlockShared()
+	if lo > hi {
+		return nil, nil
+	}
+	ix := tbl.t.IndexOnField(field)
+	if ix == nil {
+		var out [][]int64
+		err := tbl.t.Heap.Scan(func(_ record.RID, rec []byte) error {
+			v := tbl.t.Schema.Field(rec, field)
+			if v >= lo && v <= hi {
+				vals, err := tbl.t.Schema.Decode(rec)
+				if err != nil {
+					return err
+				}
+				out = append(out, vals)
+			}
+			return nil
+		})
+		return out, err
+	}
+	ix.Gate.WaitOnline()
+	// SearchRange's hi bound is exclusive; hi+1 would overflow at the
+	// top of the key space, so MaxInt64 becomes an open-ended scan.
+	var hiKey []byte
+	if hi < math.MaxInt64 {
+		hiKey = ix.EncodeKey(hi + 1)
+	}
+	var rids []RID
+	ix.Latch.RLock()
+	err := ix.Tree.SearchRange(ix.EncodeKey(lo), hiKey, func(_ []byte, rid record.RID) error {
+		rids = append(rids, rid)
+		return nil
+	})
+	ix.Latch.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, 0, len(rids))
+	for _, rid := range rids {
+		row, err := tbl.t.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
 }
 
 // Scan calls fn for every row in physical order.
