@@ -69,6 +69,13 @@ type catalogRoot struct {
 	TxSeq   uint64         `json:"txSeq"`
 	Devices int            `json:"devices,omitempty"`
 	IxSeq   int            `json:"ixSeq,omitempty"`
+	// Epoch is the MVCC commit counter at the last catalog save. Epochs
+	// are volatile (no page or WAL payload stores one), so this is only a
+	// floor: recovery fast-forwards the clock by the WAL's commit count on
+	// top of it so the clock never hands out an epoch twice across a
+	// restart. Zero (the common DDL-time value) is omitted, keeping
+	// catalogs byte-identical with snapshot reads disabled.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // saveCatalog serializes the catalog and writes it to file 0, length-
@@ -82,7 +89,8 @@ func (db *DB) saveCatalog() error {
 	db.catMu.Lock()
 	defer db.catMu.Unlock()
 	db.mu.Lock()
-	root := catalogRoot{TxSeq: db.txSeq.Load(), Devices: db.opts.Devices}
+	root := catalogRoot{TxSeq: db.txSeq.Load(), Devices: db.opts.Devices,
+		Epoch: db.epochs.Current()}
 	if db.log != nil {
 		root.HasWAL = true
 		root.WALFile = uint32(db.log.FileID())
@@ -226,8 +234,13 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		catalog: 0,
 		opts:    opts,
 		obs:     opts.Observer,
+		epochs:  cc.NewEpochClock(),
 	}
 	db.txSeq.Store(root.TxSeq)
+	// Epochs are volatile; restart the clock at the catalog's floor. With a
+	// WAL present it is fast-forwarded further below once the records are in
+	// hand, so no epoch is ever handed out twice across a restart.
+	db.epochs.SetCurrent(root.Epoch)
 	if db.obs == nil {
 		db.obs = obs.NewObserver()
 	}
@@ -292,6 +305,9 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 			})
 		}
 		t.Lock = db.cc.Lock(ct.Name)
+		if db.mvccOn() {
+			t.MVCC = table.NewMVCC(db.epochs)
+		}
 		db.tables[ct.Name] = &Table{db: db, t: t}
 	}
 
@@ -315,6 +331,12 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 	}
 	db.log = log
 	db.wireWAL()
+	// Fast-forward the epoch clock past every epoch the crashed instance
+	// could have allocated: the catalog floor plus one per logged commit is
+	// a safe upper bound (only committed statements advance the clock, and
+	// the floor already covers commits before the last catalog save — over-
+	// counting those merely skips epochs, which is harmless).
+	db.epochs.SetCurrent(root.Epoch + wal.CountCommits(recs))
 	// Replay rebalancer moves in log order, after the catalog's placements
 	// were re-applied above: a crash between a move's move-done record and
 	// the next catalog save leaves the catalog pointing at the old device,

@@ -13,6 +13,7 @@
 //	crashtest -tear 100 -tear-wal     # additionally tear crashing WAL writes
 //	crashtest -rebalance              # crash an online device rebalancing
 //	crashtest -cancel                 # cancel (not crash) at every ordinal
+//	crashtest -reader                 # crash/cancel under a concurrent MVCC snapshot reader
 //	crashtest -metrics-json           # dump the accumulated fault counters
 //
 // The sweep is deterministic: the same flags visit the same I/Os and
@@ -50,6 +51,7 @@ func main() {
 	concurrent := flag.Bool("concurrent", false, "two-table scenario: crash a concurrent two-statement batch (invariants only, no digest)")
 	rebalance := flag.Bool("rebalance", false, "rebalance scenario: crash an online device rebalancing instead of a bulk delete")
 	cancelMode := flag.Bool("cancel", false, "cancel scenario: cooperatively cancel at every ordinal and compare the online abort against crash+recover")
+	reader := flag.Bool("reader", false, "attach a concurrent MVCC snapshot reader to the crash (or, with -cancel, the cancel) sweep; the pinned view must stay repeatable throughout")
 	verifyDigest := flag.Bool("verify-digest", true, "re-run deterministic sweeps and require identical digests")
 	verbose := flag.Bool("v", false, "print every ordinal's outcome")
 	metricsJSON := flag.Bool("metrics-json", false, "print the accumulated metrics registry as JSON")
@@ -98,6 +100,10 @@ func main() {
 		if *rebalance {
 			failed += runRebalance(cfg, *at, *verbose, *verifyDigest)
 			break // the rebalance scenario has no join method to vary
+		}
+		if *reader {
+			failed += runReader(r.name, cfg, *cancelMode, *verbose)
+			continue
 		}
 		if *cancelMode {
 			failed += runCancel(r.name, cfg, *verbose)
@@ -265,6 +271,43 @@ func printCancelOrdinal(method string, r crashtest.CancelOrdinalResult) {
 	}
 	fmt.Printf("%-9s io=%-4d cancelled=%-5v crash-comparable=%-5v survivors=%-3d digest=%s %s\n",
 		method+":", r.Ordinal, r.CancelFired, r.CrashComparable, r.Survivors, r.Digest, status)
+}
+
+// runReader sweeps the crash (or cancel) scenario with a concurrent MVCC
+// snapshot reader attached: a View pinned to the pre-delete epoch re-scans
+// the table for the whole statement and must see it whole every time, and
+// the table must settle at an atomic boundary. Returns the failure count.
+func runReader(method string, cfg crashtest.Config, cancelMode, verbose bool) int {
+	sweep, kind := crashtest.ReaderCrashSweep, "crash"
+	if cancelMode {
+		sweep, kind = crashtest.ReaderCancelSweep, "cancel"
+	}
+	sw, err := sweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(2)
+	}
+	if verbose {
+		for _, res := range sw.Ordinals {
+			printReaderOrdinal(method, res)
+		}
+	} else {
+		for _, res := range sw.Failures() {
+			printReaderOrdinal(method, res)
+		}
+	}
+	fmt.Printf("%-9s reader %s sweep: %d I/Os, swept %d ordinals, %d failed\n",
+		method+":", kind, sw.TotalIOs, sw.Ran, sw.Failed)
+	return sw.Failed
+}
+
+func printReaderOrdinal(method string, r crashtest.ReaderOrdinalResult) {
+	status := "ok"
+	if r.Err != "" {
+		status = "FAIL " + r.Err
+	}
+	fmt.Printf("%-9s io=%-4d fired=%-5v reader-scans=%-4d survivors=%-3d %s\n",
+		method+":", r.Ordinal, r.Fired, r.ReaderScans, r.Survivors, status)
 }
 
 // runConcurrent sweeps (or, with at > 0, reproduces one ordinal of) the

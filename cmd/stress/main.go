@@ -75,6 +75,8 @@ type benchJSON struct {
 	Shed               int64   `json:"shed,omitempty"`
 	Retries            int64   `json:"retries,omitempty"`
 	SQLStmts           int64   `json:"sql_stmts,omitempty"`
+	SnapshotProbes     int64   `json:"snapshot_probes"`
+	SnapshotReadWaits  int64   `json:"snapshot_read_waits"`
 	Interrupted        bool    `json:"interrupted,omitempty"`
 }
 
@@ -167,6 +169,8 @@ func main() {
 	}
 	fmt.Printf("stress: %s  bulk-deletes=%d rows-deleted=%d rows-inserted=%d lookups=%d lock-waits=%d\n",
 		status, stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups, stats.LockWaits)
+	fmt.Printf("stress: snapshot probes=%d read-waits=%d (MVCC reads never queue behind bulk deletes)\n",
+		stats.SnapshotProbes, stats.SnapshotReadWaits)
 	if stats.SQLStmts > 0 {
 		fmt.Printf("stress: sql statements=%d (via wire front door)\n", stats.SQLStmts)
 	}
@@ -204,6 +208,8 @@ func main() {
 			Shed:               stats.Shed,
 			SQLStmts:           stats.SQLStmts,
 			Retries:            stats.Retries,
+			SnapshotProbes:     stats.SnapshotProbes,
+			SnapshotReadWaits:  stats.SnapshotReadWaits,
 			Interrupted:        stats.Interrupted,
 		}
 		// Share of the workers' combined wall time spent blocked on locks.

@@ -180,7 +180,11 @@ func TestConcurrentFKOppositeOrderNoDeadlock(t *testing.T) {
 // window directly: it takes a secondary gate offline, issues the reads, and
 // asserts none of them returned before the gate came back online.
 func TestReadPathsWaitForOfflineIndex(t *testing.T) {
-	db, err := Open(Options{})
+	// Pin snapshot reads off: this test covers the classic gate-respecting
+	// read paths. With MVCC on, Lookup/LookupRIDs intentionally do NOT wait
+	// on gates — they either read trees no bulk pass is mutating (the
+	// BeginDelete handshake guarantees it) or fall back to a heap scan.
+	db, err := Open(Options{DisableSnapshotReads: true})
 	if err != nil {
 		t.Fatal(err)
 	}

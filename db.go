@@ -127,6 +127,12 @@ type Options struct {
 	// Observer receives every statement's trace and aggregates engine-wide
 	// metrics (nil = the DB creates its own; see DB.Observer).
 	Observer *obs.Observer
+	// DisableSnapshotReads turns off epoch-based MVCC snapshot reads.
+	// With snapshot reads on (the default), SELECT/Lookup/Scan statements
+	// run against a commit-epoch snapshot and never block behind a bulk
+	// delete's exclusive table lock; off restores the strict pre-MVCC
+	// two-phase behavior where readers queue behind writers.
+	DisableSnapshotReads bool
 }
 
 func (o Options) withDefaults() Options {
@@ -167,6 +173,10 @@ type DB struct {
 	// active tracks statements currently holding table locks, for the
 	// cc_statements_active/peak gauges.
 	active atomic.Int64
+	// epochs is the global commit-epoch clock backing MVCC snapshot reads.
+	// Always non-nil (saveCatalog persists the current epoch); whether
+	// tables actually version rows is governed by Options.DisableSnapshotReads.
+	epochs *cc.EpochClock
 }
 
 // Open creates a fresh database on a new simulated disk.
@@ -186,6 +196,7 @@ func Open(opts Options) (*DB, error) {
 		tables: make(map[string]*Table),
 		opts:   opts,
 		obs:    opts.Observer,
+		epochs: cc.NewEpochClock(),
 	}
 	if db.obs == nil {
 		db.obs = obs.NewObserver()
@@ -545,7 +556,7 @@ func jitter64(seed, stmt, attempt uint64) uint64 {
 // and finishes the delete by the same roll-forward Recover runs. A cancel
 // that fired before TBulkStart became durable leaves no BulkState, and the
 // abort is zero-effect: also exactly what crash+recover would produce.
-func (db *DB) rollForwardOnline(tbl *Table, txID uint64, field int) (int64, error) {
+func (db *DB) rollForwardOnline(tbl *Table, txID uint64, field int, token uint64) (int64, error) {
 	recs, err := db.log.DurableRecords()
 	if err != nil {
 		return 0, err
@@ -557,7 +568,13 @@ func (db *DB) rollForwardOnline(tbl *Table, txID uint64, field int) (int64, erro
 		if bs.Finished {
 			return 0, nil
 		}
-		st, err := core.Resume(tbl.target(), bs, db.log, recs, field,
+		// The replay deletes rows the cancelled attempt had not reached;
+		// open snapshots must keep seeing them, so it retains under the
+		// SAME token as the statement — its deferred commit stamps both
+		// attempts' versions together.
+		tgt := tbl.target()
+		tbl.retainTarget(tgt, token)
+		st, err := core.Resume(tgt, bs, db.log, recs, field,
 			core.Options{Undeletable: tbl.t.Undeletable})
 		if err != nil {
 			return 0, err
@@ -670,6 +687,17 @@ func (db *DB) Metrics() obs.Snapshot { return db.obsSource().Capture() }
 // WALEnabled reports whether bulk deletes are logged and recoverable.
 func (db *DB) WALEnabled() bool { return db.log != nil }
 
+// mvccOn reports whether tables version deleted rows for snapshot reads.
+func (db *DB) mvccOn() bool { return !db.opts.DisableSnapshotReads }
+
+// SnapshotReadsEnabled reports whether reads run against MVCC snapshots
+// (the default) instead of blocking behind exclusive table locks.
+func (db *DB) SnapshotReadsEnabled() bool { return db.mvccOn() }
+
+// Epoch returns the current commit epoch — the snapshot a reader starting
+// now would capture. It advances once per committed delete statement.
+func (db *DB) Epoch() uint64 { return db.epochs.Current() }
+
 // WALFile returns the file holding the write-ahead log, for fault plans
 // that target the log specifically (e.g. sim.FaultPlan.TearFileWrite).
 // ok is false when logging is off.
@@ -700,6 +728,9 @@ func (db *DB) CreateTable(name string, numFields, recordSize int) (*Table, error
 	// Install the manager's shared lock so ordered multi-table acquisition
 	// and the table's own DML entry points contend on the same object.
 	t.Lock = db.cc.Lock(name)
+	if db.mvccOn() {
+		t.MVCC = table.NewMVCC(db.epochs)
+	}
 	tbl := &Table{db: db, t: t}
 	db.tables[name] = tbl
 	db.mu.Unlock()

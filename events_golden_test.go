@@ -125,12 +125,19 @@ func TestEventExportGolden(t *testing.T) {
 // protocol order, attributed to the right statement.
 func TestEventLogCoversLifecycle(t *testing.T) {
 	db := goldenScenario(t)
+	// Three create-index statements (Structural claims), then the bulk
+	// delete and the traditional delete.
 	stmts := db.Observer().Events().Statements()
-	if len(stmts) != 2 {
-		t.Fatalf("event log kept %d statements, want 2", len(stmts))
+	if len(stmts) != 5 {
+		t.Fatalf("event log kept %d statements, want 5", len(stmts))
+	}
+	for i := 0; i < 3; i++ {
+		if s := stmts[i].Status(); s.Kind != "create-index" || s.Table != "orders" {
+			t.Fatalf("statement %d is %s on %s, want create-index on orders", i, s.Kind, s.Table)
+		}
 	}
 
-	bulk := stmts[0].Status()
+	bulk := stmts[3].Status()
 	if bulk.Kind != "bulk-delete" || bulk.Table != "orders" {
 		t.Fatalf("first statement is %s on %s, want bulk-delete on orders", bulk.Kind, bulk.Table)
 	}
@@ -140,7 +147,7 @@ func TestEventLogCoversLifecycle(t *testing.T) {
 
 	var sawLock, sawOffline, sawEarly, sawOnline, sawCommit, sawEnd bool
 	var earlyAt, onlineAt int
-	for i, ev := range stmts[0].Events() {
+	for i, ev := range stmts[3].Events() {
 		switch ev.Kind {
 		case "lock":
 			sawLock = true
@@ -170,8 +177,8 @@ func TestEventLogCoversLifecycle(t *testing.T) {
 		t.Fatalf("early release (event %d) after the last gate-online (event %d)", earlyAt, onlineAt)
 	}
 
-	trad := stmts[1].Status()
+	trad := stmts[4].Status()
 	if trad.Kind != "delete-traditional" {
-		t.Fatalf("second statement is %s, want delete-traditional", trad.Kind)
+		t.Fatalf("last statement is %s, want delete-traditional", trad.Kind)
 	}
 }

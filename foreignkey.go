@@ -227,6 +227,11 @@ func (tbl *Table) indexRefOnField(field int) (*core.IndexRef, error) {
 	return &core.IndexRef{
 		Name: ix.Def.Name, Tree: ix.Tree, Field: ix.Def.Field,
 		Unique: ix.Def.Unique, Clustered: ix.Def.Clustered, Gate: ix.Gate,
+		// The RESTRICT probe walks the child's leaf chain while the child
+		// is at most share-locked; the latch closes the torn-leaf window
+		// against the child's own online updaters (see the FK probe race
+		// audit test).
+		Latch: &ix.Latch,
 	}, nil
 }
 

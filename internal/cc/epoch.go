@@ -1,0 +1,97 @@
+package cc
+
+import "sync"
+
+// EpochClock is the global commit counter behind MVCC snapshot reads.
+// Every bulk delete (and every single-row delete) advances it by one at
+// its commit point; readers capture the current value at statement start
+// and judge visibility against it:
+//
+//   - a row whose birth epoch is ≤ the snapshot is visible,
+//   - a delete stamped with epoch E hides the row only from snapshots
+//     S ≥ E (the delete "happened before" them).
+//
+// The clock also tracks the set of active snapshots so version retention
+// can be skipped entirely when nobody is looking (Horizon reports the
+// oldest snapshot still open). Epochs are volatile: recovery rolls every
+// interrupted delete forward and restores the counter from the catalog
+// plus the WAL commit count, so nothing durable ever references one.
+type EpochClock struct {
+	mu     sync.Mutex
+	cur    uint64
+	active map[uint64]int // snapshot epoch → open reader count
+}
+
+// NewEpochClock returns a clock starting at epoch 0.
+func NewEpochClock() *EpochClock {
+	return &EpochClock{active: make(map[uint64]int)}
+}
+
+// Current returns the latest committed epoch.
+func (c *EpochClock) Current() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// Snapshot registers a new reader at the current epoch and returns it.
+// The caller must Release the same value exactly once.
+func (c *EpochClock) Snapshot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.active[c.cur]++
+	return c.cur
+}
+
+// Release retires a snapshot obtained from Snapshot.
+func (c *EpochClock) Release(s uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.active[s]; n > 1 {
+		c.active[s] = n - 1
+	} else {
+		delete(c.active, s)
+	}
+}
+
+// Commit advances the clock and returns the new epoch — the stamp for a
+// delete that just reached its commit point.
+func (c *EpochClock) Commit() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur++
+	return c.cur
+}
+
+// SetCurrent fast-forwards the clock during recovery. It never rewinds.
+func (c *EpochClock) SetCurrent(e uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e > c.cur {
+		c.cur = e
+	}
+}
+
+// ActiveSnapshots reports how many reader snapshots are open.
+func (c *EpochClock) ActiveSnapshots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.active {
+		n += v
+	}
+	return n
+}
+
+// Horizon returns the oldest open snapshot epoch. ok is false when no
+// snapshot is open — then every retained version is garbage.
+func (c *EpochClock) Horizon() (min uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for s := range c.active {
+		if !ok || s < min {
+			min, ok = s, true
+		}
+	}
+	return min, ok
+}

@@ -28,6 +28,12 @@ type TableLockInfo struct {
 	// lists the statement IDs among them, sorted.
 	Readers      int
 	ReaderOwners []uint64
+	// SnapshotReaders counts MVCC snapshot readers — admitted even under
+	// an exclusive (bulk-delete) holder, excluded only by Structural.
+	SnapshotReaders int
+	// Structural marks an exclusive holder that also drains snapshot
+	// readers (repartition, rebalance, bulk update).
+	Structural bool
 	// WritersWaiting is the writer-preference state: new readers are held
 	// back while it is nonzero.
 	WritersWaiting int
@@ -42,11 +48,15 @@ func (i TableLockInfo) QueueDepth() int { return len(i.Waiters) }
 func (i TableLockInfo) String() string {
 	var b strings.Builder
 	b.WriteString(i.Table + ":")
+	mode := "exclusive"
+	if i.Structural {
+		mode = "structural"
+	}
 	switch {
 	case i.Exclusive && i.HolderWriter != 0:
-		fmt.Fprintf(&b, " exclusive stmt=%d", i.HolderWriter)
+		fmt.Fprintf(&b, " %s stmt=%d", mode, i.HolderWriter)
 	case i.Exclusive:
-		b.WriteString(" exclusive stmt=anon")
+		fmt.Fprintf(&b, " %s stmt=anon", mode)
 	case i.Readers > 0:
 		fmt.Fprintf(&b, " shared readers=%d", i.Readers)
 		if len(i.ReaderOwners) > 0 {
@@ -61,6 +71,9 @@ func (i TableLockInfo) String() string {
 		}
 	default:
 		b.WriteString(" free")
+	}
+	if i.SnapshotReaders > 0 {
+		fmt.Fprintf(&b, " snapshot-readers=%d", i.SnapshotReaders)
 	}
 	if i.WritersWaiting > 0 {
 		fmt.Fprintf(&b, " writers-waiting=%d", i.WritersWaiting)
@@ -87,11 +100,13 @@ func (l *TableLock) info(table string) TableLockInfo {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	in := TableLockInfo{
-		Table:          table,
-		Exclusive:      l.writer,
-		HolderWriter:   l.writerOwner,
-		Readers:        l.readers,
-		WritersWaiting: l.writersW,
+		Table:           table,
+		Exclusive:       l.writer,
+		Structural:      l.structural,
+		HolderWriter:    l.writerOwner,
+		Readers:         l.readers,
+		SnapshotReaders: l.sreaders,
+		WritersWaiting:  l.writersW,
 	}
 	for o := range l.readerOwners {
 		if o != 0 {
@@ -133,7 +148,7 @@ func (m *Manager) WaitGraph() WaitGraph {
 // every statement (including cancelled and aborted ones) has finished.
 func (g WaitGraph) Idle() bool {
 	for _, t := range g.Tables {
-		if t.Exclusive || t.Readers > 0 || t.WritersWaiting > 0 || len(t.Waiters) > 0 {
+		if t.Exclusive || t.Readers > 0 || t.SnapshotReaders > 0 || t.WritersWaiting > 0 || len(t.Waiters) > 0 {
 			return false
 		}
 	}

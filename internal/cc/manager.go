@@ -32,15 +32,25 @@ type Mode int
 const (
 	// Shared admits concurrent readers (FK RESTRICT probes, scans).
 	Shared Mode = iota
-	// Exclusive is the bulk-delete / bulk-update lock.
+	// Exclusive is the bulk-delete lock. MVCC snapshot readers are still
+	// admitted under it — epoch visibility filters what they see.
 	Exclusive
+	// Structural is Exclusive plus draining MVCC snapshot readers: taken
+	// by passes that rewrite physical structure (offline index rebuilds
+	// via bulk update, repartitioning, rebalancing), where RIDs and page
+	// contents change and visibility filtering cannot protect a reader.
+	Structural
 )
 
 func (m Mode) String() string {
-	if m == Exclusive {
+	switch m {
+	case Exclusive:
 		return "exclusive"
+	case Structural:
+		return "structural"
+	default:
+		return "shared"
 	}
-	return "shared"
 }
 
 // Claim names one table a statement must lock and how strongly.
@@ -169,9 +179,12 @@ func (m *Manager) AcquireOrderedAs(owner uint64, claims []Claim) *Held {
 		start := time.Now()
 		var blocked bool
 		var holder uint64
-		if mode == Exclusive {
+		switch mode {
+		case Structural:
+			blocked, holder = l.lockStructuralAs(owner)
+		case Exclusive:
 			blocked, holder = l.lockExclusiveAs(owner)
-		} else {
+		default:
 			blocked, holder = l.lockSharedAs(owner)
 		}
 		var waited time.Duration
@@ -226,9 +239,12 @@ func (m *Manager) AcquireOrderedTimeoutAs(owner uint64, claims []Claim, d time.D
 		var ok, blocked bool
 		var waited time.Duration
 		var holder uint64
-		if mode == Exclusive {
+		switch mode {
+		case Structural:
+			ok, blocked, waited, holder = l.lockStructuralTimeoutAs(owner, rem)
+		case Exclusive:
 			ok, blocked, waited, holder = l.lockExclusiveTimeoutAs(owner, rem)
-		} else {
+		default:
 			ok, blocked, waited, holder = l.lockSharedTimeoutAs(owner, rem)
 		}
 		if blocked {
@@ -261,7 +277,7 @@ func (h *Held) ReleaseTable(table string) {
 	for i := range h.locks {
 		if h.locks[i].table == table && !h.locks[i].released {
 			h.locks[i].released = true
-			if h.locks[i].mode == Exclusive {
+			if h.locks[i].mode >= Exclusive {
 				h.locks[i].lock.unlockExclusiveAs()
 			} else {
 				h.locks[i].lock.unlockSharedAs(h.owner)
@@ -279,7 +295,7 @@ func (h *Held) ReleaseAll() {
 			continue
 		}
 		h.locks[i].released = true
-		if h.locks[i].mode == Exclusive {
+		if h.locks[i].mode >= Exclusive {
 			h.locks[i].lock.unlockExclusiveAs()
 		} else {
 			h.locks[i].lock.unlockSharedAs(h.owner)

@@ -445,6 +445,14 @@ func mergeDeleteIndexByFullKey(e *execCtx, ix *IndexRef, rows rowIter, startKey 
 	return deleted, nil
 }
 
+// TestHookMidHeapPass, when set, is invoked after each slot deletion of a
+// sort/merge heap pass — a point where the statement holds its exclusive
+// table lock and a pinned heap page but no latch or pool mutex, so
+// concurrent snapshot readers are free to run. Tests use it to park a bulk
+// delete mid-heap-pass and demonstrate reads proceeding around it. Never
+// set outside tests.
+var TestHookMidHeapPass func()
+
 // heapPassSortedRIDs walks the heap in the physical order of the sorted RID
 // rows (skip-sequential merge, the ⋈̸ with R of Figure 3). When extract is
 // non-nil each victim record is handed over before deletion; when del is
@@ -506,11 +514,26 @@ func heapPassSortedRIDs(e *execCtx, rids rowIter, del bool,
 			}
 		}
 		if del {
+			// Retain the victim's image before tombstoning so concurrent
+			// snapshot readers keep seeing the row. Unconditional when the
+			// hook is set: consulting "any snapshot open?" per row would
+			// race a reader registering between the check and the delete.
+			// The page is already pinned, so the extra Get is free.
+			if e.tgt.Retain != nil {
+				rec, err := sp.s.Get(int(rid.Slot))
+				if err != nil {
+					return deleted, err
+				}
+				e.tgt.Retain(rid, rec)
+			}
 			if err := ed.DeleteSlot(int(rid.Slot)); err != nil {
 				return deleted, err
 			}
 			deleted++
 			e.opts.Stmt.AddRows(1)
+			if TestHookMidHeapPass != nil {
+				TestHookMidHeapPass()
+			}
 		}
 		if err := e.noteApplied(e.tgt.Heap.ID(), flush); err != nil {
 			return deleted, err
@@ -555,8 +578,16 @@ func heapDeleteByRIDProbe(e *execCtx, ridSet map[record.RID]struct{}) (int64, er
 						continue
 					}
 					e.disk().ChargeRecords(1) // hash probe
-					if _, hit := ridSet[record.RID{Page: heap.TagPage(pi, pg), Slot: uint16(slot)}]; !hit {
+					tagged := record.RID{Page: heap.TagPage(pi, pg), Slot: uint16(slot)}
+					if _, hit := ridSet[tagged]; !hit {
 						continue
+					}
+					if e.tgt.Retain != nil {
+						rec, err := sp.Get(slot)
+						if err != nil {
+							return err
+						}
+						e.tgt.Retain(tagged, rec)
 					}
 					if err := ed.DeleteSlot(slot); err != nil {
 						return err
@@ -807,10 +838,15 @@ func AnyKeyMatch(tgt *Target, ix *IndexRef, values []int64, memory int) (bool, i
 		return false, 0, err
 	}
 	var hit int64
+	// The probe walks the child's leaf chain while the child table is at
+	// most share-locked; the latch keeps concurrent row inserts from
+	// splitting leaves under the cursor (the FK-probe race audit test).
+	ix.RLock()
 	_, err = mergeDeleteIndexByKey(e, ix, it.Next, false, func(rid record.RID) error {
 		hit = int64(1)
 		return errFoundMatch
 	}, nil)
+	ix.RUnlock()
 	if err == errFoundMatch {
 		return true, hit, nil
 	}
@@ -835,10 +871,12 @@ func CountKeyMatches(tgt *Target, ix *IndexRef, values []int64, memory int) (int
 		return 0, err
 	}
 	var n int64
+	ix.RLock()
 	_, err = mergeDeleteIndexByKey(e, ix, it.Next, false, func(record.RID) error {
 		n++
 		return nil
 	}, nil)
+	ix.RUnlock()
 	return n, err
 }
 
@@ -875,7 +913,10 @@ func CollectVictimFieldValues(tgt *Target, field int, values []int64, wantFields
 		if err != nil {
 			return nil, err
 		}
-		if _, err := mergeDeleteIndexByKey(e, access, vi, false, emit, nil); err != nil {
+		access.RLock()
+		_, err = mergeDeleteIndexByKey(e, access, vi, false, emit, nil)
+		access.RUnlock()
+		if err != nil {
 			return nil, err
 		}
 	} else if err := collectVictimRIDsByScan(e, field, values, emit); err != nil {

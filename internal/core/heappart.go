@@ -99,7 +99,10 @@ func partitionedHeapPassPart(ce *execCtx, part *heap.File, rids *rowFile,
 	}
 	var del int64
 	if from == 0 && count > 0 && count == part.Count() {
-		if err := part.Truncate(); err != nil {
+		// TruncateWith keeps the metadata-only drop unless a snapshot is
+		// open (decided under the partition's latch); with one open it
+		// retains every record for the readers before releasing the pages.
+		if err := part.TruncateWith(ce.tgt.RetainAll, ce.tgt.Retain); err != nil {
 			return 0, err
 		}
 		del = count
@@ -182,6 +185,7 @@ func (e *execCtx) partitionedHeapPass(src rowIter, method Method,
 				t0 := disk.Clock()
 				tgt := *e.tgt
 				tgt.Heap = j.part
+				retagRetain(&tgt, j.pi)
 				ce := &execCtx{tgt: &tgt, opts: e.opts, stats: stats, trace: e.trace,
 					cur: sp, parWorkers: 1, scratchDev: e.scratchDev}
 				ce.crash = e.crash // keep crash-injection counting statement-wide
@@ -224,6 +228,7 @@ func (e *execCtx) partitionedHeapPass(src rowIter, method Method,
 		dev := disk.DeviceOf(j.part.ID())
 		tgt := *e.tgt
 		tgt.Heap = j.part
+		retagRetain(&tgt, j.pi)
 		ce := &execCtx{tgt: &tgt, opts: e.opts, stats: stats,
 			parWorkers: workers, scratchDev: dev}
 		if cb := e.opts.OnStructureDone; cb != nil {
@@ -284,6 +289,17 @@ func (e *execCtx) partitionedHeapPass(src rowIter, method Method,
 		psp.Finish()
 	}
 	return dropPartFiles(files)
+}
+
+// retagRetain rebinds a per-partition child target's Retain hook so the
+// version store receives table-level (partition-tagged) RIDs even though
+// the child pass addresses the partition file with raw page numbers.
+func retagRetain(tgt *Target, pi int) {
+	if base := tgt.Retain; base != nil {
+		tgt.Retain = func(rid record.RID, rec []byte) {
+			base(record.RID{Page: heap.TagPage(pi, rid.Page), Slot: rid.Slot}, rec)
+		}
+	}
 }
 
 // dropPartFiles releases the per-partition RID lists (nil entries are

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"bulkdel/internal/btree"
@@ -75,6 +76,26 @@ type IndexRef struct {
 	Clustered bool
 	Priority  int
 	Gate      *cc.Gate
+	// Latch, when set, is the index's reader/updater latch. Cascade probes
+	// and merge walks over a *child* table's index run while that table is
+	// only share-locked, so concurrent row inserts mutate the tree under
+	// them; such walks take the latch shared. Bulk passes over the target's
+	// own indexes never take it (the gate protocol excludes other writers).
+	Latch *sync.RWMutex
+}
+
+// RLock takes the index latch shared, if the ref carries one.
+func (ix *IndexRef) RLock() {
+	if ix.Latch != nil {
+		ix.Latch.RLock()
+	}
+}
+
+// RUnlock releases RLock.
+func (ix *IndexRef) RUnlock() {
+	if ix.Latch != nil {
+		ix.Latch.RUnlock()
+	}
 }
 
 // Target is core's view of the table a bulk delete operates on. Heap is
@@ -86,6 +107,18 @@ type Target struct {
 	Schema  record.Schema
 	Indexes []IndexRef
 	Pool    *buffer.Pool
+	// Retain, when set, receives every victim's pre-delete image (RID +
+	// record bytes) immediately before its slot is tombstoned or truncated
+	// away — the MVCC hook that parks deleted rows in the table's version
+	// store so concurrent snapshot readers keep seeing them. The bytes are
+	// only valid during the call.
+	Retain func(rid record.RID, rec []byte)
+	// RetainAll, when set, reports whether any snapshot is currently open.
+	// The whole-partition truncate fast path consults it (under the heap
+	// latch) to decide between the metadata-only truncate and a retention
+	// scan; per-row deletes retain unconditionally — evaluating the flag
+	// per row would race against a reader registering mid-pass.
+	RetainAll func() bool
 }
 
 // HeapFiles returns the file IDs of the heap's partitions in ordinal order

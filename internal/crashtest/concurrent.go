@@ -63,9 +63,10 @@ func buildConcurrentDB(cfg Config) (*bulkdel.DB, [2]*bulkdel.Table, [2][]int64, 
 	var tables [2]*bulkdel.Table
 	var victims [2][]int64
 	db, err := bulkdel.Open(bulkdel.Options{
-		BufferBytes: cfg.BufferBytes,
-		Devices:     cfg.Devices,
-		Observer:    cfg.Observer,
+		BufferBytes:          cfg.BufferBytes,
+		Devices:              cfg.Devices,
+		Observer:             cfg.Observer,
+		DisableSnapshotReads: !cfg.SnapshotReads,
 	})
 	if err != nil {
 		return nil, tables, victims, err
@@ -171,8 +172,9 @@ func RunConcurrentOrdinal(cfg Config, k int) (ConcurrentOrdinalResult, error) {
 	disk := db.SimulateCrash()
 	disk.SetFaultPlan(nil)
 	rdb, rep, rerr := bulkdel.Recover(disk, bulkdel.Options{
-		BufferBytes: cfg.BufferBytes,
-		Observer:    cfg.Observer,
+		BufferBytes:          cfg.BufferBytes,
+		Observer:             cfg.Observer,
+		DisableSnapshotReads: !cfg.SnapshotReads,
 	})
 	if rerr != nil {
 		res.Err = fmt.Sprintf("recovery failed: %v", rerr)

@@ -77,6 +77,12 @@ type Config struct {
 	// Observer, when set, accumulates metrics across every run of the
 	// sweep (faults_injected, crashes_simulated, recoveries_run).
 	Observer *obs.Observer
+	// SnapshotReads enables MVCC snapshot reads in the scenario database.
+	// Off by default: the classic sweeps pin MVCC off so their digests stay
+	// comparable with recorded baselines, and only the reader sweeps
+	// (ReaderCancelSweep, ReaderCrashSweep) — whose concurrent reader needs
+	// non-blocking reads — turn it on.
+	SnapshotReads bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,9 +197,10 @@ func (s *SweepResult) Digest() string {
 // attribute A).
 func buildDB(cfg Config) (*bulkdel.DB, *bulkdel.Table, []int64, error) {
 	db, err := bulkdel.Open(bulkdel.Options{
-		BufferBytes: cfg.BufferBytes,
-		Devices:     cfg.Devices,
-		Observer:    cfg.Observer,
+		BufferBytes:          cfg.BufferBytes,
+		Devices:              cfg.Devices,
+		Observer:             cfg.Observer,
+		DisableSnapshotReads: !cfg.SnapshotReads,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -302,8 +309,9 @@ func RunOrdinal(cfg Config, k int) (OrdinalResult, error) {
 	disk := db.SimulateCrash()
 	disk.SetFaultPlan(nil)
 	rdb, rep, rerr := bulkdel.Recover(disk, bulkdel.Options{
-		BufferBytes: cfg.BufferBytes,
-		Observer:    cfg.Observer,
+		BufferBytes:          cfg.BufferBytes,
+		Observer:             cfg.Observer,
+		DisableSnapshotReads: !cfg.SnapshotReads,
 	})
 	if rerr != nil {
 		res.Err = fmt.Sprintf("recovery failed: %v", rerr)

@@ -1,0 +1,71 @@
+package crashtest
+
+import (
+	"testing"
+
+	"bulkdel"
+)
+
+// The reader sweeps attach an MVCC snapshot reader — a View pinned to the
+// pre-delete epoch, re-scanning the table in a loop — to the cancel and
+// crash scenarios. Each swept ordinal asserts (a) every completed reader
+// scan saw the table whole and (b) the table settled at an atomic boundary
+// (untouched or fully deleted). Strided: each ordinal builds a fresh
+// database and, on the crash path, runs full recovery.
+
+func TestReaderCancelSweep(t *testing.T) {
+	sw, err := ReaderCancelSweep(Config{Method: bulkdel.SortMerge, Stride: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Ran == 0 {
+		t.Fatal("reader cancel sweep ran no ordinals")
+	}
+	for _, f := range sw.Failures() {
+		t.Errorf("ordinal %d: %s", f.Ordinal, f.Err)
+	}
+	// The reader must actually observe mid-statement state somewhere in the
+	// sweep: a run where no ordinal completed a scan would mean the reader
+	// was starved — exactly what snapshot reads exist to prevent.
+	scans := 0
+	for _, r := range sw.Ordinals {
+		scans += r.ReaderScans
+	}
+	if scans == 0 {
+		t.Fatal("the snapshot reader never completed a scan across the whole sweep")
+	}
+}
+
+func TestReaderCrashSweep(t *testing.T) {
+	sw, err := ReaderCrashSweep(Config{Method: bulkdel.SortMerge, Stride: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Ran == 0 {
+		t.Fatal("reader crash sweep ran no ordinals")
+	}
+	for _, f := range sw.Failures() {
+		t.Errorf("ordinal %d: %s", f.Ordinal, f.Err)
+	}
+	scans := 0
+	for _, r := range sw.Ordinals {
+		scans += r.ReaderScans
+	}
+	if scans == 0 {
+		t.Fatal("the snapshot reader never completed a scan across the whole sweep")
+	}
+}
+
+// TestClassicSweepsPinSnapshotReadsOff guards the digest contract: the
+// default Config builds its database with MVCC off, so the classic sweep
+// digests stay comparable with baselines recorded before snapshot reads
+// existed. Flipping the default would silently change every recorded digest.
+func TestClassicSweepsPinSnapshotReadsOff(t *testing.T) {
+	db, _, _, err := buildDB(Config{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.SnapshotReadsEnabled() {
+		t.Fatal("classic crashtest scenario has MVCC snapshot reads enabled; digests no longer match recorded baselines")
+	}
+}

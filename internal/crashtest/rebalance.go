@@ -21,9 +21,10 @@ import (
 // data devices so the next Rebalance has real work.
 func buildRebalanceDB(cfg Config) (*bulkdel.DB, *bulkdel.Table, error) {
 	db, err := bulkdel.Open(bulkdel.Options{
-		BufferBytes: cfg.BufferBytes,
-		Devices:     2,
-		Observer:    cfg.Observer,
+		BufferBytes:          cfg.BufferBytes,
+		Devices:              2,
+		Observer:             cfg.Observer,
+		DisableSnapshotReads: !cfg.SnapshotReads,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -153,8 +154,9 @@ func RunRebalanceOrdinal(cfg Config, k int) (RebalanceOrdinalResult, error) {
 	disk := db.SimulateCrash()
 	disk.SetFaultPlan(nil)
 	rdb, rep, err := bulkdel.Recover(disk, bulkdel.Options{
-		BufferBytes: cfg.BufferBytes,
-		Observer:    cfg.Observer,
+		BufferBytes:          cfg.BufferBytes,
+		Observer:             cfg.Observer,
+		DisableSnapshotReads: !cfg.SnapshotReads,
 	})
 	if err != nil {
 		res.Err = fmt.Sprintf("recovery failed: %v", err)

@@ -21,6 +21,7 @@ package heap
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/page"
@@ -45,6 +46,15 @@ type File struct {
 	fsm map[sim.PageNo]struct{}
 	// tail is the last data page inserts are currently filling.
 	tail sim.PageNo
+	// latch closes the torn-page window between in-place writers and the
+	// unlatched readers MVCC snapshot reads admit during a delete: an
+	// Insert that triggers a page Compact rewrites live record bytes, so
+	// a concurrent Get of the same page could read a half-moved record
+	// (see compact_race_test.go). Writers (Insert/Delete/Update/Truncate
+	// and the bulk editor's DeleteSlot) hold it exclusively; Get and Scan
+	// hold it shared per page. Bulk passes' read-only page views skip it —
+	// the exclusive table lock excludes every other writer.
+	latch sync.RWMutex
 }
 
 // Create makes a new heap file for records of recSize bytes.
@@ -117,7 +127,11 @@ func (f *File) ID() sim.FileID { return f.id }
 func (f *File) RecordSize() int { return f.recSize }
 
 // Count returns the number of live records.
-func (f *File) Count() int64 { return f.count }
+func (f *File) Count() int64 {
+	f.latch.RLock()
+	defer f.latch.RUnlock()
+	return f.count
+}
 
 // NumPages returns the file size in pages, including the header page.
 func (f *File) NumPages() (sim.PageNo, error) {
@@ -132,6 +146,8 @@ func (f *File) Insert(rec []byte) (record.RID, error) {
 	if len(rec) != f.recSize {
 		return record.NilRID, fmt.Errorf("heap: record is %d bytes, file stores %d", len(rec), f.recSize)
 	}
+	f.latch.Lock()
+	defer f.latch.Unlock()
 	// Try pages believed to have space: the tail first, then the FSM.
 	try := make([]sim.PageNo, 0, 2)
 	if f.tail != sim.InvalidPage {
@@ -193,6 +209,8 @@ func (f *File) Insert(rec []byte) (record.RID, error) {
 
 // Get returns a copy of the record at rid.
 func (f *File) Get(rid record.RID) ([]byte, error) {
+	f.latch.RLock()
+	defer f.latch.RUnlock()
 	fr, err := f.pool.Get(f.id, rid.Page)
 	if err != nil {
 		return nil, err
@@ -215,6 +233,8 @@ func (f *File) Get(rid record.RID) ([]byte, error) {
 // Delete removes the record at rid. The slot is tombstoned; surviving RIDs
 // are unaffected.
 func (f *File) Delete(rid record.RID) error {
+	f.latch.Lock()
+	defer f.latch.Unlock()
 	fr, err := f.pool.Get(f.id, rid.Page)
 	if err != nil {
 		return err
@@ -236,6 +256,8 @@ func (f *File) Update(rid record.RID, rec []byte) error {
 	if len(rec) != f.recSize {
 		return fmt.Errorf("heap: record is %d bytes, file stores %d", len(rec), f.recSize)
 	}
+	f.latch.Lock()
+	defer f.latch.Unlock()
 	fr, err := f.pool.Get(f.id, rid.Page)
 	if err != nil {
 		return err
@@ -259,8 +281,12 @@ func (f *File) Scan(fn func(rid record.RID, rec []byte) error) error {
 		return err
 	}
 	for p := sim.PageNo(1); p < n; p++ {
+		// Latched per page, not across the whole scan: in-place writers
+		// interleave between pages instead of stalling for the full pass.
+		f.latch.RLock()
 		fr, err := f.pool.GetForScan(f.id, p)
 		if err != nil {
+			f.latch.RUnlock()
 			return err
 		}
 		sp := page.Wrap(fr.Data())
@@ -271,15 +297,18 @@ func (f *File) Scan(fn func(rid record.RID, rec []byte) error) error {
 			rec, err := sp.Get(s)
 			if err != nil {
 				f.pool.Unpin(fr, false)
+				f.latch.RUnlock()
 				return err
 			}
 			f.pool.Disk().ChargeRecords(1)
 			if err := fn(record.RID{Page: p, Slot: uint16(s)}, rec); err != nil {
 				f.pool.Unpin(fr, false)
+				f.latch.RUnlock()
 				return err
 			}
 		}
 		f.pool.Unpin(fr, false)
+		f.latch.RUnlock()
 	}
 	return nil
 }
@@ -328,11 +357,15 @@ func (e *PageEditor) Seek(p sim.PageNo) (page.Slotted, error) {
 	return page.Wrap(fr.Data()), nil
 }
 
-// DeleteSlot tombstones a slot on the currently seeked page.
+// DeleteSlot tombstones a slot on the currently seeked page. The file
+// latch is held for the mutation so concurrent snapshot readers never see
+// a torn slot directory.
 func (e *PageEditor) DeleteSlot(slot int) error {
 	if e.fr == nil {
 		return fmt.Errorf("heap: DeleteSlot without Seek")
 	}
+	e.f.latch.Lock()
+	defer e.f.latch.Unlock()
 	sp := page.Wrap(e.fr.Data())
 	if err := sp.Delete(slot); err != nil {
 		return fmt.Errorf("heap: %d.%d: %w", e.cur, slot, err)

@@ -110,6 +110,51 @@ func (f *File) Parts() []*File { return []*File{f} }
 // the file reopens as an empty heap). Dirty frames are flushed first so the
 // header is durable, then all frames are discarded along with the pages.
 func (f *File) Truncate() error {
+	f.latch.Lock()
+	defer f.latch.Unlock()
+	return f.truncateLocked()
+}
+
+// TruncateWith is Truncate with MVCC retention: need is evaluated under
+// the file latch, and when it reports an open snapshot every live record
+// is handed to retain (keyed by partition-local RID) before the pages are
+// released. Snapshot registration strictly precedes any page read, so a
+// false answer under the latch proves no registered reader can ever visit
+// these rows — the metadata-only fast path is kept whenever no snapshot
+// is open, and the retention pass prices itself as the extra scan it is.
+func (f *File) TruncateWith(need func() bool, retain func(rid record.RID, rec []byte)) error {
+	f.latch.Lock()
+	defer f.latch.Unlock()
+	if need != nil && retain != nil && need() {
+		n, err := f.pool.Disk().NumPages(f.id)
+		if err != nil {
+			return err
+		}
+		for p := sim.PageNo(1); p < n; p++ {
+			fr, err := f.pool.GetForScan(f.id, p)
+			if err != nil {
+				return err
+			}
+			sp := page.Wrap(fr.Data())
+			for s := 0; s < sp.NumSlots(); s++ {
+				if !sp.InUse(s) {
+					continue
+				}
+				rec, err := sp.Get(s)
+				if err != nil {
+					f.pool.Unpin(fr, false)
+					return err
+				}
+				f.pool.Disk().ChargeRecords(1)
+				retain(record.RID{Page: p, Slot: uint16(s)}, rec)
+			}
+			f.pool.Unpin(fr, false)
+		}
+	}
+	return f.truncateLocked()
+}
+
+func (f *File) truncateLocked() error {
 	if err := f.pool.FlushFile(f.id); err != nil {
 		return err
 	}

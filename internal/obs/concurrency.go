@@ -32,6 +32,27 @@ const (
 	MetricAdmissionShed = "adm_shed"
 )
 
+// Canonical metric names for MVCC snapshot reads. Snapshot readers never
+// block behind a bulk delete's exclusive lock, so on a healthy engine the
+// wait counter stays at zero — the reads-during-delete smoke test asserts
+// exactly that.
+const (
+	// MetricSnapshotReads counts read statements served from an MVCC
+	// snapshot (Get/Lookup/LookupRange/Scan with snapshot reads enabled).
+	MetricSnapshotReads = "mvcc_snapshot_reads"
+	// MetricSnapshotReadWaits counts snapshot reads that had to block for
+	// a Structural claim (repartition, rebalance, offline baselines) —
+	// never for an ordinary bulk delete.
+	MetricSnapshotReadWaits = "mvcc_snapshot_read_waits"
+	// MetricSnapshotFallbackScans counts indexed snapshot lookups that fell
+	// back to the visibility-filtered heap scan because a bulk delete held
+	// the table's index trees offline.
+	MetricSnapshotFallbackScans = "mvcc_snapshot_fallback_scans"
+	// MetricVersionsRetained counts pre-delete row images copied into the
+	// version store for the benefit of open snapshots.
+	MetricVersionsRetained = "mvcc_versions_retained"
+)
+
 // Canonical metric names for the WAL appender queue — the measurement
 // substrate for group commit. Append wait is *real* mutex-block time (the
 // appender serializes concurrent statements), so like the lock-wait

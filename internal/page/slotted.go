@@ -291,6 +291,13 @@ func (p Slotted) Update(i int, rec []byte) error {
 	return nil
 }
 
+// TestHookMidCompact, when set, is invoked between record laydowns inside
+// Compact — after at least one live record has been rewritten but before
+// the rest. Tests use it to freeze a compaction mid-flight and observe the
+// torn-read window a concurrent unlatched Get would hit (see
+// compact_race_test.go). Never set outside tests.
+var TestHookMidCompact func()
+
 // Compact rewrites the record area so all live records are contiguous at
 // the end of the page, erasing fragmentation left by deletes. Slot numbers
 // are preserved. Trailing dead slots are trimmed from the directory.
@@ -316,6 +323,9 @@ func (p Slotted) Compact() {
 	}
 	freeStart := uint16(len(p.buf))
 	for i := range live {
+		if i > 0 && TestHookMidCompact != nil {
+			TestHookMidCompact()
+		}
 		rec := scratch[live[i].off : live[i].off+live[i].length]
 		freeStart -= live[i].length
 		copy(p.buf[freeStart:], rec)

@@ -66,7 +66,13 @@ func (s *Session) explainSelect(st *sql.Select, analyze bool) (*Result, error) {
 		access.Annot = fmt.Sprintf("actual: rows=%d", countRows(res))
 		root.Annot = fmt.Sprintf("actual: returned=%d time=%v", len(res.Rows), time.Since(start).Round(time.Microsecond))
 	}
-	return &Result{Text: root.String()}, nil
+	text := root.String()
+	if s.f.db.SnapshotReadsEnabled() {
+		// The epoch shown is the snapshot the statement would capture if it
+		// started now (SHOW epoch reports the same counter).
+		text += fmt.Sprintf("snapshot: MVCC read at commit epoch %d (does not block behind bulk deletes)\n", s.f.db.Epoch())
+	}
+	return &Result{Text: text}, nil
 }
 
 func countRows(r *Result) int {

@@ -791,6 +791,9 @@ func (s *Session) show(st *sql.Show) (*Result, error) {
 		return &Result{Text: strconv.Itoa(s.memory)}, nil
 	case "limit":
 		return &Result{Text: strconv.FormatInt(s.limitDefault, 10)}, nil
+	case "epoch":
+		// The commit epoch a snapshot read starting now would capture.
+		return &Result{Text: strconv.FormatUint(s.f.db.Epoch(), 10)}, nil
 	}
 	return nil, fmt.Errorf("session: unknown setting %q", st.What)
 }

@@ -1,0 +1,150 @@
+package table
+
+import (
+	"testing"
+	"time"
+
+	"bulkdel/internal/cc"
+	"bulkdel/internal/record"
+)
+
+// Unit tests for the volatile version store, exercised directly: retain →
+// commit/abort visibility, horizon-driven pruning, birth stamping, and the
+// index-reader/bulk-delete exclusion handshake. The integration behaviour
+// (full read paths during a parked delete) lives in the root package's
+// reads-during-delete smoke test.
+
+func TestMVCCPendingVersionVisibleToAllSnapshots(t *testing.T) {
+	clock := cc.NewEpochClock()
+	m := NewMVCC(clock)
+	rid := record.RID{Page: 3, Slot: 1}
+	tok := m.NewToken()
+	m.Retain(tok, rid, []byte{1, 2, 3})
+	// Advance the clock well past the retain: pending versions (epoch 0)
+	// stay visible to every snapshot until their delete commits.
+	clock.Commit()
+	clock.Commit()
+	for _, s := range []uint64{0, 1, 2} {
+		rec, ok := m.VisibleVersion(rid, s)
+		if !ok || len(rec) != 3 {
+			t.Fatalf("pending version invisible to snapshot %d (ok=%v rec=%v)", s, ok, rec)
+		}
+	}
+	if m.LiveVersions() != 1 {
+		t.Fatalf("live versions = %d, want 1", m.LiveVersions())
+	}
+}
+
+func TestMVCCCommitStampsVisibilityBoundary(t *testing.T) {
+	clock := cc.NewEpochClock()
+	m := NewMVCC(clock)
+	rid := record.RID{Page: 0, Slot: 4}
+	sOld := clock.Snapshot() // epoch 0, opened before the delete commits
+	tok := m.NewToken()
+	m.Retain(tok, rid, []byte{9})
+	e := m.CommitToken(tok)
+	if e != 1 {
+		t.Fatalf("commit epoch = %d, want 1", e)
+	}
+	if _, ok := m.VisibleVersion(rid, sOld); !ok {
+		t.Fatal("snapshot older than the delete lost the retained version")
+	}
+	sNew := clock.Snapshot() // epoch 1: the delete already committed
+	if _, ok := m.VisibleVersion(rid, sNew); ok {
+		t.Fatal("snapshot opened after the commit still sees the deleted row")
+	}
+	clock.Release(sOld)
+	clock.Release(sNew)
+}
+
+func TestMVCCAbortDiscardsPendingVersion(t *testing.T) {
+	m := NewMVCC(cc.NewEpochClock())
+	rid := record.RID{Page: 1, Slot: 0}
+	tok := m.NewToken()
+	m.Retain(tok, rid, []byte{7})
+	m.AbortToken(tok)
+	if _, ok := m.VisibleVersion(rid, 0); ok {
+		t.Fatal("aborted retain still visible")
+	}
+	if m.LiveVersions() != 0 {
+		t.Fatalf("live versions = %d after abort, want 0", m.LiveVersions())
+	}
+}
+
+func TestMVCCPruneRespectsSnapshotHorizon(t *testing.T) {
+	clock := cc.NewEpochClock()
+	m := NewMVCC(clock)
+	rid := record.RID{Page: 2, Slot: 2}
+	s := clock.Snapshot()
+	tok := m.NewToken()
+	m.Retain(tok, rid, []byte{5})
+	m.CommitToken(tok) // prunes internally, but the open snapshot pins it
+	if m.LiveVersions() != 1 {
+		t.Fatal("committed version pruned while a predating snapshot is open")
+	}
+	m.Prune()
+	if m.LiveVersions() != 1 {
+		t.Fatal("explicit prune dropped a version the open snapshot still needs")
+	}
+	clock.Release(s)
+	m.Prune()
+	if m.LiveVersions() != 0 {
+		t.Fatalf("live versions = %d after the last snapshot closed, want 0", m.LiveVersions())
+	}
+}
+
+func TestMVCCBirthFiltersYoungRows(t *testing.T) {
+	clock := cc.NewEpochClock()
+	m := NewMVCC(clock)
+	rid := record.RID{Page: 0, Slot: 0}
+	// Before any commit the clock is at 0 and births are implicit.
+	m.RecordBirth(rid)
+	if !m.BirthVisible(rid, 0) {
+		t.Fatal("epoch-0 birth invisible to the epoch-0 snapshot")
+	}
+	clock.Commit() // clock → 1
+	m.RecordBirth(rid)
+	if m.BirthVisible(rid, 0) {
+		t.Fatal("row born at epoch 1 visible to an epoch-0 snapshot")
+	}
+	if !m.BirthVisible(rid, 1) {
+		t.Fatal("row born at epoch 1 invisible to an epoch-1 snapshot")
+	}
+}
+
+// The index trees are safe for snapshot readers only while no bulk delete
+// is mid-statement: BeginDelete drains readers before gates go offline,
+// and TryEnterIndexRead diverts late readers to the heap-scan fallback.
+func TestMVCCIndexReadersExcludeBulkDelete(t *testing.T) {
+	m := NewMVCC(cc.NewEpochClock())
+	if !m.TryEnterIndexRead() {
+		t.Fatal("index read refused on an idle table")
+	}
+	started := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		close(started)
+		m.BeginDelete()
+		close(entered)
+	}()
+	<-started
+	select {
+	case <-entered:
+		t.Fatal("BeginDelete proceeded over an open index reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ExitIndexRead()
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("BeginDelete never admitted after the reader drained")
+	}
+	if m.TryEnterIndexRead() {
+		t.Fatal("index read admitted while a bulk delete is in flight")
+	}
+	m.EndDelete()
+	if !m.TryEnterIndexRead() {
+		t.Fatal("index read refused after the delete retired")
+	}
+	m.ExitIndexRead()
+}

@@ -90,6 +90,9 @@ type Table struct {
 	Undeletable *cc.UndeletableSet
 	// SortBudget is the working memory for index builds and victim sorts.
 	SortBudget int
+	// MVCC is the table's volatile snapshot-read state (nil when the DB
+	// runs with snapshot reads disabled). See mvcc.go.
+	MVCC *MVCC
 
 	pool *buffer.Pool
 }
@@ -184,6 +187,12 @@ func (t *Table) Insert(fields []int64) (record.RID, error) {
 	if err != nil {
 		return record.NilRID, err
 	}
+	// Birth is stamped before any index entry exists, so an index-path
+	// snapshot reader that can see the entry always has the birth to
+	// filter the row by.
+	if t.MVCC != nil {
+		t.MVCC.RecordBirth(rid)
+	}
 	for _, ix := range t.Idx {
 		key := ix.EncodeKey(t.Schema.Field(rec, ix.Def.Field))
 		if err := t.applyIndexOp(ix, cc.Op{Kind: cc.OpInsert, Key: key, RID: rid}, false); err != nil {
@@ -204,6 +213,9 @@ func (t *Table) InsertDirect(fields []int64) (record.RID, error) {
 	rid, err := t.Heap.Insert(rec)
 	if err != nil {
 		return record.NilRID, err
+	}
+	if t.MVCC != nil {
+		t.MVCC.RecordBirth(rid)
 	}
 	for _, ix := range t.Idx {
 		key := ix.EncodeKey(t.Schema.Field(rec, ix.Def.Field))
@@ -265,7 +277,18 @@ func (t *Table) DeleteRow(rid record.RID) error {
 	if err != nil {
 		return err
 	}
+	// Retain the image before tombstoning so a concurrent snapshot reader
+	// always finds the row in the heap or the version store; the version
+	// is stamped with a fresh epoch once the indexes are maintained.
+	var token uint64
+	if t.MVCC != nil {
+		token = t.MVCC.NewToken()
+		t.MVCC.Retain(token, rid, rec)
+	}
 	if err := t.Heap.Delete(rid); err != nil {
+		if t.MVCC != nil {
+			t.MVCC.AbortToken(token)
+		}
 		return err
 	}
 	for _, ix := range t.Idx {
@@ -273,6 +296,9 @@ func (t *Table) DeleteRow(rid record.RID) error {
 		if err := t.applyIndexOp(ix, cc.Op{Kind: cc.OpDelete, Key: key, RID: rid}, false); err != nil {
 			return err
 		}
+	}
+	if t.MVCC != nil {
+		t.MVCC.CommitToken(token)
 	}
 	return nil
 }
@@ -396,6 +422,12 @@ func (t *Table) Repartition(spec heap.PartitionSpec) error {
 	}
 	old := t.Heap
 	t.Heap = ns
+	// Every RID changed; volatile snapshot state would point at garbage.
+	// The Structural lock the caller holds guarantees no snapshot reader
+	// is open on the table.
+	if t.MVCC != nil {
+		t.MVCC.Reset()
+	}
 	for _, ix := range t.Idx {
 		if err := ix.Tree.ResetEmpty(); err != nil {
 			return err

@@ -571,6 +571,23 @@ func AnalyzeBulks(recs []Record) []BulkState {
 	return out
 }
 
+// CountCommits returns the number of TCommit records among recovered
+// records. Recovery fast-forwards the MVCC epoch clock by it: epochs are
+// volatile (no durable structure stores one), but the clock must never
+// rewind across a restart or a new delete could commit at an epoch an
+// earlier incarnation already handed to snapshots. The catalog's persisted
+// epoch plus the commit count of the log written since is a safe upper
+// bound on the epochs ever given out.
+func CountCommits(recs []Record) uint64 {
+	var n uint64
+	for _, r := range recs {
+		if r.Type == TCommit {
+			n++
+		}
+	}
+	return n
+}
+
 // Move is one file migration distilled from the log: file A headed to
 // device To, with Done reporting whether TMoveDone made it out.
 type Move struct {

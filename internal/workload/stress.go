@@ -167,6 +167,13 @@ type StressStats struct {
 	// SQLStmts counts the statements executed through the SQL front door
 	// (SQLPct > 0): every routed INSERT, SELECT, and DELETE.
 	SQLStmts int64
+	// SnapshotProbes counts MVCC snapshot-consistency probes: each opens a
+	// View and verifies a repeated read at the pinned epoch is identical.
+	SnapshotProbes int64
+	// SnapshotReadWaits is the number of snapshot reads that blocked on a
+	// table lock. Bulk deletes admit snapshot readers, so with MVCC on this
+	// stays zero unless a structural pass (repartition, drop-create) ran.
+	SnapshotReadWaits int64
 }
 
 // stressModel is one table's oracle state.
@@ -445,8 +452,33 @@ func Stress(spec StressSpec) (*StressStats, error) {
 					if len(rows) == 1 && rows[0][0] != id {
 						return fail(fmt.Errorf("secondary lookup %d: wrong row %v", 3*id, rows[0]))
 					}
+					// Snapshot-consistency probe: a View pins its commit epoch,
+					// so two reads of the same key through one view must agree
+					// exactly — even while a concurrent bulk delete claims the
+					// key between them. (The plain lookups above are each their
+					// own snapshot and may legitimately disagree.)
+					v, verr := tbl.View()
+					if verr != nil {
+						return fail(fmt.Errorf("view: %w", verr))
+					}
+					first, ferr := v.Lookup(0, id)
+					second, serr := v.Lookup(0, id)
+					v.Close()
+					if ferr != nil || serr != nil {
+						return fail(fmt.Errorf("snapshot probe %d: %v / %v", id, ferr, serr))
+					}
+					if len(first) != len(second) {
+						return fail(fmt.Errorf("snapshot probe %d: repeat read at epoch %d changed: %d rows then %d",
+							id, v.Epoch(), len(first), len(second)))
+					}
+					for _, rows := range [][][]int64{first, second} {
+						if len(rows) == 1 && (rows[0][0] != id || rows[0][1] != 3*id || rows[0][2] != id%7) {
+							return fail(fmt.Errorf("snapshot probe %d: wrong row %v", id, rows[0]))
+						}
+					}
 					statsMu.Lock()
 					stats.Lookups += 2
+					stats.SnapshotProbes++
 					statsMu.Unlock()
 				default: // bulk delete of claimed victims
 					victims := model.claim(rng, 1+rng.Intn(8))
@@ -620,6 +652,7 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	reg := db.Observer().Registry()
 	stats.LockWaits = reg.Counter(obs.MetricLockWaits).Value()
 	stats.LockWaitUS = reg.Counter(obs.MetricLockWaitUS).Value()
+	stats.SnapshotReadWaits = reg.Counter(obs.MetricSnapshotReadWaits).Value()
 	elapsed := reg.Histogram("statement_elapsed")
 	stats.P50 = elapsed.Quantile(0.50)
 	stats.P95 = elapsed.Quantile(0.95)

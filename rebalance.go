@@ -74,8 +74,10 @@ func (tbl *Table) PartitionSpec() PartitionSpec {
 // spec converts back to a single file): every record is re-routed into the
 // new partition layout and every index is rebuilt in place — file IDs and
 // device placements survive, so the catalog's index entries stay valid. The
-// statement takes the table's exclusive lock; it is not WAL-protected (like
-// the other DDL, a crash mid-rewrite loses the statement, not the log).
+// statement takes the table's Structural lock — the rewrite renumbers every
+// RID, so snapshot readers are drained, not admitted; it is not
+// WAL-protected (like the other DDL, a crash mid-rewrite loses the
+// statement, not the log).
 func (tbl *Table) AlterPartitioning(spec PartitionSpec) error {
 	if tbl.db.crashed.Load() {
 		return errCrashed
@@ -86,7 +88,7 @@ func (tbl *Table) AlterPartitioning(spec PartitionSpec) error {
 		}
 	}
 	stmt, held := tbl.db.beginStatement("alter-partitioning", tbl.t.Name,
-		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Structural}})
 	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
 	if err := tbl.t.Repartition(spec); err != nil {
@@ -220,7 +222,9 @@ func (db *DB) RebalanceCtx(ctx context.Context) (*RebalanceResult, error) {
 	sort.Strings(names)
 	claims := make([]cc.Claim, len(names))
 	for i, n := range names {
-		claims[i] = cc.Claim{Table: n, Mode: cc.Exclusive}
+		// Structural: a migration moves a file between arms; snapshot
+		// readers must not be probing its pages mid-copy.
+		claims[i] = cc.Claim{Table: n, Mode: cc.Structural}
 	}
 	stmt, held := db.beginStatement("rebalance", "*", claims)
 	defer db.endStatement(stmt, held)

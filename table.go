@@ -67,6 +67,13 @@ func (tbl *Table) CreateIndex(opts IndexOptions) error {
 	if tbl.db.crashed.Load() {
 		return errCrashed
 	}
+	// Structural claim: the build scans the heap and installs the new tree,
+	// and no reader — snapshot readers included — may observe the table
+	// while the scan races updaters.
+	stmt, held := tbl.db.beginStatement("create-index", tbl.t.Name,
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Structural}})
+	defer tbl.db.endStatement(stmt, held)
+	tbl.waitIndexesOnline()
 	ix, err := tbl.t.CreateIndex(table.IndexDef{
 		Name: opts.Name, Field: opts.Field, KeyLen: opts.KeyLen,
 		Unique: opts.Unique, Clustered: opts.Clustered, Priority: opts.Priority,
@@ -149,11 +156,53 @@ func (tbl *Table) DeleteRow(rid RID) error {
 	return tbl.t.DeleteRow(rid)
 }
 
-// Get decodes the record at rid. Like every read entry point it takes a
-// shared table lock: it blocks while a bulk delete holds the table
+// beginSnapshotRead opens an MVCC snapshot read on the table: it takes the
+// snapshot-read lock mode (admitted alongside a bulk delete's exclusive
+// claim; blocked only by Structural claims), captures the commit epoch, and
+// returns it with a release func. Callers must hold neither lock already.
+func (tbl *Table) beginSnapshotRead() (s uint64, done func()) {
+	blocked := tbl.t.Lock.LockSnapshotRead()
+	reg := tbl.db.obs.Registry()
+	reg.Counter(obs.MetricSnapshotReads).Add(1)
+	if blocked {
+		reg.Counter(obs.MetricSnapshotReadWaits).Add(1)
+	}
+	s = tbl.db.epochs.Snapshot()
+	mv := tbl.t.MVCC
+	return s, func() {
+		tbl.db.epochs.Release(s)
+		mv.Prune() // versions only this snapshot needed can go now
+		tbl.t.Lock.UnlockSnapshotRead()
+	}
+}
+
+// noteFallbackScan records an indexed snapshot lookup that was served by
+// the visibility-filtered heap scan instead of the index tree.
+func (tbl *Table) noteFallbackScan(field int, usedIndex bool) {
+	if !usedIndex && tbl.t.IndexOnField(field) != nil {
+		tbl.db.obs.Registry().Counter(obs.MetricSnapshotFallbackScans).Add(1)
+	}
+}
+
+// Get decodes the record at rid. With snapshot reads enabled (the default)
+// it resolves the RID against a commit-epoch snapshot and does not block
+// behind a concurrent bulk delete's exclusive lock. With them disabled it
+// takes a shared table lock: it blocks while a bulk delete holds the table
 // exclusively and proceeds once the §3.1 critical phase releases the lock
 // (indexes still offline are not needed — Get reads the heap).
 func (tbl *Table) Get(rid RID) ([]int64, error) {
+	if tbl.t.MVCC != nil {
+		s, done := tbl.beginSnapshotRead()
+		defer done()
+		row, ok, err := tbl.t.SnapshotRow(rid, s)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("bulkdel: no record at %s", rid)
+		}
+		return row, nil
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	return tbl.t.Get(rid)
@@ -166,15 +215,37 @@ func (tbl *Table) HasIndexOnField(field int) bool {
 }
 
 // Lookup returns all rows whose field equals v, via an index on the field.
+// With snapshot reads enabled it runs against a commit-epoch snapshot: it
+// never blocks behind a bulk delete, and while one holds the table's index
+// trees offline the lookup degrades to a visibility-filtered heap scan.
 func (tbl *Table) Lookup(field int, v int64) ([][]int64, error) {
+	if tbl.t.MVCC != nil {
+		s, done := tbl.beginSnapshotRead()
+		defer done()
+		rows, usedIndex, err := tbl.t.SnapshotLookup(field, v, s)
+		tbl.noteFallbackScan(field, usedIndex)
+		return rows, err
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	return tbl.t.Lookup(field, v)
 }
 
 // LookupRIDs returns the RIDs of all rows whose field equals v, via an
-// index on the field.
+// index on the field. Under snapshot reads, RIDs of rows deleted after the
+// snapshot are included — they name the snapshot's retained images, and a
+// Get through the same open View resolves them; a fresh Get may not.
 func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
+	if tbl.t.MVCC != nil {
+		if tbl.t.IndexOnField(field) == nil {
+			return nil, fmt.Errorf("bulkdel: table %s has no index on field %d", tbl.t.Name, field)
+		}
+		s, done := tbl.beginSnapshotRead()
+		defer done()
+		rids, usedIndex, err := tbl.t.SnapshotLookupRIDs(field, v, s)
+		tbl.noteFallbackScan(field, usedIndex)
+		return rids, err
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	ix := tbl.t.IndexOnField(field)
@@ -194,6 +265,13 @@ func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
 // inclusive), via an index on the field when one exists, else a heap scan.
 // Index results arrive in key order; scan results in physical order.
 func (tbl *Table) LookupRange(field int, lo, hi int64) ([][]int64, error) {
+	if tbl.t.MVCC != nil {
+		s, done := tbl.beginSnapshotRead()
+		defer done()
+		rows, usedIndex, err := tbl.t.SnapshotLookupRange(field, lo, hi, s)
+		tbl.noteFallbackScan(field, usedIndex)
+		return rows, err
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	if lo > hi {
@@ -243,8 +321,15 @@ func (tbl *Table) LookupRange(field int, lo, hi int64) ([][]int64, error) {
 	return out, nil
 }
 
-// Scan calls fn for every row in physical order.
+// Scan calls fn for every row in physical order. Under snapshot reads the
+// surviving rows come first in physical order, then the snapshot's retained
+// rows (deleted after the snapshot) in RID order.
 func (tbl *Table) Scan(fn func(rid RID, fields []int64) error) error {
+	if tbl.t.MVCC != nil {
+		s, done := tbl.beginSnapshotRead()
+		defer done()
+		return tbl.t.SnapshotScan(s, fn)
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	return tbl.t.Heap.Scan(func(rid record.RID, rec []byte) error {
@@ -254,6 +339,68 @@ func (tbl *Table) Scan(fn func(rid RID, fields []int64) error) error {
 		}
 		return fn(rid, vals)
 	})
+}
+
+// View opens a stable read view: a snapshot epoch held across calls, so a
+// sequence of reads observes one consistent state of the table regardless
+// of concurrent deletes. The view admits alongside a bulk delete's
+// exclusive lock (it blocks only behind Structural passes) and must be
+// Closed — an open view pins retained versions and holds a snapshot-reader
+// registration that Structural claims drain.
+func (tbl *Table) View() (*View, error) {
+	if tbl.db.crashed.Load() {
+		return nil, errCrashed
+	}
+	if tbl.t.MVCC == nil {
+		return nil, fmt.Errorf("bulkdel: snapshot reads are disabled (Options.DisableSnapshotReads)")
+	}
+	s, done := tbl.beginSnapshotRead()
+	return &View{tbl: tbl, s: s, done: done}, nil
+}
+
+// View is a stable MVCC read view over one table. Its read methods mirror
+// the table's, evaluated at the view's snapshot epoch. Not safe for
+// concurrent use by multiple goroutines.
+type View struct {
+	tbl  *Table
+	s    uint64
+	done func()
+}
+
+// Epoch returns the view's snapshot epoch.
+func (v *View) Epoch() uint64 { return v.s }
+
+// Close releases the view's snapshot. Idempotent.
+func (v *View) Close() {
+	if v.done != nil {
+		v.done()
+		v.done = nil
+	}
+}
+
+// Get decodes the record at rid as of the view's snapshot; ok is false when
+// the snapshot holds no such row.
+func (v *View) Get(rid RID) (fields []int64, ok bool, err error) {
+	return v.tbl.t.SnapshotRow(rid, v.s)
+}
+
+// Lookup returns all rows whose field equals val, as of the snapshot.
+func (v *View) Lookup(field int, val int64) ([][]int64, error) {
+	rows, usedIndex, err := v.tbl.t.SnapshotLookup(field, val, v.s)
+	v.tbl.noteFallbackScan(field, usedIndex)
+	return rows, err
+}
+
+// LookupRange returns all rows with lo <= field <= hi, as of the snapshot.
+func (v *View) LookupRange(field int, lo, hi int64) ([][]int64, error) {
+	rows, usedIndex, err := v.tbl.t.SnapshotLookupRange(field, lo, hi, v.s)
+	v.tbl.noteFallbackScan(field, usedIndex)
+	return rows, err
+}
+
+// Scan calls fn for every row visible to the snapshot.
+func (v *View) Scan(fn func(rid RID, fields []int64) error) error {
+	return v.tbl.t.SnapshotScan(v.s, fn)
 }
 
 // Check verifies heap/index agreement and every tree invariant. Like the
@@ -391,10 +538,31 @@ func (tbl *Table) target() *core.Target {
 		tgt.Indexes = append(tgt.Indexes, core.IndexRef{
 			Name: ix.Def.Name, Tree: ix.Tree, Field: ix.Def.Field,
 			Unique: ix.Def.Unique, Clustered: ix.Def.Clustered,
-			Priority: ix.Def.Priority, Gate: ix.Gate,
+			Priority: ix.Def.Priority, Gate: ix.Gate, Latch: &ix.Latch,
 		})
 	}
 	return tgt
+}
+
+// retainTarget arms a target's MVCC retention hooks, bound to one deleting
+// statement's token: Retain copies each victim's pre-delete image into the
+// version store before the slot is tombstoned, and RetainAll tells the
+// whole-partition truncate fast path (under the heap latch) whether any
+// snapshot needs the records at all. A replayed statement (online roll-
+// forward after cancel) must pass the same token as its first attempt, so
+// its retained images commit with the statement instead of lingering
+// pending forever.
+func (tbl *Table) retainTarget(tgt *core.Target, token uint64) {
+	mv := tbl.t.MVCC
+	if mv == nil {
+		return
+	}
+	reg := tbl.db.obs.Registry()
+	tgt.Retain = func(rid record.RID, rec []byte) {
+		mv.Retain(token, rid, rec)
+		reg.Counter(obs.MetricVersionsRetained).Add(1)
+	}
+	tgt.RetainAll = func() bool { return tbl.db.epochs.ActiveSnapshots() > 0 }
 }
 
 // BulkDelete executes DELETE FROM tbl WHERE field IN (values) with the
@@ -505,6 +673,28 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 	// bulk passes on one tree must not overlap).
 	tbl.waitIndexesOnline()
 
+	// MVCC: open this level's retain token, and stamp its versions with one
+	// commit epoch exactly once — at §3.1 early release in concurrent mode
+	// (the statement's logical commit point), at level end otherwise.
+	// BeginDelete runs before any gate goes offline: it drains snapshot
+	// readers out of the index trees, then sends new ones to the
+	// visibility-filtered heap scan until EndDelete — which is deferred
+	// FIRST so it runs after the gate-cleanup defer below brings every tree
+	// back online.
+	mv := tbl.t.MVCC
+	var token uint64
+	levelCommit := func() {}
+	if mv != nil {
+		token = mv.NewToken()
+		var commitOnce sync.Once
+		levelCommit = func() {
+			commitOnce.Do(func() { mv.CommitToken(token) })
+		}
+		defer levelCommit()
+		mv.BeginDelete()
+		defer mv.EndDelete()
+	}
+
 	// Parallel passes invoke OnStructureDone from concurrent goroutines;
 	// the side-file replay below mutates res, so serialize it.
 	var sfMu sync.Mutex
@@ -552,8 +742,11 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 				fmt.Sprintf("%s side-ops=%d", ix.Def.Name, res.SideFileOps-before))
 		}
 		coreOpts.OnCriticalDone = func() {
-			// Table and unique indexes durable: release the lock so
-			// readers and updaters may proceed (§3.1).
+			// Table and unique indexes durable: this is the statement's
+			// commit point. Stamp the retained versions before releasing
+			// the lock, so no reader starting after the release can still
+			// see the deleted rows (§3.1).
+			levelCommit()
 			if depth == 0 {
 				stmt.Event(obs.EvEarlyRelease, tbl.t.Name)
 			}
@@ -578,7 +771,9 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		}()
 	}
 
-	st, err := core.Execute(tbl.target(), field, values, coreOpts)
+	tgt := tbl.target()
+	tbl.retainTarget(tgt, token)
+	st, err := core.Execute(tgt, field, values, coreOpts)
 	tr.Finish()
 	tbl.db.obs.OnTrace(tr)
 	if err != nil {
@@ -588,8 +783,10 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 			// the replay owns the structures exactly as crash recovery
 			// would. After it returns, the deferred cleanup drains the
 			// side-files and reopens the gates on the now-final trees —
-			// the same epilogue as the success path.
-			if aerr := tbl.abortToConsistency(stmt, opts.Ctx, coreOpts.TxID, field); aerr != nil {
+			// the same epilogue as the success path. The replay retains
+			// under this level's token, so the deferred levelCommit stamps
+			// its versions too.
+			if aerr := tbl.abortToConsistency(stmt, opts.Ctx, coreOpts.TxID, field, token); aerr != nil {
 				return nil, fmt.Errorf("bulkdel: bulk delete on %s: abort-to-consistency failed: %v (statement error: %w)",
 					tbl.t.Name, aerr, err)
 			}
@@ -621,7 +818,7 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 // exact state a crash at the same boundary followed by Recover would
 // produce, by replaying the §3.2 roll-forward online (DB.rollForwardOnline).
 // Must be called while the statement still holds its locks and gates.
-func (tbl *Table) abortToConsistency(stmt *obs.Stmt, ctx context.Context, txID uint64, field int) error {
+func (tbl *Table) abortToConsistency(stmt *obs.Stmt, ctx context.Context, txID uint64, field int, token uint64) error {
 	reg := tbl.db.obs.Registry()
 	reg.Counter(obs.MetricAborts).Add(1)
 	detail := "cancelled"
@@ -636,7 +833,7 @@ func (tbl *Table) abortToConsistency(stmt *obs.Stmt, ctx context.Context, txID u
 		stmt.Event(obs.EvAbort, "no wal: zero-effect abort")
 		return nil
 	}
-	deleted, err := tbl.db.rollForwardOnline(tbl, txID, field)
+	deleted, err := tbl.db.rollForwardOnline(tbl, txID, field, token)
 	if err != nil {
 		return err
 	}
@@ -701,8 +898,11 @@ func (tbl *Table) BulkUpdate(predField int, values []int64, setField int,
 	if opts.Memory <= 0 {
 		opts.Memory = table.DefaultSortBudget
 	}
+	// Structural: unlike a bulk delete, the update rewrites records in
+	// place without retaining pre-images, so snapshot readers must be
+	// drained and held out, not admitted.
 	stmt, held := tbl.db.beginStatement("bulk-update", tbl.t.Name,
-		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Structural}})
 	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
 	st, err := core.ExecuteUpdate(tbl.target(), predField, values, setField, transform, core.Options{
@@ -713,6 +913,7 @@ func (tbl *Table) BulkUpdate(predField int, values []int64, setField int,
 	if err != nil {
 		return nil, err
 	}
+	tbl.resetSnapshots()
 	return &UpdateResult{
 		Updated:      st.Updated,
 		EntriesMoved: st.EntriesMoved,
@@ -727,11 +928,15 @@ func (tbl *Table) DeleteTraditional(field int, values []int64, sortValues bool) 
 	if tbl.db.crashed.Load() {
 		return 0, errCrashed
 	}
+	// Structural: the baseline deletes record-at-a-time with no version
+	// retention, so snapshot readers are held out for the duration.
 	stmt, held := tbl.db.beginStatement("delete-traditional", tbl.t.Name,
-		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Structural}})
 	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
-	return tbl.t.TraditionalDelete(field, values, sortValues)
+	n, err := tbl.t.TraditionalDelete(field, values, sortValues)
+	tbl.resetSnapshots()
+	return n, err
 }
 
 // DeleteDropCreate runs the drop-&-create baseline: secondary indexes are
@@ -741,15 +946,27 @@ func (tbl *Table) DeleteDropCreate(field int, values []int64) (int64, error) {
 	if tbl.db.crashed.Load() {
 		return 0, errCrashed
 	}
+	// Structural: index trees are dropped and rebuilt wholesale; no reader
+	// — snapshot or otherwise — may observe the intermediate state.
 	stmt, held := tbl.db.beginStatement("delete-drop-create", tbl.t.Name,
-		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Exclusive}})
+		[]cc.Claim{{Table: tbl.t.Name, Mode: cc.Structural}})
 	defer tbl.db.endStatement(stmt, held)
 	tbl.waitIndexesOnline()
 	n, err := tbl.t.DropCreateDelete(field, values, true)
+	tbl.resetSnapshots()
 	if err != nil {
 		return n, err
 	}
 	return n, tbl.db.saveCatalog()
+}
+
+// resetSnapshots discards the table's volatile MVCC state after an offline
+// structural pass. The caller must hold a Structural claim on the table, so
+// no snapshot reader can be open.
+func (tbl *Table) resetSnapshots() {
+	if mv := tbl.t.MVCC; mv != nil {
+		mv.Reset()
+	}
 }
 
 // Explain renders the plan the given method would execute for a bulk
