@@ -350,14 +350,19 @@ func (l *TableLock) lockStructuralTimeoutAs(owner uint64, d time.Duration) (ok, 
 
 // LockSnapshotRead admits an MVCC snapshot reader. Unlike LockShared it
 // does NOT queue behind a bulk delete's exclusive lock — epoch visibility
-// makes reading under an in-flight delete safe. It waits only while a
-// structural pass holds the lock or is queued for it, and reports whether
-// it had to block (the stress smoke asserts this stays zero during plain
-// bulk deletes).
+// makes reading under an in-flight delete safe. It waits while a
+// structural pass holds the lock, or while one is queued and could
+// actually acquire it (no plain-exclusive holder in the way). Queueing
+// new readers behind a queued structural statement is pure
+// anti-starvation — but while a plain bulk delete still holds the lock
+// the structural waiter cannot get in regardless of readers, so blocking
+// them then would silently wait out the whole delete and lose the
+// headline non-blocking property. It reports whether it had to block
+// (the stress smoke asserts this stays zero during plain bulk deletes).
 func (l *TableLock) LockSnapshotRead() (blocked bool) {
 	l.mu.Lock()
 	l.init()
-	for (l.writer && l.structural) || l.structW > 0 {
+	for (l.writer && l.structural) || (!l.writer && l.structW > 0) {
 		blocked = true
 		l.cond.Wait()
 	}

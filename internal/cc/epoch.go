@@ -11,9 +11,9 @@ import "sync"
 //   - a delete stamped with epoch E hides the row only from snapshots
 //     S ≥ E (the delete "happened before" them).
 //
-// The clock also tracks the set of active snapshots so version retention
-// can be skipped entirely when nobody is looking (Horizon reports the
-// oldest snapshot still open). Epochs are volatile: recovery rolls every
+// The clock also tracks the set of active snapshots so pruning knows the
+// oldest snapshot still open (Horizon) and can empty the version store
+// when nobody is looking. Epochs are volatile: recovery rolls every
 // interrupted delete forward and restores the counter from the catalog
 // plus the WAL commit count, so nothing durable ever references one.
 type EpochClock struct {

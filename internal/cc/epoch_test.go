@@ -126,3 +126,59 @@ func TestSnapshotReadersDrainForStructuralPass(t *testing.T) {
 	}
 	l.UnlockSnapshotRead()
 }
+
+// A structural statement queued behind a plain bulk delete's exclusive
+// lock cannot acquire until the delete finishes no matter what readers
+// do, so its presence in the queue must not make new snapshot reads wait
+// out the whole delete. Only once the delete releases does the queued
+// structural pass hold new readers back (the anti-starvation behaviour
+// of the previous test).
+func TestSnapshotReadAdmittedPastStructuralWaiterBehindPlainDelete(t *testing.T) {
+	var l TableLock
+	l.LockExclusive() // the plain bulk delete
+	structAcq := make(chan struct{})
+	go func() {
+		l.lockStructuralAs(7)
+		close(structAcq)
+	}()
+	for { // wait for the structural statement to queue
+		l.mu.Lock()
+		queued := l.structW > 0
+		l.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	got := make(chan bool, 1)
+	go func() { got <- l.LockSnapshotRead() }()
+	select {
+	case blocked := <-got:
+		if blocked {
+			t.Fatal("snapshot read reported blocking under a plain exclusive holder")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("snapshot read waited out a plain delete because a structural pass was queued behind it")
+	}
+
+	// The delete releases: the structural waiter now has priority — the
+	// open reader drains, new readers queue behind it.
+	l.UnlockExclusive()
+	second := make(chan bool, 1)
+	go func() { second <- l.LockSnapshotRead() }()
+	select {
+	case <-structAcq:
+		t.Fatal("structural lock acquired over an open snapshot reader")
+	case <-second:
+		t.Fatal("new snapshot reader admitted past the waiting structural pass after the delete released")
+	case <-time.After(50 * time.Millisecond):
+	}
+	l.UnlockSnapshotRead()
+	<-structAcq
+	l.UnlockExclusive()
+	if blocked := <-second; !blocked {
+		t.Fatal("reader queued behind the structural pass did not report blocking")
+	}
+	l.UnlockSnapshotRead()
+}

@@ -453,6 +453,13 @@ func mergeDeleteIndexByFullKey(e *execCtx, ix *IndexRef, rows rowIter, startKey 
 // set outside tests.
 var TestHookMidHeapPass func()
 
+// TestHookPostTruncate, when set, is invoked right after a whole-partition
+// truncate inside the heap pass — inside the window where the partition's
+// pages are already released but the statement's commit epoch is not yet
+// stamped. Tests use it to register a snapshot in exactly that window and
+// prove the truncated rows were retained for it. Never set outside tests.
+var TestHookPostTruncate func()
+
 // heapPassSortedRIDs walks the heap in the physical order of the sorted RID
 // rows (skip-sequential merge, the ⋈̸ with R of Figure 3). When extract is
 // non-nil each victim record is handed over before deletion; when del is

@@ -99,11 +99,16 @@ func partitionedHeapPassPart(ce *execCtx, part *heap.File, rids *rowFile,
 	}
 	var del int64
 	if from == 0 && count > 0 && count == part.Count() {
-		// TruncateWith keeps the metadata-only drop unless a snapshot is
-		// open (decided under the partition's latch); with one open it
-		// retains every record for the readers before releasing the pages.
-		if err := part.TruncateWith(ce.tgt.RetainAll, ce.tgt.Retain); err != nil {
+		// TruncateWith keeps the metadata-only drop when snapshot reads are
+		// off; with MVCC armed it retains every record before releasing the
+		// pages — unconditionally, because a reader may register a snapshot
+		// at any point before the statement's commit epoch is stamped and is
+		// then entitled to these rows.
+		if err := part.TruncateWith(ce.tgt.Retain); err != nil {
 			return 0, err
+		}
+		if TestHookPostTruncate != nil {
+			TestHookPostTruncate()
 		}
 		del = count
 	} else {

@@ -110,15 +110,12 @@ type Target struct {
 	// Retain, when set, receives every victim's pre-delete image (RID +
 	// record bytes) immediately before its slot is tombstoned or truncated
 	// away — the MVCC hook that parks deleted rows in the table's version
-	// store so concurrent snapshot readers keep seeing them. The bytes are
-	// only valid during the call.
+	// store so concurrent snapshot readers keep seeing them. Every delete
+	// path, including the whole-partition truncate, retains
+	// unconditionally: consulting "any snapshot open?" mid-statement would
+	// race a reader registering between the check and the statement's
+	// commit epoch. The bytes are only valid during the call.
 	Retain func(rid record.RID, rec []byte)
-	// RetainAll, when set, reports whether any snapshot is currently open.
-	// The whole-partition truncate fast path consults it (under the heap
-	// latch) to decide between the metadata-only truncate and a retention
-	// scan; per-row deletes retain unconditionally — evaluating the flag
-	// per row would race against a reader registering mid-pass.
-	RetainAll func() bool
 }
 
 // HeapFiles returns the file IDs of the heap's partitions in ordinal order

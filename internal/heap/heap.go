@@ -275,42 +275,60 @@ func (f *File) Update(rid record.RID, rec []byte) error {
 // Scan calls fn for every live record in physical (RID) order, using
 // chained sequential I/O. The rec slice is only valid during the call.
 // Returning a non-nil error from fn stops the scan and propagates it.
+// fn is invoked on a copy of each page taken under the file latch, never
+// with the latch held — so callbacks are free to re-enter latched
+// operations (Get, Delete, a nested Scan) on the same heap.
 func (f *File) Scan(fn func(rid record.RID, rec []byte) error) error {
-	n, err := f.pool.Disk().NumPages(f.id)
-	if err != nil {
-		return err
-	}
-	for p := sim.PageNo(1); p < n; p++ {
+	var buf []byte
+	for p := sim.PageNo(1); ; p++ {
 		// Latched per page, not across the whole scan: in-place writers
 		// interleave between pages instead of stalling for the full pass.
+		// The page is copied and both the pin and the latch are dropped
+		// before fn runs, so the callback may re-enter latched reads (or
+		// writes) on this heap without deadlocking against a writer queued
+		// between the two read-locks.
 		f.latch.RLock()
+		// The page count is re-read under the latch each iteration: a
+		// whole-partition truncate (which holds the latch exclusively) may
+		// release the remaining pages between two iterations, and an MVCC
+		// snapshot scan is entitled to keep running through that — the
+		// truncated rows reach it through the version store, not an I/O
+		// error on a released page.
+		n, err := f.pool.Disk().NumPages(f.id)
+		if err != nil {
+			f.latch.RUnlock()
+			return err
+		}
+		if p >= n {
+			f.latch.RUnlock()
+			return nil
+		}
 		fr, err := f.pool.GetForScan(f.id, p)
 		if err != nil {
 			f.latch.RUnlock()
 			return err
 		}
-		sp := page.Wrap(fr.Data())
+		if buf == nil {
+			buf = make([]byte, len(fr.Data()))
+		}
+		copy(buf, fr.Data())
+		f.pool.Unpin(fr, false)
+		f.latch.RUnlock()
+		sp := page.Wrap(buf)
 		for s := 0; s < sp.NumSlots(); s++ {
 			if !sp.InUse(s) {
 				continue
 			}
 			rec, err := sp.Get(s)
 			if err != nil {
-				f.pool.Unpin(fr, false)
-				f.latch.RUnlock()
 				return err
 			}
 			f.pool.Disk().ChargeRecords(1)
 			if err := fn(record.RID{Page: p, Slot: uint16(s)}, rec); err != nil {
-				f.pool.Unpin(fr, false)
-				f.latch.RUnlock()
 				return err
 			}
 		}
-		f.pool.Unpin(fr, false)
-		f.latch.RUnlock()
 	}
-	return nil
 }
 
 // PageEditor gives a bulk operation direct, page-at-a-time access to the

@@ -115,17 +115,21 @@ func (f *File) Truncate() error {
 	return f.truncateLocked()
 }
 
-// TruncateWith is Truncate with MVCC retention: need is evaluated under
-// the file latch, and when it reports an open snapshot every live record
-// is handed to retain (keyed by partition-local RID) before the pages are
-// released. Snapshot registration strictly precedes any page read, so a
-// false answer under the latch proves no registered reader can ever visit
-// these rows — the metadata-only fast path is kept whenever no snapshot
-// is open, and the retention pass prices itself as the extra scan it is.
-func (f *File) TruncateWith(need func() bool, retain func(rid record.RID, rec []byte)) error {
+// TruncateWith is Truncate with MVCC retention: when retain is non-nil,
+// every live record is handed to it (keyed by partition-local RID) before
+// the pages are released. Retention is unconditional, matching the
+// per-row delete paths: an "any snapshot open?" check here — however it
+// is latched — races a reader that registers its snapshot after the
+// check but before the delete's commit epoch is stamped. That snapshot
+// predates the commit, so it is entitled to see every truncated row, yet
+// the rows would be in neither the heap nor the version store. The
+// metadata-only fast path therefore survives only with snapshot reads
+// off (retain == nil); with MVCC on, the retention pass prices itself as
+// the extra scan it is.
+func (f *File) TruncateWith(retain func(rid record.RID, rec []byte)) error {
 	f.latch.Lock()
 	defer f.latch.Unlock()
-	if need != nil && retain != nil && need() {
+	if retain != nil {
 		n, err := f.pool.Disk().NumPages(f.id)
 		if err != nil {
 			return err

@@ -291,14 +291,18 @@ func (t *Table) DeleteRow(rid record.RID) error {
 		}
 		return err
 	}
+	// The slot is tombstoned: from here the delete commits even if index
+	// maintenance fails below, so the retained version must be stamped
+	// either way — a version left pending would stay visible to every
+	// future snapshot and never prune.
+	if t.MVCC != nil {
+		defer t.MVCC.CommitToken(token)
+	}
 	for _, ix := range t.Idx {
 		key := ix.EncodeKey(t.Schema.Field(rec, ix.Def.Field))
 		if err := t.applyIndexOp(ix, cc.Op{Kind: cc.OpDelete, Key: key, RID: rid}, false); err != nil {
 			return err
 		}
-	}
-	if t.MVCC != nil {
-		t.MVCC.CommitToken(token)
 	}
 	return nil
 }

@@ -45,6 +45,9 @@ func (db *DB) CreateTablePartitioned(name string, numFields, recordSize int, spe
 		return nil, err
 	}
 	t.Lock = db.cc.Lock(name)
+	if db.mvccOn() {
+		t.MVCC = table.NewMVCC(db.epochs)
+	}
 	tbl := &Table{db: db, t: t}
 	db.tables[name] = tbl
 	db.mu.Unlock()

@@ -544,14 +544,12 @@ func (tbl *Table) target() *core.Target {
 	return tgt
 }
 
-// retainTarget arms a target's MVCC retention hooks, bound to one deleting
+// retainTarget arms a target's MVCC retention hook, bound to one deleting
 // statement's token: Retain copies each victim's pre-delete image into the
-// version store before the slot is tombstoned, and RetainAll tells the
-// whole-partition truncate fast path (under the heap latch) whether any
-// snapshot needs the records at all. A replayed statement (online roll-
-// forward after cancel) must pass the same token as its first attempt, so
-// its retained images commit with the statement instead of lingering
-// pending forever.
+// version store before the slot is tombstoned or truncated away. A
+// replayed statement (online roll-forward after cancel) must pass the same
+// token as its first attempt, so its retained images commit with the
+// statement instead of lingering pending forever.
 func (tbl *Table) retainTarget(tgt *core.Target, token uint64) {
 	mv := tbl.t.MVCC
 	if mv == nil {
@@ -562,7 +560,6 @@ func (tbl *Table) retainTarget(tgt *core.Target, token uint64) {
 		mv.Retain(token, rid, rec)
 		reg.Counter(obs.MetricVersionsRetained).Add(1)
 	}
-	tgt.RetainAll = func() bool { return tbl.db.epochs.ActiveSnapshots() > 0 }
 }
 
 // BulkDelete executes DELETE FROM tbl WHERE field IN (values) with the
