@@ -4,12 +4,14 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 
 	"bulkdel/internal/btree"
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/cc"
 	"bulkdel/internal/core"
 	"bulkdel/internal/heap"
+	"bulkdel/internal/lsm"
 	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
@@ -51,6 +53,12 @@ type catalogTable struct {
 	Partition   *catalogPartition `json:"partition,omitempty"`
 	HeapFiles   []uint32          `json:"heapFiles,omitempty"`
 	HeapDevices []int             `json:"heapDevices,omitempty"`
+	// LSM-backed tables: Backend is "lsm" and LSM is the tree's manifest —
+	// the durable level layout. A flush or compaction commits by saving the
+	// catalog; the manifest swap in that single save is what makes it
+	// atomic (the inputs and the output are never both referenced).
+	Backend string        `json:"backend,omitempty"`
+	LSM     *lsm.Manifest `json:"lsm,omitempty"`
 }
 
 type catalogFK struct {
@@ -78,9 +86,71 @@ type catalogRoot struct {
 	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// saveCatalog serializes the catalog and writes it to file 0, length-
-// prefixed, spanning as many pages as needed. Catalog writes are rare
-// (DDL only), so the whole file is rewritten each time.
+// The catalog's on-disk layout is crash-atomic: page 0 of file 0 is a
+// pointer page naming one of two payload regions; a save writes the full
+// JSON blob (CRC-protected) into the region the pointer does NOT
+// currently reference, then flips the pointer with a single page write.
+// A crash at any I/O boundary leaves either the old pointer (old catalog,
+// new blob an unreferenced scribble) or the new one — never a torn mix.
+// This matters beyond DDL: LSM flushes and compactions commit their
+// manifests through catalog saves, so the crash sweep drives saves at
+// every fault ordinal. Page writes are assumed atomic (the classic
+// sector-write assumption; the simulator's tear faults target multi-page
+// runs).
+const catMagic uint64 = 0x3242444c43415432
+
+// catCRC is the catalog blob checksum polynomial (CRC-32C).
+var catCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// catalogSlot is one payload region of the double-buffered catalog.
+type catalogSlot struct {
+	start uint64 // first page (0 = never allocated; page 0 is the pointer)
+	cap   uint64 // pages reserved
+	size  uint64 // live blob bytes
+	crc   uint32 // CRC-32C over the blob
+}
+
+// catalogPtr mirrors the pointer page: which slot is live, and both
+// slots' extents (so the next save can reuse the dead region).
+type catalogPtr struct {
+	live  int
+	slots [2]catalogSlot
+}
+
+func (p *catalogPtr) encode(pg []byte) {
+	binary.LittleEndian.PutUint64(pg[0:], catMagic)
+	binary.LittleEndian.PutUint32(pg[8:], uint32(p.live))
+	for i, s := range p.slots {
+		off := 16 + 32*i
+		binary.LittleEndian.PutUint64(pg[off:], s.start)
+		binary.LittleEndian.PutUint64(pg[off+8:], s.cap)
+		binary.LittleEndian.PutUint64(pg[off+16:], s.size)
+		binary.LittleEndian.PutUint32(pg[off+24:], s.crc)
+	}
+}
+
+func (p *catalogPtr) decode(pg []byte) error {
+	if binary.LittleEndian.Uint64(pg) != catMagic {
+		return fmt.Errorf("bulkdel: corrupt catalog pointer page (bad magic)")
+	}
+	p.live = int(binary.LittleEndian.Uint32(pg[8:]))
+	if p.live != 0 && p.live != 1 {
+		return fmt.Errorf("bulkdel: corrupt catalog pointer page (live slot %d)", p.live)
+	}
+	for i := range p.slots {
+		off := 16 + 32*i
+		p.slots[i] = catalogSlot{
+			start: binary.LittleEndian.Uint64(pg[off:]),
+			cap:   binary.LittleEndian.Uint64(pg[off+8:]),
+			size:  binary.LittleEndian.Uint64(pg[off+16:]),
+			crc:   binary.LittleEndian.Uint32(pg[off+24:]),
+		}
+	}
+	return nil
+}
+
+// saveCatalog serializes the catalog and commits it to file 0 with the
+// write-then-flip protocol above.
 func (db *DB) saveCatalog() error {
 	// catMu spans the snapshot AND the file-0 rewrite, and is acquired
 	// before db.mu (lock order: catMu > db.mu). Serializing only the write
@@ -96,6 +166,20 @@ func (db *DB) saveCatalog() error {
 		root.WALFile = uint32(db.log.FileID())
 	}
 	for _, tbl := range db.tables {
+		if tbl.lsm != nil {
+			// Manifest() reads a lock-free snapshot published under the
+			// tree mutex, so a flush that calls back into saveCatalog while
+			// holding that mutex cannot deadlock here.
+			m := tbl.lsm.Manifest()
+			root.Tables = append(root.Tables, catalogTable{
+				Name:      tbl.t.Name,
+				NumFields: tbl.t.Schema.NumFields,
+				Size:      tbl.t.Schema.Size,
+				Backend:   BackendLSM,
+				LSM:       &m,
+			})
+			continue
+		}
 		ct := catalogTable{
 			Name:      tbl.t.Name,
 			NumFields: tbl.t.Schema.NumFields,
@@ -134,55 +218,93 @@ func (db *DB) saveCatalog() error {
 	if err != nil {
 		return err
 	}
-	stream := make([]byte, 8+len(blob))
-	binary.LittleEndian.PutUint64(stream, uint64(len(blob)))
-	copy(stream[8:], blob)
-
-	pages := (len(stream) + sim.PageSize - 1) / sim.PageSize
+	need := uint64((len(blob) + sim.PageSize - 1) / sim.PageSize)
+	if need == 0 {
+		need = 1
+	}
 	have, err := db.disk.NumPages(db.catalog)
 	if err != nil {
 		return err
 	}
-	for int(have) < pages {
+	if have == 0 {
 		if _, err := db.disk.Allocate(db.catalog); err != nil {
-			return err
+			return err // the pointer page
 		}
-		have++
+		have = 1
 	}
-	bufs := make([][]byte, pages)
+	// Write into the slot the pointer does not reference; grow it at the
+	// file's end when the blob outgrew its reserved region (the old region
+	// is abandoned — growth is rare and logarithmic, not per save).
+	target := 1 - db.catPtr.live
+	slot := &db.catPtr.slots[target]
+	if slot.start == 0 || slot.cap < need {
+		slot.start, slot.cap = uint64(have), need
+		for uint64(have) < slot.start+need {
+			if _, err := db.disk.Allocate(db.catalog); err != nil {
+				return err
+			}
+			have++
+		}
+	}
+	bufs := make([][]byte, need)
 	for i := range bufs {
 		bufs[i] = make([]byte, sim.PageSize)
-		copy(bufs[i], stream[i*sim.PageSize:])
+		if off := i * sim.PageSize; off < len(blob) {
+			copy(bufs[i], blob[off:])
+		}
 	}
-	return db.disk.WriteRun(db.catalog, 0, bufs)
+	if err := db.disk.WriteRun(db.catalog, sim.PageNo(slot.start), bufs); err != nil {
+		return err
+	}
+	slot.size = uint64(len(blob))
+	slot.crc = crc32.Checksum(blob, catCRC)
+	db.catPtr.live = target
+	ptr := make([]byte, sim.PageSize)
+	db.catPtr.encode(ptr)
+	return db.disk.WritePage(db.catalog, 0, ptr)
 }
 
-// loadCatalog reads the catalog from file 0.
-func loadCatalog(disk *sim.Disk) (catalogRoot, error) {
+// loadCatalog reads the catalog from file 0: pointer page, then the live
+// slot's blob, CRC-checked. The returned catalogPtr seeds the reopened
+// DB's slot state so its next save alternates correctly.
+func loadCatalog(disk *sim.Disk) (catalogRoot, catalogPtr, error) {
 	var root catalogRoot
+	var ptr catalogPtr
 	n, err := disk.NumPages(0)
 	if err != nil {
-		return root, fmt.Errorf("bulkdel: no catalog on this disk: %w", err)
+		return root, ptr, fmt.Errorf("bulkdel: no catalog on this disk: %w", err)
 	}
 	if n == 0 {
-		return root, fmt.Errorf("bulkdel: catalog file is empty")
+		return root, ptr, fmt.Errorf("bulkdel: catalog file is empty")
 	}
-	stream := make([]byte, 0, int(n)*sim.PageSize)
-	buf := make([]byte, sim.PageSize)
-	for p := sim.PageNo(0); p < n; p++ {
-		if err := disk.ReadPage(0, p, buf); err != nil {
-			return root, err
+	pg := make([]byte, sim.PageSize)
+	if err := disk.ReadPage(0, 0, pg); err != nil {
+		return root, ptr, err
+	}
+	if err := ptr.decode(pg); err != nil {
+		return root, ptr, err
+	}
+	slot := ptr.slots[ptr.live]
+	pages := (slot.size + uint64(sim.PageSize) - 1) / uint64(sim.PageSize)
+	if slot.start == 0 || slot.size == 0 || slot.start+pages > uint64(n) {
+		return root, ptr, fmt.Errorf("bulkdel: corrupt catalog pointer (slot %d: start=%d size=%d file=%d pages)",
+			ptr.live, slot.start, slot.size, n)
+	}
+	blob := make([]byte, 0, pages*uint64(sim.PageSize))
+	for p := slot.start; p < slot.start+pages; p++ {
+		if err := disk.ReadPage(0, sim.PageNo(p), pg); err != nil {
+			return root, ptr, err
 		}
-		stream = append(stream, buf...)
+		blob = append(blob, pg...)
 	}
-	size := binary.LittleEndian.Uint64(stream)
-	if size == 0 || size > uint64(len(stream)-8) {
-		return root, fmt.Errorf("bulkdel: corrupt catalog header (size %d)", size)
+	blob = blob[:slot.size]
+	if crc32.Checksum(blob, catCRC) != slot.crc {
+		return root, ptr, fmt.Errorf("bulkdel: corrupt catalog (checksum mismatch)")
 	}
-	if err := json.Unmarshal(stream[8:8+size], &root); err != nil {
-		return root, fmt.Errorf("bulkdel: corrupt catalog: %w", err)
+	if err := json.Unmarshal(blob, &root); err != nil {
+		return root, ptr, fmt.Errorf("bulkdel: corrupt catalog: %w", err)
 	}
-	return root, nil
+	return root, ptr, nil
 }
 
 // RecoveryReport describes what Recover found and did.
@@ -209,6 +331,9 @@ type RecoveryReport struct {
 	// MovesCompleted counts migrations the crash interrupted mid-copy,
 	// now finished and acknowledged with a move-done record.
 	MovesCompleted int
+	// LSMReplayed counts LSM put/delete records re-applied to memtables
+	// (records whose seq the manifest already covers are skipped).
+	LSMReplayed int
 }
 
 // Recover reopens a database from its disk after a crash: it reloads the
@@ -217,7 +342,7 @@ type RecoveryReport struct {
 // instead of rolling it back.
 func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 	opts = opts.withDefaults()
-	root, err := loadCatalog(disk)
+	root, ptr, err := loadCatalog(disk)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -237,6 +362,7 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		epochs:  cc.NewEpochClock(),
 	}
 	db.txSeq.Store(root.TxSeq)
+	db.catPtr = ptr
 	// Epochs are volatile; restart the clock at the catalog's floor. With a
 	// WAL present it is fast-forwarded further below once the records are in
 	// hand, so no epoch is ever handed out twice across a restart.
@@ -250,6 +376,32 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 		db.pool.SetReadAhead(opts.ReadAhead)
 	}
 	for _, ct := range root.Tables {
+		if ct.Backend == BackendLSM {
+			var m lsm.Manifest
+			if ct.LSM != nil {
+				m = *ct.LSM
+			}
+			tree, err := lsm.Open(db.pool, ct.Size,
+				lsm.Options{Devices: db.lsmDevices()}, m)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bulkdel: reopening LSM table %s: %w", ct.Name, err)
+			}
+			for _, lvl := range m.Levels {
+				for _, meta := range lvl {
+					if meta.Device > 0 {
+						if err := disk.PlaceFile(sim.FileID(meta.File), meta.Device); err != nil {
+							return nil, nil, fmt.Errorf("bulkdel: placing SSTable %d of %s: %w", meta.File, ct.Name, err)
+						}
+					}
+				}
+			}
+			t := &table.Table{Name: ct.Name,
+				Schema: record.Schema{NumFields: ct.NumFields, Size: ct.Size}}
+			t.Lock = db.cc.Lock(ct.Name)
+			tree.SetPersist(db.saveCatalog)
+			db.tables[ct.Name] = &Table{db: db, t: t, lsm: tree}
+			continue
+		}
 		var h heap.Store
 		if ct.Partition != nil && len(ct.HeapFiles) > 0 {
 			ids := make([]sim.FileID, len(ct.HeapFiles))
@@ -337,6 +489,11 @@ func Recover(disk *sim.Disk, opts Options) (*DB, *RecoveryReport, error) {
 	// the floor already covers commits before the last catalog save — over-
 	// counting those merely skips epochs, which is harmless).
 	db.epochs.SetCurrent(root.Epoch + wal.CountCommits(recs))
+	// LSM memtables are volatile; re-apply every logged put/delete the
+	// manifest's flushed-seq watermark does not already cover. Each record
+	// carries its own sequence number, so replay is order-independent and
+	// idempotent across repeated recoveries.
+	report.LSMReplayed = db.replayLSMRecords(recs)
 	// Replay rebalancer moves in log order, after the catalog's placements
 	// were re-applied above: a crash between a move's move-done record and
 	// the next catalog save leaves the catalog pointing at the old device,

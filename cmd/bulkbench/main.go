@@ -48,6 +48,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "cap the bulk deletes' index-pass workers (needs -devices)")
 		check    = flag.Bool("check-parallel", false, "fail unless the parallel experiment's makespan is never worse than serial (CI smoke)")
 		checkHS  = flag.Bool("check-heapscale", false, "fail unless the heapscale experiment shows a 2.5x speedup at 4 devices (CI smoke)")
+		checkLSM = flag.Bool("check-lsm", false, "fail unless the lsm experiment's tombstone cost is O(1) across selectivities (CI smoke)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		jsonDir  = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory (\".\" for cwd)")
 		traceDir = flag.String("trace", "", "also write each experiment's statement span trees as a Chrome trace_event\nfile (BENCH_<id>_trace.json, open in chrome://tracing) into this directory")
@@ -79,6 +80,7 @@ func main() {
 		{"update", r.UpdateAblation},
 		{"parallel", r.ParallelScaling},
 		{"heapscale", r.HeapScaling},
+		{"lsm", r.LSMHeadToHead},
 	}
 
 	want := strings.ToLower(*exp)
@@ -113,6 +115,12 @@ func main() {
 			}
 			fmt.Println("heapscale check passed: >= 2.5x speedup at 4 devices")
 		}
+		if *checkLSM && rr.name == "lsm" {
+			if err := verifyLSM(e); err != nil {
+				fatal(err)
+			}
+			fmt.Println("lsm check passed: tombstone cost is O(1) across selectivities")
+		}
 		if *jsonDir != "" {
 			path, err := writeJSON(*jsonDir, e)
 			if err != nil {
@@ -130,13 +138,16 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fatal(fmt.Errorf("unknown experiment %q (want fig1, exp1..exp5, plans, reorg, methods, update, parallel, all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want fig1, exp1..exp5, plans, reorg, methods, update, parallel, heapscale, lsm, all)", *exp))
 	}
 	if *check && want != "parallel" && want != "all" {
 		fatal(fmt.Errorf("-check-parallel needs the parallel experiment (-exp parallel)"))
 	}
 	if *checkHS && want != "heapscale" && want != "all" {
 		fatal(fmt.Errorf("-check-heapscale needs the heapscale experiment (-exp heapscale)"))
+	}
+	if *checkLSM && want != "lsm" && want != "all" {
+		fatal(fmt.Errorf("-check-lsm needs the lsm experiment (-exp lsm)"))
 	}
 	fmt.Printf("done in %s of real time\n", time.Since(started).Round(time.Second))
 }
@@ -186,6 +197,40 @@ func verifyHeapScale(e bench.Experiment) error {
 	if speedup < 2.5 {
 		return fmt.Errorf("heapscale speedup at 4 devices is %.2fx (serial %v, parallel %v), want >= 2.5x",
 			speedup, base.Result.Makespan, par.Result.Makespan)
+	}
+	return nil
+}
+
+// verifyLSM is the CI smoke assertion for the head-to-head: the tombstone
+// series' statement I/O must be constant (and tiny) across selectivities —
+// the O(1) foreground-cost claim — while the B-tree side's grows.
+func verifyLSM(e bench.Experiment) error {
+	var tomb, heap []bench.Point
+	for _, s := range e.Series {
+		switch s.Label {
+		case "lsm tombstone":
+			tomb = s.Points
+		case "⋈̸ over B-trees (3 ix)":
+			heap = s.Points
+		}
+	}
+	if len(tomb) < 3 || len(heap) < 3 {
+		return fmt.Errorf("lsm experiment lacks the tombstone and B-tree series")
+	}
+	first := tomb[0].Result.Disk.Reads + tomb[0].Result.Disk.Writes
+	for _, p := range tomb {
+		ios := p.Result.Disk.Reads + p.Result.Disk.Writes
+		if ios != first {
+			return fmt.Errorf("tombstone I/O varies with selectivity: %d at %s vs %d at %s",
+				ios, p.X, first, tomb[0].X)
+		}
+		if ios > 8 {
+			return fmt.Errorf("tombstone statement cost %d I/Os at %s, want O(1)", ios, p.X)
+		}
+	}
+	if last, firstH := heap[len(heap)-1].Result, heap[0].Result; last.SimTime <= firstH.SimTime {
+		return fmt.Errorf("B-tree side did not grow with selectivity (%v at %s, %v at %s)",
+			firstH.SimTime, heap[0].X, last.SimTime, heap[len(heap)-1].X)
 	}
 	return nil
 }

@@ -293,16 +293,16 @@ func (s *shell) help() {
 `)
 }
 
-// printLayout renders the per-device file layout table: which files and
-// pages each device holds, and what share of the array's accumulated
-// busy time it accounts for.
+// printLayout renders the per-device file layout table: which files,
+// pages, and bytes each device holds, what share of the array's
+// accumulated busy time it accounts for, and each file's byte size.
 func (s *shell) printLayout() {
 	rows := s.db.Layout()
 	var total time.Duration
 	for _, r := range rows {
 		total += r.Busy
 	}
-	fmt.Fprintf(s.out, "%-8s %6s %8s %14s %6s\n", "device", "files", "pages", "busy", "share")
+	fmt.Fprintf(s.out, "%-8s %6s %8s %10s %14s %6s\n", "device", "files", "pages", "bytes", "busy", "share")
 	for _, r := range rows {
 		share := 0.0
 		if total > 0 {
@@ -312,8 +312,26 @@ func (s *shell) printLayout() {
 		if r.Device == 0 {
 			name = "0 (sys)"
 		}
-		fmt.Fprintf(s.out, "%-8s %6d %8d %14v %5.1f%%\n", name, r.Files, r.Pages, r.Busy, share)
+		fmt.Fprintf(s.out, "%-8s %6d %8d %10s %14v %5.1f%%\n",
+			name, r.Files, r.Pages, fmtBytes(r.Bytes), r.Busy, share)
+		for _, f := range r.ByFile {
+			fmt.Fprintf(s.out, "  file %-4d %10d %10s\n", f.File, f.Pages, fmtBytes(f.Bytes))
+		}
 	}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix (pages are 4 KiB,
+// so sub-KiB sizes never occur).
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func (s *shell) table(args []string) (*bulkdel.Table, error) {

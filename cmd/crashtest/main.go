@@ -50,6 +50,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker cap for the remaining-index passes (makes the crash point nondeterministic; invariants still checked)")
 	concurrent := flag.Bool("concurrent", false, "two-table scenario: crash a concurrent two-statement batch (invariants only, no digest)")
 	rebalance := flag.Bool("rebalance", false, "rebalance scenario: crash an online device rebalancing instead of a bulk delete")
+	lsmMode := flag.Bool("lsm", false, "LSM scenario: crash an LSM range delete + flush + compaction sequence instead of a bulk delete")
 	cancelMode := flag.Bool("cancel", false, "cancel scenario: cooperatively cancel at every ordinal and compare the online abort against crash+recover")
 	reader := flag.Bool("reader", false, "attach a concurrent MVCC snapshot reader to the crash (or, with -cancel, the cancel) sweep; the pinned view must stay repeatable throughout")
 	verifyDigest := flag.Bool("verify-digest", true, "re-run deterministic sweeps and require identical digests")
@@ -100,6 +101,10 @@ func main() {
 		if *rebalance {
 			failed += runRebalance(cfg, *at, *verbose, *verifyDigest)
 			break // the rebalance scenario has no join method to vary
+		}
+		if *lsmMode {
+			failed += runLSM(cfg, *at, *verbose, *verifyDigest)
+			break // the LSM backend has no join method to vary
 		}
 		if *reader {
 			failed += runReader(r.name, cfg, *cancelMode, *verbose)
@@ -237,6 +242,63 @@ func printRebalanceOrdinal(r crashtest.RebalanceOrdinalResult) {
 	}
 	fmt.Printf("rebalance: io=%-4d crash=%-5v replayed=%-2d completed=%-2d survivors=%-3d clock=%dus %s\n",
 		r.Ordinal, r.CrashFired, r.MovesReplayed, r.MovesCompleted, r.Survivors, r.ClockUS, status)
+}
+
+// runLSM sweeps (or, with at > 0, reproduces one ordinal of) the LSM
+// range-delete/flush/compaction crash scenario and returns the number of
+// failed ordinals.
+func runLSM(cfg crashtest.Config, at int, verbose, verifyDigest bool) int {
+	if at > 0 {
+		res, err := crashtest.RunLSMOrdinal(cfg, at)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crashtest:", err)
+			os.Exit(2)
+		}
+		printLSMOrdinal(res)
+		if res.Err != "" {
+			return 1
+		}
+		return 0
+	}
+	sw, err := crashtest.LSMSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(2)
+	}
+	if verbose {
+		for _, res := range sw.Ordinals {
+			printLSMOrdinal(res)
+		}
+	} else {
+		for _, res := range sw.Failures() {
+			printLSMOrdinal(res)
+		}
+	}
+	fmt.Printf("lsm: %d I/Os, swept %d ordinals, %d failed, digest %s\n",
+		sw.TotalIOs, sw.Ran, sw.Failed, sw.Digest())
+	failed := sw.Failed
+	if verifyDigest { // the LSM write path is single-threaded: always deterministic
+		sw2, err := crashtest.LSMSweep(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crashtest:", err)
+			os.Exit(2)
+		}
+		if sw2.Digest() != sw.Digest() {
+			fmt.Fprintf(os.Stderr, "crashtest: lsm sweep is nondeterministic: digest %s then %s\n",
+				sw.Digest(), sw2.Digest())
+			failed++
+		}
+	}
+	return failed
+}
+
+func printLSMOrdinal(r crashtest.LSMOrdinalResult) {
+	status := "ok"
+	if r.Err != "" {
+		status = "FAIL " + r.Err
+	}
+	fmt.Printf("lsm: io=%-4d crash=%-5v replayed=%-3d range-survived=%-5v survivors=%-3d clock=%dus %s\n",
+		r.Ordinal, r.CrashFired, r.Replayed, r.RangeSurvived, r.Survivors, r.ClockUS, status)
 }
 
 // runCancel sweeps the cooperative-cancellation scenario: at every ordinal

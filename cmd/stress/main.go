@@ -171,6 +171,8 @@ func main() {
 		status, stats.BulkDeletes, stats.RowsDeleted, stats.RowsInserted, stats.Lookups, stats.LockWaits)
 	fmt.Printf("stress: snapshot probes=%d read-waits=%d (MVCC reads never queue behind bulk deletes)\n",
 		stats.SnapshotProbes, stats.SnapshotReadWaits)
+	fmt.Printf("stress: mvcc versions-retained=%d retained-bytes=%d (gauge at drain; pruning returns it to zero)\n",
+		stats.VersionsRetained, stats.RetainedBytes)
 	if stats.SQLStmts > 0 {
 		fmt.Printf("stress: sql statements=%d (via wire front door)\n", stats.SQLStmts)
 	}

@@ -127,6 +127,12 @@ type Options struct {
 	// Observer receives every statement's trace and aggregates engine-wide
 	// metrics (nil = the DB creates its own; see DB.Observer).
 	Observer *obs.Observer
+	// Backend selects the default storage backend CreateTable uses: ""
+	// or "heap" for the B-tree-indexed heap tables the paper studies,
+	// BackendLSM ("lsm") for the log-structured backend with delete-aware
+	// compaction. CreateTableLSM and the SQL BACKEND clause select it per
+	// table regardless of this default.
+	Backend string
 	// DisableSnapshotReads turns off epoch-based MVCC snapshot reads.
 	// With snapshot reads on (the default), SELECT/Lookup/Scan statements
 	// run against a commit-epoch snapshot and never block behind a bulk
@@ -159,6 +165,9 @@ type DB struct {
 	// so concurrent DDLs can neither interleave page writes nor durably
 	// write an older snapshot after a newer one. Acquired before mu.
 	catMu sync.Mutex
+	// catPtr mirrors the catalog pointer page (guarded by catMu): which of
+	// the two payload slots is live and both slots' extents.
+	catPtr catalogPtr
 
 	txSeq atomic.Uint64
 	opts  Options
@@ -320,6 +329,22 @@ func (db *DB) endStatement(stmt *obs.Stmt, held *cc.Held) {
 	held.ReleaseAll()
 	stmt.End()
 	db.obs.Registry().Gauge(obs.MetricStatementsActive).Set(db.active.Add(-1))
+}
+
+// noteRetainedBytes refreshes the mvcc_retained_bytes gauge with the exact
+// sum of every table's live version-store footprint. The per-retain Add in
+// the hot path keeps the gauge rising mid-statement; this full recompute at
+// commit and snapshot-close corrects it after pruning drops versions.
+func (db *DB) noteRetainedBytes() {
+	var n int64
+	db.mu.Lock()
+	for _, tbl := range db.tables {
+		if mv := tbl.t.MVCC; mv != nil {
+			n += mv.RetainedBytes()
+		}
+	}
+	db.mu.Unlock()
+	db.obs.Registry().Gauge(obs.MetricVersionsRetainedBytes).Set(n)
 }
 
 // deleteFootprint computes the tables a bulk delete on tbl must lock: the
@@ -714,6 +739,9 @@ func (db *DB) CreateTable(name string, numFields, recordSize int) (*Table, error
 	if db.crashed.Load() {
 		return nil, errCrashed
 	}
+	if db.opts.Backend == BackendLSM {
+		return db.CreateTableLSM(name, numFields, recordSize)
+	}
 	schema := record.Schema{NumFields: numFields, Size: recordSize}
 	db.mu.Lock()
 	if _, ok := db.tables[name]; ok {
@@ -773,7 +801,7 @@ func (db *DB) Flush() error {
 	}
 	db.mu.Unlock()
 	for _, tbl := range tbls {
-		if err := tbl.t.Flush(); err != nil {
+		if err := tbl.Flush(); err != nil {
 			return err
 		}
 	}

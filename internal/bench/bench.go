@@ -52,6 +52,12 @@ const (
 	BulkPartition
 	// BulkAuto lets the planner choose.
 	BulkAuto
+	// LSMTombstone issues the delete as a single LSM range tombstone and
+	// stops — the foreground cost of the statement.
+	LSMTombstone
+	// LSMReclaim issues the tombstone and then compacts the tree to the
+	// tombstone-free fixpoint — foreground plus full space reclamation.
+	LSMReclaim
 )
 
 func (a Approach) String() string {
@@ -70,6 +76,10 @@ func (a Approach) String() string {
 		return "bulk delete (partitioned)"
 	case BulkAuto:
 		return "bulk delete (auto)"
+	case LSMTombstone:
+		return "lsm tombstone"
+	case LSMReclaim:
+		return "lsm tombstone+compact"
 	default:
 		return fmt.Sprintf("Approach(%d)", int(a))
 	}
@@ -116,6 +126,11 @@ type Config struct {
 	ReadAhead int
 	// Seed drives data generation and victim sampling.
 	Seed int64
+	// ContiguousVictims deletes the Fraction-sized prefix of the key space
+	// (A in [0, Rows*Fraction)) instead of a random sample — the victim
+	// set a range predicate `WHERE A < k` lowers to, used by the LSM
+	// head-to-head so both backends delete the identical logical range.
+	ContiguousVictims bool
 	// Verify runs a full consistency check after the delete (tests).
 	Verify bool
 }
@@ -255,6 +270,12 @@ func Run(cfg Config, ap Approach) (Result, error) {
 	tbl.SortBudget = mem
 	tbl.SetPolicyAll(cfg.Policy)
 	victims := workload.VictimSample(rows, 0, cfg.Fraction, cfg.Seed+1000)
+	if cfg.ContiguousVictims {
+		victims = victims[:0]
+		for v := int64(0); v < int64(float64(cfg.Rows)*cfg.Fraction); v++ {
+			victims = append(victims, v)
+		}
+	}
 	if err := tbl.Flush(); err != nil {
 		return Result{}, err
 	}

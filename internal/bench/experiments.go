@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"bulkdel"
 	"bulkdel/internal/buffer"
 	"bulkdel/internal/core"
 	"bulkdel/internal/sim"
@@ -551,4 +552,122 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// LSMHeadToHead benchmarks the same range delete — `WHERE A < k`, with k
+// covering 5/20/50 % of the table — on both storage backends over
+// identical logical data:
+//
+//   - the paper's ⋈̸ bulk delete over the heap with three B-tree indexes
+//     (the victim range resolved to its value list, sort/merge plan);
+//   - the LSM backend issuing one range tombstone (the statement's
+//     foreground cost, O(1) I/O at every selectivity);
+//   - the LSM backend issuing the tombstone and then compacting to the
+//     tombstone-free fixpoint (foreground + full space reclamation, the
+//     cost Lethe-style delete-aware triggers spread over later flushes).
+func (r *Runner) LSMHeadToHead() (Experiment, error) {
+	fractions := []float64{0.05, 0.20, 0.50}
+	xs := []string{"5%", "20%", "50%"}
+	var cfgs []Config
+	for _, f := range fractions {
+		cfgs = append(cfgs, Config{
+			Rows: r.rows(), Fraction: f, MemoryMB: 5, NumIndexes: 3,
+			Seed: r.seed(), ContiguousVictims: true,
+		})
+	}
+	e := Experiment{
+		ID:     "lsm",
+		Title:  "Range delete head-to-head: ⋈̸ over B-trees vs LSM tombstones, identical data, vary selectivity",
+		XLabel: "deleted tuples (% of tuples)",
+	}
+	s, err := r.runSeries("⋈̸ over B-trees (3 ix)", BulkSortMerge, cfgs, xs)
+	if err != nil {
+		return e, err
+	}
+	e.Series = append(e.Series, s)
+	for _, ap := range []Approach{LSMTombstone, LSMReclaim} {
+		s := Series{Label: ap.String()}
+		for i, cfg := range cfgs {
+			res, err := runLSM(cfg, ap == LSMReclaim)
+			if err != nil {
+				return e, err
+			}
+			r.report("  %-28s %-10s %8.2f min  (deleted %d)", s.Label, xs[i], res.Minutes, res.Deleted)
+			s.Points = append(s.Points, Point{X: xs[i], Result: res})
+		}
+		e.Series = append(e.Series, s)
+	}
+	return e, nil
+}
+
+// runLSM measures one LSM-backend range delete. The table is poured from
+// the same workload.Generate matrix the heap side loads (keyed on A, a
+// permutation of [0, Rows)), flushed into SSTables, and its WAL tail
+// drained, so the timed statement starts from a durable base exactly like
+// Run does. The measured window covers the delete statement — and, when
+// reclaim is set, compaction to the tombstone-free fixpoint — plus the
+// write-back, so every approach pays for the I/O it caused.
+func runLSM(cfg Config, reclaim bool) (Result, error) {
+	spec := cfg.spec()
+	rows, err := workload.Generate(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	mem := cfg.scaledMemory()
+	db, err := bulkdel.Open(bulkdel.Options{
+		BufferBytes: mem, Backend: bulkdel.BackendLSM, DisableSnapshotReads: true,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	tbl, err := db.CreateTable("R", spec.Fields, spec.TupleSize)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, vals := range rows {
+		if _, err := tbl.Insert(vals...); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := tbl.CompactLSM(); err != nil {
+		return Result{}, err
+	}
+	if err := db.Flush(); err != nil {
+		return Result{}, err
+	}
+
+	ap := LSMTombstone
+	if reclaim {
+		ap = LSMReclaim
+	}
+	res := Result{Approach: ap, Config: cfg, Workers: 1}
+	k := int64(float64(cfg.Rows) * cfg.Fraction) // WHERE A < k: exactly k rows
+	db.ResetDiskStats()
+	start := db.Clock()
+	if _, err := tbl.DeleteRange(0, 0, k-1, bulkdel.BulkOptions{}); err != nil {
+		return Result{}, err
+	}
+	if reclaim {
+		if err := tbl.CompactLSM(); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		return Result{}, err
+	}
+	res.SimTime = db.Clock() - start
+	res.Makespan = res.SimTime
+	res.Minutes = res.SimTime.Minutes()
+	res.Deleted = k
+	res.Disk = db.DiskStats()
+
+	if cfg.Verify {
+		if err := tbl.Check(); err != nil {
+			return Result{}, fmt.Errorf("bench: %v left inconsistent state: %w", ap, err)
+		}
+		if got := tbl.Count(); got != int64(cfg.Rows)-k {
+			return Result{}, fmt.Errorf("bench: %v left %d rows, want %d", ap, got, int64(cfg.Rows)-k)
+		}
+	}
+	return res, nil
 }

@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// TestLSMHeadToHeadShape verifies the head-to-head's core claims at 1/4
+// of the usual test scale (the LSM side loads through the public API):
+// the tombstone statement's I/O is identical across selectivities, and
+// the ⋈̸-over-B-trees side grows with the deleted fraction.
+func TestLSMHeadToHeadShape(t *testing.T) {
+	rows := testRows / 4
+	mk := func(f float64) Config {
+		return Config{Rows: rows, Fraction: f, MemoryMB: 5, NumIndexes: 3,
+			Seed: 1, ContiguousVictims: true, Verify: true}
+	}
+	var tombIOs []uint64
+	for _, f := range []float64{0.05, 0.20, 0.50} {
+		res, err := runLSM(mk(f), false)
+		if err != nil {
+			t.Fatalf("tombstone at %g: %v", f, err)
+		}
+		if want := int64(float64(rows) * f); res.Deleted != want {
+			t.Fatalf("tombstone at %g deleted %d, want %d", f, res.Deleted, want)
+		}
+		tombIOs = append(tombIOs, res.Disk.Reads+res.Disk.Writes)
+
+		rec, err := runLSM(mk(f), true)
+		if err != nil {
+			t.Fatalf("reclaim at %g: %v", f, err)
+		}
+		if rec.SimTime <= res.SimTime {
+			t.Fatalf("reclaim at %g not slower than the bare tombstone (%v vs %v)",
+				f, rec.SimTime, res.SimTime)
+		}
+	}
+	for i, ios := range tombIOs {
+		if ios != tombIOs[0] {
+			t.Fatalf("tombstone I/O varies with selectivity: %v", tombIOs)
+		}
+		if ios > 8 {
+			t.Fatalf("tombstone statement %d cost %d I/Os, want O(1)", i, ios)
+		}
+	}
+	lo := run(t, mk(0.05), BulkSortMerge)
+	hi := run(t, mk(0.50), BulkSortMerge)
+	if hi.SimTime <= lo.SimTime {
+		t.Fatalf("B-tree side did not grow with selectivity: %v at 5%%, %v at 50%%",
+			lo.SimTime, hi.SimTime)
+	}
+}

@@ -1,0 +1,106 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEpochClockConcurrentSnapshotRelease hammers the clock from many
+// goroutines interleaving Snapshot/Release/Commit with Horizon and
+// ActiveSnapshots probes — the access pattern of snapshot readers racing a
+// stream of bulk-delete commits. Run under -race this is primarily a data
+// race detector; the assertions pin the invariants the version store's
+// pruning depends on:
+//
+//   - the horizon, while any snapshot is open, never exceeds the current
+//     epoch (a snapshot is always taken at or before the clock's head);
+//   - every Snapshot paired with exactly one Release drains the active set
+//     to zero, at which point Horizon reports ok=false.
+func TestEpochClockConcurrentSnapshotRelease(t *testing.T) {
+	clock := NewEpochClock()
+	const (
+		readers   = 8
+		committer = 4
+		rounds    = 500
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s := clock.Snapshot()
+				if cur := clock.Current(); s > cur {
+					t.Errorf("snapshot %d ahead of current epoch %d", s, cur)
+				}
+				if h, ok := clock.Horizon(); ok && h > clock.Current() {
+					t.Errorf("horizon %d ahead of current epoch", h)
+				}
+				clock.ActiveSnapshots()
+				clock.Release(s)
+			}
+		}()
+	}
+	for c := 0; c < committer; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				clock.Commit()
+				if h, ok := clock.Horizon(); ok && h > clock.Current() {
+					t.Errorf("horizon %d ahead of current epoch after commit", h)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := clock.ActiveSnapshots(); n != 0 {
+		t.Fatalf("active snapshots = %d after every reader released, want 0", n)
+	}
+	if h, ok := clock.Horizon(); ok {
+		t.Fatalf("horizon still reports an open snapshot (%d) after drain", h)
+	}
+	if cur := clock.Current(); cur != committer*rounds {
+		t.Fatalf("current epoch = %d, want %d", cur, committer*rounds)
+	}
+}
+
+// TestEpochClockHorizonPinsOldestReader checks, concurrently, that a
+// long-lived snapshot pins the horizon at its epoch no matter how many
+// commits and short-lived readers come and go around it — the property that
+// keeps pruning from dropping versions the oldest reader still needs.
+func TestEpochClockHorizonPinsOldestReader(t *testing.T) {
+	clock := NewEpochClock()
+	clock.Commit()
+	clock.Commit()
+	pin := clock.Snapshot() // epoch 2, held for the whole test
+
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				clock.Commit()
+				s := clock.Snapshot()
+				h, ok := clock.Horizon()
+				if !ok {
+					t.Error("horizon empty while the pinned snapshot is open")
+				} else if h != pin {
+					t.Errorf("horizon = %d, want pinned %d", h, pin)
+				}
+				clock.Release(s)
+			}
+		}()
+	}
+	wg.Wait()
+
+	clock.Release(pin)
+	if _, ok := clock.Horizon(); ok {
+		t.Fatal("horizon non-empty after the pinned snapshot released")
+	}
+	if n := clock.ActiveSnapshots(); n != 0 {
+		t.Fatalf("active snapshots = %d, want 0", n)
+	}
+}

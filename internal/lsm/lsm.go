@@ -1,0 +1,411 @@
+// Package lsm implements the engine's second storage backend: a
+// log-structured merge tree keyed on a table's leading attribute.
+//
+// Where the B-tree backend makes a bulk delete cheap by restructuring the
+// ⋈̸ passes (the paper's contribution), the LSM backend takes the opposite
+// bet: a bulk delete is O(1) to *issue* — one range tombstone dropped into
+// the memtable — and the real work moves into compaction. Following Lethe
+// (Sarkar et al., SIGMOD 2020) the compaction scheduler is delete-aware:
+// tombstone-bearing SSTables age on a flush-tick clock and are force-
+// compacted within a bounded number of flushes, so the space a bulk delete
+// logically frees is physically reclaimed on a schedule instead of
+// "eventually".
+//
+// Durability is split between two mechanisms owned by the caller:
+//
+//   - every mutation is WAL-logged before it reaches the memtable, and
+//     recovery replays the log suffix (seq > FlushedSeq) back into a fresh
+//     memtable;
+//   - flushes and compactions become durable through a manifest callback
+//     (the engine's catalog save): the new SSTable's pages are flushed
+//     first, then the manifest commits the level change atomically. A crash
+//     between the two leaves an orphan file the catalog never references —
+//     the WAL suffix still covers its contents.
+//
+// All methods are safe for concurrent use; one mutex serializes the tree
+// (reads included — the backend trades reader concurrency for simplicity,
+// see DESIGN §4.9).
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bulkdel/internal/buffer"
+)
+
+// Options tunes a tree. Zero values take the defaults.
+type Options struct {
+	// MemLimit is the number of memtable entries (puts + point tombstones;
+	// range tombstones count too) that triggers a flush (default 256).
+	MemLimit int
+	// L0Limit is the number of L0 SSTables that triggers an L0→L1
+	// compaction (default 4).
+	L0Limit int
+	// LevelBase is the number of SSTables level 1 may hold before it
+	// spills into level 2 (default 4).
+	LevelBase int
+	// LevelRatio multiplies the table allowance per level (default 4).
+	LevelRatio int
+	// TombstoneTTL bounds reclamation latency: an SSTable carrying any
+	// tombstone is force-compacted once it is this many flush ticks old
+	// (default 4). This is the Lethe-style delete-aware trigger.
+	TombstoneTTL uint64
+	// TombWeight scales tombstone density in the victim-selection score
+	// for ordinary size-triggered compactions (default 4).
+	TombWeight float64
+	// Devices lists the spindles SSTable files are placed on, round-robin
+	// (default: device 0 only).
+	Devices []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemLimit <= 0 {
+		o.MemLimit = 256
+	}
+	if o.L0Limit <= 0 {
+		o.L0Limit = 4
+	}
+	if o.LevelBase <= 0 {
+		o.LevelBase = 4
+	}
+	if o.LevelRatio <= 0 {
+		o.LevelRatio = 4
+	}
+	if o.TombstoneTTL == 0 {
+		o.TombstoneTTL = 4
+	}
+	if o.TombWeight == 0 {
+		o.TombWeight = 4
+	}
+	if len(o.Devices) == 0 {
+		o.Devices = []int{0}
+	}
+	return o
+}
+
+// RangeTomb is a range-delete tombstone: it hides every entry with
+// Lo <= key <= Hi and seq < Seq.
+type RangeTomb struct {
+	Lo, Hi int64
+	Seq    uint64
+}
+
+// covers reports whether the tombstone hides an entry.
+func (rt RangeTomb) covers(key int64, seq uint64) bool {
+	return key >= rt.Lo && key <= rt.Hi && seq < rt.Seq
+}
+
+// memtable is the mutable in-memory run: a sorted slab (binary-search
+// insertion into a sorted slice) holding at most one entry per key — the
+// highest-seq write wins in place — plus the run's range tombstones.
+type memtable struct {
+	entries []entry // sorted by key
+	rtombs  []RangeTomb
+}
+
+func (m *memtable) len() int { return len(m.entries) + len(m.rtombs) }
+
+// put installs a point entry, replacing any older one for the same key.
+func (m *memtable) put(e entry) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].key >= e.key })
+	if i < len(m.entries) && m.entries[i].key == e.key {
+		if m.entries[i].seq < e.seq {
+			m.entries[i] = e
+		}
+		return
+	}
+	m.entries = append(m.entries, entry{})
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = e
+}
+
+// get returns the memtable's point entry for key, if any.
+func (m *memtable) get(key int64) (entry, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].key >= key })
+	if i < len(m.entries) && m.entries[i].key == key {
+		return m.entries[i], true
+	}
+	return entry{}, false
+}
+
+// Manifest is a tree's durable state, persisted inside the engine catalog.
+// Committing a new manifest (one catalog save) is the atomic step of every
+// flush and compaction.
+type Manifest struct {
+	// Seq is the highest sequence number handed out at the last save; the
+	// recovered clock never rewinds below it.
+	Seq uint64 `json:"seq"`
+	// FlushedSeq is the highest sequence number whose effects live in
+	// SSTables; WAL replay skips records at or below it.
+	FlushedSeq uint64 `json:"flushedSeq"`
+	// Tick is the flush-tick clock behind the delete-aware trigger.
+	Tick uint64 `json:"tick"`
+	// Created counts SSTable files ever created (device round-robin state).
+	Created uint64 `json:"created"`
+	// Levels holds the per-level SSTable metadata, L0 first (L0 ordered
+	// oldest→newest, deeper levels by min key).
+	Levels [][]Meta `json:"levels"`
+}
+
+// Tree is one table's LSM structure.
+type Tree struct {
+	pool    *buffer.Pool
+	recSize int
+	opts    Options
+
+	mu         sync.Mutex
+	seq        uint64 // last sequence number handed out
+	flushedSeq uint64 // highest seq durable in SSTables
+	tick       uint64 // flush ticks (delete-aware ageing clock)
+	created    uint64 // SSTable files ever created (placement round-robin)
+	mem        *memtable
+	levels     [][]*SSTable
+
+	// persist commits the current manifest durably (the engine wires it to
+	// its catalog save). Called with mu held; it must read the manifest via
+	// the snapshot below, never through tree methods.
+	persist func() error
+	// manifest is the latest state snapshot, refreshed under mu after every
+	// structural change and readable without the tree mutex (so the catalog
+	// writer never deadlocks against a flush that triggered it).
+	manifest atomic.Value // Manifest
+}
+
+// New creates an empty tree.
+func New(pool *buffer.Pool, recSize int, opts Options) *Tree {
+	t := &Tree{pool: pool, recSize: recSize, opts: opts.withDefaults(), mem: &memtable{}}
+	t.manifest.Store(t.snapshotLocked())
+	return t
+}
+
+// Open rebuilds a tree from its manifest after a crash or restart: every
+// referenced SSTable is reopened (header + sparse index read back, CRCs
+// verified). The memtable starts empty; the caller replays the WAL suffix
+// into it.
+func Open(pool *buffer.Pool, recSize int, opts Options, m Manifest) (*Tree, error) {
+	t := &Tree{pool: pool, recSize: recSize, opts: opts.withDefaults(), mem: &memtable{}}
+	t.seq = m.Seq
+	t.flushedSeq = m.FlushedSeq
+	t.tick = m.Tick
+	t.created = m.Created
+	for li, metas := range m.Levels {
+		var lvl []*SSTable
+		for _, meta := range metas {
+			sst, err := openSSTable(pool, recSize, meta)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: reopening level %d sstable (file %d): %w", li, meta.File, err)
+			}
+			lvl = append(lvl, sst)
+		}
+		t.levels = append(t.levels, lvl)
+	}
+	t.manifest.Store(t.snapshotLocked())
+	return t, nil
+}
+
+// SetPersist installs the manifest-commit hook. Must be set before the
+// first mutation (the engine wires it to its catalog save at create/open).
+func (t *Tree) SetPersist(fn func() error) { t.persist = fn }
+
+// Manifest returns the latest durable-state snapshot. Safe to call from
+// inside the persist hook (it does not take the tree mutex).
+func (t *Tree) Manifest() Manifest { return t.manifest.Load().(Manifest) }
+
+// snapshotLocked builds the manifest for the current state; mu held.
+func (t *Tree) snapshotLocked() Manifest {
+	m := Manifest{Seq: t.seq, FlushedSeq: t.flushedSeq, Tick: t.tick, Created: t.created}
+	for _, lvl := range t.levels {
+		metas := make([]Meta, len(lvl))
+		for i, sst := range lvl {
+			metas[i] = sst.Meta
+		}
+		m.Levels = append(m.Levels, metas)
+	}
+	return m
+}
+
+// publishLocked refreshes the lock-free manifest snapshot; mu held.
+func (t *Tree) publishLocked() { t.manifest.Store(t.snapshotLocked()) }
+
+// NextSeq allocates the next sequence number. The caller logs the mutation
+// under it before applying it to the tree.
+func (t *Tree) NextSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	return t.seq
+}
+
+// NoteReplayedSeq fast-forwards the sequence clock during WAL replay; it
+// never rewinds.
+func (t *Tree) NoteReplayedSeq(seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq > t.seq {
+		t.seq = seq
+	}
+}
+
+// Put installs (or overwrites) the record for key under seq.
+func (t *Tree) Put(key int64, rec []byte, seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mem.put(entry{key: key, seq: seq, kind: kindPut, val: append([]byte(nil), rec...)})
+}
+
+// DeletePoint drops a point tombstone for key under seq.
+func (t *Tree) DeletePoint(key int64, seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mem.put(entry{key: key, seq: seq, kind: kindDel})
+}
+
+// DeleteRange drops one range tombstone hiding every key in [lo, hi] with
+// a smaller seq. This is the O(1)-foreground bulk delete: no data page is
+// touched until compaction.
+func (t *Tree) DeleteRange(lo, hi int64, seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mem.rtombs = append(t.mem.rtombs, RangeTomb{Lo: lo, Hi: hi, Seq: seq})
+}
+
+// MemLen returns the memtable's entry count (range tombstones included).
+func (t *Tree) MemLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mem.len()
+}
+
+// FlushedSeq returns the highest sequence number durable in SSTables.
+func (t *Tree) FlushedSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushedSeq
+}
+
+// Levels returns the per-level SSTable counts (L0 first) — a debugging and
+// test aid.
+func (t *Tree) Levels() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, len(t.levels))
+	for i, lvl := range t.levels {
+		out[i] = len(lvl)
+	}
+	return out
+}
+
+// MaybeFlush flushes the memtable if it crossed Options.MemLimit and then
+// runs every triggered compaction. The engine calls it after each mutating
+// statement.
+func (t *Tree) MaybeFlush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mem.len() < t.opts.MemLimit {
+		return nil
+	}
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	return t.compactAllLocked()
+}
+
+// FlushMem unconditionally flushes a non-empty memtable into an L0 SSTable
+// and commits the manifest. It does not compact.
+func (t *Tree) FlushMem() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+// flushLocked writes the memtable out as one L0 SSTable: pages first, then
+// the manifest commit, then the memtable is cleared. Crash-ordering: until
+// the manifest commits the catalog references neither the new file nor the
+// new FlushedSeq, so recovery replays the same WAL suffix into a fresh
+// memtable and the half-written file is a dead orphan.
+func (t *Tree) flushLocked() error {
+	if t.mem.len() == 0 {
+		return nil
+	}
+	// Entries already shadowed by one of this same run's range tombstones
+	// never need to reach disk.
+	live := make([]entry, 0, len(t.mem.entries))
+	for _, e := range t.mem.entries {
+		if !coveredBy(t.mem.rtombs, e.key, e.seq) {
+			live = append(live, e)
+		}
+	}
+	sst, err := buildSSTable(t.pool, t.pickDeviceLocked(), t.recSize, live, t.mem.rtombs, t.tick)
+	if err != nil {
+		return err
+	}
+	t.tick++
+	if len(t.levels) == 0 {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[0] = append(t.levels[0], sst) // L0 ordered oldest→newest
+	t.flushedSeq = t.seq
+	if err := t.commitLocked(); err != nil {
+		return err
+	}
+	t.mem = &memtable{}
+	return nil
+}
+
+// pickDeviceLocked round-robins SSTable placement over the configured
+// spindles and advances the counter; it persists in the manifest so
+// placement stays deterministic across recovery.
+func (t *Tree) pickDeviceLocked() int {
+	devs := t.opts.Devices
+	dev := devs[int(t.created)%len(devs)]
+	t.created++
+	return dev
+}
+
+// commitLocked publishes the manifest snapshot and runs the persist hook.
+func (t *Tree) commitLocked() error {
+	t.publishLocked()
+	if t.persist == nil {
+		return nil
+	}
+	return t.persist()
+}
+
+// coveredBy reports whether any tombstone in rts hides (key, seq).
+func coveredBy(rts []RangeTomb, key int64, seq uint64) bool {
+	for _, rt := range rts {
+		if rt.covers(key, seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check verifies the tree's structural invariants: levels ≥1 sorted by min
+// key and non-overlapping, every SSTable's block CRCs valid and entries
+// sorted, metadata consistent with block contents.
+func (t *Tree) Check() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for li, lvl := range t.levels {
+		for i, sst := range lvl {
+			if err := sst.check(); err != nil {
+				return fmt.Errorf("lsm: level %d sstable %d (file %d): %w", li, i, sst.File, err)
+			}
+			if li == 0 {
+				continue
+			}
+			if i > 0 {
+				prev := lvl[i-1]
+				if prev.MaxKey >= sst.MinKey {
+					return fmt.Errorf("lsm: level %d overlap: [%d,%d] then [%d,%d]",
+						li, prev.MinKey, prev.MaxKey, sst.MinKey, sst.MaxKey)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bulkdel/internal/buffer"
+	"bulkdel/internal/sim"
+)
+
+func newTree(t *testing.T, opts Options) (*Tree, *buffer.Pool) {
+	t.Helper()
+	disk := sim.NewDisk(sim.DefaultCostModel())
+	pool := buffer.New(disk, 1<<20)
+	return New(pool, 16, opts), pool
+}
+
+func rec(v int64) []byte {
+	b := make([]byte, 16)
+	b[0] = byte(v)
+	b[8] = byte(v >> 1)
+	return b
+}
+
+func put(tr *Tree, key int64) {
+	tr.Put(key, rec(key), tr.NextSeq())
+}
+
+// model-checked random workload: puts, point deletes, range deletes,
+// interleaved with flushes and compactions, against a map model.
+func TestTreeMatchesModel(t *testing.T) {
+	tr, _ := newTree(t, Options{MemLimit: 32, L0Limit: 3, LevelBase: 2, LevelRatio: 2, TombstoneTTL: 2})
+	model := make(map[int64][]byte)
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6:
+			k := int64(rng.Intn(500))
+			tr.Put(k, rec(k), tr.NextSeq())
+			model[k] = rec(k)
+		case op < 8:
+			k := int64(rng.Intn(500))
+			tr.DeletePoint(k, tr.NextSeq())
+			delete(model, k)
+		case op == 8:
+			lo := int64(rng.Intn(500))
+			hi := lo + int64(rng.Intn(100))
+			tr.DeleteRange(lo, hi, tr.NextSeq())
+			for k := lo; k <= hi; k++ {
+				delete(model, k)
+			}
+		default:
+			if err := tr.MaybeFlush(); err != nil {
+				t.Fatalf("step %d: flush: %v", step, err)
+			}
+		}
+		if step%500 == 499 {
+			if err := tr.FlushMem(); err != nil {
+				t.Fatalf("step %d: force flush: %v", step, err)
+			}
+			if err := tr.CompactAll(); err != nil {
+				t.Fatalf("step %d: compact: %v", step, err)
+			}
+			checkAgainstModel(t, tr, model, step)
+			if err := tr.Check(); err != nil {
+				t.Fatalf("step %d: check: %v", step, err)
+			}
+		}
+	}
+	if err := tr.DrainTombstones(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	checkAgainstModel(t, tr, model, -1)
+	// After draining, no SSTable may carry a tombstone.
+	m := tr.Manifest()
+	for li, lvl := range m.Levels {
+		for _, meta := range lvl {
+			if meta.Tombs > 0 || meta.RangeTombs > 0 {
+				t.Fatalf("level %d still carries tombstones: %+v", li, meta)
+			}
+		}
+	}
+}
+
+func checkAgainstModel(t *testing.T, tr *Tree, model map[int64][]byte, step int) {
+	t.Helper()
+	n, err := tr.Count()
+	if err != nil {
+		t.Fatalf("step %d: count: %v", step, err)
+	}
+	if n != int64(len(model)) {
+		t.Fatalf("step %d: count %d, model %d", step, n, len(model))
+	}
+	seen := 0
+	prev := int64(-1 << 62)
+	err = tr.Scan(func(key int64, r []byte) error {
+		if key <= prev {
+			return fmt.Errorf("scan out of order: %d after %d", key, prev)
+		}
+		prev = key
+		want, ok := model[key]
+		if !ok {
+			return fmt.Errorf("scan surfaced deleted key %d", key)
+		}
+		if string(want) != string(r) {
+			return fmt.Errorf("key %d: wrong record", key)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("step %d: scan: %v", step, err)
+	}
+	if seen != len(model) {
+		t.Fatalf("step %d: scan saw %d rows, model %d", step, seen, len(model))
+	}
+	// Spot-check point gets, present and absent.
+	for k := int64(0); k < 500; k += 37 {
+		got, ok, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("step %d: get %d: %v", step, k, err)
+		}
+		want, wok := model[k]
+		if ok != wok {
+			t.Fatalf("step %d: get %d: visible=%v, model=%v", step, k, ok, wok)
+		}
+		if ok && string(got) != string(want) {
+			t.Fatalf("step %d: get %d: wrong record", step, k)
+		}
+	}
+}
+
+// A range delete must cost O(1) foreground I/O regardless of how much
+// data it covers.
+func TestRangeDeleteForegroundIO(t *testing.T) {
+	tr, pool := newTree(t, Options{MemLimit: 128})
+	for i := int64(0); i < 5000; i++ {
+		put(tr, i)
+		if err := tr.MaybeFlush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	disk := pool.Disk()
+	before := disk.IOCount()
+	tr.DeleteRange(0, 999, tr.NextSeq()) // 20% of the table
+	if got := disk.IOCount() - before; got != 0 {
+		t.Fatalf("range delete issued %d I/Os; want 0 (tombstone only)", got)
+	}
+	n, err := tr.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4000 {
+		t.Fatalf("count after range delete = %d, want 4000", n)
+	}
+}
+
+// Recovery via manifest: reopen and verify contents and invariants.
+func TestManifestReopen(t *testing.T) {
+	tr, pool := newTree(t, Options{MemLimit: 64, L0Limit: 2})
+	for i := int64(0); i < 1000; i++ {
+		put(tr, i)
+		if err := tr.MaybeFlush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.DeleteRange(100, 299, tr.NextSeq())
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Manifest()
+	tr2, err := Open(pool, 16, Options{MemLimit: 64, L0Limit: 2}, m)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := tr2.Check(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	n, err := tr2.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 800 {
+		t.Fatalf("count = %d, want 800", n)
+	}
+	if _, ok, _ := tr2.Get(150); ok {
+		t.Fatal("deleted key 150 resurrected after reopen")
+	}
+	if _, ok, _ := tr2.Get(500); !ok {
+		t.Fatal("live key 500 missing after reopen")
+	}
+	if tr2.NextSeq() <= m.Seq {
+		t.Fatal("seq clock rewound across reopen")
+	}
+}
+
+// The delete-aware trigger must reclaim tombstone space within
+// TombstoneTTL flushes even with no size trigger firing.
+func TestTombstoneTTLTrigger(t *testing.T) {
+	ttl := uint64(3)
+	tr, _ := newTree(t, Options{MemLimit: 16, L0Limit: 100, LevelBase: 100, TombstoneTTL: ttl})
+	for i := int64(0); i < 200; i++ {
+		put(tr, i)
+		if err := tr.MaybeFlush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.DeleteRange(0, 99, tr.NextSeq())
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	// Age the tombstone-bearing table past the TTL with unrelated flushes.
+	for tick := uint64(0); tick <= ttl; tick++ {
+		put(tr, 10_000+int64(tick))
+		if err := tr.FlushMem(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tr.Manifest()
+	for li, lvl := range m.Levels {
+		for _, meta := range lvl {
+			if meta.RangeTombs > 0 && m.Tick-meta.Born > ttl {
+				t.Fatalf("level %d table born at tick %d still carries a range tombstone at tick %d (ttl %d)",
+					li, meta.Born, m.Tick, ttl)
+			}
+		}
+	}
+	n, err := tr.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100+int64(ttl)+1 {
+		t.Fatalf("count = %d, want %d", n, 100+int64(ttl)+1)
+	}
+}
+
+// Compactions must drop the input files so space is actually reclaimed.
+func TestCompactionReclaimsPages(t *testing.T) {
+	tr, pool := newTree(t, Options{MemLimit: 64, L0Limit: 2, TombstoneTTL: 1})
+	for i := int64(0); i < 2000; i++ {
+		put(tr, i)
+		if err := tr.MaybeFlush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.DeleteRange(0, 1599, tr.NextSeq())
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.DrainTombstones(); err != nil {
+		t.Fatal(err)
+	}
+	var pages int64
+	for _, p := range pool.Disk().Placements() {
+		if p.File == 0 {
+			continue
+		}
+		pages += int64(p.Pages)
+	}
+	m := tr.Manifest()
+	var manifestPages int64
+	for _, lvl := range m.Levels {
+		for _, meta := range lvl {
+			manifestPages += meta.Pages
+		}
+	}
+	if pages != manifestPages {
+		t.Fatalf("disk holds %d pages, manifest references %d — compaction leaked files", pages, manifestPages)
+	}
+	n, err := tr.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 400 {
+		t.Fatalf("count = %d, want 400", n)
+	}
+}

@@ -1,0 +1,187 @@
+package lsm
+
+import "math"
+
+// Read paths: every lookup merges the memtable with the SSTables, newest
+// first, and judges visibility against the union of range tombstones. The
+// LSM invariant (compaction only ever moves a key's newer versions into a
+// level above its older ones) makes the first point entry found walking
+// memtable → L0 newest→oldest → L1 → L2 … the winning version.
+
+// maxCoveringSeq returns the highest seq of any range tombstone covering
+// key (0 if none).
+func maxCoveringSeq(rts []RangeTomb, key int64) uint64 {
+	var max uint64
+	for _, rt := range rts {
+		if key >= rt.Lo && key <= rt.Hi && rt.Seq > max {
+			max = rt.Seq
+		}
+	}
+	return max
+}
+
+// allRTombsLocked collects every live range tombstone; mu held.
+func (t *Tree) allRTombsLocked() []RangeTomb {
+	out := append([]RangeTomb(nil), t.mem.rtombs...)
+	for _, lvl := range t.levels {
+		for _, sst := range lvl {
+			out = append(out, sst.rtombs...)
+		}
+	}
+	return out
+}
+
+// Get returns the record stored under key, if visible.
+func (t *Tree) Get(key int64) ([]byte, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rseq := maxCoveringSeq(t.allRTombsLocked(), key)
+	settle := func(e entry) ([]byte, bool, error) {
+		if e.kind == kindPut && e.seq > rseq {
+			return e.val, true, nil
+		}
+		return nil, false, nil
+	}
+	if e, ok := t.mem.get(key); ok {
+		return settle(e)
+	}
+	if len(t.levels) > 0 {
+		l0 := t.levels[0]
+		for i := len(l0) - 1; i >= 0; i-- {
+			e, ok, err := l0[i].get(key)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return settle(e)
+			}
+		}
+	}
+	for li := 1; li < len(t.levels); li++ {
+		for _, sst := range t.levels[li] {
+			if key < sst.MinKey || key > sst.MaxKey {
+				continue
+			}
+			e, ok, err := sst.get(key)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return settle(e)
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// mergeSrc is one head of the k-way merge.
+type mergeSrc struct {
+	cur  entry
+	ok   bool
+	next func() (entry, bool, error)
+}
+
+func (s *mergeSrc) advance() error {
+	e, ok, err := s.next()
+	s.cur, s.ok = e, ok
+	return err
+}
+
+// sourcesLocked opens a merge head per run, positioned at the first key
+// >= lo; mu held. The returned sources read SSTable blocks lazily through
+// the pool while the caller still holds the tree mutex — SSTables are
+// immutable, so that is safe.
+func (t *Tree) sourcesLocked(lo int64) ([]*mergeSrc, error) {
+	var srcs []*mergeSrc
+	mem := t.mem.entries
+	i := 0
+	for i < len(mem) && mem[i].key < lo {
+		i++
+	}
+	srcs = append(srcs, &mergeSrc{next: func() (entry, bool, error) {
+		if i >= len(mem) {
+			return entry{}, false, nil
+		}
+		e := mem[i]
+		i++
+		return e, true, nil
+	}})
+	for _, lvl := range t.levels {
+		for _, sst := range lvl {
+			if sst.Blocks == 0 || sst.MaxKey < lo {
+				continue
+			}
+			it := sst.iter()
+			if err := it.seek(lo); err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, &mergeSrc{next: it.next})
+		}
+	}
+	for _, s := range srcs {
+		if err := s.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return srcs, nil
+}
+
+// ScanRange calls fn for every visible record with lo <= key <= hi, in
+// key order.
+func (t *Tree) ScanRange(lo, hi int64, fn func(key int64, rec []byte) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rtombs := t.allRTombsLocked()
+	srcs, err := t.sourcesLocked(lo)
+	if err != nil {
+		return err
+	}
+	disk := t.pool.Disk()
+	for {
+		best := -1
+		live := 0
+		for i, s := range srcs {
+			if !s.ok {
+				continue
+			}
+			live++
+			if best == -1 || s.cur.key < srcs[best].cur.key ||
+				(s.cur.key == srcs[best].cur.key && s.cur.seq > srcs[best].cur.seq) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		disk.ChargeCompares(live)
+		win := srcs[best].cur
+		if win.key > hi {
+			return nil
+		}
+		for _, s := range srcs { // drop every (older) version of this key
+			for s.ok && s.cur.key == win.key {
+				if err := s.advance(); err != nil {
+					return err
+				}
+			}
+		}
+		if win.kind == kindPut && win.seq > maxCoveringSeq(rtombs, win.key) {
+			disk.ChargeRecords(1)
+			if err := fn(win.key, win.val); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Scan calls fn for every visible record in key order.
+func (t *Tree) Scan(fn func(key int64, rec []byte) error) error {
+	return t.ScanRange(math.MinInt64, math.MaxInt64, fn)
+}
+
+// Count returns the number of visible records.
+func (t *Tree) Count() (int64, error) {
+	var n int64
+	err := t.Scan(func(int64, []byte) error { n++; return nil })
+	return n, err
+}

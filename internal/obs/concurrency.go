@@ -51,6 +51,10 @@ const (
 	// MetricVersionsRetained counts pre-delete row images copied into the
 	// version store for the benefit of open snapshots.
 	MetricVersionsRetained = "mvcc_versions_retained"
+	// MetricVersionsRetainedBytes gauges the bytes currently held by
+	// retained versions across all tables — the version store's live memory
+	// footprint. Pruning behind the snapshot horizon drives it back to zero.
+	MetricVersionsRetainedBytes = "mvcc_retained_bytes"
 )
 
 // Canonical metric names for the WAL appender queue — the measurement

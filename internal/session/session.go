@@ -270,6 +270,20 @@ func (s *Session) createTable(st *sql.CreateTable) (*Result, error) {
 	s.f.mu.Lock()
 	defer s.f.mu.Unlock()
 	var err error
+	switch st.Backend {
+	case "", "HEAP":
+	case "LSM":
+		if st.Partition != nil {
+			return nil, fmt.Errorf("session: BACKEND LSM cannot be combined with PARTITION BY")
+		}
+		if _, err = s.f.db.CreateTableLSM(st.Name, len(st.Cols), recSize); err != nil {
+			return nil, err
+		}
+		s.f.cols[st.Name] = append([]string(nil), st.Cols...)
+		return &Result{Text: fmt.Sprintf("Created LSM table %s (%d columns)", st.Name, len(st.Cols))}, nil
+	default:
+		return nil, fmt.Errorf("session: unknown backend %q (want HEAP or LSM)", st.Backend)
+	}
 	if p := st.Partition; p != nil {
 		field, ferr := colIdx(p.Col)
 		if ferr != nil {
@@ -624,6 +638,32 @@ func (s *Session) delete(st *sql.Delete, analyzing bool) (*Result, error) {
 	tbl, err := s.table(st.Table)
 	if err != nil {
 		return nil, err
+	}
+	if tbl.Backend() == bulkdel.BackendLSM {
+		// LSM range and full-table deletes lower onto DeleteRange — one
+		// range tombstone, no scan to enumerate victims. Equality/IN
+		// predicates fall through to the shared BulkDelete path.
+		p, err := s.bind(st.Table, tbl, st.Where)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil || p.eqVals == nil {
+			field, lo, hi := 0, int64(minInt64), int64(maxInt64)
+			if p != nil {
+				field, lo, hi = p.field, p.lo, p.hi
+			}
+			res, err := tbl.DeleteRange(field, lo, hi, s.bulkOptions())
+			if err != nil {
+				return nil, err
+			}
+			out := &Result{Affected: res.Deleted}
+			if res.Deleted < 0 {
+				// A blind range tombstone doesn't count victims.
+				out.Affected = 0
+				out.Text = fmt.Sprintf("range tombstone [%d, %d] on field %d (victims uncounted)\n", lo, hi, field)
+			}
+			return out, nil
+		}
 	}
 	field, vals, err := s.deleteVictims(st, tbl)
 	if err != nil {

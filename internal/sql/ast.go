@@ -54,12 +54,16 @@ type PartitionBy struct {
 	Bounds []int64
 }
 
-// CreateTable: CREATE TABLE name (col, ...) [RECORD SIZE n] [PARTITION BY ...].
+// CreateTable: CREATE TABLE name (col, ...) [RECORD SIZE n] [BACKEND b]
+// [PARTITION BY ...].
 type CreateTable struct {
 	Name       string
 	Cols       []string
 	RecordSize int64 // 0 = engine default
-	Partition  *PartitionBy
+	// Backend selects the storage backend ("" = heap, "LSM" = the
+	// log-structured backend with delete-aware compaction).
+	Backend   string
+	Partition *PartitionBy
 }
 
 func (s *CreateTable) Deparse() string {
@@ -67,6 +71,9 @@ func (s *CreateTable) Deparse() string {
 	fmt.Fprintf(&b, "CREATE TABLE %s (%s)", s.Name, strings.Join(s.Cols, ", "))
 	if s.RecordSize > 0 {
 		fmt.Fprintf(&b, " RECORD SIZE %d", s.RecordSize)
+	}
+	if s.Backend != "" {
+		fmt.Fprintf(&b, " BACKEND %s", s.Backend)
 	}
 	if p := s.Partition; p != nil {
 		if p.Hash {

@@ -188,6 +188,13 @@ func (p *parser) createTable() (Stmt, error) {
 			return nil, err
 		}
 	}
+	if p.acceptKw("BACKEND") {
+		be, err := p.ident("backend name")
+		if err != nil {
+			return nil, err
+		}
+		s.Backend = strings.ToUpper(be)
+	}
 	if p.acceptKw("PARTITION") {
 		if err := p.expectKw("BY"); err != nil {
 			return nil, err

@@ -11,6 +11,8 @@ import (
 var validStatements = []string{
 	"CREATE TABLE t (a, b, c)",
 	"CREATE TABLE t (id INT, v BIGINT) RECORD SIZE 64",
+	"CREATE TABLE t (a, b) BACKEND LSM",
+	"CREATE TABLE t (a, b, c) RECORD SIZE 128 BACKEND LSM",
 	"CREATE TABLE t (a, b) PARTITION BY HASH (a) PARTITIONS 4",
 	"CREATE TABLE t (a, b) PARTITION BY RANGE (a) BOUNDS (1000, 2000, 3000)",
 	"CREATE INDEX ix_a ON t (a)",

@@ -55,6 +55,7 @@ type MVCC struct {
 	pending  map[uint64][]record.RID // retain token → rids retained under it
 	tokenSeq uint64
 	retained int64 // lifetime retained-version count, for metrics
+	liveByte int64 // bytes held by currently retained versions
 
 	// Reader/bulk-pass coordination over the index trees: bulk passes
 	// mutate trees latch-free (the gate protocol excludes gate-respecting
@@ -117,6 +118,7 @@ func (m *MVCC) Retain(token uint64, rid record.RID, rec []byte) {
 	})
 	m.pending[token] = append(m.pending[token], rid)
 	m.retained++
+	m.liveByte += int64(len(rec))
 	m.mu.Unlock()
 }
 
@@ -153,6 +155,7 @@ func (m *MVCC) AbortToken(token uint64) {
 		vs := m.versions[rid]
 		for i := len(vs) - 1; i >= 0; i-- {
 			if vs[i].epoch == 0 {
+				m.liveByte -= int64(len(vs[i].rec))
 				vs = append(vs[:i], vs[i+1:]...)
 				break
 			}
@@ -183,6 +186,8 @@ func (m *MVCC) pruneLocked() {
 			// only while some snapshot predates its epoch.
 			if v.epoch == 0 || (ok && v.epoch > horizon) {
 				keep = append(keep, v)
+			} else {
+				m.liveByte -= int64(len(v.rec))
 			}
 		}
 		if len(keep) == 0 {
@@ -248,6 +253,16 @@ func (m *MVCC) LiveVersions() int {
 	return len(m.versions)
 }
 
+// RetainedBytes returns the bytes currently held by retained versions —
+// the version store's live memory footprint. It rises as deletes retain
+// pre-images and falls back to zero as pruning drops versions behind the
+// snapshot horizon.
+func (m *MVCC) RetainedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.liveByte
+}
+
 // Reset discards all snapshot state. Structural passes (repartition,
 // rebalance, traditional/drop-create deletes, bulk updates) call it: they
 // rewrite RIDs wholesale, and the Structural lock they hold guarantees no
@@ -257,6 +272,7 @@ func (m *MVCC) Reset() {
 	m.versions = make(map[record.RID][]version)
 	m.births = make(map[record.RID]uint64)
 	m.pending = make(map[uint64][]record.RID)
+	m.liveByte = 0
 	m.mu.Unlock()
 }
 

@@ -77,6 +77,16 @@ const (
 	TMoveStart
 	// TMoveDone marks the migration of A as complete on device B.
 	TMoveDone
+	// TLSMPut logs a put into an LSM table's memtable: A = key, B = seq,
+	// payload = [1B name length][table name][record bytes]. Replayed into
+	// the memtable when seq is newer than the manifest's flushed horizon.
+	TLSMPut
+	// TLSMDel logs a point delete on an LSM table: A = key, B = seq,
+	// payload = [1B name length][table name].
+	TLSMDel
+	// TLSMRangeDel logs a range delete on an LSM table: A = lo key,
+	// B = hi key, payload = [1B name length][table name][8B seq].
+	TLSMRangeDel
 )
 
 func (t Type) String() string {
@@ -105,6 +115,12 @@ func (t Type) String() string {
 		return "move-start"
 	case TMoveDone:
 		return "move-done"
+	case TLSMPut:
+		return "lsm-put"
+	case TLSMDel:
+		return "lsm-del"
+	case TLSMRangeDel:
+		return "lsm-range-del"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -366,7 +382,7 @@ func parseStream(stream []byte) (recs []Record, off uint64, maxGen uint32) {
 			break
 		}
 		t := Type(stream[off])
-		if t == 0 || t > TMoveDone {
+		if t == 0 || t > TLSMRangeDel {
 			break // end of valid records (zero fill or torn tail)
 		}
 		gen := binary.LittleEndian.Uint32(stream[off+1:])

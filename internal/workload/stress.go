@@ -174,6 +174,13 @@ type StressStats struct {
 	// table lock. Bulk deletes admit snapshot readers, so with MVCC on this
 	// stays zero unless a structural pass (repartition, drop-create) ran.
 	SnapshotReadWaits int64
+	// VersionsRetained is the lifetime count of pre-delete row images
+	// copied into the version stores for open snapshots.
+	VersionsRetained int64
+	// RetainedBytes is the mvcc_retained_bytes gauge at drain: the bytes
+	// the version stores still hold. With every snapshot closed, pruning
+	// should have driven it back to zero.
+	RetainedBytes int64
 }
 
 // stressModel is one table's oracle state.
@@ -653,6 +660,8 @@ func Stress(spec StressSpec) (*StressStats, error) {
 	stats.LockWaits = reg.Counter(obs.MetricLockWaits).Value()
 	stats.LockWaitUS = reg.Counter(obs.MetricLockWaitUS).Value()
 	stats.SnapshotReadWaits = reg.Counter(obs.MetricSnapshotReadWaits).Value()
+	stats.VersionsRetained = reg.Counter(obs.MetricVersionsRetained).Value()
+	stats.RetainedBytes = reg.Gauge(obs.MetricVersionsRetainedBytes).Value()
 	elapsed := reg.Histogram("statement_elapsed")
 	stats.P50 = elapsed.Quantile(0.50)
 	stats.P95 = elapsed.Quantile(0.95)

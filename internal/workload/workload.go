@@ -88,25 +88,44 @@ func permutation(rng *rand.Rand, n int) []int64 {
 	return out
 }
 
-// Build creates and loads the benchmark table. The returned rows matrix
-// holds the generated attribute values (row-major), which experiments use
-// to draw victim samples.
-func Build(pool *buffer.Pool, s Spec) (*table.Table, [][]int64, error) {
+// Generate produces the spec's attribute matrix (row-major) without
+// loading a table, so the same logical dataset can be poured into any
+// storage backend. Deterministic in the seed.
+func Generate(s Spec) ([][]int64, error) {
 	if err := s.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	cols := make([][]int64, s.Fields)
 	for f := range cols {
 		cols[f] = permutation(rng, s.Rows)
 	}
+	rows := make([][]int64, s.Rows)
+	for i := range rows {
+		vals := make([]int64, s.Fields)
+		for f := 0; f < s.Fields; f++ {
+			vals[f] = cols[f][i]
+		}
+		rows[i] = vals
+	}
+	return rows, nil
+}
+
+// Build creates and loads the benchmark table. The returned rows matrix
+// holds the generated attribute values (row-major), which experiments use
+// to draw victim samples.
+func Build(pool *buffer.Pool, s Spec) (*table.Table, [][]int64, error) {
+	rows, err := Generate(s)
+	if err != nil {
+		return nil, nil, err
+	}
 	order := make([]int, s.Rows)
 	for i := range order {
 		order[i] = i
 	}
 	if s.ClusterField >= 0 {
-		cf := cols[s.ClusterField]
-		sort.Slice(order, func(a, b int) bool { return cf[order[a]] < cf[order[b]] })
+		cf := s.ClusterField
+		sort.Slice(order, func(a, b int) bool { return rows[order[a]][cf] < rows[order[b]][cf] })
 	}
 
 	schema := record.Schema{NumFields: s.Fields, Size: s.TupleSize}
@@ -114,20 +133,14 @@ func Build(pool *buffer.Pool, s Spec) (*table.Table, [][]int64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rows := make([][]int64, s.Rows)
 	rec := make([]byte, s.TupleSize)
-	vals := make([]int64, s.Fields)
 	for _, i := range order {
-		for f := 0; f < s.Fields; f++ {
-			vals[f] = cols[f][i]
-		}
-		if err := schema.EncodeInto(rec, vals); err != nil {
+		if err := schema.EncodeInto(rec, rows[i]); err != nil {
 			return nil, nil, err
 		}
 		if _, err := tbl.Heap.Insert(rec); err != nil {
 			return nil, nil, err
 		}
-		rows[i] = append([]int64(nil), vals...)
 	}
 	for _, def := range s.Indexes {
 		if s.ClusterField >= 0 && def.Field == s.ClusterField {

@@ -1,0 +1,227 @@
+package bulkdel
+
+import (
+	"strings"
+	"testing"
+)
+
+// newLSMDB builds an LSM-backed table R(A,B,C) of n rows (A=i, B=3i,
+// C=i%97) through the Options.Backend routing.
+func newLSMDB(t *testing.T, n int, opts Options) (*DB, *Table) {
+	t.Helper()
+	opts.Backend = BackendLSM
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("R", 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Backend() != BackendLSM {
+		t.Fatalf("backend = %q", tbl.Backend())
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Insert(int64(i), int64(3*i), int64(i%97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, tbl
+}
+
+func TestLSMBackendBasics(t *testing.T) {
+	db, tbl := newLSMDB(t, 2000, Options{})
+	if got := tbl.Count(); got != 2000 {
+		t.Fatalf("count = %d", got)
+	}
+	rows, err := tbl.Lookup(0, 123)
+	if err != nil || len(rows) != 1 || rows[0][1] != 369 {
+		t.Fatalf("point lookup = %v, %v", rows, err)
+	}
+	// Non-key lookup falls back to a merged scan.
+	rows, err = tbl.Lookup(1, 369)
+	if err != nil || len(rows) != 1 || rows[0][0] != 123 {
+		t.Fatalf("non-key lookup = %v, %v", rows, err)
+	}
+	// Upsert: re-inserting a key overwrites the row.
+	if _, err := tbl.Insert(123, 7, 7); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = tbl.Lookup(0, 123)
+	if len(rows) != 1 || rows[0][1] != 7 {
+		t.Fatalf("upsert lost: %v", rows)
+	}
+	if got := tbl.Count(); got != 2000 {
+		t.Fatalf("count after upsert = %d", got)
+	}
+	// Key-range lookup arrives in key order.
+	rows, err = tbl.LookupRange(0, 100, 104)
+	if err != nil || len(rows) != 5 || rows[0][0] != 100 || rows[4][0] != 104 {
+		t.Fatalf("range lookup = %v, %v", rows, err)
+	}
+	// Point deletes count only rows that existed.
+	res, err := tbl.BulkDelete(0, []int64{5, 6, 7, 999999}, BulkOptions{})
+	if err != nil || res.Deleted != 3 {
+		t.Fatalf("bulk delete = %+v, %v", res, err)
+	}
+	if got := tbl.Count(); got != 1997 {
+		t.Fatalf("count after point deletes = %d", got)
+	}
+	if err := tbl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The heap-only surface is rejected, not silently wrong.
+	if err := tbl.CreateIndex(IndexOptions{Name: "IA", Field: 0}); err == nil {
+		t.Fatal("CreateIndex accepted on LSM table")
+	}
+	if _, err := tbl.View(); err == nil {
+		t.Fatal("View accepted on LSM table")
+	}
+	// Explain mentions the tombstone plan rather than the ⋈̸ planner.
+	if plan := tbl.Explain(0, Auto, 0); !strings.Contains(plan, "LSM") {
+		t.Fatalf("explain = %q", plan)
+	}
+	_ = db
+}
+
+// TestLSMRangeDeleteConstantIO is the backend's headline acceptance: a
+// range delete covering 20% of the table costs O(1) foreground I/O — a
+// WAL append + flush, never a function of the number of covered rows.
+func TestLSMRangeDeleteConstantIO(t *testing.T) {
+	db, tbl := newLSMDB(t, 10000, Options{})
+	if err := tbl.CompactLSM(); err != nil { // push everything into SSTables
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil { // drain the buffered WAL insert tail
+		t.Fatal(err)
+	}
+	before := db.Disk().IOCount()
+	res, err := tbl.DeleteRange(0, 4000, 5999, BulkOptions{}) // 20% of keys
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != -1 {
+		t.Fatalf("range delete should be blind, got Deleted=%d", res.Deleted)
+	}
+	cost := db.Disk().IOCount() - before
+	if cost > 4 {
+		t.Fatalf("20%% range delete cost %d I/Os, want O(1)", cost)
+	}
+	// The covered rows are invisible immediately.
+	if got := tbl.Count(); got != 8000 {
+		t.Fatalf("count after range delete = %d", got)
+	}
+	if rows, _ := tbl.Lookup(0, 4500); rows != nil {
+		t.Fatalf("deleted key visible: %v", rows)
+	}
+	if rows, _ := tbl.Lookup(0, 3999); len(rows) != 1 {
+		t.Fatal("survivor key missing")
+	}
+	// Reclamation: draining tombstones leaves a manifest with none.
+	if err := tbl.CompactLSM(); err != nil {
+		t.Fatal(err)
+	}
+	m := tbl.LSMManifest()
+	for li, lvl := range m.Levels {
+		for _, meta := range lvl {
+			if meta.Tombs > 0 || meta.RangeTombs > 0 {
+				t.Fatalf("level %d file %d still carries tombstones after drain", li, meta.File)
+			}
+		}
+	}
+	if got := tbl.Count(); got != 8000 {
+		t.Fatalf("count after drain = %d", got)
+	}
+}
+
+func TestLSMBackendRecovery(t *testing.T) {
+	db, tbl := newLSMDB(t, 3000, Options{})
+	// Make some state durable in SSTables...
+	if err := tbl.CompactLSM(); err != nil {
+		t.Fatal(err)
+	}
+	// ...then a post-flush tail: new rows, a point delete, a range delete,
+	// all living only in WAL + memtable at the crash.
+	for i := 3000; i < 3200; i++ {
+		if _, err := tbl.Insert(int64(i), int64(3*i), int64(i%97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.BulkDelete(0, []int64{10}, BulkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.DeleteRange(0, 1000, 1499, BulkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	disk := db.SimulateCrash()
+	db2, rep, err := Recover(disk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LSMReplayed == 0 {
+		t.Fatal("recovery replayed no LSM records")
+	}
+	tbl2 := db2.Table("R")
+	if tbl2 == nil || tbl2.Backend() != BackendLSM {
+		t.Fatal("LSM table lost across recovery")
+	}
+	// 3000 + 200 inserted - 1 point - 500 range = 2699.
+	if got := tbl2.Count(); got != 2699 {
+		t.Fatalf("count after recovery = %d", got)
+	}
+	if rows, _ := tbl2.Lookup(0, 10); rows != nil {
+		t.Fatal("point-deleted row resurrected")
+	}
+	if rows, _ := tbl2.Lookup(0, 1234); rows != nil {
+		t.Fatal("range-deleted row resurrected")
+	}
+	if rows, _ := tbl2.Lookup(0, 3100); len(rows) != 1 {
+		t.Fatal("post-flush insert lost")
+	}
+	if err := tbl2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// A second crash/recover round-trip must be idempotent.
+	disk2 := db2.SimulateCrash()
+	db3, _, err := Recover(disk2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db3.Table("R").Count(); got != 2699 {
+		t.Fatalf("count after second recovery = %d", got)
+	}
+}
+
+func TestLSMBackendSQLRouting(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CREATE TABLE ... BACKEND LSM selects the backend per table even when
+	// the DB default is the heap.
+	tbl, err := db.CreateTableLSM("S", 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapTbl, err := db.CreateTable("H", 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Backend() != BackendLSM || heapTbl.Backend() != "heap" {
+		t.Fatalf("backends = %q, %q", tbl.Backend(), heapTbl.Backend())
+	}
+	// Heap DeleteRange resolves the range and runs the ⋈̸ machinery.
+	for i := 0; i < 100; i++ {
+		if _, err := heapTbl.Insert(int64(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := heapTbl.DeleteRange(0, 10, 19, BulkOptions{})
+	if err != nil || res.Deleted != 10 {
+		t.Fatalf("heap DeleteRange = %+v, %v", res, err)
+	}
+	if got := heapTbl.Count(); got != 90 {
+		t.Fatalf("heap count = %d", got)
+	}
+}

@@ -266,6 +266,22 @@ func TestGrowDevicesAndRebalance(t *testing.T) {
 	if layout[3].Pages == 0 && layout[4].Pages == 0 {
 		t.Fatalf("grown devices still empty: %+v", layout)
 	}
+	// The byte columns agree with the page counts and the per-file rows.
+	for _, d := range layout {
+		if d.Bytes != d.Pages*sim.PageSize {
+			t.Fatalf("device %d bytes = %d, want pages*%d = %d", d.Device, d.Bytes, sim.PageSize, d.Pages*sim.PageSize)
+		}
+		var sum int64
+		for _, f := range d.ByFile {
+			if f.Bytes != f.Pages*sim.PageSize {
+				t.Fatalf("file %d bytes = %d, want %d", f.File, f.Bytes, f.Pages*sim.PageSize)
+			}
+			sum += f.Bytes
+		}
+		if sum != d.Bytes {
+			t.Fatalf("device %d per-file bytes sum to %d, want %d", d.Device, sum, d.Bytes)
+		}
+	}
 	// Data survives the migration.
 	if tbl.Count() != 2000 {
 		t.Fatalf("count = %d", tbl.Count())

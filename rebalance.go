@@ -337,6 +337,17 @@ func (db *DB) migrateFile(id sim.FileID, dev int) error {
 	return nil
 }
 
+// FileLayout is one live file's row in a DeviceLayout: its identity,
+// page count, and byte size (pages x the simulated page size).
+type FileLayout struct {
+	// File is the simulated disk's file ID.
+	File sim.FileID
+	// Pages allocated to the file.
+	Pages int64
+	// Bytes is the file's allocated size in bytes.
+	Bytes int64
+}
+
 // DeviceLayout is one device's row in DB.Layout.
 type DeviceLayout struct {
 	// Device index (0 is the system device).
@@ -345,12 +356,18 @@ type DeviceLayout struct {
 	Files int
 	// Pages allocated to those files.
 	Pages int64
+	// Bytes allocated to those files (Pages x the simulated page size).
+	Bytes int64
 	// Busy is the device's accumulated busy time.
 	Busy time.Duration
+	// ByFile lists each live file on the device with its byte size,
+	// sorted by file ID.
+	ByFile []FileLayout
 }
 
-// Layout reports the per-device file layout of the array: how many files
-// and pages each device holds and how much simulated time it has been busy.
+// Layout reports the per-device file layout of the array: how many files,
+// pages, and bytes each device holds (with a per-file breakdown) and how
+// much simulated time it has been busy.
 func (db *DB) Layout() []DeviceLayout {
 	n := db.disk.NumDevices()
 	out := make([]DeviceLayout, n)
@@ -359,8 +376,15 @@ func (db *DB) Layout() []DeviceLayout {
 		out[i].Busy = db.disk.DeviceBusy(i)
 	}
 	for _, p := range db.disk.Placements() {
-		out[p.Device].Files++
-		out[p.Device].Pages += int64(p.Pages)
+		d := &out[p.Device]
+		d.Files++
+		d.Pages += int64(p.Pages)
+		d.Bytes += int64(p.Pages) * sim.PageSize
+		d.ByFile = append(d.ByFile, FileLayout{
+			File:  p.File,
+			Pages: int64(p.Pages),
+			Bytes: int64(p.Pages) * sim.PageSize,
+		})
 	}
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"bulkdel/internal/btree"
 	"bulkdel/internal/cc"
 	"bulkdel/internal/core"
+	"bulkdel/internal/lsm"
 	"bulkdel/internal/obs"
 	"bulkdel/internal/record"
 	"bulkdel/internal/sim"
@@ -40,6 +41,10 @@ type IndexOptions struct {
 type Table struct {
 	db *DB
 	t  *table.Table
+	// lsm, when non-nil, marks the table as LSM-backed: t is a schema
+	// stub (nil heap, no indexes) and every data path routes through the
+	// tree instead. See lsm_backend.go.
+	lsm *lsm.Tree
 	// updMu serializes updater DML (Insert/DeleteRow) against each
 	// other. It stands in for the fine-grained page latches a production
 	// engine would take; the bulk deleter does not take it — during a
@@ -54,8 +59,18 @@ func (tbl *Table) Name() string { return tbl.t.Name }
 // NumFields returns the number of int64 attributes.
 func (tbl *Table) NumFields() int { return tbl.t.Schema.NumFields }
 
-// Count returns the number of live records.
-func (tbl *Table) Count() int64 { return tbl.t.Heap.Count() }
+// Count returns the number of live records. On an LSM table this is a
+// merged scan (tombstones subtract); a scan error reports -1.
+func (tbl *Table) Count() int64 {
+	if tbl.lsm != nil {
+		n, err := tbl.lsmCount()
+		if err != nil {
+			return -1
+		}
+		return n
+	}
+	return tbl.t.Heap.Count()
+}
 
 // CreateIndex builds an index over the current contents (scan + external
 // sort + bottom-up bulk load). On a multi-device array (Options.Devices)
@@ -66,6 +81,9 @@ func (tbl *Table) Count() int64 { return tbl.t.Heap.Count() }
 func (tbl *Table) CreateIndex(opts IndexOptions) error {
 	if tbl.db.crashed.Load() {
 		return errCrashed
+	}
+	if tbl.lsm != nil {
+		return fmt.Errorf("bulkdel: table %s is LSM-backed; secondary indexes are not supported", tbl.t.Name)
 	}
 	// Structural claim: the build scans the heap and installs the new tree,
 	// and no reader — snapshot readers included — may observe the table
@@ -126,6 +144,9 @@ func (tbl *Table) Insert(fields ...int64) (RID, error) {
 	if tbl.db.crashed.Load() {
 		return record.NilRID, errCrashed
 	}
+	if tbl.lsm != nil {
+		return tbl.lsmInsert(fields)
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	tbl.updMu.Lock()
@@ -140,6 +161,9 @@ func (tbl *Table) InsertDirect(fields ...int64) (RID, error) {
 	if tbl.db.crashed.Load() {
 		return record.NilRID, errCrashed
 	}
+	if tbl.lsm != nil {
+		return tbl.lsmInsert(fields)
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	tbl.updMu.Lock()
@@ -149,6 +173,9 @@ func (tbl *Table) InsertDirect(fields ...int64) (RID, error) {
 
 // DeleteRow removes one record by RID.
 func (tbl *Table) DeleteRow(rid RID) error {
+	if tbl.lsm != nil {
+		return fmt.Errorf("bulkdel: table %s is LSM-backed and has no RIDs; delete by key", tbl.t.Name)
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	tbl.updMu.Lock()
@@ -172,6 +199,7 @@ func (tbl *Table) beginSnapshotRead() (s uint64, done func()) {
 	return s, func() {
 		tbl.db.epochs.Release(s)
 		mv.Prune() // versions only this snapshot needed can go now
+		tbl.db.noteRetainedBytes()
 		tbl.t.Lock.UnlockSnapshotRead()
 	}
 }
@@ -191,6 +219,9 @@ func (tbl *Table) noteFallbackScan(field int, usedIndex bool) {
 // exclusively and proceeds once the §3.1 critical phase releases the lock
 // (indexes still offline are not needed — Get reads the heap).
 func (tbl *Table) Get(rid RID) ([]int64, error) {
+	if tbl.lsm != nil {
+		return nil, fmt.Errorf("bulkdel: table %s is LSM-backed and has no RIDs; use Lookup", tbl.t.Name)
+	}
 	if tbl.t.MVCC != nil {
 		s, done := tbl.beginSnapshotRead()
 		defer done()
@@ -219,6 +250,9 @@ func (tbl *Table) HasIndexOnField(field int) bool {
 // never blocks behind a bulk delete, and while one holds the table's index
 // trees offline the lookup degrades to a visibility-filtered heap scan.
 func (tbl *Table) Lookup(field int, v int64) ([][]int64, error) {
+	if tbl.lsm != nil {
+		return tbl.lsmLookup(field, v)
+	}
 	if tbl.t.MVCC != nil {
 		s, done := tbl.beginSnapshotRead()
 		defer done()
@@ -236,6 +270,9 @@ func (tbl *Table) Lookup(field int, v int64) ([][]int64, error) {
 // snapshot are included — they name the snapshot's retained images, and a
 // Get through the same open View resolves them; a fresh Get may not.
 func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
+	if tbl.lsm != nil {
+		return nil, fmt.Errorf("bulkdel: table %s is LSM-backed and has no RIDs", tbl.t.Name)
+	}
 	if tbl.t.MVCC != nil {
 		if tbl.t.IndexOnField(field) == nil {
 			return nil, fmt.Errorf("bulkdel: table %s has no index on field %d", tbl.t.Name, field)
@@ -265,6 +302,9 @@ func (tbl *Table) LookupRIDs(field int, v int64) ([]RID, error) {
 // inclusive), via an index on the field when one exists, else a heap scan.
 // Index results arrive in key order; scan results in physical order.
 func (tbl *Table) LookupRange(field int, lo, hi int64) ([][]int64, error) {
+	if tbl.lsm != nil {
+		return tbl.lsmLookupRange(field, lo, hi)
+	}
 	if tbl.t.MVCC != nil {
 		s, done := tbl.beginSnapshotRead()
 		defer done()
@@ -325,6 +365,9 @@ func (tbl *Table) LookupRange(field int, lo, hi int64) ([][]int64, error) {
 // surviving rows come first in physical order, then the snapshot's retained
 // rows (deleted after the snapshot) in RID order.
 func (tbl *Table) Scan(fn func(rid RID, fields []int64) error) error {
+	if tbl.lsm != nil {
+		return tbl.lsmScan(fn)
+	}
 	if tbl.t.MVCC != nil {
 		s, done := tbl.beginSnapshotRead()
 		defer done()
@@ -350,6 +393,9 @@ func (tbl *Table) Scan(fn func(rid RID, fields []int64) error) error {
 func (tbl *Table) View() (*View, error) {
 	if tbl.db.crashed.Load() {
 		return nil, errCrashed
+	}
+	if tbl.lsm != nil {
+		return nil, fmt.Errorf("bulkdel: table %s is LSM-backed; MVCC views are not supported", tbl.t.Name)
 	}
 	if tbl.t.MVCC == nil {
 		return nil, fmt.Errorf("bulkdel: snapshot reads are disabled (Options.DisableSnapshotReads)")
@@ -408,18 +454,33 @@ func (v *View) Scan(fn func(rid RID, fields []int64) error) error {
 // waits for every index gate: a previous statement's early-released index
 // passes must finish before the trees can be scanned (or judged).
 func (tbl *Table) Check() error {
+	if tbl.lsm != nil {
+		tbl.t.Lock.LockShared()
+		defer tbl.t.Lock.UnlockShared()
+		return tbl.lsm.Check()
+	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
 	tbl.waitIndexesOnline()
 	return tbl.t.CheckConsistency()
 }
 
-// Flush forces the table's pages to disk.
-func (tbl *Table) Flush() error { return tbl.t.Flush() }
+// Flush forces the table's pages to disk. LSM tables are a no-op: the
+// memtable's durability comes from the WAL, and SSTables are flushed as
+// they are built.
+func (tbl *Table) Flush() error {
+	if tbl.lsm != nil {
+		return nil
+	}
+	return tbl.t.Flush()
+}
 
 // SetDeletePolicy switches the traditional delete's page reclamation
 // between free-at-empty (default, the paper's choice) and merge-at-half.
 func (tbl *Table) SetDeletePolicy(mergeAtHalf bool) {
+	if tbl.lsm != nil {
+		return // no B-trees to tune
+	}
 	if mergeAtHalf {
 		tbl.t.SetPolicyAll(btree.MergeAtHalf)
 	} else {
@@ -559,6 +620,7 @@ func (tbl *Table) retainTarget(tgt *core.Target, token uint64) {
 	tgt.Retain = func(rid record.RID, rec []byte) {
 		mv.Retain(token, rid, rec)
 		reg.Counter(obs.MetricVersionsRetained).Add(1)
+		reg.Gauge(obs.MetricVersionsRetainedBytes).Add(int64(len(rec)))
 	}
 }
 
@@ -576,6 +638,9 @@ func (tbl *Table) retainTarget(tgt *core.Target, token uint64) {
 func (tbl *Table) BulkDelete(field int, values []int64, opts BulkOptions) (*BulkResult, error) {
 	if tbl.db.crashed.Load() {
 		return nil, errCrashed
+	}
+	if tbl.lsm != nil {
+		return tbl.lsmBulkDelete(field, values, opts)
 	}
 	// Overload guard: a statement that wants pool workers is shed here, at
 	// admission — before any lock is taken or log record written — when the
@@ -685,7 +750,10 @@ func (tbl *Table) bulkDeleteWithDepth(field int, values []int64, opts BulkOption
 		token = mv.NewToken()
 		var commitOnce sync.Once
 		levelCommit = func() {
-			commitOnce.Do(func() { mv.CommitToken(token) })
+			commitOnce.Do(func() {
+				mv.CommitToken(token) // prunes behind the horizon
+				tbl.db.noteRetainedBytes()
+			})
 		}
 		defer levelCommit()
 		mv.BeginDelete()
@@ -892,6 +960,9 @@ func (tbl *Table) BulkUpdate(predField int, values []int64, setField int,
 	if tbl.db.crashed.Load() {
 		return nil, errCrashed
 	}
+	if tbl.lsm != nil {
+		return nil, fmt.Errorf("bulkdel: bulk update is not supported on LSM table %s", tbl.t.Name)
+	}
 	if opts.Memory <= 0 {
 		opts.Memory = table.DefaultSortBudget
 	}
@@ -925,6 +996,9 @@ func (tbl *Table) DeleteTraditional(field int, values []int64, sortValues bool) 
 	if tbl.db.crashed.Load() {
 		return 0, errCrashed
 	}
+	if tbl.lsm != nil {
+		return 0, fmt.Errorf("bulkdel: traditional delete is not supported on LSM table %s", tbl.t.Name)
+	}
 	// Structural: the baseline deletes record-at-a-time with no version
 	// retention, so snapshot readers are held out for the duration.
 	stmt, held := tbl.db.beginStatement("delete-traditional", tbl.t.Name,
@@ -942,6 +1016,9 @@ func (tbl *Table) DeleteTraditional(field int, values []int64, sortValues bool) 
 func (tbl *Table) DeleteDropCreate(field int, values []int64) (int64, error) {
 	if tbl.db.crashed.Load() {
 		return 0, errCrashed
+	}
+	if tbl.lsm != nil {
+		return 0, fmt.Errorf("bulkdel: drop-and-create delete is not supported on LSM table %s", tbl.t.Name)
 	}
 	// Structural: index trees are dropped and rebuilt wholesale; no reader
 	// — snapshot or otherwise — may observe the intermediate state.
@@ -969,6 +1046,9 @@ func (tbl *Table) resetSnapshots() {
 // Explain renders the plan the given method would execute for a bulk
 // delete on the field — the code form of the paper's Figures 3–5.
 func (tbl *Table) Explain(field int, m Method, memory int) string {
+	if tbl.lsm != nil {
+		return fmt.Sprintf("LSMDelete(table=%s field=%d)\n  └─ tombstone write (range predicates: one range tombstone; O(1) I/O)\n", tbl.t.Name, field)
+	}
 	if memory <= 0 {
 		memory = table.DefaultSortBudget
 	}
