@@ -3,8 +3,6 @@ package lsm
 import (
 	"fmt"
 	"sort"
-
-	"bulkdel/internal/sim"
 )
 
 // Leveled compaction with delete-aware scheduling.
@@ -164,6 +162,7 @@ func (t *Tree) compactL0Locked() error {
 	if len(t.levels) == 0 || len(t.levels[0]) == 0 {
 		return nil
 	}
+	prev := t.captureLocked()
 	inputs := append([]*SSTable(nil), t.levels[0]...)
 	lo, hi := inputs[0].MinKey, inputs[0].MaxKey
 	for _, sst := range inputs[1:] {
@@ -200,7 +199,7 @@ func (t *Tree) compactL0Locked() error {
 	}
 	t.levels[0] = nil
 	t.levels[1] = insertSorted(keep, out)
-	return t.swapCommitLocked(inputs)
+	return t.swapCommitLocked(prev, out, inputs)
 }
 
 // compactTableLocked pushes levels[li][vi] (plus the overlapping slice of
@@ -211,6 +210,7 @@ func (t *Tree) compactTableLocked(li, vi int) error {
 		return fmt.Errorf("lsm: bad compaction victim level=%d index=%d", li, vi)
 	}
 	victim := t.levels[li][vi]
+	prev := t.captureLocked()
 	deepest := true
 	for lj := li + 1; lj < len(t.levels); lj++ {
 		if len(t.levels[lj]) > 0 {
@@ -231,7 +231,7 @@ func (t *Tree) compactTableLocked(li, vi int) error {
 		rest := append([]*SSTable(nil), t.levels[li][:vi]...)
 		rest = append(rest, t.levels[li][vi+1:]...)
 		t.levels[li] = insertSorted(rest, out)
-		return t.swapCommitLocked([]*SSTable{victim})
+		return t.swapCommitLocked(prev, out, []*SSTable{victim})
 	}
 	for len(t.levels) <= li+1 {
 		t.levels = append(t.levels, nil)
@@ -260,7 +260,7 @@ func (t *Tree) compactTableLocked(li, vi int) error {
 	rest = append(rest, t.levels[li][vi+1:]...)
 	t.levels[li] = rest
 	t.levels[li+1] = insertSorted(keep, out)
-	return t.swapCommitLocked(inputs)
+	return t.swapCommitLocked(prev, out, inputs)
 }
 
 // insertSorted returns keep + out sorted by min key (out may be nil when
@@ -274,16 +274,25 @@ func insertSorted(keep []*SSTable, out *SSTable) []*SSTable {
 }
 
 // swapCommitLocked trims empty trailing levels, commits the manifest, and
-// drops the input files; mu held.
-func (t *Tree) swapCommitLocked(inputs []*SSTable) error {
+// drops the input files (parked if a scan is in flight); a failed commit
+// rolls the level swap back to prev so the in-memory tree keeps matching
+// the durable manifest. mu held.
+func (t *Tree) swapCommitLocked(prev treeState, out *SSTable, inputs []*SSTable) error {
 	for len(t.levels) > 0 && len(t.levels[len(t.levels)-1]) == 0 {
 		t.levels = t.levels[:len(t.levels)-1]
 	}
 	if err := t.commitLocked(); err != nil {
+		// Inputs stay live under the old manifest; the merged output is an
+		// orphan (same as a crash between build and commit) — drop it
+		// best-effort.
+		t.restoreLocked(prev)
+		if out != nil {
+			_ = t.dropFileLocked(out)
+		}
 		return err
 	}
 	for _, sst := range inputs {
-		if err := t.pool.DropFile(sim.FileID(sst.File)); err != nil {
+		if err := t.dropFileLocked(sst); err != nil {
 			return err
 		}
 	}

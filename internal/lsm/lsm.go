@@ -22,9 +22,12 @@
 //     between the two leaves an orphan file the catalog never references —
 //     the WAL suffix still covers its contents.
 //
-// All methods are safe for concurrent use; one mutex serializes the tree
-// (reads included — the backend trades reader concurrency for simplicity,
-// see DESIGN §4.9).
+// All methods are safe for concurrent use; one mutex serializes the
+// tree's structure. Point reads hold it throughout; Scan/ScanRange
+// snapshot their merge sources under it and drive the merge — and the
+// user callback — lock-free, so a callback may re-enter the same tree
+// (SSTables are immutable; files superseded mid-scan are parked until
+// the last scan finishes). See DESIGN §4.9.
 package lsm
 
 import (
@@ -34,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"bulkdel/internal/buffer"
+	"bulkdel/internal/sim"
 )
 
 // Options tunes a tree. Zero values take the defaults.
@@ -164,6 +168,22 @@ type Tree struct {
 	mem        *memtable
 	levels     [][]*SSTable
 
+	// pending holds seqs handed out by NextSeq whose mutation has not yet
+	// been applied to the memtable (ascending — NextSeq is monotone). A
+	// flush may not advance flushedSeq past a pending seq: its WAL record
+	// would be skipped on replay while its effect is in no SSTable, losing
+	// the write. The engine serializes LSM mutations, so this is normally
+	// empty at flush time; it is the backstop that makes flushedSeq safe
+	// by construction.
+	pending []uint64
+
+	// scans counts Scan/ScanRange merges running outside the mutex;
+	// obsolete parks files superseded while one was in flight (its
+	// iterators may still read their pages). The last scan to finish
+	// drops them.
+	scans    int
+	obsolete []*SSTable
+
 	// persist commits the current manifest durably (the engine wires it to
 	// its catalog save). Called with mu held; it must read the manifest via
 	// the snapshot below, never through tree methods.
@@ -231,12 +251,34 @@ func (t *Tree) snapshotLocked() Manifest {
 func (t *Tree) publishLocked() { t.manifest.Store(t.snapshotLocked()) }
 
 // NextSeq allocates the next sequence number. The caller logs the mutation
-// under it before applying it to the tree.
+// under it before applying it to the tree; until the apply (or AbandonSeq
+// on a log failure) the seq is pending and pins the flush horizon.
 func (t *Tree) NextSeq() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
+	t.pending = append(t.pending, t.seq)
 	return t.seq
+}
+
+// settleSeqLocked retires a pending seq once its mutation has been applied
+// (or abandoned); a seq not handed out by NextSeq — WAL replay applies
+// records under their original seqs — is a no-op. mu held.
+func (t *Tree) settleSeqLocked(seq uint64) {
+	for i, s := range t.pending {
+		if s == seq {
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// AbandonSeq retires a seq whose mutation will never be applied (the WAL
+// append under it failed), so it stops pinning the flush horizon.
+func (t *Tree) AbandonSeq(seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.settleSeqLocked(seq)
 }
 
 // NoteReplayedSeq fast-forwards the sequence clock during WAL replay; it
@@ -253,6 +295,7 @@ func (t *Tree) NoteReplayedSeq(seq uint64) {
 func (t *Tree) Put(key int64, rec []byte, seq uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.settleSeqLocked(seq)
 	t.mem.put(entry{key: key, seq: seq, kind: kindPut, val: append([]byte(nil), rec...)})
 }
 
@@ -260,6 +303,7 @@ func (t *Tree) Put(key int64, rec []byte, seq uint64) {
 func (t *Tree) DeletePoint(key int64, seq uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.settleSeqLocked(seq)
 	t.mem.put(entry{key: key, seq: seq, kind: kindDel})
 }
 
@@ -269,6 +313,7 @@ func (t *Tree) DeletePoint(key int64, seq uint64) {
 func (t *Tree) DeleteRange(lo, hi int64, seq uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.settleSeqLocked(seq)
 	t.mem.rtombs = append(t.mem.rtombs, RangeTomb{Lo: lo, Hi: hi, Seq: seq})
 }
 
@@ -321,11 +366,44 @@ func (t *Tree) FlushMem() error {
 	return t.flushLocked()
 }
 
+// treeState is a restorable snapshot of the fields a flush or compaction
+// mutates ahead of its manifest commit. When the commit (persist hook)
+// fails, restoring it keeps the in-memory tree consistent with the
+// durable manifest instead of leaving a level set and flush horizon the
+// catalog never saw.
+type treeState struct {
+	flushedSeq uint64
+	tick       uint64
+	created    uint64
+	levels     [][]*SSTable
+}
+
+// captureLocked snapshots the commit-mutable state; mu held. Compactions
+// replace inner level slices rather than mutating them, so copying the
+// outer slice is enough.
+func (t *Tree) captureLocked() treeState {
+	return treeState{
+		flushedSeq: t.flushedSeq,
+		tick:       t.tick,
+		created:    t.created,
+		levels:     append([][]*SSTable(nil), t.levels...),
+	}
+}
+
+// restoreLocked rolls the commit-mutable state back and republishes the
+// matching manifest snapshot; mu held.
+func (t *Tree) restoreLocked(s treeState) {
+	t.flushedSeq, t.tick, t.created = s.flushedSeq, s.tick, s.created
+	t.levels = s.levels
+	t.publishLocked()
+}
+
 // flushLocked writes the memtable out as one L0 SSTable: pages first, then
 // the manifest commit, then the memtable is cleared. Crash-ordering: until
 // the manifest commits the catalog references neither the new file nor the
 // new FlushedSeq, so recovery replays the same WAL suffix into a fresh
-// memtable and the half-written file is a dead orphan.
+// memtable and the half-written file is a dead orphan. A failed commit
+// rolls the in-memory state back to match.
 func (t *Tree) flushLocked() error {
 	if t.mem.len() == 0 {
 		return nil
@@ -338,8 +416,10 @@ func (t *Tree) flushLocked() error {
 			live = append(live, e)
 		}
 	}
+	prev := t.captureLocked()
 	sst, err := buildSSTable(t.pool, t.pickDeviceLocked(), t.recSize, live, t.mem.rtombs, t.tick)
 	if err != nil {
+		t.restoreLocked(prev)
 		return err
 	}
 	t.tick++
@@ -347,12 +427,55 @@ func (t *Tree) flushLocked() error {
 		t.levels = append(t.levels, nil)
 	}
 	t.levels[0] = append(t.levels[0], sst) // L0 ordered oldest→newest
-	t.flushedSeq = t.seq
+	// The horizon may only cover seqs whose mutations have reached the
+	// memtable: a pending seq (allocated, WAL-logged or about to be, not
+	// yet applied) is neither in this SSTable nor replayable if skipped.
+	horizon := t.seq
+	if len(t.pending) > 0 && t.pending[0]-1 < horizon {
+		horizon = t.pending[0] - 1
+	}
+	if horizon > t.flushedSeq {
+		t.flushedSeq = horizon
+	}
 	if err := t.commitLocked(); err != nil {
+		// The manifest did not commit: put the tree back in sync with the
+		// durable state. The built file becomes an orphan — the same thing
+		// a crash between build and commit leaves — so dropping it is
+		// best-effort.
+		t.restoreLocked(prev)
+		_ = t.dropFileLocked(sst)
 		return err
 	}
 	t.mem = &memtable{}
 	return nil
+}
+
+// dropFileLocked removes an SSTable's file, or parks it while lock-free
+// scans are in flight (their iterators may still be reading its pages);
+// the last scan to finish drops parked files. mu held.
+func (t *Tree) dropFileLocked(sst *SSTable) error {
+	if t.scans > 0 {
+		t.obsolete = append(t.obsolete, sst)
+		return nil
+	}
+	return t.pool.DropFile(sim.FileID(sst.File))
+}
+
+// scanDone retires one lock-free scan and, when it was the last, drops
+// the files parked while any scan ran.
+func (t *Tree) scanDone() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.scans--
+	if t.scans > 0 {
+		return
+	}
+	for _, sst := range t.obsolete {
+		// Best-effort: a failed drop leaks an unreferenced file, which is
+		// exactly what a crash between commit and drop leaves behind.
+		_ = t.pool.DropFile(sim.FileID(sst.File))
+	}
+	t.obsolete = nil
 }
 
 // pickDeviceLocked round-robins SSTable placement over the configured

@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"bulkdel/internal/buffer"
@@ -280,5 +281,222 @@ func TestCompactionReclaimsPages(t *testing.T) {
 	}
 	if n != 400 {
 		t.Fatalf("count = %d, want 400", n)
+	}
+}
+
+// flushedSeq may never cover a seq that was allocated but whose mutation
+// has not reached the memtable: WAL replay would skip the record and the
+// write would be lost after a crash (the PR-10 review's lost-write race).
+func TestFlushedSeqExcludesUnappliedSeq(t *testing.T) {
+	tr, _ := newTree(t, Options{})
+	put(tr, 1)
+	put(tr, 2)
+	s := tr.NextSeq() // allocated, WAL-logged by the caller, not yet applied
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FlushedSeq(); got >= s {
+		t.Fatalf("FlushedSeq = %d covers unapplied seq %d", got, s)
+	}
+	tr.Put(3, rec(3), s) // the apply lands; the next flush may cover it
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FlushedSeq(); got < s {
+		t.Fatalf("FlushedSeq = %d still below applied seq %d", got, s)
+	}
+	// An abandoned seq (WAL append failed, mutation never applied) must
+	// stop pinning the horizon.
+	s2 := tr.NextSeq()
+	tr.AbandonSeq(s2)
+	put(tr, 4)
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FlushedSeq(); got < s2 {
+		t.Fatalf("FlushedSeq = %d pinned below abandoned seq %d", got, s2)
+	}
+}
+
+// A Scan callback may re-enter the tree (point gets, nested scans) — the
+// heap backend allows it, so the LSM backend must not self-deadlock.
+func TestScanCallbackReentry(t *testing.T) {
+	tr, _ := newTree(t, Options{MemLimit: 16})
+	for i := int64(0); i < 100; i++ {
+		put(tr, i)
+		if err := tr.MaybeFlush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visited := 0
+	err := tr.Scan(func(key int64, _ []byte) error {
+		visited++
+		if _, ok, err := tr.Get((key + 50) % 100); err != nil || !ok {
+			return fmt.Errorf("re-entrant Get(%d) = %v, %v", (key+50)%100, ok, err)
+		}
+		if key == 0 { // one nested scan is enough
+			nested := 0
+			if err := tr.ScanRange(10, 19, func(int64, []byte) error { nested++; return nil }); err != nil {
+				return err
+			}
+			if nested != 10 {
+				return fmt.Errorf("nested scan saw %d rows, want 10", nested)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 100 {
+		t.Fatalf("outer scan saw %d rows, want 100", visited)
+	}
+}
+
+// When the persist hook fails, the in-memory tree must stay consistent
+// with the durable manifest: no half-committed flush (SSTable in L0 +
+// advanced flushedSeq + uncleaned memtable) and no half-committed
+// compaction.
+func TestPersistFailureRollsBack(t *testing.T) {
+	tr, _ := newTree(t, Options{MemLimit: 16, L0Limit: 2, LevelBase: 100})
+	persistErr := error(nil)
+	tr.SetPersist(func() error { return persistErr })
+	for i := int64(0); i < 40; i++ {
+		put(tr, i)
+	}
+	persistErr = fmt.Errorf("catalog save failed")
+	before := tr.Manifest()
+	if err := tr.FlushMem(); err == nil {
+		t.Fatal("flush succeeded despite persist failure")
+	}
+	after := tr.Manifest()
+	if len(after.Levels) != len(before.Levels) || after.FlushedSeq != before.FlushedSeq || after.Tick != before.Tick {
+		t.Fatalf("manifest mutated across failed flush: %+v -> %+v", before, after)
+	}
+	if tr.MemLen() == 0 {
+		t.Fatal("memtable cleared despite failed flush")
+	}
+	// Healing the hook must yield exactly one copy of the data.
+	persistErr = nil
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tr.Count(); err != nil || n != 40 {
+		t.Fatalf("count after healed flush = %d, %v", n, err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same for a compaction: pile up L0 tables, fail the commit mid-swap.
+	for i := int64(100); i < 140; i++ {
+		put(tr, i)
+	}
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	levelsBefore := tr.Levels()
+	persistErr = fmt.Errorf("catalog save failed")
+	if _, err := tr.CompactNow(); err == nil {
+		t.Fatal("compaction succeeded despite persist failure")
+	}
+	if got := tr.Levels(); fmt.Sprint(got) != fmt.Sprint(levelsBefore) {
+		t.Fatalf("levels mutated across failed compaction: %v -> %v", levelsBefore, got)
+	}
+	persistErr = nil
+	if err := tr.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tr.Count(); err != nil || n != 80 {
+		t.Fatalf("count after healed compaction = %d, %v", n, err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A record too large for a data block must surface as an error at flush,
+// never a slice-bounds panic.
+func TestOversizedRecordErrors(t *testing.T) {
+	disk := sim.NewDisk(sim.DefaultCostModel())
+	pool := buffer.New(disk, 1<<20)
+	tr := New(pool, MaxRecordSize+1, Options{})
+	tr.Put(1, make([]byte, MaxRecordSize+1), tr.NextSeq())
+	if err := tr.FlushMem(); err == nil {
+		t.Fatal("flush of oversized record succeeded")
+	}
+}
+
+// Concurrent writers, scanners, and point readers; exercised under -race
+// in CI. Scans snapshot their sources and run lock-free, so compactions
+// triggered by the writers park superseded files until scans finish; the
+// pending-seq backstop keeps the flush horizon safe while a writer sits
+// between NextSeq and Put.
+func TestConcurrentScansAndMutations(t *testing.T) {
+	tr, _ := newTree(t, Options{MemLimit: 32, L0Limit: 2, LevelBase: 2, LevelRatio: 2, TombstoneTTL: 2})
+	const writers, perWriter = 4, 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := int64(w*1_000_000 + i)
+				tr.Put(k, rec(k), tr.NextSeq())
+				if err := tr.MaybeFlush(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := int64(-1 << 62)
+				err := tr.Scan(func(key int64, _ []byte) error {
+					if key <= prev {
+						return fmt.Errorf("scan out of order: %d after %d", key, prev)
+					}
+					prev = key
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := tr.Get(int64(rand.Intn(writers * 1_000_000))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := tr.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tr.Count(); err != nil || n != writers*perWriter {
+		t.Fatalf("count = %d, %v; want %d", n, err, writers*perWriter)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
 	}
 }

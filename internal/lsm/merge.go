@@ -88,12 +88,13 @@ func (s *mergeSrc) advance() error {
 }
 
 // sourcesLocked opens a merge head per run, positioned at the first key
-// >= lo; mu held. The returned sources read SSTable blocks lazily through
-// the pool while the caller still holds the tree mutex — SSTables are
-// immutable, so that is safe.
+// >= lo; mu held. The returned sources are usable after the mutex is
+// released: SSTables are immutable (and their files are parked, not
+// dropped, while a scan is in flight), and the memtable slice is copied
+// here because put shifts entries within its backing array in place.
 func (t *Tree) sourcesLocked(lo int64) ([]*mergeSrc, error) {
 	var srcs []*mergeSrc
-	mem := t.mem.entries
+	mem := append([]entry(nil), t.mem.entries...)
 	i := 0
 	for i < len(mem) && mem[i].key < lo {
 		i++
@@ -127,15 +128,24 @@ func (t *Tree) sourcesLocked(lo int64) ([]*mergeSrc, error) {
 }
 
 // ScanRange calls fn for every visible record with lo <= key <= hi, in
-// key order.
+// key order. The merge sources are snapshotted under the tree mutex and
+// the merge itself — fn included — runs without it, so fn may re-enter
+// the tree (a lookup from inside a table scan callback must work on an
+// LSM table just as it does on the heap backend). The scan sees the tree
+// as of the snapshot; concurrent flushes and compactions neither tear it
+// (superseded files are parked until the last scan finishes) nor appear
+// in it.
 func (t *Tree) ScanRange(lo, hi int64, fn func(key int64, rec []byte) error) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	rtombs := t.allRTombsLocked()
 	srcs, err := t.sourcesLocked(lo)
 	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
+	t.scans++
+	t.mu.Unlock()
+	defer t.scanDone()
 	disk := t.pool.Disk()
 	for {
 		best := -1

@@ -65,6 +65,11 @@ const (
 	blkPayload = sim.PageSize - blkHdrSize
 )
 
+// MaxRecordSize is the largest record the backend can store: one encoded
+// entry (17-byte key/seq/kind header plus the record) must fit a data
+// block's payload. Table creation rejects larger schemas up front.
+const MaxRecordSize = blkPayload - 17
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Meta is one SSTable's catalog-persisted description; everything needed
@@ -136,6 +141,10 @@ func buildSSTable(pool *buffer.Pool, dev int, recSize int, entries []entry, rtom
 	}
 	for _, e := range entries {
 		sz := entrySize(e, recSize)
+		if sz > blkPayload {
+			return nil, fmt.Errorf("lsm: entry for key %d needs %d bytes, exceeds the %d-byte block payload (record size %d > MaxRecordSize %d)",
+				e.key, sz, blkPayload, recSize, MaxRecordSize)
+		}
 		if len(cur)+sz > blkPayload {
 			flushBlock()
 		}

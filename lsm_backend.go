@@ -26,10 +26,18 @@ import (
 // What LSM tables do not have: RIDs (rows are addressed by key),
 // secondary indexes, MVCC snapshot views, and the ⋈̸ bulk-delete planner
 // (tombstones make it unnecessary). Readers instead merge the memtable
-// and SSTables under the tree's own latch; deletes still take the
-// engine's exclusive table lock and advance the commit epoch, so the
-// statement lifecycle, observability, and locking semantics match the
-// heap backend.
+// and SSTables (point reads under the tree's own latch; scans snapshot
+// their sources and merge latch-free, so scan callbacks may re-enter the
+// table); deletes still take the engine's exclusive table lock and
+// advance the commit epoch, so the statement lifecycle, observability,
+// and locking semantics match the heap backend. Mutations under the
+// shared lock (inserts, forced compaction) additionally serialize on the
+// table's updMu, exactly like heap inserts: seq allocation, the WAL
+// append, the memtable apply, and any flush the mutation triggers must
+// form one atomic unit, or a concurrent mutation's flush could publish a
+// flushed-seq horizon covering a seq whose record is not yet in the
+// memtable — WAL replay would then skip it and the write would vanish
+// after a crash.
 
 // BackendLSM is the Options.Backend / Table.Backend() name of the LSM
 // storage backend; the zero value selects the heap backend.
@@ -65,6 +73,15 @@ func (db *DB) CreateTableLSM(name string, numFields, recordSize int) (*Table, er
 	schema := record.Schema{NumFields: numFields, Size: recordSize}
 	if err := schema.Validate(); err != nil {
 		return nil, err
+	}
+	// Backend-specific bounds Schema.Validate has no business knowing:
+	// one encoded entry must fit an SSTable data block, and LSM WAL
+	// payloads frame the table name with a one-byte length.
+	if recordSize > lsm.MaxRecordSize {
+		return nil, fmt.Errorf("bulkdel: LSM record size %d exceeds the backend maximum %d", recordSize, lsm.MaxRecordSize)
+	}
+	if len(name) > 255 {
+		return nil, fmt.Errorf("bulkdel: LSM table name is %d bytes; the WAL frame caps names at 255", len(name))
 	}
 	db.mu.Lock()
 	if _, ok := db.tables[name]; ok {
@@ -129,9 +146,16 @@ func (tbl *Table) lsmInsert(fields []int64) (RID, error) {
 	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
+	// updMu makes NextSeq → WAL append → Put → MaybeFlush one atomic unit
+	// against the other shared-lock mutators (inserts, CompactLSM); see
+	// the file comment. Delete statements hold the table exclusively, so
+	// they cannot interleave here either.
+	tbl.updMu.Lock()
+	defer tbl.updMu.Unlock()
 	key := fields[0]
 	seq := tbl.lsm.NextSeq()
 	if err := tbl.logLSM(wal.TLSMPut, uint64(key), seq, rec); err != nil {
+		tbl.lsm.AbandonSeq(seq)
 		return record.NilRID, err
 	}
 	tbl.lsm.Put(key, rec, seq)
@@ -270,6 +294,7 @@ func (tbl *Table) lsmBulkDelete(field int, values []int64, opts BulkOptions) (*B
 	for _, k := range keys {
 		seq := tbl.lsm.NextSeq()
 		if err := tbl.logLSM(wal.TLSMDel, uint64(k), seq, nil); err != nil {
+			tbl.lsm.AbandonSeq(seq)
 			return nil, err
 		}
 		tbl.lsm.DeletePoint(k, seq)
@@ -333,6 +358,7 @@ func (tbl *Table) DeleteRange(field int, lo, hi int64, opts BulkOptions) (*BulkR
 		var seqBuf [8]byte
 		binary.LittleEndian.PutUint64(seqBuf[:], seq)
 		if err := tbl.logLSM(wal.TLSMRangeDel, uint64(lo), uint64(hi), seqBuf[:]); err != nil {
+			tbl.lsm.AbandonSeq(seq)
 			return nil, err
 		}
 		tbl.lsm.DeleteRange(lo, hi, seq)
@@ -351,6 +377,7 @@ func (tbl *Table) DeleteRange(field int, lo, hi int64, opts BulkOptions) (*BulkR
 		for _, k := range keys {
 			seq := tbl.lsm.NextSeq()
 			if err := tbl.logLSM(wal.TLSMDel, uint64(k), seq, nil); err != nil {
+				tbl.lsm.AbandonSeq(seq)
 				return nil, err
 			}
 			tbl.lsm.DeletePoint(k, seq)
@@ -387,6 +414,11 @@ func (tbl *Table) CompactLSM() error {
 	}
 	tbl.t.Lock.LockShared()
 	defer tbl.t.Lock.UnlockShared()
+	// Like lsmInsert: the forced flush must not interleave with a
+	// concurrent insert's NextSeq → Put window, or the published flush
+	// horizon could cover a not-yet-applied seq.
+	tbl.updMu.Lock()
+	defer tbl.updMu.Unlock()
 	if err := tbl.lsm.FlushMem(); err != nil {
 		return err
 	}
